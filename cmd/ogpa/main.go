@@ -1,0 +1,122 @@
+// Command ogpa answers ontology-mediated queries from the command line:
+//
+//	ogpa -ontology onto.tbox -data data.abox 'q(x) :- Student(x), takesCourse(x, y)'
+//
+// Flags select the pipeline (GenOGP+OMatch by default, or one of the
+// baselines), print the generated OGP (-explain), and bound the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ogpa"
+)
+
+func main() {
+	var (
+		ontologyPath = flag.String("ontology", "", "ontology file (SubClassOf/SubPropertyOf text format)")
+		dataPath     = flag.String("data", "", "data file (.abox assertion lines or .nt triples)")
+		baseline     = flag.String("baseline", "", "answer with a baseline instead: perfectref+daf | perfectrefopt+daf | datalog | saturate")
+		explain      = flag.Bool("explain", false, "print the generated OGP before answering")
+		maxResults   = flag.Int("max-results", 0, "cap the number of answers (0 = unlimited)")
+		timeout      = flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
+		statsOnly    = flag.Bool("stats", false, "print KB statistics and exit")
+		isSPARQL     = flag.Bool("sparql", false, "the query argument is a SPARQL SELECT query")
+		minimize     = flag.Bool("minimize", false, "minimize the query (compute its core) before rewriting")
+		consistency  = flag.Bool("check-consistency", false, "check the KB against DisjointWith axioms and exit")
+	)
+	flag.Parse()
+
+	if *ontologyPath == "" || *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: ogpa -ontology FILE -data FILE [flags] 'q(x) :- ...'")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	kb, err := ogpa.OpenKB(*ontologyPath, *dataPath)
+	if err != nil {
+		fail(err)
+	}
+	if *statsOnly {
+		fmt.Println(kb.Stats())
+		return
+	}
+	if *consistency {
+		vs, err := kb.CheckConsistency()
+		if err != nil {
+			fail(err)
+		}
+		if len(vs) == 0 {
+			fmt.Println("consistent")
+			return
+		}
+		for _, v := range vs {
+			fmt.Println("violation:", v)
+		}
+		os.Exit(1)
+	}
+	if flag.NArg() != 1 {
+		fail(fmt.Errorf("expected exactly one query argument, got %d", flag.NArg()))
+	}
+	query := flag.Arg(0)
+	if *minimize && !*isSPARQL {
+		min, err := ogpa.MinimizeQuery(query)
+		if err != nil {
+			fail(err)
+		}
+		if min != query {
+			fmt.Fprintf(os.Stderr, "minimized to: %s\n", min)
+		}
+		query = min
+	}
+
+	if *explain && !*isSPARQL {
+		rw, err := kb.Rewrite(query)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("generated OGP (#COND=%d):\n%s\n", rw.CondCount(), rw.Explain())
+		fmt.Printf("condition provenance:\n%s\n", rw.ExplainProvenance())
+	}
+
+	opt := ogpa.Options{MaxResults: *maxResults, Timeout: *timeout}
+	start := time.Now()
+	var ans *ogpa.Answers
+	switch {
+	case *isSPARQL:
+		ans, err = kb.AnswerSPARQL(query, opt)
+	case *baseline == "":
+		ans, err = kb.AnswerWithOptions(query, opt)
+	default:
+		ans, err = kb.AnswerBaseline(ogpa.Baseline(*baseline), query, opt)
+	}
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	for i, v := range ans.Vars {
+		if i > 0 {
+			fmt.Print("\t")
+		}
+		fmt.Print(v)
+	}
+	fmt.Println()
+	for _, row := range ans.Rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Print("\t")
+			}
+			fmt.Print(c)
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "%d answers in %v\n", ans.Len(), elapsed)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ogpa:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Command ogpaserver serves ontology-mediated query answering over HTTP:
+//
+//	ogpaserver -ontology onto.tbox -data data.nt -addr :8080
+//	curl -s localhost:8080/query -d '{"query":"q(x) :- Student(x)"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"ogpa"
+	"ogpa/internal/server"
+)
+
+func main() {
+	var (
+		ontologyPath = flag.String("ontology", "", "ontology file")
+		dataPath     = flag.String("data", "", "data file (.abox or .nt)")
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+	)
+	flag.Parse()
+	if *ontologyPath == "" || *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: ogpaserver -ontology FILE -data FILE [-addr HOST:PORT]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	kb, err := ogpa.OpenKB(*ontologyPath, *dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s", kb.Stats())
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.Handler(kb)))
+}

@@ -1,0 +1,81 @@
+// Multi-query encoding (paper Example 4(3), 5, 11, 12): one ontological
+// graph pattern encodes the two overlapping patterns Q5 and Q6 of the
+// paper's Figure 2:
+//
+//	Q5: professors who work for a university and teach a student who
+//	    publishes an article;
+//	Q6: teachers who teach a student taking a course.
+//
+// Disjunctive conditions select which pattern applies per match, and the
+// omission condition lets the university vertex disappear in Q6-matches.
+//
+// Run with: go run ./examples/multiquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ogpa"
+	"ogpa/internal/core"
+)
+
+func main() {
+	// The graph of the paper's Figure 2: a Teacher y1, a Professor y2,
+	// Students y3/y4, an Article y5, a Course y6.
+	data := `
+Teacher(y1)
+Professor(y2)
+Student(y3)
+Student(y4)
+Article(y5)
+Course(y6)
+teaches(y1, y3)
+teaches(y1, y4)
+takes(y3, y6)
+takes(y4, y6)
+`
+	kb, err := ogpa.NewKB(strings.NewReader("Professor SubClassOf Teacher"), strings.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Q5' of Example 4(3). Vertices: 0=x1, 1=x2, 2=x3, 3=x4.
+	q5prime := &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x1", Label: core.Wildcard, Distinguished: true,
+				Match: core.Or{L: core.LabelIs{X: 0, Label: "Professor"}, R: core.LabelIs{X: 0, Label: "Teacher"}}},
+			{Name: "x2", Label: "Student", Distinguished: true},
+			{Name: "x3", Label: core.Wildcard, Distinguished: true,
+				Match: core.Or{
+					L: core.And{L: core.LabelIs{X: 2, Label: "Article"}, R: core.LabelIs{X: 0, Label: "Professor"}},
+					R: core.And{L: core.LabelIs{X: 2, Label: "Course"}, R: core.LabelIs{X: 0, Label: "Teacher"}},
+				}},
+			{Name: "x4", Label: "University", Distinguished: true,
+				Omit: core.LabelIs{X: 0, Label: "Teacher"}},
+		},
+		Edges: []core.Edge{
+			{From: 0, To: 1, Label: "teaches"},
+			{From: 1, To: 2, Label: core.Wildcard,
+				Match: core.Or{
+					L: core.And{L: core.EdgeIs{X: 1, Y: 2, Label: "publishes"}, R: core.LabelIs{X: 0, Label: "Professor"}},
+					R: core.And{L: core.EdgeIs{X: 1, Y: 2, Label: "takes"}, R: core.LabelIs{X: 0, Label: "Teacher"}},
+				}},
+			{From: 0, To: 3, Label: "worksFor"},
+		},
+	}
+
+	fmt.Printf("the combined pattern:\n%s\n", q5prime)
+	ans, err := kb.MatchOGP(q5prime, ogpa.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matches (x1, x2, x3, x4 — ⊥ marks the omitted university):")
+	for _, row := range ans.Rows {
+		fmt.Println(" ", strings.Join(row, ", "))
+	}
+	// Expected, as in the paper's Example 5:
+	//   y1, y3, y6, ⊥
+	//   y1, y4, y6, ⊥
+}

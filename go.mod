@@ -1,0 +1,3 @@
+module ogpa
+
+go 1.23

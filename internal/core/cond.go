@@ -1,0 +1,288 @@
+// Package core implements ontological graph patterns (OGPs), the paper's
+// primary contribution (Section III): graph patterns whose vertices and
+// edges carry matching conditions and whose vertices may carry omission
+// conditions, interpreted under partial-mapping homomorphism semantics.
+//
+// The condition language is the τ grammar of the paper:
+//
+//	τ ::= x.A ⊕ c | x.A ⊕ y.B | l(x) | l(x,y) | τ ∧ τ | τ ∨ τ
+//
+// extended with the edge-existence atoms l(x,_) and l(_,x), which the
+// rewriting rules r7–r10 of Table II introduce (they assert that a vertex
+// has some incident edge with a given label, with the far endpoint
+// unconstrained).
+package core
+
+import (
+	"fmt"
+
+	"ogpa/internal/graph"
+)
+
+// CmpOp is one of the six comparison operators of the τ grammar.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Holds applies the operator to a comparison result.
+func (op CmpOp) Holds(cmp int, comparable bool) bool {
+	if !comparable {
+		return false
+	}
+	switch op {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}
+
+// Cond is a condition tree. Vertex references are pattern-vertex indexes.
+type Cond interface {
+	isCond()
+	String() string
+}
+
+// True is the trivially satisfied condition.
+type True struct{}
+
+// LabelIs is l(x): vertex x carries label Label.
+type LabelIs struct {
+	X     int
+	Label string
+}
+
+// EdgeIs is l(x,y): an edge labeled Label from x to y exists in G.
+type EdgeIs struct {
+	X, Y  int
+	Label string
+}
+
+// EdgeExists is l(x,_) (Out == true) or l(_,x) (Out == false): vertex x has
+// an incident edge labeled Label with an unconstrained far endpoint.
+type EdgeExists struct {
+	X     int
+	Label string
+	Out   bool
+}
+
+// AttrCmpConst is x.A ⊕ c.
+type AttrCmpConst struct {
+	X    int
+	Attr string
+	Op   CmpOp
+	C    graph.Value
+}
+
+// AttrCmpAttr is x.A ⊕ y.B.
+type AttrCmpAttr struct {
+	X     int
+	AttrX string
+	Op    CmpOp
+	Y     int
+	AttrY string
+}
+
+// SameAs is x = y: both vertices are matched and coincide. It extends the
+// paper's τ grammar (which already has the cross-vertex form x.A ⊕ y.B);
+// GenOGP uses it to gate omission justifications produced by reductions
+// that unify a *bound* variable with a kept one — the merged vertex must
+// then coincide with the kept vertex for the justification to apply.
+type SameAs struct {
+	X, Y int
+}
+
+// And is τ1 ∧ τ2.
+type And struct{ L, R Cond }
+
+// Or is τ1 ∨ τ2.
+type Or struct{ L, R Cond }
+
+func (True) isCond()         {}
+func (LabelIs) isCond()      {}
+func (EdgeIs) isCond()       {}
+func (EdgeExists) isCond()   {}
+func (AttrCmpConst) isCond() {}
+func (AttrCmpAttr) isCond()  {}
+func (SameAs) isCond()       {}
+func (And) isCond()          {}
+func (Or) isCond()           {}
+
+func (True) String() string { return "true" }
+
+func (c LabelIs) String() string { return fmt.Sprintf("%s($%d)", c.Label, c.X) }
+
+func (c EdgeIs) String() string { return fmt.Sprintf("%s($%d,$%d)", c.Label, c.X, c.Y) }
+
+func (c EdgeExists) String() string {
+	if c.Out {
+		return fmt.Sprintf("%s($%d,_)", c.Label, c.X)
+	}
+	return fmt.Sprintf("%s(_,$%d)", c.Label, c.X)
+}
+
+func (c AttrCmpConst) String() string {
+	return fmt.Sprintf("$%d.%s %s %s", c.X, c.Attr, c.Op, c.C.String2())
+}
+
+func (c AttrCmpAttr) String() string {
+	return fmt.Sprintf("$%d.%s %s $%d.%s", c.X, c.AttrX, c.Op, c.Y, c.AttrY)
+}
+
+func (c SameAs) String() string { return fmt.Sprintf("$%d=$%d", c.X, c.Y) }
+
+func (c And) String() string { return "(" + c.L.String() + " & " + c.R.String() + ")" }
+func (c Or) String() string  { return "(" + c.L.String() + " | " + c.R.String() + ")" }
+
+// AndAll folds conditions with ∧, eliding nils and Trues. Returns nil when
+// nothing remains.
+func AndAll(cs ...Cond) Cond {
+	var acc Cond
+	for _, c := range cs {
+		if c == nil {
+			continue
+		}
+		if _, ok := c.(True); ok {
+			continue
+		}
+		if acc == nil {
+			acc = c
+		} else {
+			acc = And{acc, c}
+		}
+	}
+	return acc
+}
+
+// OrAll folds conditions with ∨, eliding nils. Returns nil when nothing
+// remains; a single True short-circuits to True.
+func OrAll(cs ...Cond) Cond {
+	var acc Cond
+	for _, c := range cs {
+		if c == nil {
+			continue
+		}
+		if _, ok := c.(True); ok {
+			return True{}
+		}
+		if acc == nil {
+			acc = c
+		} else {
+			acc = Or{acc, c}
+		}
+	}
+	return acc
+}
+
+// Vars returns the set of pattern vertices referenced by c.
+func Vars(c Cond) map[int]bool {
+	out := make(map[int]bool)
+	collectVars(c, out)
+	return out
+}
+
+func collectVars(c Cond, out map[int]bool) {
+	switch t := c.(type) {
+	case nil, True:
+	case LabelIs:
+		out[t.X] = true
+	case EdgeIs:
+		out[t.X] = true
+		out[t.Y] = true
+	case EdgeExists:
+		out[t.X] = true
+	case AttrCmpConst:
+		out[t.X] = true
+	case AttrCmpAttr:
+		out[t.X] = true
+		out[t.Y] = true
+	case SameAs:
+		out[t.X] = true
+		out[t.Y] = true
+	case And:
+		collectVars(t.L, out)
+		collectVars(t.R, out)
+	case Or:
+		collectVars(t.L, out)
+		collectVars(t.R, out)
+	default:
+		panic(fmt.Sprintf("core: unknown condition %T", c))
+	}
+}
+
+// DNF flattens a condition into disjunctive normal form: a slice of
+// conjunctive clauses, each a slice of atomic conditions. A nil condition
+// yields nil (interpreted as "true" by convention of the caller).
+func DNF(c Cond) [][]Cond {
+	if c == nil {
+		return nil
+	}
+	switch t := c.(type) {
+	case True:
+		return [][]Cond{{}}
+	case And:
+		l, r := DNF(t.L), DNF(t.R)
+		out := make([][]Cond, 0, len(l)*len(r))
+		for _, a := range l {
+			for _, b := range r {
+				clause := make([]Cond, 0, len(a)+len(b))
+				clause = append(clause, a...)
+				clause = append(clause, b...)
+				out = append(out, clause)
+			}
+		}
+		return out
+	case Or:
+		return append(DNF(t.L), DNF(t.R)...)
+	default:
+		return [][]Cond{{t}}
+	}
+}
+
+// CondSize counts the atomic conditions in c, the paper's #COND metric for
+// rewriting sizes.
+func CondSize(c Cond) int {
+	switch t := c.(type) {
+	case nil, True:
+		return 0
+	case And:
+		return CondSize(t.L) + CondSize(t.R)
+	case Or:
+		return CondSize(t.L) + CondSize(t.R)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ogpa/internal/cq"
+)
+
+// Wildcard is the label that matches any label.
+const Wildcard = "*"
+
+// Vertex is a pattern vertex u with label L_Q(u), matching condition
+// C^l(u), omission condition C^o(u) (nil ⇒ u can never be omitted) and a
+// distinguished flag (u ∈ x̄).
+type Vertex struct {
+	Name          string
+	Label         string
+	Match         Cond // nil ⇒ true
+	Omit          Cond // nil ⇒ C^o(u) = ∅ (u must be matched)
+	Distinguished bool
+}
+
+// Edge is a pattern edge (From, Label, To) with matching condition C^l(e).
+//
+// Structural semantics: when Match is nil, a match requires a data edge
+// h(From) → h(To) whose label ≍ Label. When Match is non-nil, the condition
+// *replaces* the structural test: every disjunct of a GenOGP-produced edge
+// condition is itself an edge atom over the endpoints, and inverse-role
+// alternatives (Table II rule r4) are only expressible this way.
+type Edge struct {
+	From, To int
+	Label    string
+	Match    Cond
+}
+
+// Pattern is an ontological graph pattern Q[x̄].
+type Pattern struct {
+	Vertices []Vertex
+	Edges    []Edge
+}
+
+// NumVertices reports |V_Q|.
+func (p *Pattern) NumVertices() int { return len(p.Vertices) }
+
+// Distinguished returns the indexes of distinguished vertices in order.
+func (p *Pattern) Distinguished() []int {
+	var out []int
+	for i, v := range p.Vertices {
+		if v.Distinguished {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// VertexByName resolves a vertex index by variable name, or -1.
+func (p *Pattern) VertexByName(name string) int {
+	for i, v := range p.Vertices {
+		if v.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AdjacentEdges returns the indexes of edges incident to vertex u.
+func (p *Pattern) AdjacentEdges(u int) []int {
+	var out []int
+	for i, e := range p.Edges {
+		if e.From == u || e.To == u {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CondSize is the paper's #COND metric: the total number of atomic
+// conditions attached to the pattern.
+func (p *Pattern) CondSize() int {
+	n := 0
+	for _, v := range p.Vertices {
+		n += CondSize(v.Match) + CondSize(v.Omit)
+	}
+	for _, e := range p.Edges {
+		n += CondSize(e.Match)
+	}
+	return n
+}
+
+// Validate checks structural sanity: edge endpoints and condition vertex
+// references in range, no self-referential omission, wildcard use.
+func (p *Pattern) Validate() error {
+	n := len(p.Vertices)
+	checkCond := func(c Cond, what string) error {
+		for v := range Vars(c) {
+			if v < 0 || v >= n {
+				return fmt.Errorf("core: %s references vertex %d, pattern has %d", what, v, n)
+			}
+		}
+		return nil
+	}
+	names := make(map[string]bool, n)
+	for i, v := range p.Vertices {
+		if v.Name != "" {
+			if names[v.Name] {
+				return fmt.Errorf("core: duplicate vertex name %q", v.Name)
+			}
+			names[v.Name] = true
+		}
+		if v.Label == "" {
+			return fmt.Errorf("core: vertex %d has empty label (use %q for wildcard)", i, Wildcard)
+		}
+		if err := checkCond(v.Match, fmt.Sprintf("C^l(%d)", i)); err != nil {
+			return err
+		}
+		if err := checkCond(v.Omit, fmt.Sprintf("C^o(%d)", i)); err != nil {
+			return err
+		}
+	}
+	for i, e := range p.Edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("core: edge %d endpoints (%d,%d) out of range", i, e.From, e.To)
+		}
+		if e.Label == "" {
+			return fmt.Errorf("core: edge %d has empty label", i)
+		}
+		if err := checkCond(e.Match, fmt.Sprintf("C^l(edge %d)", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Connected reports whether the pattern is connected, counting both
+// structural edges and condition dependencies.
+func (p *Pattern) Connected() bool {
+	n := len(p.Vertices)
+	if n <= 1 {
+		return true
+	}
+	adj := make([][]int, n)
+	link := func(a, b int) {
+		if a != b {
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+	}
+	for _, e := range p.Edges {
+		link(e.From, e.To)
+	}
+	for i, v := range p.Vertices {
+		for w := range Vars(v.Match) {
+			link(i, w)
+		}
+		for w := range Vars(v.Omit) {
+			link(i, w)
+		}
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[u] {
+			if !seen[w] {
+				seen[w] = true
+				cnt++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return cnt == n
+}
+
+func (p *Pattern) String() string {
+	var b strings.Builder
+	b.WriteString("OGP[")
+	first := true
+	for _, v := range p.Vertices {
+		if v.Distinguished {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.WriteString(v.Name)
+		}
+	}
+	b.WriteString("]\n")
+	for i, v := range p.Vertices {
+		fmt.Fprintf(&b, "  $%d %s : %s", i, v.Name, v.Label)
+		if v.Match != nil {
+			fmt.Fprintf(&b, "  C^l=%s", v.Match)
+		}
+		if v.Omit != nil {
+			fmt.Fprintf(&b, "  C^o=%s", v.Omit)
+		}
+		b.WriteByte('\n')
+	}
+	for _, e := range p.Edges {
+		fmt.Fprintf(&b, "  $%d -%s-> $%d", e.From, e.Label, e.To)
+		if e.Match != nil {
+			fmt.Fprintf(&b, "  C^l=%s", e.Match)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FromCQ builds the initial OGP of a conjunctive query per the paper's
+// "Queries to graphs" construction: one vertex per variable; each concept
+// atom A(x) contributes the label A and the matching condition A(x); each
+// role atom P(x,y) contributes an edge labeled P with matching condition
+// P(x,y); omission conditions start empty. When a variable carries several
+// concept atoms, the first becomes the vertex label and the rest become
+// extra conjuncts of the matching condition.
+func FromCQ(q *cq.Query) *Pattern {
+	p := &Pattern{}
+	index := make(map[string]int)
+	vertex := func(name string) int {
+		if i, ok := index[name]; ok {
+			return i
+		}
+		i := len(p.Vertices)
+		index[name] = i
+		p.Vertices = append(p.Vertices, Vertex{
+			Name:          name,
+			Label:         Wildcard,
+			Distinguished: q.IsDistinguished(name),
+		})
+		return i
+	}
+	for _, v := range q.Vars() {
+		vertex(v)
+	}
+	for _, a := range q.Atoms {
+		if a.IsRole {
+			x, y := vertex(a.X), vertex(a.Y)
+			p.Edges = append(p.Edges, Edge{
+				From:  x,
+				To:    y,
+				Label: a.Pred,
+				Match: EdgeIs{X: x, Y: y, Label: a.Pred},
+			})
+			continue
+		}
+		x := vertex(a.X)
+		v := &p.Vertices[x]
+		if v.Label == Wildcard {
+			v.Label = a.Pred
+		}
+		v.Match = AndAll(v.Match, LabelIs{X: x, Label: a.Pred})
+	}
+	return p
+}

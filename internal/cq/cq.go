@@ -1,0 +1,270 @@
+// Package cq implements conjunctive queries over DL-Lite knowledge bases
+// (paper Section II): q(x̄) = ∃ȳ.φ(x̄, ȳ) where φ is a conjunction of
+// concept atoms A(x) and role atoms P(x, y).
+//
+// Variables occurring exactly once that are not distinguished are *unbound*
+// (the paper writes them '_'); the parser assigns each written '_' a fresh
+// name so unboundness is purely an occurrence-count property. The package
+// also provides the most-general-unifier machinery used by PerfectRef's
+// Reduction step and a cheap canonical form used to deduplicate queries.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Atom is A(x) (IsRole == false, Y == "") or P(x, y) (IsRole == true).
+type Atom struct {
+	Pred   string
+	IsRole bool
+	X, Y   string
+}
+
+// ConceptAtom builds A(x).
+func ConceptAtom(pred, x string) Atom { return Atom{Pred: pred, X: x} }
+
+// RoleAtom builds P(x, y).
+func RoleAtom(pred, x, y string) Atom { return Atom{Pred: pred, IsRole: true, X: x, Y: y} }
+
+func (a Atom) String() string {
+	if !a.IsRole {
+		return fmt.Sprintf("%s(%s)", a.Pred, a.X)
+	}
+	return fmt.Sprintf("%s(%s, %s)", a.Pred, a.X, a.Y)
+}
+
+// Vars returns the variables of the atom (1 or 2 entries).
+func (a Atom) Vars() []string {
+	if !a.IsRole {
+		return []string{a.X}
+	}
+	return []string{a.X, a.Y}
+}
+
+// Query is a conjunctive query with distinguished variables Head.
+type Query struct {
+	Name  string
+	Head  []string
+	Atoms []Atom
+}
+
+func (q *Query) String() string {
+	var b strings.Builder
+	name := q.Name
+	if name == "" {
+		name = "q"
+	}
+	b.WriteString(name)
+	b.WriteByte('(')
+	b.WriteString(strings.Join(q.Head, ", "))
+	b.WriteString(") :- ")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
+// Size reports |q|: the number of atoms.
+func (q *Query) Size() int { return len(q.Atoms) }
+
+// Clone deep-copies the query.
+func (q *Query) Clone() *Query {
+	out := &Query{Name: q.Name}
+	out.Head = append([]string(nil), q.Head...)
+	out.Atoms = append([]Atom(nil), q.Atoms...)
+	return out
+}
+
+// Vars returns all variables in order of first occurrence (head first).
+func (q *Query) Vars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range q.Head {
+		add(v)
+	}
+	for _, a := range q.Atoms {
+		add(a.X)
+		if a.IsRole {
+			add(a.Y)
+		}
+	}
+	return out
+}
+
+// Occurrences counts, per variable, how many atom argument positions
+// mention it.
+func (q *Query) Occurrences() map[string]int {
+	occ := make(map[string]int)
+	for _, a := range q.Atoms {
+		occ[a.X]++
+		if a.IsRole {
+			occ[a.Y]++
+		}
+	}
+	return occ
+}
+
+// IsDistinguished reports whether v is in the head.
+func (q *Query) IsDistinguished(v string) bool {
+	for _, h := range q.Head {
+		if h == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Unbound returns the set of unbound variables: existential variables that
+// occur exactly once in the body.
+func (q *Query) Unbound() map[string]bool {
+	occ := q.Occurrences()
+	out := make(map[string]bool)
+	for v, n := range occ {
+		if n == 1 && !q.IsDistinguished(v) {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// Connected reports whether the query's Gaifman graph is connected
+// (the paper considers connected patterns w.l.o.g.).
+func (q *Query) Connected() bool {
+	vars := q.Vars()
+	if len(vars) <= 1 {
+		return true
+	}
+	parent := make(map[string]string, len(vars))
+	var find func(string) string
+	find = func(x string) string {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, v := range vars {
+		parent[v] = v
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	for _, a := range q.Atoms {
+		if a.IsRole {
+			union(a.X, a.Y)
+		}
+	}
+	root := find(vars[0])
+	for _, v := range vars[1:] {
+		if find(v) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// Substitution maps variables to variables.
+type Substitution map[string]string
+
+// Resolve follows the substitution chain for v.
+func (s Substitution) Resolve(v string) string {
+	for {
+		w, ok := s[v]
+		if !ok || w == v {
+			return v
+		}
+		v = w
+	}
+}
+
+// Unify computes the most general unifier of two atoms of q, treating
+// distinguished variables as constants (they unify only with existential
+// variables or themselves). It returns nil when the atoms do not unify.
+func (q *Query) Unify(a1, a2 Atom) Substitution {
+	if a1.Pred != a2.Pred || a1.IsRole != a2.IsRole {
+		return nil
+	}
+	sigma := Substitution{}
+	pairs := [][2]string{{a1.X, a2.X}}
+	if a1.IsRole {
+		pairs = append(pairs, [2]string{a1.Y, a2.Y})
+	}
+	for _, p := range pairs {
+		s, t := sigma.Resolve(p[0]), sigma.Resolve(p[1])
+		switch {
+		case s == t:
+		case !q.IsDistinguished(s):
+			sigma[s] = t
+		case !q.IsDistinguished(t):
+			sigma[t] = s
+		default:
+			return nil
+		}
+	}
+	return sigma
+}
+
+// Apply applies a substitution, dropping duplicate atoms. The head is left
+// untouched (distinguished variables are never substituted away by Unify).
+func (q *Query) Apply(sigma Substitution) *Query {
+	out := &Query{Name: q.Name, Head: append([]string(nil), q.Head...)}
+	seen := make(map[Atom]bool, len(q.Atoms))
+	for _, a := range q.Atoms {
+		b := a
+		b.X = sigma.Resolve(a.X)
+		if a.IsRole {
+			b.Y = sigma.Resolve(a.Y)
+		}
+		if !seen[b] {
+			seen[b] = true
+			out.Atoms = append(out.Atoms, b)
+		}
+	}
+	return out
+}
+
+// Canonical returns a canonical string for the query up to a cheap renaming
+// of existential variables. It is sound for deduplication (equal strings ⇒
+// equivalent queries); it may fail to identify some isomorphic queries,
+// which only costs duplicate work, never correctness.
+func (q *Query) Canonical() string {
+	// Signature pass: distinguished vars keep their name; existential vars
+	// get the sorted multiset of (pred, position) occurrences.
+	sig := make(map[string]string)
+	occ := make(map[string][]string)
+	for _, a := range q.Atoms {
+		occ[a.X] = append(occ[a.X], a.Pred+"/0")
+		if a.IsRole {
+			occ[a.Y] = append(occ[a.Y], a.Pred+"/1")
+		}
+	}
+	for v, os := range occ {
+		if q.IsDistinguished(v) {
+			sig[v] = "!" + v
+			continue
+		}
+		sort.Strings(os)
+		sig[v] = strings.Join(os, ";")
+	}
+	atoms := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		if a.IsRole {
+			atoms[i] = fmt.Sprintf("%s(%s,%s)", a.Pred, sig[a.X], sig[a.Y])
+		} else {
+			atoms[i] = fmt.Sprintf("%s(%s)", a.Pred, sig[a.X])
+		}
+	}
+	sort.Strings(atoms)
+	// Renaming pass: number existentials by first occurrence in the sorted
+	// atom list, qualified by their signature.
+	return strings.Join(atoms, "&")
+}

@@ -1,0 +1,215 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+)
+
+// The running example of the paper (Example 3).
+const example3 = `q(x) :- advisorOf(y1, x), advisorOf(y1, y2), advisorOf(y1, y3), takesCourse(x, z)`
+
+func TestParseExample3(t *testing.T) {
+	q, err := Parse(example3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "q" || len(q.Head) != 1 || q.Head[0] != "x" {
+		t.Fatalf("head = %v", q.Head)
+	}
+	if q.Size() != 4 {
+		t.Fatalf("Size = %d", q.Size())
+	}
+	if !q.Atoms[0].IsRole || q.Atoms[0].Pred != "advisorOf" || q.Atoms[0].X != "y1" || q.Atoms[0].Y != "x" {
+		t.Fatalf("atom 0 = %+v", q.Atoms[0])
+	}
+	if !q.Connected() {
+		t.Fatal("example 3 is connected")
+	}
+}
+
+func TestParseConceptAtomsAndAnon(t *testing.T) {
+	q := MustParse(`q(x) :- Student(x), takesCourse(x, _), takesCourse(x, _).`)
+	if q.Size() != 3 {
+		t.Fatalf("Size = %d", q.Size())
+	}
+	if q.Atoms[0].IsRole {
+		t.Fatal("Student(x) parsed as role")
+	}
+	// The two '_' must be distinct fresh variables.
+	if q.Atoms[1].Y == q.Atoms[2].Y {
+		t.Fatal("anonymous variables must be distinct")
+	}
+	unb := q.Unbound()
+	if !unb[q.Atoms[1].Y] || !unb[q.Atoms[2].Y] {
+		t.Fatalf("anonymous variables should be unbound: %v", unb)
+	}
+	if unb["x"] {
+		t.Fatal("x is distinguished, not unbound")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"q(x)",                      // no body
+		"q(x) :- ",                  // empty body
+		"q(_) :- Student(_)",        // anonymous head
+		"q(x) :- Student(y)",        // head var not in body
+		"q(x) :- P(x, y, z)",        // arity 3
+		"q(x) :- (x)",               // missing predicate
+		"q(x) :- P()",               // empty args
+		"q(x) :- P(x,)",             // empty arg
+		"no-colon-dash q(x) P(x,y)", // missing :-
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	q := MustParse(example3)
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if q2.String() != q.String() {
+		t.Fatalf("round trip: %q vs %q", q2.String(), q.String())
+	}
+}
+
+func TestOccurrencesAndUnbound(t *testing.T) {
+	q := MustParse(example3)
+	occ := q.Occurrences()
+	if occ["y1"] != 3 || occ["x"] != 2 || occ["y2"] != 1 || occ["z"] != 1 {
+		t.Fatalf("occ = %v", occ)
+	}
+	unb := q.Unbound()
+	if !unb["y2"] || !unb["y3"] || !unb["z"] || unb["y1"] || unb["x"] {
+		t.Fatalf("unbound = %v", unb)
+	}
+}
+
+func TestVarsOrder(t *testing.T) {
+	q := MustParse(example3)
+	vars := q.Vars()
+	if vars[0] != "x" { // head first
+		t.Fatalf("vars = %v", vars)
+	}
+	if len(vars) != 5 {
+		t.Fatalf("vars = %v", vars)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	q := MustParse(`q(x) :- P(x, y), Q(a, b)`)
+	if q.Connected() {
+		t.Fatal("disconnected query reported connected")
+	}
+	q2 := MustParse(`q(x) :- Student(x)`)
+	if !q2.Connected() {
+		t.Fatal("single-atom query is trivially connected")
+	}
+}
+
+func TestUnify(t *testing.T) {
+	q := MustParse(`q(x) :- advisorOf(y1, x), advisorOf(y1, y2)`)
+	sigma := q.Unify(q.Atoms[0], q.Atoms[1])
+	if sigma == nil {
+		t.Fatal("atoms should unify")
+	}
+	// y2 (existential) must map to x (distinguished), never the reverse.
+	if sigma.Resolve("y2") != "x" {
+		t.Fatalf("sigma = %v", sigma)
+	}
+	red := q.Apply(sigma)
+	if red.Size() != 1 {
+		t.Fatalf("reduced query = %v", red)
+	}
+	if red.Atoms[0] != RoleAtom("advisorOf", "y1", "x") {
+		t.Fatalf("reduced atom = %v", red.Atoms[0])
+	}
+}
+
+func TestUnifyFailures(t *testing.T) {
+	q := MustParse(`q(x, y) :- P(x, a), P(y, a), Q(x, y), R(x)`)
+	// Distinguished x and y cannot be merged.
+	if sigma := q.Unify(q.Atoms[0], q.Atoms[1]); sigma != nil {
+		t.Fatalf("x/y should not unify: %v", sigma)
+	}
+	// Different predicates never unify.
+	if q.Unify(q.Atoms[0], q.Atoms[2]) != nil {
+		t.Fatal("P and Q should not unify")
+	}
+	// Role vs concept never unify.
+	if q.Unify(q.Atoms[0], q.Atoms[3]) != nil {
+		t.Fatal("role and concept should not unify")
+	}
+}
+
+func TestUnifySharedChain(t *testing.T) {
+	// P(a,b) and P(b,c): mgu must chain a→b→c consistently.
+	q := MustParse(`q(x) :- P(a, b), P(b, c), R(x, a)`)
+	sigma := q.Unify(q.Atoms[0], q.Atoms[1])
+	if sigma == nil {
+		t.Fatal("should unify")
+	}
+	red := q.Apply(sigma)
+	// After applying, both P atoms collapse to one with equal endpoints.
+	if red.Size() != 2 {
+		t.Fatalf("reduced = %v", red)
+	}
+	pa := red.Atoms[0]
+	if pa.X != pa.Y {
+		t.Fatalf("chained unification should equate endpoints: %v", pa)
+	}
+}
+
+func TestCanonicalDedup(t *testing.T) {
+	a := MustParse(`q(x) :- advisorOf(y1, x), takesCourse(x, z)`)
+	b := MustParse(`q(x) :- takesCourse(x, w), advisorOf(v, x)`)
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("renamed/reordered queries should share a canonical form:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	c := MustParse(`q(x) :- advisorOf(x, y1), takesCourse(x, z)`) // direction flipped
+	if a.Canonical() == c.Canonical() {
+		t.Fatal("direction flip must change the canonical form")
+	}
+	d := MustParse(`q(z) :- advisorOf(y1, z), takesCourse(z, w)`)
+	if a.Canonical() == d.Canonical() {
+		t.Fatal("different distinguished variable names must differ")
+	}
+}
+
+func TestClone(t *testing.T) {
+	q := MustParse(example3)
+	c := q.Clone()
+	c.Atoms[0].Pred = "mutated"
+	c.Head[0] = "mutated"
+	if q.Atoms[0].Pred == "mutated" || q.Head[0] == "mutated" {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestAtomHelpers(t *testing.T) {
+	a := ConceptAtom("Student", "x")
+	if got := a.Vars(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("Vars = %v", got)
+	}
+	r := RoleAtom("P", "x", "y")
+	if got := r.Vars(); len(got) != 2 || got[1] != "y" {
+		t.Fatalf("Vars = %v", got)
+	}
+	if !strings.Contains(r.String(), "P(x, y)") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not a query")
+}

@@ -1,0 +1,211 @@
+package cq
+
+// Minimization computes the core of a conjunctive query: the smallest
+// subquery equivalent to it. The paper's Remark (Section IV-B) reduces
+// minimal-OGP generation to CQ minimization to show NP-hardness; this file
+// provides the classic folding algorithm so callers can minimize queries
+// before rewriting (a smaller query yields a smaller OGP and a cheaper
+// match). Exponential in the worst case — like the problem itself — but
+// the backtracking is over existential variables only and is fast for the
+// query sizes of the paper's workloads (≤ 16 atoms).
+
+// Minimize returns the core of q: an equivalent query with a minimal set
+// of atoms. The head is preserved; only existential variables can be
+// folded onto other variables.
+func (q *Query) Minimize() *Query {
+	cur := q.Clone()
+	dedupAtomsInPlace(cur)
+	for {
+		next, changed := foldOnce(cur)
+		if !changed {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// foldOnce tries to find an endomorphism of q that is the identity on the
+// head and avoids at least one atom; applying it yields a strictly smaller
+// equivalent query. The substitution is applied in a single step (not
+// chained): the found map is a homomorphism, not necessarily idempotent.
+func foldOnce(q *Query) (*Query, bool) {
+	for drop := range q.Atoms {
+		sigma := foldAvoiding(q, drop)
+		if sigma == nil {
+			continue
+		}
+		img := func(v string) string {
+			if w, ok := sigma[v]; ok {
+				return w
+			}
+			return v
+		}
+		out := &Query{Name: q.Name, Head: append([]string(nil), q.Head...)}
+		for _, a := range q.Atoms {
+			b := a
+			b.X = img(a.X)
+			if a.IsRole {
+				b.Y = img(a.Y)
+			}
+			out.Atoms = append(out.Atoms, b)
+		}
+		dedupAtomsInPlace(out)
+		// The image lies inside q minus the dropped atom, so it is
+		// strictly smaller.
+		return out, true
+	}
+	return q, false
+}
+
+// foldAvoiding searches for a homomorphism from q into q \ {atom drop}
+// fixing distinguished variables. The returned map sends each variable to
+// its image.
+func foldAvoiding(q *Query, drop int) map[string]string {
+	var targets []Atom
+	for i, a := range q.Atoms {
+		if i != drop {
+			targets = append(targets, a)
+		}
+	}
+	sigma := map[string]string{}
+	for _, h := range q.Head {
+		sigma[h] = h
+	}
+	var match func(i int) bool
+	bind := func(x, y string) (ok, added bool) {
+		if img, has := sigma[x]; has {
+			return img == y, false
+		}
+		sigma[x] = y
+		return true, true
+	}
+	match = func(i int) bool {
+		if i == len(q.Atoms) {
+			return true
+		}
+		ga := q.Atoms[i]
+		for _, gb := range targets {
+			if ga.Pred != gb.Pred || ga.IsRole != gb.IsRole {
+				continue
+			}
+			pairs := [][2]string{{ga.X, gb.X}}
+			if ga.IsRole {
+				pairs = append(pairs, [2]string{ga.Y, gb.Y})
+			}
+			var added []string
+			ok := true
+			for _, p := range pairs {
+				okp, addedp := bind(p[0], p[1])
+				if addedp {
+					added = append(added, p[0])
+				}
+				if !okp {
+					ok = false
+					break
+				}
+			}
+			if ok && match(i+1) {
+				return true
+			}
+			for _, x := range added {
+				delete(sigma, x)
+			}
+		}
+		return false
+	}
+	if match(0) {
+		return sigma
+	}
+	return nil
+}
+
+func dedupAtomsInPlace(q *Query) {
+	seen := make(map[Atom]bool, len(q.Atoms))
+	w := 0
+	for _, a := range q.Atoms {
+		if !seen[a] {
+			seen[a] = true
+			q.Atoms[w] = a
+			w++
+		}
+	}
+	q.Atoms = q.Atoms[:w]
+}
+
+// ContainedIn reports whether q's answers are contained in p's on every
+// dataset (classic CQ containment: a homomorphism from p into q fixing the
+// head). Exposed for query-optimization callers; NP-complete in general,
+// fast at the paper's query sizes.
+func (q *Query) ContainedIn(p *Query) bool {
+	if len(q.Head) != len(p.Head) {
+		return false
+	}
+	// Rename p's head to q's (containment compares by head position).
+	ren := map[string]string{}
+	for i, h := range p.Head {
+		ren[h] = q.Head[i]
+	}
+	pr := p.Clone()
+	for i, a := range pr.Atoms {
+		if v, ok := ren[a.X]; ok {
+			pr.Atoms[i].X = v
+		}
+		if a.IsRole {
+			if v, ok := ren[a.Y]; ok {
+				pr.Atoms[i].Y = v
+			}
+		}
+	}
+	pr.Head = append([]string(nil), q.Head...)
+	sigma := foldAvoidingInto(pr, q)
+	return sigma != nil
+}
+
+// foldAvoidingInto finds a homomorphism from a into b fixing a's
+// distinguished variables (which must be variables of b).
+func foldAvoidingInto(a, b *Query) map[string]string {
+	sigma := map[string]string{}
+	for _, h := range a.Head {
+		sigma[h] = h
+	}
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == len(a.Atoms) {
+			return true
+		}
+		ga := a.Atoms[i]
+		for _, gb := range b.Atoms {
+			if ga.Pred != gb.Pred || ga.IsRole != gb.IsRole {
+				continue
+			}
+			pairs := [][2]string{{ga.X, gb.X}}
+			if ga.IsRole {
+				pairs = append(pairs, [2]string{ga.Y, gb.Y})
+			}
+			var added []string
+			ok := true
+			for _, p := range pairs {
+				if img, has := sigma[p[0]]; has {
+					if img != p[1] {
+						ok = false
+						break
+					}
+					continue
+				}
+				sigma[p[0]] = p[1]
+				added = append(added, p[0])
+			}
+			if ok && match(i+1) {
+				return true
+			}
+			for _, x := range added {
+				delete(sigma, x)
+			}
+		}
+		return false
+	}
+	if match(0) {
+		return sigma
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a query in datalog-ish syntax:
+//
+//	q(x) :- advisorOf(y1, x), advisorOf(y1, _), takesCourse(x, z), Student(x).
+//
+// Concept vs role atoms are distinguished by arity. Each written '_' becomes
+// a fresh anonymous variable. The trailing period is optional.
+func Parse(src string) (*Query, error) {
+	src = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), "."))
+	head, body, ok := strings.Cut(src, ":-")
+	if !ok {
+		return nil, fmt.Errorf("cq: missing ':-' in %q", src)
+	}
+	q := &Query{}
+	name, args, err := parseCall(strings.TrimSpace(head))
+	if err != nil {
+		return nil, fmt.Errorf("cq: head: %w", err)
+	}
+	q.Name = name
+	anon := 0
+	fresh := func() string {
+		anon++
+		return fmt.Sprintf("_%d", anon)
+	}
+	for _, a := range args {
+		if a == "_" {
+			return nil, fmt.Errorf("cq: '_' cannot be distinguished")
+		}
+		q.Head = append(q.Head, a)
+	}
+	for _, call := range splitCalls(body) {
+		call = strings.TrimSpace(call)
+		if call == "" {
+			continue
+		}
+		pred, args, err := parseCall(call)
+		if err != nil {
+			return nil, fmt.Errorf("cq: body: %w", err)
+		}
+		for i, a := range args {
+			if a == "_" {
+				args[i] = fresh()
+			}
+		}
+		switch len(args) {
+		case 1:
+			q.Atoms = append(q.Atoms, ConceptAtom(pred, args[0]))
+		case 2:
+			q.Atoms = append(q.Atoms, RoleAtom(pred, args[0], args[1]))
+		default:
+			return nil, fmt.Errorf("cq: atom %q has arity %d, want 1 or 2", call, len(args))
+		}
+	}
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("cq: empty body")
+	}
+	for _, h := range q.Head {
+		found := false
+		for _, a := range q.Atoms {
+			if a.X == h || (a.IsRole && a.Y == h) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cq: distinguished variable %s does not occur in the body", h)
+		}
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed query sets.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func parseCall(s string) (string, []string, error) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("malformed atom %q", s)
+	}
+	pred := strings.TrimSpace(s[:open])
+	if pred == "" || strings.ContainsAny(pred, " \t,()") {
+		return "", nil, fmt.Errorf("malformed predicate in %q", s)
+	}
+	inner := s[open+1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		return "", nil, fmt.Errorf("empty argument list in %q", s)
+	}
+	parts := strings.Split(inner, ",")
+	args := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" || strings.ContainsAny(p, " \t()") {
+			return "", nil, fmt.Errorf("malformed argument in %q", s)
+		}
+		args = append(args, p)
+	}
+	return pred, args, nil
+}
+
+// splitCalls splits the body on commas that are not inside parentheses.
+func splitCalls(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

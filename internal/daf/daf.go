@@ -1,0 +1,732 @@
+// Package daf implements the DAF subgraph-matching algorithm of Han et al.
+// (SIGMOD'19) reviewed in Section V-A of the paper: BuildDAG (rooted DAG
+// ordering of the pattern), BuildCS (a compact candidate-space index with
+// per-DAG-edge adjacency), and Backtrack (enumeration with the adaptive
+// candidate-size matching order).
+//
+// Two departures from the original, both required by the paper's setting:
+// homomorphism semantics are supported alongside subgraph isomorphism
+// (OGPs and CQ evaluation are homomorphic), and a static-BFS matching order
+// is available (the paper's OMatch_BFS ablation uses it).
+//
+// DAF here evaluates condition-free patterns: the pattern's structure
+// (labels and edges) is the whole constraint. It is the evaluation engine
+// for the UCQ baselines and the base OMatch extends.
+package daf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ogpa/internal/core"
+	"ogpa/internal/cq"
+	"ogpa/internal/graph"
+	"ogpa/internal/symbols"
+)
+
+// Order selects the matching order used by Backtrack.
+type Order int
+
+// Matching orders.
+const (
+	// OrderAdaptive is DAF's candidate-size order: among extendable
+	// vertices, pick the one with the fewest remaining candidates.
+	OrderAdaptive Order = iota
+	// OrderStaticBFS fixes the BFS order of the DAG up front (the
+	// OMatch_BFS / CECI-style ablation).
+	OrderStaticBFS
+)
+
+// Limits bounds an enumeration. Zero values disable the respective limit.
+type Limits struct {
+	MaxResults int
+	MaxSteps   int64
+	Deadline   time.Time
+}
+
+// ErrLimit reports that enumeration stopped due to Limits.
+var ErrLimit = errors.New("daf: enumeration limit exceeded")
+
+// Options configures Match.
+type Options struct {
+	Injective bool // subgraph isomorphism instead of homomorphism
+	Order     Order
+	Limits    Limits
+}
+
+// Stats reports work done by one Match call.
+type Stats struct {
+	Steps         int64 // backtracking tree nodes visited
+	CSCandidates  int   // total candidates across pattern vertices after refinement
+	RefinePasses  int
+	EmptyCandSets int // pattern vertices whose candidate set refined to empty
+}
+
+// vertexReq is the compiled per-vertex requirement: labels the data vertex
+// must carry plus incident edge labels it must have.
+type vertexReq struct {
+	labels []symbols.ID
+	// outLabels/inLabels: labels of incident pattern edges (0 = wildcard,
+	// skipped); used only for cheap degree-style filtering.
+	outLabels []symbols.ID
+	inLabels  []symbols.ID
+	wildcard  bool // no label constraint at all
+}
+
+// dagEdge is one pattern edge oriented along the DAG: parent → child.
+type dagEdge struct {
+	parent, child int
+	label         symbols.ID // 0 = wildcard
+	forward       bool       // true: pattern edge goes parent→child in G
+}
+
+type matcher struct {
+	p    *core.Pattern
+	g    *graph.Graph
+	opts Options
+
+	reqs  []vertexReq
+	cand  [][]graph.VID // refined candidate sets per pattern vertex
+	order []int         // BFS order of the DAG
+	edges []dagEdge
+	// parentEdges[u] = indexes into edges whose child is u.
+	parentEdges [][]int
+	// adj[e] maps a candidate of edges[e].parent to its viable children.
+	adj []map[graph.VID][]graph.VID
+
+	stats    Stats
+	deadline time.Time
+	steps    int64
+	maxSteps int64
+}
+
+// Match computes the matches of a condition-free pattern p in g, projected
+// onto p's distinguished vertices. Patterns with omission conditions or
+// non-structural matching conditions are rejected — use the match package
+// (OMatch) for full OGPs.
+func Match(p *core.Pattern, g *graph.Graph, opts Options) (*core.AnswerSet, Stats, error) {
+	m := &matcher{p: p, g: g, opts: opts}
+	if err := m.check(); err != nil {
+		return nil, Stats{}, err
+	}
+	m.deadline = opts.Limits.Deadline
+	m.maxSteps = opts.Limits.MaxSteps
+
+	out := core.NewAnswerSet()
+	if !m.buildDAG() {
+		return out, m.stats, nil // some candidate set empty: no matches
+	}
+	if !m.buildCS() {
+		return out, m.stats, nil
+	}
+	err := m.backtrack(out)
+	return out, m.stats, err
+}
+
+// check validates that the pattern is condition-free in the DAF sense:
+// vertex Match conditions may only be conjunctions of LabelIs on the vertex
+// itself (these arise from CQs with several concept atoms on one variable),
+// edge Match conditions may only restate the edge, and no vertex may carry
+// an omission condition.
+func (m *matcher) check() error {
+	if err := m.p.Validate(); err != nil {
+		return err
+	}
+	for i, v := range m.p.Vertices {
+		if v.Omit != nil {
+			return fmt.Errorf("daf: vertex %d has an omission condition; use OMatch", i)
+		}
+		if !isLocalLabelConjunction(v.Match, i) {
+			return fmt.Errorf("daf: vertex %d has a non-structural condition; use OMatch", i)
+		}
+	}
+	for i, e := range m.p.Edges {
+		if e.Match == nil {
+			continue
+		}
+		ei, ok := e.Match.(core.EdgeIs)
+		if !ok || ei.X != e.From || ei.Y != e.To || ei.Label != e.Label {
+			return fmt.Errorf("daf: edge %d has a non-structural condition; use OMatch", i)
+		}
+	}
+	return nil
+}
+
+func isLocalLabelConjunction(c core.Cond, self int) bool {
+	switch t := c.(type) {
+	case nil, core.True:
+		return true
+	case core.LabelIs:
+		return t.X == self
+	case core.And:
+		return isLocalLabelConjunction(t.L, self) && isLocalLabelConjunction(t.R, self)
+	default:
+		return false
+	}
+}
+
+// requiredLabels extracts the conjunction of labels vertex u must carry.
+func (m *matcher) requiredLabels(u int) ([]symbols.ID, bool) {
+	v := m.p.Vertices[u]
+	var labels []symbols.ID
+	add := func(name string) bool {
+		if name == core.Wildcard {
+			return true
+		}
+		id := m.g.Symbols.Lookup(name)
+		if id == symbols.None {
+			return false // label never appears in G: no candidates
+		}
+		labels = append(labels, id)
+		return true
+	}
+	if !add(v.Label) {
+		return nil, false
+	}
+	var walk func(core.Cond) bool
+	walk = func(c core.Cond) bool {
+		switch t := c.(type) {
+		case nil, core.True:
+			return true
+		case core.LabelIs:
+			return add(t.Label)
+		case core.And:
+			return walk(t.L) && walk(t.R)
+		}
+		return true
+	}
+	if !walk(v.Match) {
+		return nil, false
+	}
+	return labels, true
+}
+
+// initialCandidates computes C(u) from labels and incident edge labels.
+func (m *matcher) initialCandidates() bool {
+	n := len(m.p.Vertices)
+	m.reqs = make([]vertexReq, n)
+	m.cand = make([][]graph.VID, n)
+	for u := 0; u < n; u++ {
+		labels, ok := m.requiredLabels(u)
+		if !ok {
+			m.stats.EmptyCandSets++
+			return false
+		}
+		req := vertexReq{labels: labels, wildcard: len(labels) == 0}
+		for _, e := range m.p.Edges {
+			var id symbols.ID
+			if e.Label != core.Wildcard {
+				id = m.g.Symbols.Lookup(e.Label)
+				if id == symbols.None {
+					m.stats.EmptyCandSets++
+					return false // edge label absent from G entirely
+				}
+			}
+			if e.From == u && id != symbols.None {
+				req.outLabels = append(req.outLabels, id)
+			}
+			if e.To == u && id != symbols.None {
+				req.inLabels = append(req.inLabels, id)
+			}
+		}
+		m.reqs[u] = req
+
+		var base []graph.VID
+		if req.wildcard {
+			base = make([]graph.VID, m.g.NumVertices())
+			for i := range base {
+				base[i] = graph.VID(i)
+			}
+		} else {
+			// Seed from the rarest required label.
+			best := m.g.VerticesByLabel(req.labels[0])
+			for _, l := range req.labels[1:] {
+				if vs := m.g.VerticesByLabel(l); len(vs) < len(best) {
+					best = vs
+				}
+			}
+			base = best
+		}
+		out := make([]graph.VID, 0, len(base))
+	next:
+		for _, v := range base {
+			for _, l := range req.labels {
+				if !m.g.HasLabel(v, l) {
+					continue next
+				}
+			}
+			for _, l := range req.outLabels {
+				if !m.g.HasOutLabel(v, l) {
+					continue next
+				}
+			}
+			for _, l := range req.inLabels {
+				if !m.g.HasInLabel(v, l) {
+					continue next
+				}
+			}
+			out = append(out, v)
+		}
+		if len(out) == 0 {
+			m.stats.EmptyCandSets++
+			return false
+		}
+		m.cand[u] = out
+	}
+	return true
+}
+
+// buildDAG picks the root (small candidate set relative to degree) and
+// BFS-orders the pattern; every pattern edge is oriented from the earlier
+// to the later vertex in that order.
+func (m *matcher) buildDAG() bool {
+	if !m.initialCandidates() {
+		return false
+	}
+	n := len(m.p.Vertices)
+
+	deg := make([]int, n)
+	adjV := make([][]int, n)
+	for _, e := range m.p.Edges {
+		deg[e.From]++
+		deg[e.To]++
+		adjV[e.From] = append(adjV[e.From], e.To)
+		adjV[e.To] = append(adjV[e.To], e.From)
+	}
+	root := 0
+	bestScore := float64(1 << 60)
+	for u := 0; u < n; u++ {
+		d := deg[u]
+		if d == 0 {
+			d = 1
+		}
+		score := float64(len(m.cand[u])) / float64(d)
+		if score < bestScore {
+			bestScore = score
+			root = u
+		}
+	}
+
+	// BFS from root; disconnected patterns get additional BFS roots.
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	m.order = m.order[:0]
+	visit := func(start int) {
+		queue := []int{start}
+		pos[start] = len(m.order)
+		m.order = append(m.order, start)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adjV[u] {
+				if pos[w] < 0 {
+					pos[w] = len(m.order)
+					m.order = append(m.order, w)
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	visit(root)
+	for u := 0; u < n; u++ {
+		if pos[u] < 0 {
+			visit(u)
+		}
+	}
+
+	m.edges = m.edges[:0]
+	m.parentEdges = make([][]int, n)
+	for _, e := range m.p.Edges {
+		var id symbols.ID
+		if e.Label != core.Wildcard {
+			id = m.g.Symbols.Lookup(e.Label)
+		}
+		de := dagEdge{label: id}
+		if pos[e.From] <= pos[e.To] {
+			de.parent, de.child, de.forward = e.From, e.To, true
+		} else {
+			de.parent, de.child, de.forward = e.To, e.From, false
+		}
+		idx := len(m.edges)
+		m.edges = append(m.edges, de)
+		m.parentEdges[de.child] = append(m.parentEdges[de.child], idx)
+	}
+	return true
+}
+
+// neighborsAlong returns the data neighbors of v along DAG edge e.
+func (m *matcher) neighborsAlong(e dagEdge, v graph.VID) []graph.Half {
+	if e.forward {
+		if e.label == symbols.None {
+			return m.g.Out(v)
+		}
+		return m.g.OutByLabel(v, e.label)
+	}
+	if e.label == symbols.None {
+		return m.g.In(v)
+	}
+	return m.g.InByLabel(v, e.label)
+}
+
+// buildCS refines candidate sets by iterated DAG-DP and materializes the
+// per-edge candidate adjacency (the CS structure).
+func (m *matcher) buildCS() bool {
+	n := len(m.p.Vertices)
+	inCand := make([]map[graph.VID]bool, n)
+	rebuild := func(u int) {
+		s := make(map[graph.VID]bool, len(m.cand[u]))
+		for _, v := range m.cand[u] {
+			s[v] = true
+		}
+		inCand[u] = s
+	}
+	for u := 0; u < n; u++ {
+		rebuild(u)
+	}
+
+	// refine removes v from C(u) unless, for every DAG edge incident to u,
+	// v has at least one viable partner.
+	refineVertex := func(u int) bool {
+		changed := false
+		out := m.cand[u][:0]
+		for _, v := range m.cand[u] {
+			ok := true
+			for ei, e := range m.edges {
+				_ = ei
+				var far int
+				if e.parent == u {
+					far = e.child
+				} else if e.child == u {
+					far = e.parent
+				} else {
+					continue
+				}
+				found := false
+				if e.parent == u {
+					for _, h := range m.neighborsAlong(e, v) {
+						if inCand[far][h.To] {
+							found = true
+							break
+						}
+					}
+				} else {
+					// v plays the child: walk the reverse direction.
+					rev := dagEdge{parent: e.child, child: e.parent, label: e.label, forward: !e.forward}
+					for _, h := range m.neighborsAlong(rev, v) {
+						if inCand[far][h.To] {
+							found = true
+							break
+						}
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, v)
+			} else {
+				changed = true
+			}
+		}
+		m.cand[u] = out
+		if changed {
+			rebuild(u)
+		}
+		return changed
+	}
+
+	for pass := 0; pass < 4; pass++ {
+		m.stats.RefinePasses++
+		changed := false
+		if pass%2 == 0 { // reverse order
+			for i := len(m.order) - 1; i >= 0; i-- {
+				changed = refineVertex(m.order[i]) || changed
+			}
+		} else {
+			for _, u := range m.order {
+				changed = refineVertex(u) || changed
+			}
+		}
+		for u := 0; u < n; u++ {
+			if len(m.cand[u]) == 0 {
+				m.stats.EmptyCandSets++
+				return false
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for u := 0; u < n; u++ {
+		m.stats.CSCandidates += len(m.cand[u])
+	}
+
+	// Materialize CS edges.
+	m.adj = make([]map[graph.VID][]graph.VID, len(m.edges))
+	for ei, e := range m.edges {
+		am := make(map[graph.VID][]graph.VID, len(m.cand[e.parent]))
+		for _, v := range m.cand[e.parent] {
+			var vs []graph.VID
+			for _, h := range m.neighborsAlong(e, v) {
+				if inCand[e.child][h.To] {
+					vs = append(vs, h.To)
+				}
+			}
+			if len(vs) > 0 {
+				sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+				am[v] = vs
+			}
+		}
+		m.adj[ei] = am
+	}
+	return true
+}
+
+func (m *matcher) tick() error {
+	m.steps++
+	m.stats.Steps = m.steps
+	if m.maxSteps > 0 && m.steps > m.maxSteps {
+		return ErrLimit
+	}
+	if m.steps%4096 == 0 && !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		return ErrLimit
+	}
+	return nil
+}
+
+// backtrack enumerates matches.
+func (m *matcher) backtrack(out *core.AnswerSet) error {
+	n := len(m.p.Vertices)
+	mapping := make(core.Mapping, n)
+	for i := range mapping {
+		mapping[i] = core.Omitted // sentinel for "unmapped" during search
+	}
+	mappedCount := 0
+	used := make(map[graph.VID]int) // injectivity refcount
+
+	// localCandidates computes the viable candidates of u given currently
+	// mapped DAG parents: the intersection of adjacency lists.
+	localCandidates := func(u int) []graph.VID {
+		var base []graph.VID
+		first := true
+		for _, ei := range m.parentEdges[u] {
+			e := m.edges[ei]
+			if mapping[e.parent] == core.Omitted {
+				continue
+			}
+			vs := m.adj[ei][mapping[e.parent]]
+			if len(vs) == 0 {
+				return nil
+			}
+			if first {
+				base = vs
+				first = false
+				continue
+			}
+			merged := make([]graph.VID, 0, min(len(base), len(vs)))
+			i, j := 0, 0
+			for i < len(base) && j < len(vs) {
+				switch {
+				case base[i] == vs[j]:
+					merged = append(merged, base[i])
+					i++
+					j++
+				case base[i] < vs[j]:
+					i++
+				default:
+					j++
+				}
+			}
+			base = merged
+			if len(base) == 0 {
+				return nil
+			}
+		}
+		if first {
+			return m.cand[u]
+		}
+		return base
+	}
+
+	// extendable vertices: unmapped, with all DAG parents mapped.
+	extendable := func() []int {
+		var out []int
+		for _, u := range m.order {
+			if mapping[u] != core.Omitted {
+				continue
+			}
+			ok := true
+			for _, ei := range m.parentEdges[u] {
+				if mapping[m.edges[ei].parent] == core.Omitted {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+
+	// allRemainingExistential reports whether every unmapped vertex is
+	// non-distinguished: only the existence of a completion then matters.
+	allRemainingExistential := func() bool {
+		for u, v := range m.p.Vertices {
+			if v.Distinguished && mapping[u] == core.Omitted {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(existMode bool) (bool, error)
+	rec = func(existMode bool) (bool, error) {
+		if err := m.tick(); err != nil {
+			return false, err
+		}
+		if mappedCount == n {
+			if existMode {
+				return true, nil
+			}
+			out.Add(core.Project(m.p, mapping))
+			if m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
+				return true, ErrLimit
+			}
+			return true, nil
+		}
+		// Existential completion: once all distinguished vertices are
+		// mapped, find one witness assignment and stop enumerating.
+		if !existMode && mappedCount > 0 && allRemainingExistential() {
+			found, err := rec(true)
+			if err != nil {
+				return false, err
+			}
+			if found {
+				out.Add(core.Project(m.p, mapping))
+				if m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
+					return true, ErrLimit
+				}
+			}
+			return found, nil
+		}
+		var u int
+		switch m.opts.Order {
+		case OrderStaticBFS:
+			u = -1
+			for _, w := range m.order {
+				if mapping[w] == core.Omitted {
+					u = w
+					break
+				}
+			}
+		default:
+			ext := extendable()
+			if len(ext) == 0 {
+				return false, nil // disconnected remainder should not happen
+			}
+			u = ext[0]
+			bestLen := len(localCandidates(u))
+			for _, w := range ext[1:] {
+				if l := len(localCandidates(w)); l < bestLen {
+					bestLen = l
+					u = w
+				}
+			}
+		}
+		if u < 0 {
+			return false, nil
+		}
+		any := false
+		for _, v := range localCandidates(u) {
+			if m.opts.Injective && used[v] > 0 {
+				continue
+			}
+			// Non-DAG-parent edges to already-mapped vertices where u is
+			// the parent must also be verified.
+			if !m.checkMappedChildren(u, v, mapping) {
+				continue
+			}
+			mapping[u] = v
+			mappedCount++
+			used[v]++
+			found, err := rec(existMode)
+			used[v]--
+			mappedCount--
+			mapping[u] = core.Omitted
+			if err != nil {
+				return any || found, err
+			}
+			if found {
+				any = true
+				if existMode {
+					return true, nil
+				}
+			}
+		}
+		return any, nil
+	}
+	_, err := rec(false)
+	if errors.Is(err, ErrLimit) && m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
+		return nil // hitting MaxResults is a successful (truncated) run
+	}
+	return err
+}
+
+// checkMappedChildren verifies DAG edges whose parent is u against already
+// mapped children (possible under the adaptive order).
+func (m *matcher) checkMappedChildren(u int, v graph.VID, mapping core.Mapping) bool {
+	for ei, e := range m.edges {
+		if e.parent != u || mapping[e.child] == core.Omitted {
+			continue
+		}
+		vs := m.adj[ei][v]
+		target := mapping[e.child]
+		i := sort.Search(len(vs), func(i int) bool { return vs[i] >= target })
+		if i >= len(vs) || vs[i] != target {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// EvalCQ evaluates a single conjunctive query homomorphically over g.
+func EvalCQ(q *cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats, error) {
+	return Match(core.FromCQ(q), g, Options{Limits: lim})
+}
+
+// EvalUCQ evaluates a union of conjunctive queries: the union of the
+// disjuncts' answer sets, deduplicated. Disjunct answers are only unioned
+// when their heads agree (guaranteed for PerfectRef output).
+func EvalUCQ(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats, error) {
+	out := core.NewAnswerSet()
+	var total Stats
+	for _, q := range qs {
+		res, st, err := EvalCQ(q, g, lim)
+		total.Steps += st.Steps
+		total.CSCandidates += st.CSCandidates
+		if err != nil {
+			return out, total, err
+		}
+		for _, a := range res.Answers() {
+			out.Add(a)
+			if lim.MaxResults > 0 && out.Len() >= lim.MaxResults {
+				return out, total, nil
+			}
+		}
+	}
+	return out, total, nil
+}

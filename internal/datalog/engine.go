@@ -1,0 +1,375 @@
+// Package datalog provides the datalog-rewriting baseline of the paper's
+// evaluation (standing in for CLIPPER / Ontop / Drewer): a semi-naive
+// datalog engine plus a rewriter that compiles a CQ + DL-Lite_R TBox into
+//
+//  1. a nonrecursive-in-spirit datalog program closing the concept/role
+//     hierarchy (inclusions I1–I3, I8, I9 are plain datalog), and
+//  2. a small residual UCQ over the IDB predicates produced by running
+//     PerfectRef with only the *existential* inclusions (I4–I7, I10, I11),
+//     which plain datalog cannot express.
+//
+// The rewriting is much smaller than a full UCQ (hierarchy reasoning moves
+// into rules), matching the paper's observation that datalog rewritings are
+// the smallest; evaluation materializes IDB relations, matching its
+// observation that their evaluation is slower than OMatch.
+package datalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Term is a variable (Var == true) or constant.
+type Term struct {
+	Name string
+	Var  bool
+}
+
+// V builds a variable term.
+func V(name string) Term { return Term{Name: name, Var: true} }
+
+// C builds a constant term.
+func C(name string) Term { return Term{Name: name} }
+
+// Atom is pred(args...).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		if t.Var {
+			parts[i] = "?" + t.Name
+		} else {
+			parts[i] = t.Name
+		}
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Rule is Head :- Body. Every head variable must occur in the body
+// (range restriction).
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ")
+}
+
+// Validate checks range restriction and non-empty body.
+func (r Rule) Validate() error {
+	if len(r.Body) == 0 {
+		return errors.New("datalog: empty rule body")
+	}
+	bodyVars := map[string]bool{}
+	for _, a := range r.Body {
+		for _, t := range a.Args {
+			if t.Var {
+				bodyVars[t.Name] = true
+			}
+		}
+	}
+	for _, t := range r.Head.Args {
+		if t.Var && !bodyVars[t.Name] {
+			return fmt.Errorf("datalog: head variable %s not bound in body of %s", t.Name, r)
+		}
+	}
+	return nil
+}
+
+// Tuple is a fact's argument list.
+type Tuple []string
+
+func (t Tuple) key() string { return strings.Join(t, "\x00") }
+
+// Relation stores the extension of one predicate with simple hash indexes
+// per argument position.
+type Relation struct {
+	arity  int
+	tuples []Tuple
+	seen   map[string]bool
+	index  []map[string][]int // position → value → tuple indexes
+}
+
+// NewRelation creates an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	r := &Relation{arity: arity, seen: map[string]bool{}}
+	r.index = make([]map[string][]int, arity)
+	for i := range r.index {
+		r.index[i] = map[string][]int{}
+	}
+	return r
+}
+
+// Add inserts a tuple, reporting whether it was new.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("datalog: arity mismatch: %v into arity-%d relation", t, r.arity))
+	}
+	k := t.key()
+	if r.seen[k] {
+		return false
+	}
+	r.seen[k] = true
+	idx := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	for i, v := range t {
+		r.index[i][v] = append(r.index[i][v], idx)
+	}
+	return true
+}
+
+// Len reports the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples exposes the stored tuples (not to be mutated).
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Database maps predicate names to relations.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return &Database{rels: map[string]*Relation{}} }
+
+// Relation returns the relation for pred, creating it with the given arity.
+func (db *Database) Relation(pred string, arity int) *Relation {
+	if r, ok := db.rels[pred]; ok {
+		return r
+	}
+	r := NewRelation(arity)
+	db.rels[pred] = r
+	return r
+}
+
+// Lookup returns the relation for pred, or nil.
+func (db *Database) Lookup(pred string) *Relation { return db.rels[pred] }
+
+// AddFact inserts pred(args...).
+func (db *Database) AddFact(pred string, args ...string) bool {
+	return db.Relation(pred, len(args)).Add(Tuple(args))
+}
+
+// Size reports the total number of facts.
+func (db *Database) Size() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Limits bounds evaluation; zero values disable a limit.
+type Limits struct {
+	MaxFacts int
+	Deadline time.Time
+}
+
+// ErrLimit reports that evaluation exceeded its limits.
+var ErrLimit = errors.New("datalog: evaluation limit exceeded")
+
+// Evaluate runs semi-naive fixpoint evaluation of the program over db,
+// adding derived facts in place.
+func Evaluate(rules []Rule, db *Database, lim Limits) error {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	// delta holds the facts derived in the previous round, per predicate.
+	delta := map[string][]Tuple{}
+	// Round 0: all EDB facts are "new".
+	for pred, rel := range db.rels {
+		delta[pred] = append([]Tuple(nil), rel.Tuples()...)
+	}
+
+	for len(delta) > 0 {
+		if !lim.Deadline.IsZero() && time.Now().After(lim.Deadline) {
+			return ErrLimit
+		}
+		next := map[string][]Tuple{}
+		for _, rule := range rules {
+			// Semi-naive: at least one body atom must bind to a delta fact.
+			for di, ba := range rule.Body {
+				dts := delta[ba.Pred]
+				if len(dts) == 0 {
+					continue
+				}
+				for _, dt := range dts {
+					bind := map[string]string{}
+					if !unifyAtom(ba, dt, bind) {
+						continue
+					}
+					if err := joinRest(rule, di, bind, db, func(final map[string]string) error {
+						args := make(Tuple, len(rule.Head.Args))
+						for i, t := range rule.Head.Args {
+							if t.Var {
+								args[i] = final[t.Name]
+							} else {
+								args[i] = t.Name
+							}
+						}
+						rel := db.Relation(rule.Head.Pred, len(args))
+						if rel.Add(args) {
+							next[rule.Head.Pred] = append(next[rule.Head.Pred], args)
+							if lim.MaxFacts > 0 && db.Size() > lim.MaxFacts {
+								return ErrLimit
+							}
+						}
+						return nil
+					}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		delta = next
+	}
+	return nil
+}
+
+func unifyAtom(a Atom, t Tuple, bind map[string]string) bool {
+	if len(a.Args) != len(t) {
+		return false
+	}
+	for i, at := range a.Args {
+		if !at.Var {
+			if at.Name != t[i] {
+				return false
+			}
+			continue
+		}
+		if b, ok := bind[at.Name]; ok {
+			if b != t[i] {
+				return false
+			}
+			continue
+		}
+		bind[at.Name] = t[i]
+	}
+	return true
+}
+
+// joinRest extends bind over the remaining body atoms (all except skip,
+// which is already bound) and calls emit for each complete assignment.
+func joinRest(rule Rule, skip int, bind map[string]string, db *Database, emit func(map[string]string) error) error {
+	order := make([]int, 0, len(rule.Body)-1)
+	for i := range rule.Body {
+		if i != skip {
+			order = append(order, i)
+		}
+	}
+	var rec func(k int, bind map[string]string) error
+	rec = func(k int, bind map[string]string) error {
+		if k == len(order) {
+			return emit(bind)
+		}
+		a := rule.Body[order[k]]
+		rel := db.Lookup(a.Pred)
+		if rel == nil {
+			return nil
+		}
+		// Pick the most selective index among bound positions.
+		candIdx := -1
+		var candList []int
+		for i, t := range a.Args {
+			var val string
+			if t.Var {
+				b, ok := bind[t.Name]
+				if !ok {
+					continue
+				}
+				val = b
+			} else {
+				val = t.Name
+			}
+			list := rel.index[i][val]
+			if candIdx < 0 || len(list) < len(candList) {
+				candIdx = i
+				candList = list
+			}
+		}
+		try := func(t Tuple) error {
+			local := map[string]string{}
+			for k, v := range bind {
+				local[k] = v
+			}
+			if unifyAtom(a, t, local) {
+				return rec(k+1, local)
+			}
+			return nil
+		}
+		if candIdx >= 0 {
+			for _, ti := range candList {
+				if err := try(rel.tuples[ti]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, t := range rel.tuples {
+			if err := try(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, bind)
+}
+
+// Query evaluates a conjunctive query (body atoms + head vars) against db,
+// returning distinct head bindings sorted lexicographically.
+func Query(head []string, body []Atom, db *Database) []Tuple {
+	rule := Rule{Head: Atom{Pred: "_q", Args: varTerms(head)}, Body: body}
+	seen := map[string]bool{}
+	var out []Tuple
+	// Reuse joinRest with a fake delta covering the first atom.
+	if len(body) == 0 {
+		return nil
+	}
+	first := body[0]
+	rel := db.Lookup(first.Pred)
+	if rel == nil {
+		return nil
+	}
+	for _, t := range rel.Tuples() {
+		bind := map[string]string{}
+		if !unifyAtom(first, t, bind) {
+			continue
+		}
+		_ = joinRest(rule, 0, bind, db, func(final map[string]string) error {
+			args := make(Tuple, len(head))
+			for i, h := range head {
+				args[i] = final[h]
+			}
+			k := args.key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, args)
+			}
+			return nil
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+func varTerms(names []string) []Term {
+	out := make([]Term, len(names))
+	for i, n := range names {
+		out[i] = V(n)
+	}
+	return out
+}

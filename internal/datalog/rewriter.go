@@ -1,0 +1,279 @@
+package datalog
+
+import (
+	"sort"
+	"time"
+
+	"ogpa/internal/cq"
+	"ogpa/internal/dllite"
+	"ogpa/internal/perfectref"
+)
+
+// Program is the compiled datalog rewriting: hierarchy-closure rules over
+// IDB predicates plus a residual UCQ over those predicates.
+type Program struct {
+	Rules    []Rule
+	Residual []*cq.Query // over IDB predicate names (cPred/rPred)
+	Head     []string
+}
+
+// Size is the rewriting-size metric used in the paper's Exp-2: number of
+// atoms across rules and residual disjuncts.
+func (p *Program) Size() int {
+	n := 0
+	for _, r := range p.Rules {
+		n += 1 + len(r.Body)
+	}
+	for _, q := range p.Residual {
+		n += q.Size()
+	}
+	return n
+}
+
+// cPred and rPred name the IDB predicates for a concept/role.
+func cPred(a string) string { return "c·" + a }
+func rPred(p string) string { return "r·" + p }
+
+// HierarchyRules compiles the datalog-expressible inclusions (I1–I3, I8,
+// I9) into closure rules: c_A and r_P hold the hierarchy-saturated
+// extensions of concept A and role P.
+func HierarchyRules(t *dllite.TBox, concepts, roles map[string]bool) []Rule {
+	var rules []Rule
+	for a := range concepts {
+		rules = append(rules, Rule{
+			Head: Atom{Pred: cPred(a), Args: []Term{V("x")}},
+			Body: []Atom{{Pred: a, Args: []Term{V("x")}}},
+		})
+	}
+	for p := range roles {
+		rules = append(rules, Rule{
+			Head: Atom{Pred: rPred(p), Args: []Term{V("x"), V("y")}},
+			Body: []Atom{{Pred: p, Args: []Term{V("x"), V("y")}}},
+		})
+	}
+	for _, ci := range t.CIs {
+		if ci.Sup.Exists {
+			continue // I10/I11: existential head, not datalog
+		}
+		head := Atom{Pred: cPred(ci.Sup.Name), Args: []Term{V("x")}}
+		switch {
+		case !ci.Sub.Exists: // I1
+			rules = append(rules, Rule{Head: head,
+				Body: []Atom{{Pred: cPred(ci.Sub.Name), Args: []Term{V("x")}}}})
+		case !ci.Sub.Inv: // I8: ∃P ⊑ A
+			rules = append(rules, Rule{Head: head,
+				Body: []Atom{{Pred: rPred(ci.Sub.Name), Args: []Term{V("x"), V("y")}}}})
+		default: // I9: ∃P⁻ ⊑ A
+			rules = append(rules, Rule{Head: head,
+				Body: []Atom{{Pred: rPred(ci.Sub.Name), Args: []Term{V("y"), V("x")}}}})
+		}
+	}
+	for _, ri := range t.RIs {
+		head := Atom{Pred: rPred(ri.Sup.Name), Args: []Term{V("x"), V("y")}}
+		if !ri.Sub.Inv { // I2
+			rules = append(rules, Rule{Head: head,
+				Body: []Atom{{Pred: rPred(ri.Sub.Name), Args: []Term{V("x"), V("y")}}}})
+		} else { // I3
+			rules = append(rules, Rule{Head: head,
+				Body: []Atom{{Pred: rPred(ri.Sub.Name), Args: []Term{V("y"), V("x")}}}})
+		}
+	}
+	return rules
+}
+
+// Rewrite compiles the query: hierarchy rules for the predicates reachable
+// from the query, plus a residual UCQ (PerfectRef over the full TBox, with
+// hierarchy-aware subsumption pruning — IDB extensions are closed, so a
+// disjunct is redundant when a kept disjunct maps into it with
+// predicate generalization).
+func Rewrite(q *cq.Query, t *dllite.TBox, lim perfectref.Limits) (*Program, error) {
+	u, err := perfectref.Rewrite(q, t, lim)
+	if err != nil {
+		return nil, err
+	}
+
+	// Predicates needed by any disjunct.
+	concepts := map[string]bool{}
+	roles := map[string]bool{}
+	for _, d := range u.Queries {
+		for _, a := range d.Atoms {
+			if a.IsRole {
+				roles[a.Pred] = true
+			} else {
+				concepts[a.Pred] = true
+			}
+		}
+	}
+
+	// Hierarchy-aware pruning, bounded by the same time limit.
+	var deadline time.Time
+	if lim.Timeout > 0 {
+		deadline = time.Now().Add(lim.Timeout)
+	}
+	keep := make([]bool, len(u.Queries))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i, qi := range u.Queries {
+		if !keep[i] {
+			continue
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, perfectref.ErrLimit
+		}
+		for j, qj := range u.Queries {
+			if i == j || !keep[j] || qj.Size() > qi.Size() {
+				continue
+			}
+			if qi.Size() == qj.Size() && j > i {
+				continue
+			}
+			if subsumesHier(qj, qi, t) {
+				keep[i] = false
+				break
+			}
+		}
+	}
+
+	prog := &Program{Head: append([]string(nil), q.Head...)}
+	for i, d := range u.Queries {
+		if !keep[i] {
+			continue
+		}
+		r := d.Clone()
+		for ai := range r.Atoms {
+			if r.Atoms[ai].IsRole {
+				r.Atoms[ai].Pred = rPred(r.Atoms[ai].Pred)
+			} else {
+				r.Atoms[ai].Pred = cPred(r.Atoms[ai].Pred)
+			}
+		}
+		prog.Residual = append(prog.Residual, r)
+	}
+	prog.Rules = HierarchyRules(t, concepts, roles)
+	return prog, nil
+}
+
+// subsumesHier reports a homomorphism from small into big that fixes
+// distinguished variables, where an atom p(x̄) of small may map onto an
+// atom p'(x̄) of big whenever p' ⊑* p (the closed IDB extension of p'
+// is contained in p's).
+func subsumesHier(small, big *cq.Query, t *dllite.TBox) bool {
+	conceptOK := func(smallPred, bigPred string) bool {
+		for _, s := range t.SubClassClosure(smallPred) {
+			if s == bigPred {
+				return true
+			}
+		}
+		return false
+	}
+	roleOK := func(smallPred, bigPred string) (bool, bool) { // (ok, flipped)
+		for _, s := range t.SubRoleClosure(dllite.Role{Name: smallPred}) {
+			if s.Name == bigPred {
+				return true, s.Inv
+			}
+		}
+		return false, false
+	}
+	sigma := map[string]string{}
+	var match func(i int) bool
+	bind := func(x, y string) (ok, added bool) {
+		if small.IsDistinguished(x) {
+			return x == y && big.IsDistinguished(y), false
+		}
+		if sx, ok := sigma[x]; ok {
+			return sx == y, false
+		}
+		sigma[x] = y
+		return true, true
+	}
+	match = func(i int) bool {
+		if i == len(small.Atoms) {
+			return true
+		}
+		ga := small.Atoms[i]
+		for _, gb := range big.Atoms {
+			if ga.IsRole != gb.IsRole {
+				continue
+			}
+			var pairs [][2]string
+			if !ga.IsRole {
+				if !conceptOK(ga.Pred, gb.Pred) {
+					continue
+				}
+				pairs = [][2]string{{ga.X, gb.X}}
+			} else {
+				ok, flipped := roleOK(ga.Pred, gb.Pred)
+				if !ok {
+					continue
+				}
+				if !flipped {
+					pairs = [][2]string{{ga.X, gb.X}, {ga.Y, gb.Y}}
+				} else {
+					pairs = [][2]string{{ga.X, gb.Y}, {ga.Y, gb.X}}
+				}
+			}
+			var added []string
+			ok := true
+			for _, p := range pairs {
+				okp, addedp := bind(p[0], p[1])
+				if addedp {
+					added = append(added, p[0])
+				}
+				if !okp {
+					ok = false
+					break
+				}
+			}
+			if ok && match(i+1) {
+				return true
+			}
+			for _, x := range added {
+				delete(sigma, x)
+			}
+		}
+		return false
+	}
+	return match(0)
+}
+
+// LoadABox populates a database with the EDB facts of an ABox.
+func LoadABox(a *dllite.ABox) *Database {
+	db := NewDatabase()
+	for _, ca := range a.Concepts {
+		db.AddFact(ca.Concept, ca.Ind)
+	}
+	for _, ra := range a.Roles {
+		db.AddFact(ra.Role, ra.Sub, ra.Obj)
+	}
+	return db
+}
+
+// Answer materializes the program over db (semi-naive) and evaluates the
+// residual UCQ, returning distinct sorted answer tuples.
+func Answer(prog *Program, db *Database, lim Limits) ([]Tuple, error) {
+	if err := Evaluate(prog.Rules, db, lim); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []Tuple
+	for _, d := range prog.Residual {
+		body := make([]Atom, len(d.Atoms))
+		for i, a := range d.Atoms {
+			if a.IsRole {
+				body[i] = Atom{Pred: a.Pred, Args: []Term{V(a.X), V(a.Y)}}
+			} else {
+				body[i] = Atom{Pred: a.Pred, Args: []Term{V(a.X)}}
+			}
+		}
+		for _, t := range Query(d.Head, body, db) {
+			k := t.key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package dllite
+
+import (
+	"ogpa/internal/graph"
+	"ogpa/internal/rdf"
+	"ogpa/internal/symbols"
+)
+
+// ConceptAssertion is A(c).
+type ConceptAssertion struct {
+	Concept string
+	Ind     string
+}
+
+// RoleAssertion is P(c1, c2).
+type RoleAssertion struct {
+	Role     string
+	Sub, Obj string
+}
+
+// AttrAssertion records a literal-valued property of an individual. DL-Lite
+// CQs do not query attributes, but ontological graph patterns do (the τ
+// grammar's x.A ⊕ c conditions), so the dataset keeps them.
+type AttrAssertion struct {
+	Ind   string
+	Name  string
+	Value graph.Value
+}
+
+// ABox is a set of membership assertions (the dataset).
+type ABox struct {
+	Concepts []ConceptAssertion
+	Roles    []RoleAssertion
+	Attrs    []AttrAssertion
+}
+
+// AddConcept appends A(c).
+func (a *ABox) AddConcept(concept, ind string) {
+	a.Concepts = append(a.Concepts, ConceptAssertion{concept, ind})
+}
+
+// AddRole appends P(sub, obj).
+func (a *ABox) AddRole(role, sub, obj string) {
+	a.Roles = append(a.Roles, RoleAssertion{role, sub, obj})
+}
+
+// AddAttr records an attribute of an individual.
+func (a *ABox) AddAttr(ind, name string, value graph.Value) {
+	a.Attrs = append(a.Attrs, AttrAssertion{ind, name, value})
+}
+
+// Size reports |D|: the number of membership assertions (attribute
+// assertions count as triples too).
+func (a *ABox) Size() int { return len(a.Concepts) + len(a.Roles) + len(a.Attrs) }
+
+// Graph applies the type-aware transformation to the ABox: individuals
+// become vertices, concept assertions become labels, role assertions
+// become edges and attribute assertions become vertex attributes.
+func (a *ABox) Graph(tbl *symbols.Table) *graph.Graph {
+	b := graph.NewBuilder(tbl)
+	for _, ca := range a.Concepts {
+		b.AddLabel(ca.Ind, ca.Concept)
+	}
+	for _, ra := range a.Roles {
+		b.AddEdge(ra.Sub, ra.Role, ra.Obj)
+	}
+	for _, at := range a.Attrs {
+		b.SetAttr(at.Ind, at.Name, at.Value)
+	}
+	return b.Freeze()
+}
+
+// Triples renders the ABox as rdf.Triples (used by cmd/datagen).
+func (a *ABox) Triples(emit func(rdf.Triple) error) error {
+	for _, ca := range a.Concepts {
+		if err := emit(rdf.Triple{Subject: ca.Ind, Predicate: rdf.TypePredicate, Kind: rdf.ObjectIRI, Object: ca.Concept}); err != nil {
+			return err
+		}
+	}
+	for _, ra := range a.Roles {
+		if err := emit(rdf.Triple{Subject: ra.Sub, Predicate: ra.Role, Kind: rdf.ObjectIRI, Object: ra.Obj}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KB is a knowledge base ⟨TBox, ABox⟩.
+type KB struct {
+	T *TBox
+	A *ABox
+}

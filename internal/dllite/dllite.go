@@ -1,0 +1,301 @@
+// Package dllite models the description logic DL-Lite_R of the paper
+// (Section II): atomic concepts A, atomic roles P, inverse roles P^-,
+// unqualified existential restrictions ∃R, concept/role inclusion assertions
+// (TBox) and membership assertions (ABox).
+//
+// Negative inclusions are modeled for KB consistency checking only; they
+// never participate in query rewriting, following the paper's remark that
+// they cannot contribute query answers.
+//
+// The package provides the 11-way inclusion classification (Table II of the
+// paper, I1–I11) and the TBox indexes that both PerfectRef and GenOGP drive
+// their deduction steps from.
+package dllite
+
+import "fmt"
+
+// Role is an atomic role or its inverse.
+type Role struct {
+	Name string
+	Inv  bool
+}
+
+// Inverse returns the inverse of r.
+func (r Role) Inverse() Role { return Role{Name: r.Name, Inv: !r.Inv} }
+
+func (r Role) String() string {
+	if r.Inv {
+		return r.Name + "-"
+	}
+	return r.Name
+}
+
+// Concept is an atomic concept (Exists == false) or an unqualified
+// existential restriction ∃R (Exists == true; Name/Inv describe R).
+// Concept is a comparable value type so it can key maps.
+type Concept struct {
+	Exists bool
+	Name   string
+	Inv    bool
+}
+
+// Atomic builds the atomic concept A.
+func Atomic(name string) Concept { return Concept{Name: name} }
+
+// Exists builds the concept ∃R for role r.
+func Exists(r Role) Concept { return Concept{Exists: true, Name: r.Name, Inv: r.Inv} }
+
+// Role returns R for a concept of the form ∃R. It panics on atomic concepts.
+func (c Concept) Role() Role {
+	if !c.Exists {
+		panic("dllite: Role() on atomic concept " + c.Name)
+	}
+	return Role{Name: c.Name, Inv: c.Inv}
+}
+
+func (c Concept) String() string {
+	if !c.Exists {
+		return c.Name
+	}
+	return "some " + c.Role().String()
+}
+
+// ConceptInclusion is C1 ⊑ C2.
+type ConceptInclusion struct {
+	Sub, Sup Concept
+}
+
+func (ci ConceptInclusion) String() string {
+	return fmt.Sprintf("%s SubClassOf %s", ci.Sub, ci.Sup)
+}
+
+// RoleInclusion is R1 ⊑ R2, normalized so that Sup.Inv == false
+// (P1^- ⊑ P2^- is recorded as P1 ⊑ P2, an equivalent statement).
+type RoleInclusion struct {
+	Sub, Sup Role
+}
+
+func (ri RoleInclusion) String() string {
+	return fmt.Sprintf("%s SubPropertyOf %s", ri.Sub, ri.Sup)
+}
+
+// InclusionType classifies an inclusion into the 11 shapes of Table II.
+type InclusionType int
+
+// Inclusion types I1–I11 of the paper's Table II.
+const (
+	I1  InclusionType = iota + 1 // A2 ⊑ A1
+	I2                           // P2 ⊑ P1
+	I3                           // P2^- ⊑ P1
+	I4                           // ∃P2 ⊑ ∃P1
+	I5                           // ∃P2^- ⊑ ∃P1
+	I6                           // ∃P2 ⊑ ∃P1^-
+	I7                           // ∃P2^- ⊑ ∃P1^-
+	I8                           // ∃P ⊑ A
+	I9                           // ∃P^- ⊑ A
+	I10                          // A ⊑ ∃P
+	I11                          // A ⊑ ∃P^-
+)
+
+func (t InclusionType) String() string { return fmt.Sprintf("I%d", int(t)) }
+
+// ClassifyConcept returns the Table II type of a concept inclusion.
+func ClassifyConcept(ci ConceptInclusion) InclusionType {
+	switch {
+	case !ci.Sub.Exists && !ci.Sup.Exists:
+		return I1
+	case ci.Sub.Exists && ci.Sup.Exists:
+		switch {
+		case !ci.Sub.Inv && !ci.Sup.Inv:
+			return I4
+		case ci.Sub.Inv && !ci.Sup.Inv:
+			return I5
+		case !ci.Sub.Inv && ci.Sup.Inv:
+			return I6
+		default:
+			return I7
+		}
+	case ci.Sub.Exists && !ci.Sup.Exists:
+		if !ci.Sub.Inv {
+			return I8
+		}
+		return I9
+	default:
+		if !ci.Sup.Inv {
+			return I10
+		}
+		return I11
+	}
+}
+
+// ClassifyRole returns the Table II type of a (normalized) role inclusion.
+func ClassifyRole(ri RoleInclusion) InclusionType {
+	if ri.Sub.Inv {
+		return I3
+	}
+	return I2
+}
+
+// TBox is a set of inclusion assertions plus derived lookup indexes.
+// Negative inclusions (NegCIs/NegRIs) are used only for consistency
+// checking, never for query rewriting (paper Section II, Remark).
+type TBox struct {
+	CIs    []ConceptInclusion
+	RIs    []RoleInclusion
+	NegCIs []NegConceptInclusion
+	NegRIs []NegRoleInclusion
+
+	// subsOfConcept maps a concept C to all concepts C' with C' ⊑ C.
+	subsOfConcept map[Concept][]Concept
+	// subsOfRole maps a role R (Inv == false) to all roles R' with R' ⊑ R.
+	subsOfRole map[Role][]Role
+}
+
+// NewTBox builds a TBox from raw assertions, normalizing role inclusions
+// and deduplicating.
+func NewTBox(cis []ConceptInclusion, ris []RoleInclusion) *TBox {
+	t := &TBox{}
+	seenCI := make(map[ConceptInclusion]bool)
+	for _, ci := range cis {
+		if ci.Sub == ci.Sup || seenCI[ci] {
+			continue
+		}
+		seenCI[ci] = true
+		t.CIs = append(t.CIs, ci)
+	}
+	seenRI := make(map[RoleInclusion]bool)
+	for _, ri := range ris {
+		if ri.Sup.Inv { // normalize: flip both sides
+			ri = RoleInclusion{Sub: ri.Sub.Inverse(), Sup: ri.Sup.Inverse()}
+		}
+		if ri.Sub == ri.Sup || seenRI[ri] {
+			continue
+		}
+		seenRI[ri] = true
+		t.RIs = append(t.RIs, ri)
+	}
+	t.reindex()
+	return t
+}
+
+func (t *TBox) reindex() {
+	t.subsOfConcept = make(map[Concept][]Concept, len(t.CIs))
+	for _, ci := range t.CIs {
+		t.subsOfConcept[ci.Sup] = append(t.subsOfConcept[ci.Sup], ci.Sub)
+	}
+	t.subsOfRole = make(map[Role][]Role, len(t.RIs))
+	for _, ri := range t.RIs {
+		t.subsOfRole[ri.Sup] = append(t.subsOfRole[ri.Sup], ri.Sub)
+	}
+}
+
+// Size reports |O|: the number of positive inclusion assertions (negative
+// inclusions are excluded — they never participate in rewriting, matching
+// the paper's |O| accounting).
+func (t *TBox) Size() int { return len(t.CIs) + len(t.RIs) }
+
+// SubConceptsOf returns all C' with C' ⊑ C asserted (one step, not closure).
+func (t *TBox) SubConceptsOf(c Concept) []Concept { return t.subsOfConcept[c] }
+
+// SubRolesOf returns all R' with R' ⊑ P asserted, for atomic P (one step).
+// The subsumees of P^- are the inverses of the subsumees of P.
+func (t *TBox) SubRolesOf(r Role) []Role {
+	if !r.Inv {
+		return t.subsOfRole[r]
+	}
+	base := t.subsOfRole[r.Inverse()]
+	out := make([]Role, len(base))
+	for i, b := range base {
+		out[i] = b.Inverse()
+	}
+	return out
+}
+
+// Scale returns a TBox containing the first ⌈fraction·|O|⌉ inclusions, the
+// subsetting used by the paper's "varying |O|" experiments (Exp-1).
+func (t *TBox) Scale(fraction float64) *TBox {
+	if fraction >= 1 {
+		return t
+	}
+	if fraction < 0 {
+		fraction = 0
+	}
+	nc := int(float64(len(t.CIs))*fraction + 0.5)
+	nr := int(float64(len(t.RIs))*fraction + 0.5)
+	return NewTBox(t.CIs[:nc], t.RIs[:nr])
+}
+
+// ConceptNames returns the set of atomic concept names mentioned in the TBox.
+func (t *TBox) ConceptNames() map[string]bool {
+	out := make(map[string]bool)
+	add := func(c Concept) {
+		if !c.Exists {
+			out[c.Name] = true
+		}
+	}
+	for _, ci := range t.CIs {
+		add(ci.Sub)
+		add(ci.Sup)
+	}
+	return out
+}
+
+// RoleNames returns the set of atomic role names mentioned in the TBox.
+func (t *TBox) RoleNames() map[string]bool {
+	out := make(map[string]bool)
+	for _, ci := range t.CIs {
+		if ci.Sub.Exists {
+			out[ci.Sub.Name] = true
+		}
+		if ci.Sup.Exists {
+			out[ci.Sup.Name] = true
+		}
+	}
+	for _, ri := range t.RIs {
+		out[ri.Sub.Name] = true
+		out[ri.Sup.Name] = true
+	}
+	return out
+}
+
+// SubClassClosure returns the reflexive-transitive closure of atomic-concept
+// subsumption: all atomic A' with A' ⊑* A. Used by the datalog and
+// saturation baselines.
+func (t *TBox) SubClassClosure(name string) []string {
+	seen := map[string]bool{name: true}
+	stack := []string{name}
+	order := []string{name}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, sub := range t.subsOfConcept[Atomic(cur)] {
+			if !sub.Exists && !seen[sub.Name] {
+				seen[sub.Name] = true
+				stack = append(stack, sub.Name)
+				order = append(order, sub.Name)
+			}
+		}
+	}
+	return order
+}
+
+// SubRoleClosure returns the reflexive-transitive closure of role
+// subsumption for role r (following inverses), as normalized roles whose
+// extension is contained in r's.
+func (t *TBox) SubRoleClosure(r Role) []Role {
+	seen := map[Role]bool{r: true}
+	stack := []Role{r}
+	order := []Role{r}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, sub := range t.SubRolesOf(cur) {
+			if !seen[sub] {
+				seen[sub] = true
+				stack = append(stack, sub)
+				order = append(order, sub)
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,309 @@
+package dllite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ogpa/internal/rdf"
+)
+
+func TestRoleInverse(t *testing.T) {
+	p := Role{Name: "advisorOf"}
+	if p.Inverse().Inv != true || p.Inverse().Inverse() != p {
+		t.Fatal("Inverse not an involution")
+	}
+	if p.String() != "advisorOf" || p.Inverse().String() != "advisorOf-" {
+		t.Fatalf("String = %q / %q", p.String(), p.Inverse().String())
+	}
+}
+
+func TestConceptHelpers(t *testing.T) {
+	a := Atomic("Student")
+	if a.Exists || a.String() != "Student" {
+		t.Fatalf("Atomic = %+v", a)
+	}
+	e := Exists(Role{Name: "takesCourse", Inv: true})
+	if !e.Exists || e.Role() != (Role{Name: "takesCourse", Inv: true}) {
+		t.Fatalf("Exists = %+v", e)
+	}
+	if e.String() != "some takesCourse-" {
+		t.Fatalf("String = %q", e.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Role() on atomic concept should panic")
+		}
+	}()
+	_ = a.Role()
+}
+
+func TestClassify(t *testing.T) {
+	p := func(n string) Role { return Role{Name: n} }
+	cases := []struct {
+		ci   ConceptInclusion
+		want InclusionType
+	}{
+		{ConceptInclusion{Atomic("A2"), Atomic("A1")}, I1},
+		{ConceptInclusion{Exists(p("P2")), Exists(p("P1"))}, I4},
+		{ConceptInclusion{Exists(p("P2").Inverse()), Exists(p("P1"))}, I5},
+		{ConceptInclusion{Exists(p("P2")), Exists(p("P1").Inverse())}, I6},
+		{ConceptInclusion{Exists(p("P2").Inverse()), Exists(p("P1").Inverse())}, I7},
+		{ConceptInclusion{Exists(p("P")), Atomic("A")}, I8},
+		{ConceptInclusion{Exists(p("P").Inverse()), Atomic("A")}, I9},
+		{ConceptInclusion{Atomic("A"), Exists(p("P"))}, I10},
+		{ConceptInclusion{Atomic("A"), Exists(p("P").Inverse())}, I11},
+	}
+	for _, c := range cases {
+		if got := ClassifyConcept(c.ci); got != c.want {
+			t.Errorf("ClassifyConcept(%v) = %v, want %v", c.ci, got, c.want)
+		}
+	}
+	if ClassifyRole(RoleInclusion{p("P2"), p("P1")}) != I2 {
+		t.Error("I2 misclassified")
+	}
+	if ClassifyRole(RoleInclusion{p("P2").Inverse(), p("P1")}) != I3 {
+		t.Error("I3 misclassified")
+	}
+}
+
+func TestNewTBoxNormalization(t *testing.T) {
+	p := func(n string) Role { return Role{Name: n} }
+	tb := NewTBox(
+		[]ConceptInclusion{
+			{Atomic("PhD"), Atomic("Student")},
+			{Atomic("PhD"), Atomic("Student")}, // duplicate
+			{Atomic("X"), Atomic("X")},         // trivial
+		},
+		[]RoleInclusion{
+			{p("a").Inverse(), p("b").Inverse()}, // must normalize to a ⊑ b
+			{p("a"), p("a")},                     // trivial
+		},
+	)
+	if len(tb.CIs) != 1 {
+		t.Fatalf("CIs = %v", tb.CIs)
+	}
+	if len(tb.RIs) != 1 || tb.RIs[0] != (RoleInclusion{p("a"), p("b")}) {
+		t.Fatalf("RIs = %v", tb.RIs)
+	}
+	if tb.Size() != 2 {
+		t.Fatalf("Size = %d", tb.Size())
+	}
+}
+
+func TestSubLookups(t *testing.T) {
+	p := func(n string) Role { return Role{Name: n} }
+	tb := NewTBox(
+		[]ConceptInclusion{
+			{Atomic("PhD"), Atomic("Student")},
+			{Atomic("MSc"), Atomic("Student")},
+			{Exists(p("teaches")), Atomic("Teacher")},
+		},
+		[]RoleInclusion{
+			{p("headOf"), p("worksFor")},
+			{p("advisee").Inverse(), p("advisorOf")},
+		},
+	)
+	subs := tb.SubConceptsOf(Atomic("Student"))
+	if len(subs) != 2 {
+		t.Fatalf("SubConceptsOf(Student) = %v", subs)
+	}
+	if got := tb.SubConceptsOf(Atomic("Teacher")); len(got) != 1 || !got[0].Exists {
+		t.Fatalf("SubConceptsOf(Teacher) = %v", got)
+	}
+	if got := tb.SubRolesOf(p("worksFor")); len(got) != 1 || got[0] != p("headOf") {
+		t.Fatalf("SubRolesOf(worksFor) = %v", got)
+	}
+	// Inverse lookup: subs of worksFor^- are inverses of subs of worksFor.
+	if got := tb.SubRolesOf(p("worksFor").Inverse()); len(got) != 1 || got[0] != p("headOf").Inverse() {
+		t.Fatalf("SubRolesOf(worksFor-) = %v", got)
+	}
+	if got := tb.SubRolesOf(p("advisorOf")); len(got) != 1 || got[0] != p("advisee").Inverse() {
+		t.Fatalf("SubRolesOf(advisorOf) = %v", got)
+	}
+}
+
+func TestClosures(t *testing.T) {
+	p := func(n string) Role { return Role{Name: n} }
+	tb := NewTBox(
+		[]ConceptInclusion{
+			{Atomic("PhD"), Atomic("Student")},
+			{Atomic("VisitingPhD"), Atomic("PhD")},
+			{Exists(p("teaches")), Atomic("Student")}, // non-atomic sub must be skipped by closure
+		},
+		[]RoleInclusion{
+			{p("headOf"), p("worksFor")},
+			{p("deanOf"), p("headOf")},
+		},
+	)
+	got := tb.SubClassClosure("Student")
+	want := map[string]bool{"Student": true, "PhD": true, "VisitingPhD": true}
+	if len(got) != len(want) {
+		t.Fatalf("SubClassClosure = %v", got)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Fatalf("unexpected closure member %q", n)
+		}
+	}
+	roles := tb.SubRoleClosure(p("worksFor"))
+	if len(roles) != 3 {
+		t.Fatalf("SubRoleClosure = %v", roles)
+	}
+}
+
+func TestScale(t *testing.T) {
+	var cis []ConceptInclusion
+	for i := 0; i < 10; i++ {
+		cis = append(cis, ConceptInclusion{Atomic(strings.Repeat("A", i+1)), Atomic("Top")})
+	}
+	tb := NewTBox(cis, nil)
+	half := tb.Scale(0.5)
+	if half.Size() != 5 {
+		t.Fatalf("Scale(0.5).Size = %d", half.Size())
+	}
+	if tb.Scale(1.0) != tb {
+		t.Fatal("Scale(1.0) should return the receiver")
+	}
+	if tb.Scale(-1).Size() != 0 {
+		t.Fatal("Scale(<0) should clamp to empty")
+	}
+}
+
+func TestParseTBoxRoundTrip(t *testing.T) {
+	src := `# university ontology
+PhD SubClassOf Student
+Student SubClassOf some takesCourse
+PhD SubClassOf some advisorOf-
+some teacherOf SubClassOf Teacher
+some advisorOf- SubClassOf Advisee
+some headOf SubClassOf some worksFor
+some aux- SubClassOf some fix-
+headOf SubPropertyOf worksFor
+advisorOf- SubPropertyOf adviseeOf
+`
+	tb, err := ParseTBox(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Size() != 9 {
+		t.Fatalf("Size = %d, want 9", tb.Size())
+	}
+	var buf bytes.Buffer
+	if err := WriteTBox(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := ParseTBox(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.Size() != tb.Size() || len(tb2.CIs) != len(tb.CIs) {
+		t.Fatalf("round trip changed the TBox: %d vs %d", tb2.Size(), tb.Size())
+	}
+	for i := range tb.CIs {
+		if tb.CIs[i] != tb2.CIs[i] {
+			t.Fatalf("CI %d changed: %v vs %v", i, tb.CIs[i], tb2.CIs[i])
+		}
+	}
+}
+
+func TestParseTBoxErrors(t *testing.T) {
+	bad := []string{
+		"A IsA B",
+		"A SubClassOf ",
+		" SubClassOf B",
+		"A SubClassOf some ",
+		"A(B) SubClassOf C",
+		"P SubPropertyOf a b",
+	}
+	for _, src := range bad {
+		if _, err := ParseTBox(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseABox(t *testing.T) {
+	src := `# data
+PhD(ann)
+advisorOf(bob, ann)
+takesCourse(ann, c1)
+`
+	a, err := ParseABox(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 3 || len(a.Concepts) != 1 || len(a.Roles) != 2 {
+		t.Fatalf("ABox = %+v", a)
+	}
+	g := a.Graph(nil)
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("graph: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	ann := g.VertexByName("ann")
+	if !g.HasLabel(ann, g.Symbols.Lookup("PhD")) {
+		t.Fatal("label missing")
+	}
+}
+
+func TestParseABoxErrors(t *testing.T) {
+	for _, src := range []string{"A", "A()", "A(x,y,z)", "(x)", "A(x", "A( )", "A(x, )"} {
+		if _, err := ParseABox(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestABoxTriples(t *testing.T) {
+	a := &ABox{}
+	a.AddConcept("PhD", "ann")
+	a.AddRole("advisorOf", "bob", "ann")
+	var got []rdf.Triple
+	if err := a.Triples(func(tr rdf.Triple) error {
+		got = append(got, tr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d triples", len(got))
+	}
+	if got[0].Predicate != rdf.TypePredicate || got[0].Object != "PhD" {
+		t.Fatalf("concept triple = %+v", got[0])
+	}
+	if got[1].Predicate != "advisorOf" || got[1].Subject != "bob" || got[1].Object != "ann" {
+		t.Fatalf("role triple = %+v", got[1])
+	}
+}
+
+// TestScaleMonotoneProperty: scaling keeps a prefix, so a scaled TBox's
+// axioms are always contained in the original.
+func TestScaleMonotoneProperty(t *testing.T) {
+	f := func(n uint8, frac float64) bool {
+		if frac < 0 {
+			frac = -frac
+		}
+		for frac > 1 {
+			frac /= 2
+		}
+		var cis []ConceptInclusion
+		for i := 0; i < int(n%40); i++ {
+			cis = append(cis, ConceptInclusion{Atomic(strings.Repeat("x", i+1)), Atomic("Top")})
+		}
+		tb := NewTBox(cis, nil)
+		sc := tb.Scale(frac)
+		if sc.Size() > tb.Size() {
+			return false
+		}
+		for i, ci := range sc.CIs {
+			if tb.CIs[i] != ci {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package dllite
+
+import "fmt"
+
+// The paper's Remark (Section II) drops negative inclusions because they
+// never contribute query answers. A usable system still needs them for
+// *consistency checking*: C1 ⊑ ¬C2 forbids common instances, R1 ⊑ ¬R2
+// forbids common pairs. This file models them; internal/saturate checks
+// them against the (saturated) data.
+
+// NegConceptInclusion is C1 ⊑ ¬C2.
+type NegConceptInclusion struct {
+	Sub, Neg Concept
+}
+
+func (n NegConceptInclusion) String() string {
+	return fmt.Sprintf("%s DisjointWith %s", n.Sub, n.Neg)
+}
+
+// NegRoleInclusion is R1 ⊑ ¬R2 (normalized so Neg.Inv == false).
+type NegRoleInclusion struct {
+	Sub, Neg Role
+}
+
+func (n NegRoleInclusion) String() string {
+	return fmt.Sprintf("%s DisjointPropertyWith %s", n.Sub, n.Neg)
+}
+
+// AddNegatives extends the TBox with negative inclusions. They are kept
+// separate from the positive indexes (query rewriting never consults
+// them, exactly as the paper argues).
+func (t *TBox) AddNegatives(ncs []NegConceptInclusion, nrs []NegRoleInclusion) {
+	t.NegCIs = append(t.NegCIs, ncs...)
+	for _, nr := range nrs {
+		if nr.Neg.Inv {
+			nr = NegRoleInclusion{Sub: nr.Sub.Inverse(), Neg: nr.Neg.Inverse()}
+		}
+		t.NegRIs = append(t.NegRIs, nr)
+	}
+}
+
+// ParseNegInclusion parses "X DisjointWith Y" (concepts, `some R` allowed)
+// or "P DisjointPropertyWith Q" (roles, `-` suffix allowed).
+func ParseNegInclusion(line string) (NegConceptInclusion, NegRoleInclusion, bool, error) {
+	if i := indexWord(line, " DisjointWith "); i >= 0 {
+		sub, err := parseConcept(trimSpace(line[:i]))
+		if err != nil {
+			return NegConceptInclusion{}, NegRoleInclusion{}, false, err
+		}
+		neg, err := parseConcept(trimSpace(line[i+len(" DisjointWith "):]))
+		if err != nil {
+			return NegConceptInclusion{}, NegRoleInclusion{}, false, err
+		}
+		return NegConceptInclusion{Sub: sub, Neg: neg}, NegRoleInclusion{}, false, nil
+	}
+	if i := indexWord(line, " DisjointPropertyWith "); i >= 0 {
+		sub, err := parseRole(trimSpace(line[:i]))
+		if err != nil {
+			return NegConceptInclusion{}, NegRoleInclusion{}, false, err
+		}
+		neg, err := parseRole(trimSpace(line[i+len(" DisjointPropertyWith "):]))
+		if err != nil {
+			return NegConceptInclusion{}, NegRoleInclusion{}, false, err
+		}
+		return NegConceptInclusion{}, NegRoleInclusion{Sub: sub, Neg: neg}, true, nil
+	}
+	return NegConceptInclusion{}, NegRoleInclusion{}, false, fmt.Errorf("no DisjointWith in %q", line)
+}

@@ -1,0 +1,218 @@
+package dllite
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The ontology text format (hand-rolled; no OWL library exists for Go):
+//
+//	# comment
+//	PhD SubClassOf Student              (I1)
+//	Student SubClassOf some takesCourse (I10)
+//	PhD SubClassOf some advisorOf-      (I11)
+//	some teacherOf SubClassOf Teacher   (I8)
+//	some advisorOf- SubClassOf Advisee  (I9)
+//	some headOf SubClassOf some worksFor   (I4–I7 with optional '-' suffixes)
+//	headOf SubPropertyOf worksFor       (I2)
+//	advisorOf- SubPropertyOf adviseeOf  (I3)
+//
+// Roles may carry a trailing '-' for the inverse anywhere a role appears.
+
+// ParseTBox reads the ontology text format from r.
+func ParseTBox(r io.Reader) (*TBox, error) {
+	var cis []ConceptInclusion
+	var ris []RoleInclusion
+	var ncs []NegConceptInclusion
+	var nrs []NegRoleInclusion
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "Disjoint") {
+			nc, nr, isRole, err := ParseNegInclusion(line)
+			if err != nil {
+				return nil, fmt.Errorf("dllite: line %d: %w", lineNo, err)
+			}
+			if isRole {
+				nrs = append(nrs, nr)
+			} else {
+				ncs = append(ncs, nc)
+			}
+			continue
+		}
+		ci, ri, isRole, err := ParseInclusion(line)
+		if err != nil {
+			return nil, fmt.Errorf("dllite: line %d: %w", lineNo, err)
+		}
+		if isRole {
+			ris = append(ris, ri)
+		} else {
+			cis = append(cis, ci)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t := NewTBox(cis, ris)
+	t.AddNegatives(ncs, nrs)
+	return t, nil
+}
+
+// ParseInclusion parses one inclusion statement.
+func ParseInclusion(line string) (ConceptInclusion, RoleInclusion, bool, error) {
+	if i := strings.Index(line, " SubClassOf "); i >= 0 {
+		sub, err := parseConcept(strings.TrimSpace(line[:i]))
+		if err != nil {
+			return ConceptInclusion{}, RoleInclusion{}, false, err
+		}
+		sup, err := parseConcept(strings.TrimSpace(line[i+len(" SubClassOf "):]))
+		if err != nil {
+			return ConceptInclusion{}, RoleInclusion{}, false, err
+		}
+		return ConceptInclusion{Sub: sub, Sup: sup}, RoleInclusion{}, false, nil
+	}
+	if i := strings.Index(line, " SubPropertyOf "); i >= 0 {
+		sub, err := parseRole(strings.TrimSpace(line[:i]))
+		if err != nil {
+			return ConceptInclusion{}, RoleInclusion{}, false, err
+		}
+		sup, err := parseRole(strings.TrimSpace(line[i+len(" SubPropertyOf "):]))
+		if err != nil {
+			return ConceptInclusion{}, RoleInclusion{}, false, err
+		}
+		return ConceptInclusion{}, RoleInclusion{Sub: sub, Sup: sup}, true, nil
+	}
+	return ConceptInclusion{}, RoleInclusion{}, false, fmt.Errorf("no SubClassOf/SubPropertyOf in %q", line)
+}
+
+func parseConcept(s string) (Concept, error) {
+	if rest, ok := strings.CutPrefix(s, "some "); ok {
+		r, err := parseRole(strings.TrimSpace(rest))
+		if err != nil {
+			return Concept{}, err
+		}
+		return Exists(r), nil
+	}
+	if s == "some" {
+		return Concept{}, fmt.Errorf("dangling 'some' with no role")
+	}
+	if err := checkName(s); err != nil {
+		return Concept{}, err
+	}
+	return Atomic(s), nil
+}
+
+func parseRole(s string) (Role, error) {
+	inv := false
+	if rest, ok := strings.CutSuffix(s, "-"); ok {
+		inv = true
+		s = rest
+	}
+	if err := checkName(s); err != nil {
+		return Role{}, err
+	}
+	return Role{Name: s, Inv: inv}, nil
+}
+
+func checkName(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty name")
+	}
+	if strings.ContainsAny(s, " \t(),") {
+		return fmt.Errorf("invalid name %q", s)
+	}
+	return nil
+}
+
+// trimSpace and indexWord are tiny aliases used by the negative-inclusion
+// parser to stay consistent with this file's style.
+func trimSpace(s string) string { return strings.TrimSpace(s) }
+func indexWord(s, w string) int { return strings.Index(s, w) }
+
+// WriteTBox renders t in the format accepted by ParseTBox.
+func WriteTBox(w io.Writer, t *TBox) error {
+	for _, ci := range t.CIs {
+		if _, err := fmt.Fprintln(w, ci.String()); err != nil {
+			return err
+		}
+	}
+	for _, ri := range t.RIs {
+		if _, err := fmt.Fprintln(w, ri.String()); err != nil {
+			return err
+		}
+	}
+	for _, nc := range t.NegCIs {
+		if _, err := fmt.Fprintln(w, nc.String()); err != nil {
+			return err
+		}
+	}
+	for _, nr := range t.NegRIs {
+		if _, err := fmt.Fprintln(w, nr.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseABox reads assertion lines of the forms "A(c)" and "P(c1, c2)".
+// Blank lines and '#' comments are skipped.
+func ParseABox(r io.Reader) (*ABox, error) {
+	a := &ABox{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseAssertion(a, line); err != nil {
+			return nil, fmt.Errorf("dllite: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func parseAssertion(a *ABox, line string) error {
+	open := strings.IndexByte(line, '(')
+	if open <= 0 || !strings.HasSuffix(line, ")") {
+		return fmt.Errorf("malformed assertion %q", line)
+	}
+	pred := strings.TrimSpace(line[:open])
+	if err := checkName(pred); err != nil {
+		return err
+	}
+	args := strings.Split(line[open+1:len(line)-1], ",")
+	switch len(args) {
+	case 1:
+		ind := strings.TrimSpace(args[0])
+		if err := checkName(ind); err != nil {
+			return err
+		}
+		a.AddConcept(pred, ind)
+	case 2:
+		sub, obj := strings.TrimSpace(args[0]), strings.TrimSpace(args[1])
+		if err := checkName(sub); err != nil {
+			return err
+		}
+		if err := checkName(obj); err != nil {
+			return err
+		}
+		a.AddRole(pred, sub, obj)
+	default:
+		return fmt.Errorf("assertion %q has %d arguments, want 1 or 2", line, len(args))
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ogpa/internal/dllite"
+)
+
+// DBpediaConfig parameterizes the DBpedia-like generator. Scale multiplies
+// the instance counts; Scale 1 ≈ 60K triples (the paper's dump has 29.7M —
+// ≈ 500× larger; see DESIGN.md for the substitution rationale).
+type DBpediaConfig struct {
+	Scale float64
+	Seed  int64
+}
+
+// dbpediaShape fixes the ontology dimensions to the paper's Table IV row:
+// 512 concepts, 833 roles, ≈ 1.7K axioms.
+const (
+	dbpConcepts = 512
+	dbpRoles    = 833
+)
+
+// DBpedia generates a synthetic encyclopedic knowledge base with the
+// published DBpedia ontology dimensions and a scale-free instance graph:
+// Zipfian concept popularity (few huge classes like Person/Place, a long
+// tail of rare ones) and preferential-attachment edges (hub entities).
+func DBpedia(cfg DBpediaConfig) *Dataset {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	d := &Dataset{Name: "DBpedia"}
+	rng := rand.New(rand.NewSource(cfg.Seed + 19))
+	d.TBox = dbpediaTBox(rng)
+	d.ABox = dbpediaABox(rng, cfg.Scale)
+	return d
+}
+
+func dbpConcept(i int) string { return fmt.Sprintf("C%03d", i) }
+func dbpRole(i int) string    { return fmt.Sprintf("prop%03d", i) }
+
+// dbpediaTBox builds a random forest hierarchy over 512 concepts plus
+// domain/range/existential axioms over 833 roles, totalling ≈ 1.7K
+// inclusions like the paper's enriched DBpedia ontology.
+func dbpediaTBox(rng *rand.Rand) *dllite.TBox {
+	b := &tboxBuilder{}
+	// Concept forest: concept i>16 subsumes under a random earlier concept,
+	// biased toward low indexes (broad top classes).
+	for i := 16; i < dbpConcepts; i++ {
+		parent := rng.Intn(i)
+		if rng.Intn(3) != 0 {
+			parent = rng.Intn(1 + i/8) // bias to the top of the hierarchy
+		}
+		b.sub(dbpConcept(i), dbpConcept(parent))
+	}
+	// Role axioms: every role gets a domain; half get a range; a fifth get
+	// a super-role; existential axioms sprinkle I4–I7 and I10/I11.
+	for r := 0; r < dbpRoles; r++ {
+		b.domain(dbpRole(r), dbpConcept(rng.Intn(dbpConcepts)))
+		if r%2 == 0 {
+			b.rang(dbpRole(r), dbpConcept(rng.Intn(dbpConcepts)))
+		}
+		if r%5 == 0 && r > 0 {
+			b.subrole(dbpRole(r), dbpRole(rng.Intn(r)))
+		}
+		if r%17 == 0 {
+			b.exists(dbpConcept(rng.Intn(dbpConcepts)), dbpRole(r))
+		}
+		if r%29 == 0 && r > 0 {
+			b.existsSub(dbpRole(r), rng.Intn(2) == 0, dbpRole(rng.Intn(r)), rng.Intn(2) == 0)
+		}
+	}
+	return b.build()
+}
+
+// dbpediaABox generates entities with Zipfian types and preferential-
+// attachment edges.
+func dbpediaABox(rng *rand.Rand, scale float64) *dllite.ABox {
+	a := &dllite.ABox{}
+	nEntities := int(8000 * scale)
+	nEdges := int(26000 * scale)
+
+	// Zipf over concepts and roles (s ≈ 1.1).
+	conceptZipf := rand.NewZipf(rng, 1.2, 1.0, dbpConcepts-1)
+	roleZipf := rand.NewZipf(rng, 1.1, 1.0, dbpRoles-1)
+
+	ent := func(i int) string { return fmt.Sprintf("e%d", i) }
+	for i := 0; i < nEntities; i++ {
+		a.AddConcept(dbpConcept(int(conceptZipf.Uint64())), ent(i))
+		if rng.Intn(4) == 0 { // some entities carry a second type
+			a.AddConcept(dbpConcept(int(conceptZipf.Uint64())), ent(i))
+		}
+	}
+	// Preferential attachment: targets drawn quadratically biased toward
+	// low ids (early entities become hubs).
+	target := func() int {
+		x := rng.Float64()
+		return int(x * x * float64(nEntities))
+	}
+	for i := 0; i < nEdges; i++ {
+		from := rng.Intn(nEntities)
+		to := target()
+		if to >= nEntities {
+			to = nEntities - 1
+		}
+		a.AddRole(dbpRole(int(roleZipf.Uint64())), ent(from), ent(to))
+	}
+	return a
+}

@@ -1,0 +1,127 @@
+// Package gen synthesizes the datasets and ontologies of the paper's
+// evaluation (Table IV). Real dumps (DBpedia, NPD FactPages) and the
+// original Java generators (LUBM, OWL2Bench) are unavailable offline, so
+// each generator reimplements the published schema shape from scratch:
+// the ontologies match the originals' axiom-type mix (I1–I11), and the
+// instance generators produce the same relative structure (department
+// hierarchies for the university benchmarks, Zipfian types and scale-free
+// degrees for DBpedia). Absolute sizes are scaled to laptop budgets by the
+// scale parameter; the benchmark harness reports the shape of the paper's
+// curves, not absolute wall-clock.
+//
+// All generators are deterministic for a given seed.
+package gen
+
+import (
+	"fmt"
+
+	"ogpa/internal/dllite"
+	"ogpa/internal/graph"
+)
+
+// Dataset bundles a generated knowledge base with its name.
+type Dataset struct {
+	Name string
+	TBox *dllite.TBox
+	ABox *dllite.ABox
+
+	graph *graph.Graph // lazily built
+}
+
+// Graph returns the type-aware transformation of the ABox (cached).
+func (d *Dataset) Graph() *graph.Graph {
+	if d.graph == nil {
+		d.graph = d.ABox.Graph(nil)
+	}
+	return d.graph
+}
+
+// Stats reports the Table IV columns for a dataset.
+type Stats struct {
+	Name     string
+	Triples  int // |D|: membership assertions
+	Vertices int // |V|
+	Edges    int // |E|
+	Axioms   int // |O|
+	Concepts int // |Σ_V|
+	Roles    int // |Σ_E|
+}
+
+// Stats computes the dataset's Table IV row.
+func (d *Dataset) Stats() Stats {
+	g := d.Graph()
+	return Stats{
+		Name:     d.Name,
+		Triples:  d.ABox.Size(),
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Axioms:   d.TBox.Size(),
+		Concepts: len(d.TBox.ConceptNames()),
+		Roles:    len(d.TBox.RoleNames()),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%-14s |D|=%-8d |V|=%-8d |E|=%-8d |O|=%-5d |Σv|=%-4d |Σe|=%d",
+		s.Name, s.Triples, s.Vertices, s.Edges, s.Axioms, s.Concepts, s.Roles)
+}
+
+// tboxBuilder accumulates inclusions with less ceremony.
+type tboxBuilder struct {
+	cis []dllite.ConceptInclusion
+	ris []dllite.RoleInclusion
+}
+
+func role(name string) dllite.Role      { return dllite.Role{Name: name} }
+func inv(name string) dllite.Role       { return dllite.Role{Name: name, Inv: true} }
+func atomic(name string) dllite.Concept { return dllite.Atomic(name) }
+func some(r dllite.Role) dllite.Concept { return dllite.Exists(r) }
+
+// sub adds A ⊑ B for atomic concepts (I1).
+func (b *tboxBuilder) sub(a, sup string) {
+	b.cis = append(b.cis, dllite.ConceptInclusion{Sub: atomic(a), Sup: atomic(sup)})
+}
+
+// domain adds ∃P ⊑ A (I8).
+func (b *tboxBuilder) domain(p, a string) {
+	b.cis = append(b.cis, dllite.ConceptInclusion{Sub: some(role(p)), Sup: atomic(a)})
+}
+
+// rang adds ∃P⁻ ⊑ A (I9).
+func (b *tboxBuilder) rang(p, a string) {
+	b.cis = append(b.cis, dllite.ConceptInclusion{Sub: some(inv(p)), Sup: atomic(a)})
+}
+
+// exists adds A ⊑ ∃P (I10).
+func (b *tboxBuilder) exists(a, p string) {
+	b.cis = append(b.cis, dllite.ConceptInclusion{Sub: atomic(a), Sup: some(role(p))})
+}
+
+// existsInv adds A ⊑ ∃P⁻ (I11).
+func (b *tboxBuilder) existsInv(a, p string) {
+	b.cis = append(b.cis, dllite.ConceptInclusion{Sub: atomic(a), Sup: some(inv(p))})
+}
+
+// subrole adds P ⊑ Q (I2).
+func (b *tboxBuilder) subrole(p, q string) {
+	b.ris = append(b.ris, dllite.RoleInclusion{Sub: role(p), Sup: role(q)})
+}
+
+// subroleInv adds P⁻ ⊑ Q (I3).
+func (b *tboxBuilder) subroleInv(p, q string) {
+	b.ris = append(b.ris, dllite.RoleInclusion{Sub: inv(p), Sup: role(q)})
+}
+
+// existsSub adds ∃P ⊑ ∃Q / variants (I4–I7) controlled by the flags.
+func (b *tboxBuilder) existsSub(p string, pInv bool, q string, qInv bool) {
+	sub, sup := role(p), role(q)
+	if pInv {
+		sub = inv(p)
+	}
+	if qInv {
+		sup = inv(q)
+	}
+	b.cis = append(b.cis, dllite.ConceptInclusion{Sub: some(sub), Sup: some(sup)})
+}
+
+func (b *tboxBuilder) build() *dllite.TBox { return dllite.NewTBox(b.cis, b.ris) }

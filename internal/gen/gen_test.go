@@ -1,0 +1,175 @@
+package gen
+
+import (
+	"testing"
+
+	"ogpa/internal/dllite"
+	"ogpa/internal/graph"
+)
+
+func TestLUBMDeterministic(t *testing.T) {
+	a := LUBM(LUBMConfig{Universities: 2, Seed: 1})
+	b := LUBM(LUBMConfig{Universities: 2, Seed: 1})
+	if a.ABox.Size() != b.ABox.Size() {
+		t.Fatalf("non-deterministic: %d vs %d", a.ABox.Size(), b.ABox.Size())
+	}
+	c := LUBM(LUBMConfig{Universities: 2, Seed: 2})
+	if a.ABox.Size() == c.ABox.Size() && len(a.ABox.Roles) == len(c.ABox.Roles) {
+		// Different seeds give different cardinalities with high probability;
+		// identical totals are suspicious but sizes can coincide — compare
+		// some content.
+		same := true
+		for i := range a.ABox.Roles {
+			if a.ABox.Roles[i] != c.ABox.Roles[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seed has no effect")
+		}
+	}
+}
+
+func TestLUBMShape(t *testing.T) {
+	d := LUBM(LUBMConfig{Universities: 1, Seed: 42})
+	st := d.Stats()
+	if st.Axioms < 70 || st.Axioms > 110 {
+		t.Fatalf("|O| = %d, want ≈ 86", st.Axioms)
+	}
+	if st.Triples < 300 {
+		t.Fatalf("|D| = %d, too small", st.Triples)
+	}
+	// Scaling: 4 universities ≈ 4× the triples of 1.
+	d4 := LUBM(LUBMConfig{Universities: 4, Seed: 42})
+	r := float64(d4.ABox.Size()) / float64(d.ABox.Size())
+	if r < 2.5 || r > 6 {
+		t.Fatalf("scale factor 4 gave ratio %.1f", r)
+	}
+	// The graph must contain the LUBM backbone.
+	g := d.Graph()
+	if g.LabelFrequency(g.Symbols.Lookup("FullProfessor")) == 0 {
+		t.Fatal("no FullProfessor instances")
+	}
+	if g.EdgeLabelFrequency(g.Symbols.Lookup("takesCourse")) == 0 {
+		t.Fatal("no takesCourse edges")
+	}
+}
+
+func TestLUBMOntologyUsable(t *testing.T) {
+	tb := LUBMTBox()
+	// Professor hierarchy must resolve.
+	subs := tb.SubClassClosure("Faculty")
+	found := false
+	for _, s := range subs {
+		if s == "FullProfessor" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Faculty closure = %v", subs)
+	}
+	// Role hierarchy: headOf ⊑ worksFor ⊑ memberOf.
+	roles := tb.SubRoleClosure(dllite.Role{Name: "memberOf"})
+	foundHead := false
+	for _, r := range roles {
+		if r.Name == "headOf" {
+			foundHead = true
+		}
+	}
+	if !foundHead {
+		t.Fatalf("memberOf closure = %v", roles)
+	}
+}
+
+func TestOWL2BenchShape(t *testing.T) {
+	d := OWL2Bench(OWL2BenchConfig{Universities: 1, Seed: 7})
+	st := d.Stats()
+	if st.Axioms < 150 {
+		t.Fatalf("|O| = %d, want a rich ontology (≥ 150)", st.Axioms)
+	}
+	if st.Axioms <= LUBM(LUBMConfig{Universities: 1}).TBox.Size() {
+		t.Fatal("OWL2Bench ontology should be larger than LUBM's")
+	}
+	if st.Triples < 200 {
+		t.Fatalf("|D| = %d", st.Triples)
+	}
+	d2 := OWL2Bench(OWL2BenchConfig{Universities: 1, Seed: 7})
+	if d2.ABox.Size() != d.ABox.Size() {
+		t.Fatal("non-deterministic")
+	}
+}
+
+func TestDBpediaShape(t *testing.T) {
+	d := DBpedia(DBpediaConfig{Scale: 0.2, Seed: 3})
+	st := d.Stats()
+	if st.Axioms < 1400 || st.Axioms > 2200 {
+		t.Fatalf("|O| = %d, want ≈ 1.7K", st.Axioms)
+	}
+	cn := len(d.TBox.ConceptNames())
+	if cn < 400 {
+		t.Fatalf("concepts = %d, want ≈ 512", cn)
+	}
+	rn := len(d.TBox.RoleNames())
+	if rn < 700 {
+		t.Fatalf("roles = %d, want ≈ 833", rn)
+	}
+	// Scale-free check: the max degree should far exceed the average.
+	g := d.Graph()
+	maxDeg, sumDeg := 0, 0
+	for v := 0; v < g.NumVertices(); v++ {
+		deg := g.Degree(graph.VID(v))
+		sumDeg += deg
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	avg := float64(sumDeg) / float64(g.NumVertices())
+	if float64(maxDeg) < 10*avg {
+		t.Fatalf("degree distribution not skewed: max %d, avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestNPDShape(t *testing.T) {
+	d := NPD(NPDConfig{Scale: 1, Seed: 5})
+	st := d.Stats()
+	if st.Axioms < 100 {
+		t.Fatalf("|O| = %d", st.Axioms)
+	}
+	if st.Triples < 400 {
+		t.Fatalf("|D| = %d", st.Triples)
+	}
+	g := d.Graph()
+	if g.EdgeLabelFrequency(g.Symbols.Lookup("operatorFor")) == 0 {
+		t.Fatal("no operatorFor edges")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	d := NPD(NPDConfig{Scale: 0.5, Seed: 5})
+	if d.Stats().String() == "" {
+		t.Fatal("empty stats row")
+	}
+	// Graph is cached.
+	if d.Graph() != d.Graph() {
+		t.Fatal("graph not cached")
+	}
+}
+
+func BenchmarkLUBMGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := LUBM(LUBMConfig{Universities: 2, Seed: int64(i)})
+		if d.ABox.Size() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkDBpediaGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := DBpedia(DBpediaConfig{Scale: 0.1, Seed: int64(i)})
+		if d.ABox.Size() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

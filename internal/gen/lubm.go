@@ -1,0 +1,230 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ogpa/internal/dllite"
+)
+
+// LUBMConfig parameterizes the LUBM-like generator. The defaults follow the
+// published LUBM profile with all cardinalities divided by ~10 so that one
+// "university" is laptop-sized (≈ 9K triples instead of ≈ 100K).
+type LUBMConfig struct {
+	Universities int
+	Seed         int64
+}
+
+// LUBM generates the university benchmark: the classic LUBM schema as a
+// DL-Lite_R TBox (≈ 86 axioms in the OWL 2 QL fragment, matching the
+// paper's Table IV) and a deterministic instance generator.
+func LUBM(cfg LUBMConfig) *Dataset {
+	if cfg.Universities <= 0 {
+		cfg.Universities = 1
+	}
+	d := &Dataset{Name: fmt.Sprintf("LUBM_%d", cfg.Universities)}
+	d.TBox = LUBMTBox()
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	d.ABox = lubmABox(rng, cfg.Universities)
+	return d
+}
+
+// LUBMTBox builds the LUBM ontology restricted to OWL 2 QL / DL-Lite_R.
+func LUBMTBox() *dllite.TBox {
+	b := &tboxBuilder{}
+
+	// Concept hierarchy (I1).
+	for _, p := range [][2]string{
+		{"FullProfessor", "Professor"}, {"AssociateProfessor", "Professor"},
+		{"AssistantProfessor", "Professor"}, {"VisitingProfessor", "Professor"},
+		{"Professor", "Faculty"}, {"Lecturer", "Faculty"}, {"PostDoc", "Faculty"},
+		{"Faculty", "Employee"}, {"Employee", "Person"},
+		{"Chair", "Professor"}, {"Dean", "Professor"}, {"Director", "Person"},
+		{"UndergraduateStudent", "Student"}, {"GraduateStudent", "Student"},
+		{"Student", "Person"}, {"TeachingAssistant", "Person"},
+		{"ResearchAssistant", "Person"},
+		{"GraduateCourse", "Course"}, {"Course", "Work"}, {"Research", "Work"},
+		{"Article", "Publication"}, {"Book", "Publication"},
+		{"ConferencePaper", "Article"}, {"JournalArticle", "Article"},
+		{"TechnicalReport", "Publication"}, {"Software", "Publication"},
+		{"Manual", "Publication"}, {"UnofficialPublication", "Publication"},
+		{"University", "Organization"}, {"Department", "Organization"},
+		{"College", "Organization"}, {"Institute", "Organization"},
+		{"Program", "Organization"}, {"ResearchGroup", "Organization"},
+	} {
+		b.sub(p[0], p[1])
+	}
+
+	// Role hierarchy (I2/I3).
+	b.subrole("headOf", "worksFor")
+	b.subrole("worksFor", "memberOf")
+	b.subrole("undergraduateDegreeFrom", "degreeFrom")
+	b.subrole("mastersDegreeFrom", "degreeFrom")
+	b.subrole("doctoralDegreeFrom", "degreeFrom")
+	b.subroleInv("hasMember", "memberOf") // member ↔ memberOf inverse pair
+	b.subroleInv("degreeFrom", "hasAlumnus")
+
+	// Domains (I8).
+	b.domain("teacherOf", "Faculty")
+	b.domain("advisor", "Person")
+	b.domain("takesCourse", "Student")
+	b.domain("teachingAssistantOf", "TeachingAssistant")
+	b.domain("headOf", "Person")
+	b.domain("worksFor", "Employee")
+	b.domain("publicationAuthor", "Publication")
+	b.domain("degreeFrom", "Person")
+	b.domain("researchProject", "ResearchGroup")
+	b.domain("softwareDocumentation", "Software")
+	b.domain("subOrganizationOf", "Organization")
+	b.domain("orgPublication", "Organization")
+
+	// Ranges (I9).
+	b.rang("teacherOf", "Course")
+	b.rang("takesCourse", "Course")
+	b.rang("teachingAssistantOf", "Course")
+	b.rang("advisor", "Professor")
+	b.rang("publicationAuthor", "Person")
+	b.rang("degreeFrom", "University")
+	b.rang("undergraduateDegreeFrom", "University")
+	b.rang("mastersDegreeFrom", "University")
+	b.rang("doctoralDegreeFrom", "University")
+	b.rang("memberOf", "Organization")
+	b.rang("subOrganizationOf", "Organization")
+	b.rang("worksFor", "Organization")
+	b.rang("headOf", "Organization")
+	b.rang("researchProject", "Research")
+	b.rang("orgPublication", "Publication")
+
+	// Existentials (I10/I11).
+	b.exists("Faculty", "degreeFrom")
+	b.exists("Professor", "worksFor")
+	b.exists("Chair", "headOf")
+	b.exists("Dean", "headOf")
+	b.exists("GraduateStudent", "advisor")
+	b.exists("GraduateStudent", "takesCourse")
+	b.exists("UndergraduateStudent", "takesCourse")
+	b.exists("Student", "takesCourse")
+	b.exists("TeachingAssistant", "teachingAssistantOf")
+	b.exists("Department", "subOrganizationOf")
+	b.exists("ResearchGroup", "subOrganizationOf")
+	b.exists("Publication", "publicationAuthor")
+	b.existsInv("Course", "teacherOf")
+	b.existsInv("University", "hasAlumnus")
+
+	// ∃-subsumptions (I4–I7).
+	b.existsSub("headOf", false, "worksFor", false)
+	b.existsSub("doctoralDegreeFrom", false, "degreeFrom", false)
+	b.existsSub("teacherOf", false, "worksFor", false)
+	b.existsSub("advisor", true, "teacherOf", false) // advisors teach
+	b.existsSub("publicationAuthor", true, "publicationAuthor", true)
+
+	return b.build()
+}
+
+// lubmABox emits the instance data: universities with departments, faculty,
+// students, courses and publications, following LUBM's published
+// cardinality ranges scaled down ~10×.
+func lubmABox(rng *rand.Rand, universities int) *dllite.ABox {
+	a := &dllite.ABox{}
+	for u := 0; u < universities; u++ {
+		univ := fmt.Sprintf("u%d", u)
+		a.AddConcept("University", univ)
+		depts := 3 + rng.Intn(3) // LUBM: 15–25
+		for dIdx := 0; dIdx < depts; dIdx++ {
+			dept := fmt.Sprintf("u%d.d%d", u, dIdx)
+			a.AddConcept("Department", dept)
+			a.AddRole("subOrganizationOf", dept, univ)
+
+			var faculty []string
+			addFaculty := func(kind string, lo, hi int) {
+				n := lo
+				if hi > lo {
+					n += rng.Intn(hi - lo + 1)
+				}
+				for i := 0; i < n; i++ {
+					id := fmt.Sprintf("%s.%s%d", dept, kind, i)
+					a.AddConcept(kind, id)
+					a.AddRole("worksFor", id, dept)
+					a.AddRole("degreeFrom", id, fmt.Sprintf("u%d", rng.Intn(universities)))
+					faculty = append(faculty, id)
+				}
+			}
+			addFaculty("FullProfessor", 1, 2)
+			addFaculty("AssociateProfessor", 1, 2)
+			addFaculty("AssistantProfessor", 1, 2)
+			addFaculty("Lecturer", 1, 1)
+
+			// The department head is a chair.
+			a.AddConcept("Chair", faculty[0])
+			a.AddRole("headOf", faculty[0], dept)
+
+			// Courses: each faculty member teaches 1–2.
+			var courses []string
+			for fi, f := range faculty {
+				nc := 1 + rng.Intn(2)
+				for c := 0; c < nc; c++ {
+					id := fmt.Sprintf("%s.c%d_%d", dept, fi, c)
+					kind := "Course"
+					if rng.Intn(3) == 0 {
+						kind = "GraduateCourse"
+					}
+					a.AddConcept(kind, id)
+					a.AddRole("teacherOf", f, id)
+					courses = append(courses, id)
+				}
+			}
+
+			// Students: LUBM has 8–14 undergrads and 3–4 grads per faculty;
+			// scaled to 2–3 / 1.
+			var students []string
+			for fi := range faculty {
+				n := 2 + rng.Intn(2)
+				for s := 0; s < n; s++ {
+					id := fmt.Sprintf("%s.ug%d_%d", dept, fi, s)
+					a.AddConcept("UndergraduateStudent", id)
+					a.AddRole("memberOf", id, dept)
+					for k := 0; k < 1+rng.Intn(2); k++ {
+						a.AddRole("takesCourse", id, courses[rng.Intn(len(courses))])
+					}
+					students = append(students, id)
+				}
+				gid := fmt.Sprintf("%s.gs%d", dept, fi)
+				a.AddConcept("GraduateStudent", gid)
+				a.AddRole("memberOf", gid, dept)
+				a.AddRole("advisor", gid, faculty[rng.Intn(len(faculty))])
+				a.AddRole("takesCourse", gid, courses[rng.Intn(len(courses))])
+				if rng.Intn(4) == 0 {
+					a.AddConcept("TeachingAssistant", gid)
+					a.AddRole("teachingAssistantOf", gid, courses[rng.Intn(len(courses))])
+				}
+				students = append(students, gid)
+			}
+
+			// Publications: each professor authors 2–4.
+			for fi, f := range faculty {
+				np := 2 + rng.Intn(3)
+				for p := 0; p < np; p++ {
+					id := fmt.Sprintf("%s.p%d_%d", dept, fi, p)
+					kind := "JournalArticle"
+					switch rng.Intn(3) {
+					case 0:
+						kind = "ConferencePaper"
+					case 1:
+						kind = "TechnicalReport"
+					}
+					a.AddConcept(kind, id)
+					a.AddRole("publicationAuthor", id, f)
+					if rng.Intn(2) == 0 && len(students) > 0 {
+						a.AddRole("publicationAuthor", id, students[rng.Intn(len(students))])
+					}
+				}
+			}
+
+			// A research group per department.
+			rg := fmt.Sprintf("%s.rg", dept)
+			a.AddConcept("ResearchGroup", rg)
+			a.AddRole("subOrganizationOf", rg, dept)
+		}
+	}
+	return a
+}

@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ogpa/internal/dllite"
+)
+
+// NPDConfig parameterizes the NPD-like generator. Scale 1 ≈ 10K triples
+// (the real FactPages dataset has 3.8M; the schema shape is what matters
+// for the algorithms).
+type NPDConfig struct {
+	Scale float64
+	Seed  int64
+}
+
+// NPD generates a petroleum-activities knowledge base modeled on the
+// Norwegian Petroleum Directorate FactPages: fields, wellbores, licences,
+// companies, facilities and discoveries, under a hierarchy-heavy ontology
+// (the paper reports 566 axioms, 354 concepts, 173 roles; we generate the
+// same shape at reduced width).
+func NPD(cfg NPDConfig) *Dataset {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	d := &Dataset{Name: "NPD"}
+	rng := rand.New(rand.NewSource(cfg.Seed + 23))
+	d.TBox = npdTBox(rng)
+	d.ABox = npdABox(rng, cfg.Scale)
+	return d
+}
+
+// npdCore lists the domain concepts that actually carry instances.
+var npdCore = []string{
+	"Field", "Discovery", "Wellbore", "ExplorationWellbore",
+	"DevelopmentWellbore", "Licence", "ProductionLicence", "Company",
+	"Operator", "Facility", "FixedFacility", "MovableFacility", "Pipeline",
+	"Area", "Block", "Quadrant", "Survey", "SeismicSurvey",
+}
+
+func npdTBox(rng *rand.Rand) *dllite.TBox {
+	b := &tboxBuilder{}
+
+	for _, p := range [][2]string{
+		{"ExplorationWellbore", "Wellbore"}, {"DevelopmentWellbore", "Wellbore"},
+		{"ProductionLicence", "Licence"}, {"Operator", "Company"},
+		{"FixedFacility", "Facility"}, {"MovableFacility", "Facility"},
+		{"SeismicSurvey", "Survey"}, {"Block", "Area"}, {"Quadrant", "Area"},
+		{"Field", "Resource"}, {"Discovery", "Resource"},
+	} {
+		b.sub(p[0], p[1])
+	}
+	// FactPages' ontology is a wide, shallow taxonomy: add generated
+	// specializations to match the published concept count shape.
+	for i := 0; i < 60; i++ {
+		root := npdCore[rng.Intn(len(npdCore))]
+		b.sub(fmt.Sprintf("%sKind%d", root, i), root)
+	}
+
+	roles := []struct{ name, dom, rng string }{
+		{"operatorFor", "Operator", "Field"},
+		{"licenseeOf", "Company", "Licence"},
+		{"drilledIn", "Wellbore", "Field"},
+		{"discoveryOf", "Discovery", "Field"},
+		{"locatedIn", "Field", "Block"},
+		{"partOfQuadrant", "Block", "Quadrant"},
+		{"ownedBy", "Facility", "Company"},
+		{"connectedTo", "Pipeline", "Facility"},
+		{"surveyedBy", "Area", "Survey"},
+		{"awardedTo", "Licence", "Company"},
+	}
+	for _, r := range roles {
+		b.domain(r.name, r.dom)
+		b.rang(r.name, r.rng)
+	}
+	b.subrole("operatorFor", "involvedWith")
+	b.subrole("licenseeOf", "involvedWith")
+	b.exists("Field", "locatedIn")
+	b.exists("Operator", "operatorFor")
+	b.exists("Discovery", "discoveryOf")
+	b.exists("Block", "partOfQuadrant")
+	b.existsInv("Field", "drilledIn")
+	b.existsSub("operatorFor", false, "licenseeOf", false)
+
+	// Generated role specializations (FactPages has many near-duplicate
+	// properties per statistical table).
+	for i := 0; i < 24; i++ {
+		r := roles[rng.Intn(len(roles))]
+		name := fmt.Sprintf("%s%d", r.name, i)
+		b.subrole(name, r.name)
+		b.domain(name, r.dom)
+	}
+	return b.build()
+}
+
+func npdABox(rng *rand.Rand, scale float64) *dllite.ABox {
+	a := &dllite.ABox{}
+	nFields := int(80 * scale)
+	for f := 0; f < nFields; f++ {
+		field := fmt.Sprintf("field%d", f)
+		a.AddConcept("Field", field)
+		block := fmt.Sprintf("block%d", rng.Intn(nFields/2+1))
+		a.AddConcept("Block", block)
+		a.AddRole("locatedIn", field, block)
+		a.AddRole("partOfQuadrant", block, fmt.Sprintf("quad%d", rng.Intn(20)))
+
+		op := fmt.Sprintf("company%d", rng.Intn(nFields/4+1))
+		a.AddConcept("Operator", op)
+		a.AddRole("operatorFor", op, field)
+
+		for w := 0; w < 2+rng.Intn(4); w++ {
+			wb := fmt.Sprintf("%s.wb%d", field, w)
+			kind := "ExplorationWellbore"
+			if rng.Intn(2) == 0 {
+				kind = "DevelopmentWellbore"
+			}
+			a.AddConcept(kind, wb)
+			a.AddRole("drilledIn", wb, field)
+		}
+		if rng.Intn(2) == 0 {
+			disc := fmt.Sprintf("%s.disc", field)
+			a.AddConcept("Discovery", disc)
+			a.AddRole("discoveryOf", disc, field)
+		}
+		lic := fmt.Sprintf("lic%d", f)
+		a.AddConcept("ProductionLicence", lic)
+		a.AddRole("awardedTo", lic, op)
+		a.AddRole("licenseeOf", op, lic)
+
+		if rng.Intn(3) == 0 {
+			fac := fmt.Sprintf("%s.fac", field)
+			a.AddConcept("FixedFacility", fac)
+			a.AddRole("ownedBy", fac, op)
+			if rng.Intn(2) == 0 {
+				pipe := fmt.Sprintf("%s.pipe", field)
+				a.AddConcept("Pipeline", pipe)
+				a.AddRole("connectedTo", pipe, fac)
+			}
+		}
+	}
+	for q := 0; q < 20; q++ {
+		a.AddConcept("Quadrant", fmt.Sprintf("quad%d", q))
+	}
+	return a
+}

@@ -1,0 +1,202 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ogpa/internal/dllite"
+)
+
+// OWL2BenchConfig parameterizes the OWL2Bench-like generator.
+type OWL2BenchConfig struct {
+	Universities int
+	Seed         int64
+}
+
+// OWL2Bench generates the second university benchmark of the paper's
+// evaluation. OWL2Bench extends the university domain with a much richer
+// ontology (the paper reports 375 axioms over 136 concepts and 121 roles in
+// the OWL 2 QL profile); we reproduce that shape with a programmatic
+// hierarchy on top of a LUBM-style core.
+func OWL2Bench(cfg OWL2BenchConfig) *Dataset {
+	if cfg.Universities <= 0 {
+		cfg.Universities = 1
+	}
+	d := &Dataset{Name: fmt.Sprintf("OWL2Bench_%d", cfg.Universities)}
+	d.TBox = OWL2BenchTBox()
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	d.ABox = owl2benchABox(rng, cfg.Universities)
+	return d
+}
+
+// owl2bSpecializations lists the extra concept families OWL2Bench layers on
+// top of the university core; each family root subsumes k specializations
+// that also appear in the data.
+var owl2bSpecializations = []struct {
+	root string
+	kids int
+}{
+	{"Person", 14},
+	{"Student", 8},
+	{"Faculty", 8},
+	{"Course", 10},
+	{"Organization", 8},
+	{"Publication", 10},
+	{"Event", 8},
+	{"Activity", 6},
+	{"Degree", 4},
+}
+
+// OWL2BenchTBox builds the OWL2Bench-like ontology.
+func OWL2BenchTBox() *dllite.TBox {
+	b := &tboxBuilder{}
+
+	// University core (shared backbone).
+	for _, p := range [][2]string{
+		{"Student", "Person"}, {"Faculty", "Employee"}, {"Employee", "Person"},
+		{"Professor", "Faculty"}, {"Lecturer", "Faculty"},
+		{"UGStudent", "Student"}, {"PGStudent", "Student"},
+		{"University", "Organization"}, {"Department", "Organization"},
+		{"College", "Organization"}, {"Event", "Thing"}, {"Activity", "Thing"},
+		{"Publication", "Thing"}, {"Degree", "Thing"},
+	} {
+		b.sub(p[0], p[1])
+	}
+
+	// Programmatic specializations: OWL2Bench's taxonomy depth.
+	for _, fam := range owl2bSpecializations {
+		for i := 0; i < fam.kids; i++ {
+			kid := fmt.Sprintf("%s%d", fam.root, i)
+			b.sub(kid, fam.root)
+			if i%2 == 0 {
+				b.sub(fmt.Sprintf("%sSpec%d", fam.root, i), kid)
+			}
+		}
+	}
+
+	// Roles with hierarchy, domain/range and existentials.
+	roleFamilies := []struct {
+		sub, sup  string
+		dom, rng  string
+		withExist bool
+	}{
+		{"enrollFor", "studiesAt", "Student", "Degree", true},
+		{"teachesCourse", "involvedIn", "Faculty", "Course", true},
+		{"takesCourse", "involvedIn", "Student", "Course", true},
+		{"hasAdvisor", "knows", "PGStudent", "Professor", true},
+		{"worksFor", "affiliatedWith", "Employee", "Organization", true},
+		{"headOf", "worksFor", "Professor", "Department", false},
+		{"attendsEvent", "involvedIn", "Person", "Event", false},
+		{"organizes", "involvedIn", "Organization", "Event", false},
+		{"authorOf", "contributesTo", "Person", "Publication", false},
+		{"partOfUniversity", "affiliatedWith", "Department", "University", true},
+		{"hasCollege", "affiliatedWith", "University", "College", false},
+		{"participatesIn", "involvedIn", "Person", "Activity", false},
+	}
+	for _, rf := range roleFamilies {
+		b.subrole(rf.sub, rf.sup)
+		b.domain(rf.sub, rf.dom)
+		b.rang(rf.sub, rf.rng)
+		if rf.withExist {
+			b.exists(rf.dom, rf.sub)
+		}
+	}
+	// Extra role layers to reach OWL2Bench's role count.
+	for i := 0; i < 30; i++ {
+		base := fmt.Sprintf("rel%d", i)
+		b.subrole(base, "relatedTo")
+		b.domain(base, fmt.Sprintf("Person%d", i%14))
+		if i%3 == 0 {
+			b.rang(base, fmt.Sprintf("Organization%d", i%8))
+		}
+		if i%4 == 0 {
+			b.existsSub(base, false, "relatedTo", false)
+		}
+		if i%5 == 0 {
+			b.subroleInv(fmt.Sprintf("rel%dOf", i), base)
+		}
+	}
+	b.existsInv("Publication", "authorOf")
+	b.existsInv("Event", "attendsEvent")
+	b.exists("PGStudent", "hasAdvisor")
+	b.exists("Student", "takesCourse")
+
+	return b.build()
+}
+
+// owl2benchABox generates instances. Compared to LUBM the data is somewhat
+// denser in events/activities and uses the specialized leaf concepts.
+func owl2benchABox(rng *rand.Rand, universities int) *dllite.ABox {
+	a := &dllite.ABox{}
+	for u := 0; u < universities; u++ {
+		univ := fmt.Sprintf("ou%d", u)
+		a.AddConcept("University", univ)
+		colleges := 2 + rng.Intn(2)
+		for c := 0; c < colleges; c++ {
+			col := fmt.Sprintf("%s.col%d", univ, c)
+			a.AddConcept("College", col)
+			a.AddRole("hasCollege", univ, col)
+			depts := 2 + rng.Intn(2)
+			for dIdx := 0; dIdx < depts; dIdx++ {
+				dept := fmt.Sprintf("%s.d%d", col, dIdx)
+				a.AddConcept("Department", dept)
+				a.AddRole("partOfUniversity", dept, univ)
+
+				var faculty []string
+				for i := 0; i < 3+rng.Intn(3); i++ {
+					id := fmt.Sprintf("%s.f%d", dept, i)
+					kind := fmt.Sprintf("Faculty%d", rng.Intn(8))
+					a.AddConcept(kind, id)
+					if rng.Intn(2) == 0 {
+						a.AddConcept("Professor", id)
+					}
+					a.AddRole("worksFor", id, dept)
+					faculty = append(faculty, id)
+				}
+				a.AddRole("headOf", faculty[0], dept)
+
+				var courses []string
+				for fi, f := range faculty {
+					id := fmt.Sprintf("%s.c%d", dept, fi)
+					a.AddConcept(fmt.Sprintf("Course%d", rng.Intn(10)), id)
+					a.AddRole("teachesCourse", f, id)
+					courses = append(courses, id)
+				}
+
+				for fi := range faculty {
+					for s := 0; s < 2+rng.Intn(2); s++ {
+						id := fmt.Sprintf("%s.s%d_%d", dept, fi, s)
+						kind := "UGStudent"
+						if rng.Intn(3) == 0 {
+							kind = "PGStudent"
+						}
+						a.AddConcept(kind, id)
+						a.AddConcept(fmt.Sprintf("Student%d", rng.Intn(8)), id)
+						a.AddRole("takesCourse", id, courses[rng.Intn(len(courses))])
+						if kind == "PGStudent" {
+							a.AddRole("hasAdvisor", id, faculty[rng.Intn(len(faculty))])
+						}
+						a.AddRole("enrollFor", id, fmt.Sprintf("%s.degree%d", univ, rng.Intn(4)))
+					}
+				}
+
+				// Events and publications.
+				for e := 0; e < 2; e++ {
+					ev := fmt.Sprintf("%s.e%d", dept, e)
+					a.AddConcept(fmt.Sprintf("Event%d", rng.Intn(8)), ev)
+					a.AddRole("organizes", dept, ev)
+					a.AddRole("attendsEvent", faculty[rng.Intn(len(faculty))], ev)
+				}
+				for p := 0; p < 3; p++ {
+					pub := fmt.Sprintf("%s.pub%d", dept, p)
+					a.AddConcept(fmt.Sprintf("Publication%d", rng.Intn(10)), pub)
+					a.AddRole("authorOf", faculty[rng.Intn(len(faculty))], pub)
+				}
+			}
+		}
+		for dg := 0; dg < 4; dg++ {
+			a.AddConcept(fmt.Sprintf("Degree%d", dg), fmt.Sprintf("%s.degree%d", univ, dg))
+		}
+	}
+	return a
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"sort"
+
+	"ogpa/internal/symbols"
+)
+
+// Builder accumulates vertices, labels, edges and attributes and produces a
+// frozen Graph. Duplicate labels and duplicate edges are tolerated and
+// deduplicated at freeze time, which lets loaders stream assertions without
+// bookkeeping.
+type Builder struct {
+	symbols *symbols.Table
+
+	names  []string
+	byName map[string]VID
+
+	labels [][]symbols.ID
+	out    [][]Half
+	in     [][]Half
+	attrs  [][]Attr
+
+	numEdges int
+}
+
+// NewBuilder returns an empty Builder using the given symbol table
+// (a fresh one when tbl is nil).
+func NewBuilder(tbl *symbols.Table) *Builder {
+	if tbl == nil {
+		tbl = symbols.NewTable()
+	}
+	return &Builder{
+		symbols: tbl,
+		byName:  make(map[string]VID, 1024),
+	}
+}
+
+// Symbols exposes the builder's symbol table so loaders can intern labels.
+func (b *Builder) Symbols() *symbols.Table { return b.symbols }
+
+// Vertex returns the VID for the named vertex, creating it on first sight.
+func (b *Builder) Vertex(name string) VID {
+	if v, ok := b.byName[name]; ok {
+		return v
+	}
+	v := VID(len(b.names))
+	b.byName[name] = v
+	b.names = append(b.names, name)
+	b.labels = append(b.labels, nil)
+	b.out = append(b.out, nil)
+	b.in = append(b.in, nil)
+	b.attrs = append(b.attrs, nil)
+	return v
+}
+
+// NumVertices reports how many vertices have been created so far.
+func (b *Builder) NumVertices() int { return len(b.names) }
+
+// AddLabel attaches label (interning the string) to the named vertex.
+func (b *Builder) AddLabel(vertex, label string) {
+	b.AddLabelID(b.Vertex(vertex), b.symbols.Intern(label))
+}
+
+// AddLabelID attaches an interned label to v.
+func (b *Builder) AddLabelID(v VID, l symbols.ID) {
+	b.labels[v] = append(b.labels[v], l)
+}
+
+// AddEdge adds the edge (from, label, to), creating endpoints as needed.
+func (b *Builder) AddEdge(from, label, to string) {
+	b.AddEdgeID(b.Vertex(from), b.symbols.Intern(label), b.Vertex(to))
+}
+
+// AddEdgeID adds the edge (from, l, to) over existing VIDs.
+func (b *Builder) AddEdgeID(from VID, l symbols.ID, to VID) {
+	b.out[from] = append(b.out[from], Half{Label: l, To: to})
+	b.in[to] = append(b.in[to], Half{Label: l, To: from})
+	b.numEdges++
+}
+
+// SetAttr sets attribute name=value on the named vertex.
+func (b *Builder) SetAttr(vertex, name string, value Value) {
+	v := b.Vertex(vertex)
+	b.attrs[v] = append(b.attrs[v], Attr{Name: b.symbols.Intern(name), Value: value})
+}
+
+// Freeze sorts and deduplicates all adjacency and builds the indexes.
+// The Builder must not be used after Freeze.
+func (b *Builder) Freeze() *Graph {
+	g := &Graph{
+		Symbols:   b.symbols,
+		names:     b.names,
+		byName:    b.byName,
+		labels:    b.labels,
+		out:       b.out,
+		in:        b.in,
+		attrs:     b.attrs,
+		byLabel:   make(map[symbols.ID][]VID),
+		labelFreq: make(map[symbols.ID]int),
+		edgeFreq:  make(map[symbols.ID]int),
+	}
+
+	dedupHalves := func(hs []Half) []Half {
+		if len(hs) == 0 {
+			return hs
+		}
+		sort.Slice(hs, func(i, j int) bool {
+			if hs[i].Label != hs[j].Label {
+				return hs[i].Label < hs[j].Label
+			}
+			return hs[i].To < hs[j].To
+		})
+		w := 1
+		for i := 1; i < len(hs); i++ {
+			if hs[i] != hs[w-1] {
+				hs[w] = hs[i]
+				w++
+			}
+		}
+		return hs[:w]
+	}
+
+	edges := 0
+	for v := range g.out {
+		g.out[v] = dedupHalves(g.out[v])
+		g.in[v] = dedupHalves(g.in[v])
+		edges += len(g.out[v])
+	}
+	g.numEdges = edges
+	for v := range g.out {
+		for _, h := range g.out[v] {
+			g.edgeFreq[h.Label]++
+		}
+	}
+
+	for v, ls := range g.labels {
+		if len(ls) == 0 {
+			continue
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		w := 1
+		for i := 1; i < len(ls); i++ {
+			if ls[i] != ls[w-1] {
+				ls[w] = ls[i]
+				w++
+			}
+		}
+		g.labels[v] = ls[:w]
+		for _, l := range g.labels[v] {
+			g.byLabel[l] = append(g.byLabel[l], VID(v))
+			g.labelFreq[l]++
+		}
+	}
+
+	for v, as := range g.attrs {
+		if len(as) == 0 {
+			continue
+		}
+		sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+		// Last write wins for duplicate attribute names.
+		w := 0
+		for i := 0; i < len(as); i++ {
+			if i+1 < len(as) && as[i+1].Name == as[i].Name {
+				continue
+			}
+			as[w] = as[i]
+			w++
+		}
+		g.attrs[v] = as[:w]
+	}
+
+	return g
+}

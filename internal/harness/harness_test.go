@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ogpa/internal/cq"
+	"ogpa/internal/gen"
+)
+
+func smallSuite() *Suite {
+	s := NewSuite()
+	s.QueriesPerSet = 3
+	// Tight limits keep the smoke tests fast; PerfectRef legitimately
+	// burns its full rewrite timeout on |Q| ≥ 12 (the paper's point).
+	s.Runner.RewriteTimeout = 250 * time.Millisecond
+	s.Runner.EvalTimeout = 1 * time.Second
+	s.Runner.MaxUCQ = 3000
+	return s
+}
+
+func smallLUBM() *gen.Dataset {
+	return gen.LUBM(gen.LUBMConfig{Universities: 1, Seed: 1})
+}
+
+func TestAllMethodsAgreeOnAnswers(t *testing.T) {
+	// The load-bearing check: every method reports the same certain-answer
+	// count on the same queries (none unsolved at this scale).
+	s := smallSuite()
+	d := smallLUBM()
+	qs := s.queries(d, 4)
+	for _, q := range qs {
+		counts := map[Method]int{}
+		for _, m := range AllMethods {
+			r := s.Runner.Answer(m, q, d)
+			if r.Unsolved {
+				t.Fatalf("%s unsolved on %s", m, q)
+			}
+			counts[m] = r.Answers
+		}
+		base := counts[MethodOMatch]
+		for m, c := range counts {
+			if c != base {
+				t.Fatalf("answer mismatch on %s:\n%v (OMatch=%d, %s=%d)", q, counts, base, m, c)
+			}
+		}
+	}
+}
+
+func TestRewriteOnly(t *testing.T) {
+	s := smallSuite()
+	d := smallLUBM()
+	q := cq.MustParse(`q(x) :- Student(x), takesCourse(x, y)`)
+	for _, m := range RewriteMethods {
+		r := s.Runner.RewriteOnly(m, q, d)
+		if r.Unsolved {
+			t.Fatalf("%s unsolved", m)
+		}
+		if r.RewriteSize == 0 {
+			t.Fatalf("%s reported zero rewrite size", m)
+		}
+	}
+	// Saturate has no rewriting stage.
+	r := s.Runner.RewriteOnly(MethodSaturate, q, d)
+	if r.RewriteSize != 0 || r.Unsolved {
+		t.Fatalf("Saturate rewrite = %+v", r)
+	}
+}
+
+func TestUnsolvedAccounting(t *testing.T) {
+	s := smallSuite()
+	s.Runner.EvalTimeout = 1 * time.Nanosecond // nolint: test-only override
+	s.Runner.MaxUCQ = 1                        // force PerfectRef to fail on any real rewriting
+	d := smallLUBM()
+	q := cq.MustParse(`q(x) :- Person(x)`)
+	r := s.Runner.Answer(MethodPerfectRef, q, d)
+	if !r.Unsolved {
+		t.Fatal("expected unsolved")
+	}
+	if r.EvalTime != s.Runner.EvalTimeout {
+		t.Fatalf("unsolved should be charged the time limit, got %v", r.EvalTime)
+	}
+}
+
+func TestSaturationCache(t *testing.T) {
+	s := smallSuite()
+	d := smallLUBM()
+	q := cq.MustParse(`q(x) :- Student(x)`)
+	s.Runner.Answer(MethodSaturate, q, d)
+	if len(s.Runner.satCache) != 1 {
+		t.Fatalf("satCache = %d entries", len(s.Runner.satCache))
+	}
+	e := s.Runner.satCache[d.Name]
+	s.Runner.Answer(MethodSaturate, q, d)
+	if s.Runner.satCache[d.Name] != e {
+		t.Fatal("materialization not reused")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"a", "b"}, Notes: []string{"n"}}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "1", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tb.Markdown(&buf)
+	if !strings.Contains(buf.String(), "| a | b |") {
+		t.Fatalf("markdown:\n%s", buf.String())
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtDur(500*time.Microsecond) != "500µs" {
+		t.Fatal(fmtDur(500 * time.Microsecond))
+	}
+	if fmtDur(20*time.Millisecond) != "20.00ms" {
+		t.Fatal(fmtDur(20 * time.Millisecond))
+	}
+	if fmtDur(2*time.Second) != "2.00s" {
+		t.Fatal(fmtDur(2 * time.Second))
+	}
+	if fmtBytes(512) != "1KiB" && fmtBytes(512) != "0KiB" {
+		t.Fatal(fmtBytes(512))
+	}
+	if !strings.HasSuffix(fmtBytes(5<<20), "MiB") {
+		t.Fatal(fmtBytes(5 << 20))
+	}
+	if !strings.HasSuffix(fmtBytes(3<<30), "GiB") {
+		t.Fatal(fmtBytes(3 << 30))
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	s := smallSuite()
+	tb := s.TableIV([]*gen.Dataset{smallLUBM()})
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 7 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is slow")
+	}
+	s := smallSuite()
+	s.QueriesPerSet = 2
+	d := smallLUBM()
+
+	for name, tb := range map[string]*Table{
+		"rewriteQ":    s.RewriteVaryQ(d),
+		"rewriteO":    s.RewriteVaryO(d),
+		"sensitivity": s.Sensitivity(d),
+		"rewriteSize": s.RewriteSize(d),
+		"cdf":         s.CDF(d),
+	} {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty table", name)
+		}
+	}
+	sc := s.Scalability(func(n int) *gen.Dataset {
+		return gen.LUBM(gen.LUBMConfig{Universities: n, Seed: 1})
+	}, []int{1, 2})
+	if len(sc.Rows) != 2 {
+		t.Fatalf("scalability rows = %d", len(sc.Rows))
+	}
+}
+
+func TestMeasurePeak(t *testing.T) {
+	peak := measurePeak(func() {
+		buf := make([]byte, 8<<20)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		_ = buf
+	})
+	if peak == 0 {
+		t.Fatal("peak not measured")
+	}
+}

@@ -1,0 +1,359 @@
+package match
+
+import (
+	"errors"
+
+	"ogpa/internal/core"
+	"ogpa/internal/graph"
+)
+
+// runtime state for OMBacktrack.
+type runtime struct {
+	m       *matcher
+	mapping core.Mapping // Omitted doubles as "unmapped"; see mapped flags
+	mapped  []bool
+	// remaining[ci]: number of still-unmapped variables of condition ci;
+	// a condition is decided exactly when its counter hits zero.
+	remaining []int
+	out       *core.AnswerSet
+}
+
+// backtrack implements OMBacktrack (paper Section V-B): adaptive or static
+// ordering over the OMDAG, ⊥ assignments for omittable vertices, and
+// condition evaluation through the shared BDD as soon as variables are
+// mapped.
+func (m *matcher) backtrack(out *core.AnswerSet) error {
+	n := len(m.p.Vertices)
+	rt := &runtime{
+		m:         m,
+		mapping:   make(core.Mapping, n),
+		mapped:    make([]bool, n),
+		remaining: make([]int, len(m.conds)),
+		out:       out,
+	}
+	for i := range rt.mapping {
+		rt.mapping[i] = core.Omitted
+	}
+	for ci, c := range m.conds {
+		rt.remaining[ci] = len(c.vars)
+	}
+
+	err := rt.rec(0)
+	if errors.Is(err, ErrLimit) && m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
+		return nil // truncation at MaxResults is a successful run
+	}
+	return err
+}
+
+// assign maps u (to a vertex or ⊥) and evaluates every condition this
+// decides. It reports false when a decided condition fails; the caller must
+// still call unassign to roll the counters back.
+func (rt *runtime) assign(u int, v graph.VID) bool {
+	rt.mapping[u] = v
+	rt.mapped[u] = true
+	ok := true
+	for _, ci := range rt.m.condsOf[u] {
+		rt.remaining[ci]--
+		if ok && rt.remaining[ci] == 0 && !rt.checkCond(ci) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+func (rt *runtime) unassign(u int) {
+	for _, ci := range rt.m.condsOf[u] {
+		rt.remaining[ci]++
+	}
+	rt.mapping[u] = core.Omitted
+	rt.mapped[u] = false
+}
+
+// checkCond evaluates a fully-decided condition through the shared BDD.
+func (rt *runtime) checkCond(ci int) bool {
+	c := rt.m.conds[ci]
+	switch c.kind {
+	case condVertexMatch:
+		if rt.mapping[c.owner] == core.Omitted {
+			return true // owner omitted: the omission condition governs
+		}
+	case condVertexOmit:
+		if rt.mapping[c.owner] != core.Omitted {
+			return true // owner matched: the matching condition governs
+		}
+	case condEdgeMatch:
+		e := rt.m.p.Edges[c.owner]
+		if rt.mapping[e.From] == core.Omitted || rt.mapping[e.To] == core.Omitted {
+			return true // edge excused by an omitted endpoint
+		}
+	}
+	return rt.m.bdd.Eval(c.ref, func(atom int) bool {
+		return rt.m.evalAtom(atom, rt.mapping)
+	})
+}
+
+// earlyReject uses partial BDD evaluation to kill branches whose
+// already-applicable conditions are forced false.
+func (rt *runtime) earlyReject(u int) bool {
+	for _, ci := range rt.m.condsOf[u] {
+		c := rt.m.conds[ci]
+		if rt.remaining[ci] == 0 {
+			continue // already decided by checkCond
+		}
+		switch c.kind {
+		case condVertexMatch:
+			if !rt.mapped[c.owner] || rt.mapping[c.owner] == core.Omitted {
+				continue
+			}
+		case condVertexOmit:
+			if !rt.mapped[c.owner] || rt.mapping[c.owner] != core.Omitted {
+				continue
+			}
+		case condEdgeMatch:
+			e := rt.m.p.Edges[c.owner]
+			if !rt.mapped[e.From] || !rt.mapped[e.To] {
+				continue
+			}
+			if rt.mapping[e.From] == core.Omitted || rt.mapping[e.To] == core.Omitted {
+				continue
+			}
+		}
+		val, known := rt.m.bdd.EvalPartial(c.ref, func(atom int) (bool, bool) {
+			for _, w := range rt.m.atomVars[atom] {
+				if !rt.mapped[w] {
+					return false, false
+				}
+			}
+			return rt.m.evalAtom(atom, rt.mapping), true
+		})
+		if known && !val {
+			return true
+		}
+	}
+	return false
+}
+
+// candidates returns the viable candidates of u under the current partial
+// mapping: the intersection of CS adjacency lists from mapped (non-⊥)
+// structural parents, or the refined candidate set when no such parent
+// constrains u.
+func (rt *runtime) candidates(u int) []graph.VID {
+	m := rt.m
+	var base []graph.VID
+	first := true
+	for _, di := range m.parentEdges[u] {
+		de := m.dagEdges[di]
+		if m.adj[di] == nil { // non-indexable edge: handled as a condition
+			continue
+		}
+		if !rt.mapped[de.parent] || rt.mapping[de.parent] == core.Omitted {
+			continue
+		}
+		vs := m.adj[di][rt.mapping[de.parent]]
+		if len(vs) == 0 {
+			if m.canOmit[u] {
+				return nil // only ⊥ remains possible
+			}
+			return nil
+		}
+		if first {
+			base = vs
+			first = false
+			continue
+		}
+		merged := make([]graph.VID, 0, minInt(len(base), len(vs)))
+		i, j := 0, 0
+		for i < len(base) && j < len(vs) {
+			switch {
+			case base[i] == vs[j]:
+				merged = append(merged, base[i])
+				i++
+				j++
+			case base[i] < vs[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		base = merged
+		if len(base) == 0 {
+			return nil
+		}
+	}
+	if first {
+		return m.cand[u]
+	}
+	return base
+}
+
+// pickNext selects the next vertex to assign.
+func (rt *runtime) pickNext() int {
+	m := rt.m
+	if m.opts.Order == OrderStaticBFS {
+		for _, u := range m.order {
+			if !rt.mapped[u] {
+				return u
+			}
+		}
+		return -1
+	}
+	best, bestScore := -1, 1<<62
+	for _, u := range m.order {
+		if rt.mapped[u] {
+			continue
+		}
+		ready := true
+		for _, di := range m.parentEdges[u] {
+			if !rt.mapped[m.dagEdges[di].parent] {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		score := len(rt.candidates(u))
+		if m.canOmit[u] {
+			score++ // the ⊥ branch
+		}
+		if score < bestScore {
+			bestScore = score
+			best = u
+		}
+	}
+	if best < 0 {
+		// Dependency cycle stalled the frontier: fall back to the first
+		// unmapped vertex in order (conditions are still checked when
+		// decided, so correctness is unaffected).
+		for _, u := range m.order {
+			if !rt.mapped[u] {
+				return u
+			}
+		}
+	}
+	return best
+}
+
+// allRemainingExistential reports whether every unmapped vertex is
+// non-distinguished: the projected answer tuple is then fully determined,
+// and only the *existence* of a completion matters.
+func (rt *runtime) allRemainingExistential() bool {
+	for u, v := range rt.m.p.Vertices {
+		if v.Distinguished && !rt.mapped[u] {
+			return false
+		}
+	}
+	return true
+}
+
+func (rt *runtime) rec(depth int) error {
+	m := rt.m
+	if err := m.tick(); err != nil {
+		return err
+	}
+	if depth == len(m.p.Vertices) {
+		rt.out.Add(core.Project(m.p, rt.mapping))
+		if m.opts.Limits.MaxResults > 0 && rt.out.Len() >= m.opts.Limits.MaxResults {
+			return ErrLimit
+		}
+		return nil
+	}
+	// Existential completion: once every distinguished vertex is assigned,
+	// the answer tuple is fixed — find one completion and stop, instead of
+	// enumerating the cross product of existential witnesses.
+	if depth > 0 && !m.opts.DisableExistentialCompletion && rt.allRemainingExistential() {
+		found, err := rt.exists(depth)
+		if err != nil {
+			return err
+		}
+		if found {
+			rt.out.Add(core.Project(m.p, rt.mapping))
+			if m.opts.Limits.MaxResults > 0 && rt.out.Len() >= m.opts.Limits.MaxResults {
+				return ErrLimit
+			}
+		}
+		return nil
+	}
+	u := rt.pickNext()
+	if u < 0 {
+		return nil
+	}
+
+	try := func(v graph.VID) error {
+		ok := rt.assign(u, v)
+		if ok && v != core.Omitted && !m.opts.DisableEarlyReject {
+			// Structural DAG edges whose child was mapped earlier than this
+			// parent (possible under forced orders) are covered by the edge
+			// conditions, which assign() just checked. Early rejection via
+			// partial evaluation prunes deeper work.
+			ok = !rt.earlyReject(u)
+		}
+		var err error
+		if ok {
+			err = rt.rec(depth + 1)
+		}
+		rt.unassign(u)
+		return err
+	}
+
+	for _, v := range rt.candidates(u) {
+		if err := try(v); err != nil {
+			return err
+		}
+	}
+	if m.canOmit[u] {
+		if err := try(core.Omitted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exists searches for any one completion of the existential remainder.
+func (rt *runtime) exists(depth int) (bool, error) {
+	m := rt.m
+	if err := m.tick(); err != nil {
+		return false, err
+	}
+	if depth == len(m.p.Vertices) {
+		return true, nil
+	}
+	u := rt.pickNext()
+	if u < 0 {
+		return false, nil
+	}
+	try := func(v graph.VID) (bool, error) {
+		ok := rt.assign(u, v)
+		if ok && v != core.Omitted && !m.opts.DisableEarlyReject {
+			ok = !rt.earlyReject(u)
+		}
+		var found bool
+		var err error
+		if ok {
+			found, err = rt.exists(depth + 1)
+		}
+		rt.unassign(u)
+		return found, err
+	}
+	// ⊥ first: for omittable witnesses it is the cheapest completion.
+	if m.canOmit[u] {
+		found, err := try(core.Omitted)
+		if err != nil || found {
+			return found, err
+		}
+	}
+	for _, v := range rt.candidates(u) {
+		found, err := try(v)
+		if err != nil || found {
+			return found, err
+		}
+	}
+	return false, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,32 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"ogpa/internal/core"
+	"ogpa/internal/daf"
+	"ogpa/internal/perfectref"
+	"ogpa/internal/rewrite"
+)
+
+func TestDebugSeed4(t *testing.T) {
+	rng := rand.New(rand.NewSource(-3719312112692051729))
+	tb, abox, q := randomKB(rng)
+	g := abox.Graph(nil)
+	t.Logf("query: %s", q)
+	t.Logf("CIs: %v RIs: %v", tb.CIs, tb.RIs)
+	t.Logf("ABox: %v %v", abox.Concepts, abox.Roles)
+	u, _ := perfectref.Rewrite(q, tb, perfectref.Limits{})
+	want, _, _ := daf.EvalUCQ(u.Queries, g, daf.Limits{})
+	res, _ := rewrite.Generate(q, tb)
+	naive := core.EnumerateNaive(res.Pattern, g)
+	got, _, err := Match(res.Pattern, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("UCQ %v\nnaive %v\nomatch %v", want.Names(g), naive.Names(g), got.Names(g))
+	for v, os := range res.OmitSets {
+		t.Logf("CO[%s] = %v", res.Pattern.Vertices[v].Name, os)
+	}
+}

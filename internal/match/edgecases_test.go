@@ -1,0 +1,244 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+
+	"ogpa/internal/core"
+	"ogpa/internal/graph"
+)
+
+// TestNonIndexableEdge: an edge whose condition has a disjunct without any
+// endpoint edge atom cannot be driven from adjacency; it must be checked
+// purely as a condition.
+func TestNonIndexableEdge(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	b.AddLabel("a", "A")
+	b.AddLabel("b", "B")
+	b.AddLabel("c", "B")
+	b.AddEdge("a", "p", "b")
+	b.SetAttr("a", "w", graph.Int(5))
+	b.SetAttr("b", "w", graph.Int(5))
+	b.SetAttr("c", "w", graph.Int(7))
+	g := b.Freeze()
+
+	// Edge satisfied by either a real p-edge or equal weights.
+	p := &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x", Label: "A", Distinguished: true},
+			{Name: "y", Label: "B", Distinguished: true},
+		},
+		Edges: []core.Edge{{
+			From: 0, To: 1, Label: core.Wildcard,
+			Match: core.Or{
+				L: core.EdgeIs{X: 0, Y: 1, Label: "p"},
+				R: core.AttrCmpAttr{X: 0, AttrX: "w", Op: core.Eq, Y: 1, AttrY: "w"},
+			},
+		}},
+	}
+	want := core.EnumerateNaive(p, g).Names(g)
+	res, _, err := Match(p, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Names(g)
+	if len(want) != len(got) {
+		t.Fatalf("naive %v vs omatch %v", want, got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("naive %v vs omatch %v", want, got)
+		}
+	}
+	// Sanity: (a,b) matches via both disjuncts, (a,c) via neither.
+	if len(got) != 1 || got[0] != "a,b" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestDependencyCycle: two vertices whose matching conditions reference
+// each other still evaluate correctly (ordering is best-effort; the
+// remaining-variable counters guarantee correctness).
+func TestDependencyCycle(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	b.AddLabel("u1", "A")
+	b.AddLabel("u1", "Mark")
+	b.AddLabel("u2", "A")
+	b.AddLabel("v1", "B")
+	b.AddLabel("v1", "Mark")
+	b.AddLabel("v2", "B")
+	b.AddEdge("u1", "p", "v1")
+	b.AddEdge("u2", "p", "v2")
+	g := b.Freeze()
+
+	p := &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x", Label: "A", Distinguished: true,
+				Match: core.LabelIs{X: 1, Label: "Mark"}}, // x's condition looks at y
+			{Name: "y", Label: "B", Distinguished: true,
+				Match: core.LabelIs{X: 0, Label: "Mark"}}, // y's condition looks at x
+		},
+		Edges: []core.Edge{{From: 0, To: 1, Label: "p"}},
+	}
+	res, _, err := Match(p, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Names(g)
+	if len(got) != 1 || got[0] != "u1,v1" {
+		t.Fatalf("got %v, want [u1,v1]", got)
+	}
+}
+
+// TestSameAsCondition: the equality extension used by GenOGP's gated
+// justifications.
+func TestSameAsCondition(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	b.AddLabel("a", "A")
+	b.AddLabel("b", "A")
+	b.AddEdge("a", "p", "a") // self loop
+	b.AddEdge("a", "p", "b")
+	g := b.Freeze()
+	p := &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x", Label: "A", Distinguished: true},
+			{Name: "y", Label: "A", Distinguished: true,
+				Match: core.SameAs{X: 0, Y: 1}},
+		},
+		Edges: []core.Edge{{From: 0, To: 1, Label: "p"}},
+	}
+	res, _, err := Match(p, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Names(g)
+	if len(got) != 1 || got[0] != "a,a" {
+		t.Fatalf("got %v, want only the self-loop", got)
+	}
+}
+
+// TestOmittedVertexInSameAs: SameAs referencing an omitted vertex is
+// false, so the justification disjunct dies while others may survive.
+func TestOmittedVertexInSameAs(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	b.AddLabel("a", "A")
+	b.AddLabel("k", "Key")
+	g := b.Freeze()
+	p := &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x", Label: "A", Distinguished: true},
+			{Name: "z", Label: core.Wildcard, Distinguished: true,
+				Omit: core.LabelIs{X: 0, Label: "A"}},
+			{Name: "w", Label: core.Wildcard, Distinguished: true,
+				Omit: core.Or{
+					L: core.SameAs{X: 1, Y: 2}, // dead when z is ⊥
+					R: core.LabelIs{X: 0, Label: "A"},
+				}},
+		},
+		Edges: []core.Edge{
+			{From: 0, To: 1, Label: "p"},
+			{From: 1, To: 2, Label: "p"},
+		},
+	}
+	want := core.EnumerateNaive(p, g).Names(g)
+	res, _, err := Match(p, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Names(g)
+	if len(want) != len(got) {
+		t.Fatalf("naive %v vs omatch %v", want, got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("naive %v vs omatch %v", want, got)
+		}
+	}
+}
+
+// TestExistentialManyWitnesses: many witnesses yield one answer, with far
+// fewer steps than the witness cross product.
+func TestExistentialManyWitnesses(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	b.AddLabel("hub", "A")
+	b.AddLabel("hub2", "A")
+	for i := 0; i < 40; i++ {
+		b.AddEdge("hub", "p", fmt.Sprintf("w%d", i))
+		b.AddEdge("hub2", "p", fmt.Sprintf("w%d", i))
+	}
+	g := b.Freeze()
+	// q(x) :- A(x), p(x, y), p(x, z): y, z existential.
+	p := &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x", Label: "A", Distinguished: true},
+			{Name: "y", Label: core.Wildcard},
+			{Name: "z", Label: core.Wildcard},
+		},
+		Edges: []core.Edge{
+			{From: 0, To: 1, Label: "p"},
+			{From: 0, To: 2, Label: "p"},
+		},
+	}
+	res, st, err := Match(p, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("answers = %d, want 2 (hub, hub2)", res.Len())
+	}
+	// Existential completion: far fewer steps than the 40×40 witness
+	// cross product per hub.
+	if st.Steps > 200 {
+		t.Fatalf("steps = %d; existential completion not effective", st.Steps)
+	}
+}
+
+// TestDistinguishedOmittableEnumeration: a distinguished omittable vertex
+// contributes both real and ⊥ rows.
+func TestDistinguishedOmittableEnumeration(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	b.AddLabel("s", "Student")
+	b.AddLabel("p1", "Prof")
+	b.AddEdge("p1", "advises", "s")
+	g := b.Freeze()
+	p := &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x", Label: "Student", Distinguished: true},
+			{Name: "a", Label: "Prof", Distinguished: true,
+				Omit: core.LabelIs{X: 0, Label: "Student"}},
+		},
+		Edges: []core.Edge{{From: 1, To: 0, Label: "advises"}},
+	}
+	res, _, err := Match(p, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Names(g)
+	if len(got) != 2 || got[0] != "s,p1" || got[1] != "s,⊥" {
+		t.Fatalf("got %v, want both the real and the ⊥ row", got)
+	}
+}
+
+// TestEmptyCandidatesOmittableVertex: a vertex whose label does not occur
+// in G can still be omitted.
+func TestEmptyCandidatesOmittableVertex(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	b.AddLabel("s", "Student")
+	g := b.Freeze()
+	p := &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x", Label: "Student", Distinguished: true},
+			{Name: "u", Label: "University", Distinguished: true,
+				Omit: core.LabelIs{X: 0, Label: "Student"}},
+		},
+		Edges: []core.Edge{{From: 0, To: 1, Label: "studiesAt"}},
+	}
+	res, _, err := Match(p, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Names(g)
+	if len(got) != 1 || got[0] != "s,⊥" {
+		t.Fatalf("got %v", got)
+	}
+}

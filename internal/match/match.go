@@ -1,0 +1,816 @@
+// Package match implements OMatch (paper Section V): matching ontological
+// graph patterns in data graphs by extending the DAF framework.
+//
+// The extensions over plain DAF, following the paper:
+//
+//   - Dummy ⊥ candidates: a vertex with a non-empty omission condition may
+//     map to ⊥; its incident edges are then excused (BuildOMDAG step 1b).
+//   - Dependency edges: if C^l(u) or C^o(u) references u', the OMDAG gains
+//     an edge (u', u), so u' is mapped before u and u's conditions are
+//     decidable when u is assigned (BuildOMDAG step 1c).
+//   - OMCS: candidate sets are refined with non-global conditions and a
+//     per-edge candidate adjacency is materialized; edges whose endpoint
+//     can be omitted do not prune (they may be excused), retaining
+//     soundness (BuildOMCS).
+//   - Global conditions are compiled into a shared BDD (one Builder for the
+//     whole pattern, so equal sub-conditions share structure) over atomic
+//     conditions; atoms are evaluated at most once per operand tuple via a
+//     cache (the paper's extra OMCS entries), and each condition is decided
+//     as soon as its variables are mapped (OMBacktrack).
+package match
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"ogpa/internal/core"
+	"ogpa/internal/graph"
+	"ogpa/internal/sbdd"
+	"ogpa/internal/symbols"
+)
+
+// Order selects the matching order.
+type Order int
+
+// Matching orders.
+const (
+	// OrderAdaptive is DAF's candidate-size order.
+	OrderAdaptive Order = iota
+	// OrderStaticBFS is the OMatch_BFS ablation of the paper.
+	OrderStaticBFS
+)
+
+// Limits bounds an enumeration; zero values disable a limit.
+type Limits struct {
+	MaxResults int
+	MaxSteps   int64
+	Deadline   time.Time
+}
+
+// ErrLimit reports that the enumeration hit a limit.
+var ErrLimit = errors.New("match: enumeration limit exceeded")
+
+// Options configures Match.
+type Options struct {
+	Order  Order
+	Limits Limits
+
+	// Ablation switches (benchmarking only; both default to enabled).
+	DisableEarlyReject           bool // skip partial-BDD pruning during backtracking
+	DisableExistentialCompletion bool // enumerate existential witnesses exhaustively
+}
+
+// Stats reports work done by one Match call.
+type Stats struct {
+	Steps        int64
+	CSCandidates int
+	RefinePasses int
+	BDDNodes     int
+	AtomCacheHit int64
+	AtomEvals    int64
+}
+
+type condKind uint8
+
+const (
+	condVertexMatch condKind = iota
+	condVertexOmit
+	condEdgeMatch
+)
+
+type condInfo struct {
+	kind  condKind
+	owner int // vertex index or edge index
+	ref   sbdd.Ref
+	vars  []int // pattern vertices that must be assigned before deciding
+}
+
+// probe describes how to enumerate partner candidates along an edge:
+// follow data edges labeled label (0 = any) in the given direction.
+type probe struct {
+	label   symbols.ID
+	forward bool // true: pattern-From → pattern-To direction
+}
+
+type matcher struct {
+	p    *core.Pattern
+	g    *graph.Graph
+	opts Options
+
+	canOmit []bool
+	cand    [][]graph.VID
+
+	// Conditions and the shared BDD.
+	bdd      *sbdd.Builder
+	atoms    []core.Cond
+	atomVars [][]int
+	atomFns  []func(core.Mapping) bool
+	atomIdx  map[core.Cond]int
+	conds    []condInfo
+	// condsOf[u] = indexes of conditions whose vars include u.
+	condsOf [][]int
+
+	// localDNF[u]: DNF of the vertex's matching condition restricted check
+	// (nil when no condition).
+	localDNF [][][]core.Cond
+
+	// Per-edge compiled info.
+	edgeProbes                    [][]probe
+	edgeIndexab                   []bool
+	edgePairs                     [][][]core.Cond // DNF clauses for pairwise checking
+	edgeCondIdx                   []int           // index into conds, or -1
+	vertexMatchIdx, vertexOmitIdx []int
+
+	// OMDAG.
+	order       []int
+	dagEdges    []dagEdge
+	parentEdges [][]int // structural DAG edge indexes by child
+	depParents  [][]int // dependency parents by vertex
+	adj         []map[graph.VID][]graph.VID
+
+	// Runtime.
+	stats    Stats
+	steps    int64
+	deadline time.Time
+}
+
+type dagEdge struct {
+	parent, child int
+	edge          int // pattern edge index
+}
+
+// Match computes Q(G) for a full OGP.
+func Match(p *core.Pattern, g *graph.Graph, opts Options) (*core.AnswerSet, Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	m := &matcher{
+		p: p, g: g, opts: opts,
+		atomIdx:  make(map[core.Cond]int),
+		deadline: opts.Limits.Deadline,
+	}
+	m.bdd = sbdd.New()
+	m.compileConditions()
+
+	out := core.NewAnswerSet()
+	if !m.buildOMDAG() {
+		return out, m.stats, nil
+	}
+	if !m.buildOMCS() {
+		return out, m.stats, nil
+	}
+	m.stats.BDDNodes = m.bdd.NumNodes()
+	err := m.backtrack(out)
+	return out, m.stats, err
+}
+
+// atomID interns an atomic condition as a BDD variable and compiles it to
+// a closure with pre-interned symbol IDs (the paper's "additional OMCS
+// entries" caching role: no string lookups or graph-name resolution happen
+// during backtracking).
+func (m *matcher) atomID(c core.Cond) int {
+	if id, ok := m.atomIdx[c]; ok {
+		return id
+	}
+	id := len(m.atoms)
+	m.atomIdx[c] = id
+	m.atoms = append(m.atoms, c)
+	vars := make([]int, 0, 2)
+	for v := range core.Vars(c) {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	m.atomVars = append(m.atomVars, vars)
+	m.atomFns = append(m.atomFns, m.compileAtom(c))
+	return id
+}
+
+// compileAtom builds the evaluation closure for one atomic condition.
+func (m *matcher) compileAtom(c core.Cond) func(core.Mapping) bool {
+	g := m.g
+	lookup := func(name string) (symbols.ID, bool) {
+		if name == core.Wildcard {
+			return symbols.None, true
+		}
+		id := g.Symbols.Lookup(name)
+		return id, id != symbols.None
+	}
+	never := func(core.Mapping) bool { return false }
+	switch t := c.(type) {
+	case core.LabelIs:
+		id, ok := lookup(t.Label)
+		if !ok {
+			return never
+		}
+		x := t.X
+		return func(mp core.Mapping) bool {
+			v := mp[x]
+			return v != core.Omitted && g.HasLabel(v, id)
+		}
+	case core.EdgeIs:
+		id, ok := lookup(t.Label)
+		if !ok {
+			return never
+		}
+		x, y := t.X, t.Y
+		if id == symbols.None { // wildcard label
+			return func(mp core.Mapping) bool {
+				vx, vy := mp[x], mp[y]
+				return vx != core.Omitted && vy != core.Omitted && g.HasAnyEdge(vx, vy)
+			}
+		}
+		return func(mp core.Mapping) bool {
+			vx, vy := mp[x], mp[y]
+			return vx != core.Omitted && vy != core.Omitted && g.HasEdge(vx, id, vy)
+		}
+	case core.EdgeExists:
+		id, ok := lookup(t.Label)
+		if !ok {
+			return never
+		}
+		x, out := t.X, t.Out
+		if id == symbols.None {
+			return func(mp core.Mapping) bool {
+				v := mp[x]
+				if v == core.Omitted {
+					return false
+				}
+				if out {
+					return g.OutDegree(v) > 0
+				}
+				return g.InDegree(v) > 0
+			}
+		}
+		return func(mp core.Mapping) bool {
+			v := mp[x]
+			if v == core.Omitted {
+				return false
+			}
+			if out {
+				return g.HasOutLabel(v, id)
+			}
+			return g.HasInLabel(v, id)
+		}
+	case core.SameAs:
+		x, y := t.X, t.Y
+		return func(mp core.Mapping) bool {
+			vx, vy := mp[x], mp[y]
+			return vx != core.Omitted && vx == vy
+		}
+	default:
+		// Attribute comparisons and anything exotic fall back to the
+		// generic evaluator (they intern names per call, but attribute
+		// conditions are rare and cheap relative to enumeration).
+		return func(mp core.Mapping) bool {
+			return core.Eval(c, mp, g)
+		}
+	}
+}
+
+// toBDD compiles a condition tree into the shared BDD.
+func (m *matcher) toBDD(c core.Cond) sbdd.Ref {
+	switch t := c.(type) {
+	case nil, core.True:
+		return sbdd.True
+	case core.And:
+		return m.bdd.And(m.toBDD(t.L), m.toBDD(t.R))
+	case core.Or:
+		return m.bdd.Or(m.toBDD(t.L), m.toBDD(t.R))
+	default:
+		return m.bdd.Var(m.atomID(c))
+	}
+}
+
+func (m *matcher) addCond(kind condKind, owner int, c core.Cond, extraVars ...int) int {
+	ref := m.toBDD(c)
+	seen := map[int]bool{}
+	var vars []int
+	add := func(v int) {
+		if !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+	}
+	for v := range core.Vars(c) {
+		add(v)
+	}
+	for _, v := range extraVars {
+		add(v)
+	}
+	ci := len(m.conds)
+	m.conds = append(m.conds, condInfo{kind: kind, owner: owner, ref: ref, vars: vars})
+	return ci
+}
+
+func (m *matcher) compileConditions() {
+	n := len(m.p.Vertices)
+	m.canOmit = make([]bool, n)
+	m.localDNF = make([][][]core.Cond, n)
+	m.vertexMatchIdx = make([]int, n)
+	m.vertexOmitIdx = make([]int, n)
+	for u, v := range m.p.Vertices {
+		m.canOmit[u] = v.Omit != nil
+		m.vertexMatchIdx[u] = -1
+		m.vertexOmitIdx[u] = -1
+		if v.Match != nil {
+			m.localDNF[u] = core.DNF(v.Match)
+			m.vertexMatchIdx[u] = m.addCond(condVertexMatch, u, v.Match, u)
+		}
+		if v.Omit != nil {
+			m.vertexOmitIdx[u] = m.addCond(condVertexOmit, u, v.Omit, u)
+		}
+	}
+
+	m.edgeProbes = make([][]probe, len(m.p.Edges))
+	m.edgeIndexab = make([]bool, len(m.p.Edges))
+	m.edgePairs = make([][][]core.Cond, len(m.p.Edges))
+	m.edgeCondIdx = make([]int, len(m.p.Edges))
+	for ei, e := range m.p.Edges {
+		cond := e.Match
+		if cond == nil {
+			cond = core.EdgeIs{X: e.From, Y: e.To, Label: e.Label}
+		}
+		m.edgeCondIdx[ei] = m.addCond(condEdgeMatch, ei, cond, e.From, e.To)
+		clauses := core.DNF(cond)
+		m.edgePairs[ei] = clauses
+		indexable := true
+		seen := map[probe]bool{}
+		var probes []probe
+		for _, clause := range clauses {
+			found := false
+			for _, a := range clause {
+				pe, ok := a.(core.EdgeIs)
+				if !ok {
+					continue
+				}
+				var pr probe
+				switch {
+				case pe.X == e.From && pe.Y == e.To:
+					pr = probe{forward: true}
+				case pe.X == e.To && pe.Y == e.From:
+					pr = probe{forward: false}
+				default:
+					continue
+				}
+				if pe.Label != core.Wildcard {
+					pr.label = m.g.Symbols.Lookup(pe.Label)
+					if pr.label == symbols.None {
+						continue // label absent from G: this atom can never hold
+					}
+				}
+				found = true
+				if !seen[pr] {
+					seen[pr] = true
+					probes = append(probes, pr)
+				}
+			}
+			if !found {
+				// Some disjunct does not pin a data edge between the
+				// endpoints: candidate partners cannot be enumerated from
+				// adjacency. The edge is checked purely as a condition.
+				indexable = false
+			}
+		}
+		m.edgeProbes[ei] = probes
+		m.edgeIndexab[ei] = indexable && len(probes) > 0
+	}
+
+	m.condsOf = make([][]int, n)
+	for ci, c := range m.conds {
+		for _, v := range c.vars {
+			m.condsOf[v] = append(m.condsOf[v], ci)
+		}
+	}
+}
+
+// localPass checks the label constraint plus the vertex's local condition
+// disjuncts on a single candidate.
+func (m *matcher) localPass(u int, v graph.VID) bool {
+	pv := m.p.Vertices[u]
+	if pv.Label != core.Wildcard {
+		l := m.g.Symbols.Lookup(pv.Label)
+		if l == symbols.None || !m.g.HasLabel(v, l) {
+			return false
+		}
+	}
+	if m.localDNF[u] == nil {
+		return true
+	}
+	mini := make(core.Mapping, len(m.p.Vertices))
+	for i := range mini {
+		mini[i] = core.Omitted
+	}
+	mini[u] = v
+	for _, clause := range m.localDNF[u] {
+		ok := true
+		for _, a := range clause {
+			vars := core.Vars(a)
+			if len(vars) == 1 && vars[u] {
+				if !core.Eval(a, mini, m.g) {
+					ok = false
+					break
+				}
+			}
+			// Atoms referencing other vertices are optimistic here.
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// seedPool returns an initial candidate pool for vertex u, preferring label
+// buckets when every local disjunct pins a label.
+func (m *matcher) seedPool(u int) []graph.VID {
+	pv := m.p.Vertices[u]
+	if pv.Label != core.Wildcard {
+		l := m.g.Symbols.Lookup(pv.Label)
+		if l == symbols.None {
+			return nil
+		}
+		return m.g.VerticesByLabel(l)
+	}
+	if m.localDNF[u] != nil {
+		var union []graph.VID
+		seen := map[graph.VID]bool{}
+		ok := true
+		for _, clause := range m.localDNF[u] {
+			label := ""
+			for _, a := range clause {
+				if li, isLabel := a.(core.LabelIs); isLabel && li.X == u && li.Label != core.Wildcard {
+					label = li.Label
+					break
+				}
+			}
+			if label == "" {
+				ok = false
+				break
+			}
+			for _, v := range m.g.VerticesByLabel(m.g.Symbols.Lookup(label)) {
+				if !seen[v] {
+					seen[v] = true
+					union = append(union, v)
+				}
+			}
+		}
+		if ok {
+			sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+			return union
+		}
+	}
+	all := make([]graph.VID, m.g.NumVertices())
+	for i := range all {
+		all[i] = graph.VID(i)
+	}
+	return all
+}
+
+// buildOMDAG initializes candidates, collects dependency edges and computes
+// a dependency-respecting BFS order.
+func (m *matcher) buildOMDAG() bool {
+	n := len(m.p.Vertices)
+	m.cand = make([][]graph.VID, n)
+	for u := 0; u < n; u++ {
+		var out []graph.VID
+		for _, v := range m.seedPool(u) {
+			if m.localPass(u, v) {
+				out = append(out, v)
+			}
+		}
+		if len(out) == 0 && !m.canOmit[u] {
+			return false
+		}
+		m.cand[u] = out
+	}
+
+	// Dependency parents: conditions of u referencing u'.
+	m.depParents = make([][]int, n)
+	depSeen := make([]map[int]bool, n)
+	for u := 0; u < n; u++ {
+		depSeen[u] = map[int]bool{}
+	}
+	addDep := func(u, parent int) {
+		if parent != u && !depSeen[u][parent] {
+			depSeen[u][parent] = true
+			m.depParents[u] = append(m.depParents[u], parent)
+		}
+	}
+	for u, v := range m.p.Vertices {
+		for w := range core.Vars(v.Match) {
+			addDep(u, w)
+		}
+		for w := range core.Vars(v.Omit) {
+			addDep(u, w)
+		}
+	}
+
+	// Structural adjacency for the BFS.
+	adjV := make([][]int, n)
+	deg := make([]int, n)
+	for _, e := range m.p.Edges {
+		adjV[e.From] = append(adjV[e.From], e.To)
+		adjV[e.To] = append(adjV[e.To], e.From)
+		deg[e.From]++
+		deg[e.To]++
+	}
+	for u := 0; u < n; u++ {
+		for _, w := range m.depParents[u] {
+			adjV[u] = append(adjV[u], w)
+			adjV[w] = append(adjV[w], u)
+		}
+	}
+
+	// Root selection: prefer vertices without dependencies and with small
+	// candidate sets relative to degree (paper BuildOMDAG step 2).
+	root, bestScore := 0, float64(1<<62)
+	for u := 0; u < n; u++ {
+		d := deg[u]
+		if d == 0 {
+			d = 1
+		}
+		score := float64(len(m.cand[u])) / float64(d)
+		if len(m.depParents[u]) > 0 {
+			score *= 1e6
+		}
+		if m.canOmit[u] {
+			score *= 4 // omittable roots enumerate ⊥ early, less selective
+		}
+		if score < bestScore {
+			bestScore = score
+			root = u
+		}
+	}
+
+	// BFS order from the root over structural plus dependency adjacency.
+	// Dependency edges influence the root choice and appear in the BFS
+	// adjacency, but they do NOT gate the order: conditions are evaluated
+	// exactly when their variables are mapped (remaining-variable counters
+	// in the backtracker), which is order-independent. Hard-gating the
+	// order on dependencies can force an omittable hub after its
+	// unconstrained neighbors and destroy the matching order.
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	placed := 0
+	var queue []int
+	place := func(u int) {
+		pos[u] = placed
+		m.order = append(m.order, u)
+		placed++
+		queue = append(queue, u)
+	}
+	place(root)
+	for placed < n {
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adjV[u] {
+				if pos[w] < 0 {
+					place(w)
+				}
+			}
+		}
+		if placed == n {
+			break
+		}
+		for u := 0; u < n; u++ { // disconnected piece: new BFS root
+			if pos[u] < 0 {
+				place(u)
+				break
+			}
+		}
+	}
+
+	// Orient structural edges along the order.
+	m.parentEdges = make([][]int, n)
+	for ei, e := range m.p.Edges {
+		de := dagEdge{edge: ei}
+		if pos[e.From] <= pos[e.To] {
+			de.parent, de.child = e.From, e.To
+		} else {
+			de.parent, de.child = e.To, e.From
+		}
+		idx := len(m.dagEdges)
+		m.dagEdges = append(m.dagEdges, de)
+		m.parentEdges[de.child] = append(m.parentEdges[de.child], idx)
+	}
+	return true
+}
+
+// neighborsVia enumerates partner candidates of v along pattern edge ei,
+// where v plays vertex side (From if fromSide).
+func (m *matcher) neighborsVia(ei int, v graph.VID, fromSide bool) []graph.VID {
+	var out []graph.VID
+	seen := map[graph.VID]bool{}
+	for _, pr := range m.edgeProbes[ei] {
+		// A forward probe runs From→To in the data graph.
+		outgoing := pr.forward == fromSide
+		var hs []graph.Half
+		if outgoing {
+			if pr.label == symbols.None {
+				hs = m.g.Out(v)
+			} else {
+				hs = m.g.OutByLabel(v, pr.label)
+			}
+		} else {
+			if pr.label == symbols.None {
+				hs = m.g.In(v)
+			} else {
+				hs = m.g.InByLabel(v, pr.label)
+			}
+		}
+		for _, h := range hs {
+			if !seen[h.To] {
+				seen[h.To] = true
+				out = append(out, h.To)
+			}
+		}
+	}
+	return out
+}
+
+// pairwiseOK checks the pairwise-local part of edge ei's condition for the
+// candidate pair (atoms referencing third vertices are optimistic).
+func (m *matcher) pairwiseOK(ei int, vFrom, vTo graph.VID) bool {
+	e := m.p.Edges[ei]
+	mini := make(core.Mapping, len(m.p.Vertices))
+	for i := range mini {
+		mini[i] = core.Omitted
+	}
+	mini[e.From], mini[e.To] = vFrom, vTo
+	for _, clause := range m.edgePairs[ei] {
+		ok := true
+		for _, a := range clause {
+			local := true
+			for w := range core.Vars(a) {
+				if w != e.From && w != e.To {
+					local = false
+					break
+				}
+			}
+			if local && !core.Eval(a, mini, m.g) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// buildOMCS refines candidate sets and materializes per-DAG-edge adjacency.
+// Edges whose far endpoint is omittable never prune (they may be excused),
+// keeping OMCS sound (paper Section V-B).
+func (m *matcher) buildOMCS() bool {
+	n := len(m.p.Vertices)
+	inCand := make([]map[graph.VID]bool, n)
+	rebuild := func(u int) {
+		s := make(map[graph.VID]bool, len(m.cand[u]))
+		for _, v := range m.cand[u] {
+			s[v] = true
+		}
+		inCand[u] = s
+	}
+	for u := 0; u < n; u++ {
+		rebuild(u)
+	}
+
+	refineVertex := func(u int) bool {
+		changed := false
+		out := m.cand[u][:0]
+		for _, v := range m.cand[u] {
+			ok := true
+			for ei, e := range m.p.Edges {
+				if !m.edgeIndexab[ei] {
+					continue
+				}
+				var far int
+				var fromSide bool
+				switch u {
+				case e.From:
+					far, fromSide = e.To, true
+				case e.To:
+					far, fromSide = e.From, false
+				default:
+					continue
+				}
+				if m.canOmit[far] || m.canOmit[u] {
+					continue // edge may be excused; do not prune through it
+				}
+				found := false
+				for _, w := range m.neighborsVia(ei, v, fromSide) {
+					if !inCand[far][w] {
+						continue
+					}
+					var okPair bool
+					if fromSide {
+						okPair = m.pairwiseOK(ei, v, w)
+					} else {
+						okPair = m.pairwiseOK(ei, w, v)
+					}
+					if okPair {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, v)
+			} else {
+				changed = true
+			}
+		}
+		m.cand[u] = out
+		if changed {
+			rebuild(u)
+		}
+		return changed
+	}
+
+	for pass := 0; pass < 4; pass++ {
+		m.stats.RefinePasses++
+		changed := false
+		if pass%2 == 0 {
+			for i := len(m.order) - 1; i >= 0; i-- {
+				changed = refineVertex(m.order[i]) || changed
+			}
+		} else {
+			for _, u := range m.order {
+				changed = refineVertex(u) || changed
+			}
+		}
+		for u := 0; u < n; u++ {
+			if len(m.cand[u]) == 0 && !m.canOmit[u] {
+				return false
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for u := 0; u < n; u++ {
+		m.stats.CSCandidates += len(m.cand[u])
+	}
+
+	// Materialize adjacency for indexable DAG edges.
+	m.adj = make([]map[graph.VID][]graph.VID, len(m.dagEdges))
+	for di, de := range m.dagEdges {
+		if !m.edgeIndexab[de.edge] {
+			continue
+		}
+		e := m.p.Edges[de.edge]
+		fromSide := de.parent == e.From
+		am := make(map[graph.VID][]graph.VID, len(m.cand[de.parent]))
+		for _, v := range m.cand[de.parent] {
+			var vs []graph.VID
+			for _, w := range m.neighborsVia(de.edge, v, fromSide) {
+				if !inCand[de.child][w] {
+					continue
+				}
+				var okPair bool
+				if fromSide {
+					okPair = m.pairwiseOK(de.edge, v, w)
+				} else {
+					okPair = m.pairwiseOK(de.edge, w, v)
+				}
+				if okPair {
+					vs = append(vs, w)
+				}
+			}
+			if len(vs) > 0 {
+				sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+				am[v] = vs
+			}
+		}
+		m.adj[di] = am
+	}
+	return true
+}
+
+func (m *matcher) tick() error {
+	m.steps++
+	m.stats.Steps = m.steps
+	if m.opts.Limits.MaxSteps > 0 && m.steps > m.opts.Limits.MaxSteps {
+		return ErrLimit
+	}
+	if m.steps%4096 == 0 && !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		return ErrLimit
+	}
+	return nil
+}
+
+// evalAtom evaluates atomic condition id under the current mapping via its
+// precompiled closure.
+func (m *matcher) evalAtom(id int, mapping core.Mapping) bool {
+	m.stats.AtomEvals++
+	return m.atomFns[id](mapping)
+}

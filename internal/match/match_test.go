@@ -1,0 +1,430 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ogpa/internal/core"
+	"ogpa/internal/cq"
+	"ogpa/internal/daf"
+	"ogpa/internal/dllite"
+	"ogpa/internal/graph"
+	"ogpa/internal/perfectref"
+	"ogpa/internal/rewrite"
+)
+
+// fig2Graph and q5Prime mirror the fixtures of the core package tests
+// (paper Figure 2 / Examples 4, 5, 11, 12).
+func fig2Graph() *graph.Graph {
+	b := graph.NewBuilder(nil)
+	b.AddLabel("y1", "Teacher")
+	b.AddLabel("y2", "Professor")
+	b.AddLabel("y3", "Student")
+	b.AddLabel("y4", "Student")
+	b.AddLabel("y5", "Article")
+	b.AddLabel("y6", "Course")
+	b.AddEdge("y1", "teaches", "y3")
+	b.AddEdge("y1", "teaches", "y4")
+	b.AddEdge("y3", "takes", "y6")
+	b.AddEdge("y4", "takes", "y6")
+	return b.Freeze()
+}
+
+func q5Prime() *core.Pattern {
+	return &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x1", Label: core.Wildcard, Distinguished: true,
+				Match: core.Or{L: core.LabelIs{X: 0, Label: "Professor"}, R: core.LabelIs{X: 0, Label: "Teacher"}}},
+			{Name: "x2", Label: "Student", Distinguished: true},
+			{Name: "x3", Label: core.Wildcard, Distinguished: true,
+				Match: core.Or{
+					L: core.And{L: core.LabelIs{X: 2, Label: "Article"}, R: core.LabelIs{X: 0, Label: "Professor"}},
+					R: core.And{L: core.LabelIs{X: 2, Label: "Course"}, R: core.LabelIs{X: 0, Label: "Teacher"}},
+				}},
+			{Name: "x4", Label: "University", Distinguished: true,
+				Omit: core.LabelIs{X: 0, Label: "Teacher"}},
+		},
+		Edges: []core.Edge{
+			{From: 0, To: 1, Label: "teaches"},
+			{From: 1, To: 2, Label: core.Wildcard,
+				Match: core.Or{
+					L: core.And{L: core.EdgeIs{X: 1, Y: 2, Label: "publishes"}, R: core.LabelIs{X: 0, Label: "Professor"}},
+					R: core.And{L: core.EdgeIs{X: 1, Y: 2, Label: "takes"}, R: core.LabelIs{X: 0, Label: "Teacher"}},
+				}},
+			{From: 0, To: 3, Label: "worksFor"},
+		},
+	}
+}
+
+// TestExample11And12 reproduces the paper's Examples 11/12: OMatch on Q5'
+// finds exactly h1 and h2 with x4 omitted.
+func TestExample11And12(t *testing.T) {
+	g := fig2Graph()
+	res, st, err := Match(q5Prime(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Names(g)
+	want := []string{"y1,y3,y6,⊥", "y1,y4,y6,⊥"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("matches = %v, want %v", got, want)
+	}
+	if st.BDDNodes == 0 || st.Steps == 0 {
+		t.Fatalf("stats not recorded: %+v", st)
+	}
+}
+
+// TestElearningExample reproduces the paper's Example 1/4(1): resources
+// categorized as Hardware-or-subclasses uploaded in 2023.
+func TestElearningExample(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	b.AddLabel("r1", "Resource")
+	b.AddLabel("r2", "Resource")
+	b.AddLabel("r3", "Resource")
+	b.AddLabel("cpu", "Processor")
+	b.AddLabel("ram", "Memory")
+	b.AddLabel("gpu", "Hardware")
+	b.AddEdge("r1", "category", "cpu")
+	b.AddEdge("r2", "category", "ram")
+	b.AddEdge("r3", "category", "gpu")
+	b.SetAttr("r1", "year", graph.Int(2023))
+	b.SetAttr("r2", "year", graph.Int(2021))
+	b.SetAttr("r3", "year", graph.Int(2023))
+	g := b.Freeze()
+
+	p := &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x", Label: "Resource", Distinguished: true,
+				Match: core.AttrCmpConst{X: 0, Attr: "year", Op: core.Eq, C: graph.Int(2023)}},
+			{Name: "z", Label: core.Wildcard,
+				Match: core.OrAll(
+					core.LabelIs{X: 1, Label: "Hardware"},
+					core.LabelIs{X: 1, Label: "Processor"},
+					core.LabelIs{X: 1, Label: "Memory"},
+					core.LabelIs{X: 1, Label: "IODevice"},
+				)},
+		},
+		Edges: []core.Edge{{From: 0, To: 1, Label: "category"}},
+	}
+	res, _, err := Match(p, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Names(g)
+	if len(got) != 2 || got[0] != "r1" || got[1] != "r3" {
+		t.Fatalf("answers = %v, want [r1 r3]", got)
+	}
+}
+
+func TestOmittedDistinguishedInAnswer(t *testing.T) {
+	// x4 is distinguished and omitted: the answer tuple carries ⊥ (paper
+	// Example 5).
+	g := fig2Graph()
+	res, _, err := Match(q5Prime(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Answers() {
+		if a[3] != core.Omitted {
+			t.Fatalf("x4 should be ⊥ in %v", a)
+		}
+	}
+}
+
+func TestStaticBFSVariant(t *testing.T) {
+	g := fig2Graph()
+	a, _, err := Match(q5Prime(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Match(q5Prime(), g, Options{Order: OrderStaticBFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, bn := a.Names(g), b.Names(g)
+	if len(an) != len(bn) {
+		t.Fatalf("adaptive %v vs static %v", an, bn)
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("adaptive %v vs static %v", an, bn)
+		}
+	}
+}
+
+func TestLimits(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 25; j++ {
+			b.AddEdge(fmt.Sprintf("l%d", i), "p", fmt.Sprintf("r%d", j))
+		}
+	}
+	g := b.Freeze()
+	p := core.FromCQ(cq.MustParse(`q(x, y) :- p(x, y)`))
+
+	res, _, err := Match(p, g, Options{Limits: Limits{MaxResults: 7}})
+	if err != nil {
+		t.Fatalf("MaxResults should truncate cleanly: %v", err)
+	}
+	if res.Len() != 7 {
+		t.Fatalf("res = %d", res.Len())
+	}
+	if _, _, err := Match(p, g, Options{Limits: Limits{MaxSteps: 3}}); err != ErrLimit {
+		t.Fatalf("MaxSteps: err = %v", err)
+	}
+	_, _, _ = Match(p, g, Options{Limits: Limits{Deadline: time.Now().Add(-time.Second)}})
+}
+
+// TestAgainstNaiveRandomOGPs cross-checks OMatch against the brute-force
+// reference on random graphs and random OGPs with disjunctive conditions
+// and omission conditions.
+func TestAgainstNaiveRandomOGPs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(nil)
+		labels := []string{"A", "B", "C"}
+		preds := []string{"p", "q"}
+		n := 3 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			b.AddLabel(fmt.Sprintf("v%d", i), labels[rng.Intn(len(labels))])
+			if rng.Intn(2) == 0 {
+				b.SetAttr(fmt.Sprintf("v%d", i), "w", graph.Int(int64(rng.Intn(4))))
+			}
+		}
+		for i := 0; i < n*2; i++ {
+			b.AddEdge(fmt.Sprintf("v%d", rng.Intn(n)), preds[rng.Intn(len(preds))], fmt.Sprintf("v%d", rng.Intn(n)))
+		}
+		g := b.Freeze()
+
+		// Random pattern: 2-4 vertices in a path, with random conditions.
+		nv := 2 + rng.Intn(3)
+		p := &core.Pattern{}
+		for i := 0; i < nv; i++ {
+			v := core.Vertex{Name: fmt.Sprintf("u%d", i), Label: core.Wildcard, Distinguished: true}
+			switch rng.Intn(4) {
+			case 0:
+				v.Label = labels[rng.Intn(len(labels))]
+			case 1:
+				v.Match = core.Or{
+					L: core.LabelIs{X: i, Label: labels[rng.Intn(len(labels))]},
+					R: core.LabelIs{X: i, Label: labels[rng.Intn(len(labels))]},
+				}
+			case 2:
+				v.Match = core.AttrCmpConst{X: i, Attr: "w", Op: core.Ge, C: graph.Int(int64(rng.Intn(3)))}
+			}
+			p.Vertices = append(p.Vertices, v)
+		}
+		for i := 1; i < nv; i++ {
+			e := core.Edge{From: i - 1, To: i, Label: preds[rng.Intn(len(preds))]}
+			if rng.Intn(2) == 0 {
+				e.From, e.To = e.To, e.From
+			}
+			switch rng.Intn(3) {
+			case 0:
+				e.Label = core.Wildcard
+			case 1:
+				// Disjunctive edge condition with both orientations.
+				e.Label = core.Wildcard
+				e.Match = core.Or{
+					L: core.EdgeIs{X: e.From, Y: e.To, Label: preds[rng.Intn(len(preds))]},
+					R: core.EdgeIs{X: e.To, Y: e.From, Label: preds[rng.Intn(len(preds))]},
+				}
+			}
+			p.Edges = append(p.Edges, e)
+		}
+		// Random omission condition on a non-isolated vertex, referencing
+		// another vertex's label (global condition + ⊥ candidate),
+		// sometimes gated with an equality (as GenOGP's reductions emit).
+		if nv >= 2 && rng.Intn(2) == 0 {
+			u := rng.Intn(nv)
+			other := (u + 1) % nv
+			var omit core.Cond = core.LabelIs{X: other, Label: labels[rng.Intn(len(labels))]}
+			if nv >= 3 && rng.Intn(2) == 0 {
+				omit = core.Or{L: omit, R: core.And{
+					L: core.SameAs{X: (u + 2) % nv, Y: other},
+					R: core.EdgeExists{X: other, Label: preds[rng.Intn(len(preds))], Out: rng.Intn(2) == 0},
+				}}
+			}
+			p.Vertices[u].Omit = omit
+		}
+
+		want := core.EnumerateNaive(p, g).Names(g)
+		got, _, err := Match(p, g, Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		gn := got.Names(g)
+		if len(want) != len(gn) {
+			t.Logf("seed %d:\npattern:\n%s\nnaive %v\nomatch %v", seed, p, want, gn)
+			return false
+		}
+		for i := range want {
+			if want[i] != gn[i] {
+				t.Logf("seed %d: naive %v vs omatch %v", seed, want, gn)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomKB mirrors the rewrite package's generator (kept in sync manually;
+// both are small).
+func randomKB(rng *rand.Rand) (*dllite.TBox, *dllite.ABox, *cq.Query) {
+	concepts := []string{"A", "B", "C", "D"}
+	roles := []string{"p", "q", "r"}
+	pick := func(xs []string) string { return xs[rng.Intn(len(xs))] }
+	randConcept := func() dllite.Concept {
+		switch rng.Intn(3) {
+		case 0:
+			return dllite.Atomic(pick(concepts))
+		case 1:
+			return dllite.Exists(dllite.Role{Name: pick(roles)})
+		default:
+			return dllite.Exists(dllite.Role{Name: pick(roles), Inv: true})
+		}
+	}
+	var cis []dllite.ConceptInclusion
+	for i := 0; i < 3+rng.Intn(4); i++ {
+		cis = append(cis, dllite.ConceptInclusion{Sub: randConcept(), Sup: randConcept()})
+	}
+	var ris []dllite.RoleInclusion
+	for i := 0; i < rng.Intn(3); i++ {
+		ris = append(ris, dllite.RoleInclusion{
+			Sub: dllite.Role{Name: pick(roles), Inv: rng.Intn(2) == 0},
+			Sup: dllite.Role{Name: pick(roles)},
+		})
+	}
+	tb := dllite.NewTBox(cis, ris)
+
+	abox := &dllite.ABox{}
+	inds := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < 3+rng.Intn(5); i++ {
+		if rng.Intn(2) == 0 {
+			abox.AddConcept(pick(concepts), pick(inds))
+		} else {
+			abox.AddRole(pick(roles), pick(inds), pick(inds))
+		}
+	}
+
+	vars := []string{"x", "y", "z", "w"}
+	var atoms []string
+	ne := 1 + rng.Intn(3)
+	for i := 0; i < ne; i++ {
+		a, b := vars[rng.Intn(i+1)], vars[i+1]
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		atoms = append(atoms, fmt.Sprintf("%s(%s, %s)", pick(roles), a, b))
+	}
+	if rng.Intn(2) == 0 {
+		atoms = append(atoms, fmt.Sprintf("%s(x)", pick(concepts)))
+	}
+	q := cq.MustParse("q(x) :- " + strings.Join(atoms, ", "))
+	return tb, abox, q
+}
+
+// TestFullPipelineEquivalence is the paper's end-to-end claim: GenOGP +
+// OMatch computes exactly the certain answers that PerfectRef + UCQ
+// evaluation computes, across random KBs.
+func TestFullPipelineEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb, abox, q := randomKB(rng)
+		g := abox.Graph(nil)
+
+		u, err := perfectref.Rewrite(q, tb, perfectref.Limits{MaxQueries: 5000})
+		if err != nil {
+			return true
+		}
+		want, _, err := daf.EvalUCQ(u.Queries, g, daf.Limits{})
+		if err != nil {
+			return false
+		}
+
+		res, err := rewrite.Generate(q, tb)
+		if err != nil {
+			return false
+		}
+		got, _, err := Match(res.Pattern, g, Options{})
+		if err != nil {
+			t.Logf("seed %d: Match: %v", seed, err)
+			return false
+		}
+		w, gn := want.Names(g), got.Names(g)
+		if len(w) != len(gn) {
+			t.Logf("seed %d: query %s\nUCQ answers %v\nOGP answers %v\nOGP:\n%s", seed, q, w, gn, res.Pattern)
+			return false
+		}
+		for i := range w {
+			if w[i] != gn[i] {
+				t.Logf("seed %d: %v vs %v", seed, w, gn)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunningExampleWithOMatch: the paper's Ann example through the real
+// pipeline (GenOGP + OMatch instead of the naive matcher).
+func TestRunningExampleWithOMatch(t *testing.T) {
+	tb, err := dllite.ParseTBox(strings.NewReader(`
+Student SubClassOf some takesCourse
+PhD SubClassOf Student
+PhD SubClassOf some advisorOf-
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParse(`q(x) :- advisorOf(y1, x), advisorOf(y1, y2), advisorOf(y1, y3), takesCourse(x, z)`)
+	res, err := rewrite.Generate(q, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abox := &dllite.ABox{}
+	abox.AddConcept("PhD", "Ann")
+	abox.AddConcept("Student", "Bob") // student without advisor: not an answer
+	g := abox.Graph(nil)
+	got, _, err := Match(res.Pattern, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := got.Names(g)
+	if len(names) != 1 || names[0] != "Ann" {
+		t.Fatalf("answers = %v, want [Ann]", names)
+	}
+}
+
+func TestAtomCacheUsed(t *testing.T) {
+	g := fig2Graph()
+	_, st, err := Match(q5Prime(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AtomEvals == 0 {
+		t.Fatal("expected atom evaluations")
+	}
+}
+
+func BenchmarkOMatchQ5Prime(b *testing.B) {
+	g := fig2Graph()
+	p := q5Prime()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Match(p, g, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

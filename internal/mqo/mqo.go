@@ -1,0 +1,340 @@
+// Package mqo implements multi-query optimization for ontological graph
+// patterns — the future-work direction named in the paper's conclusion,
+// building on its Example 4(3): queries with the same topology are encoded
+// as a *single* OGP whose conditions are the disjunction of the member
+// queries' conditions, matched once, with per-query answers recovered by
+// checking each member's conditions against the shared matches.
+//
+// The pipeline:
+//
+//  1. every CQ is rewritten by GenOGP into its own OGP;
+//  2. patterns are grouped by predicate-erased shape (same vertices, same
+//     edge topology up to a variable bijection);
+//  3. each group is merged: wildcard labels, conditions OR-ed per aligned
+//     vertex/edge, omission conditions OR-ed — the merged pattern's
+//     matches are a superset of every member's matches;
+//  4. the merged pattern is matched once with all vertices distinguished
+//     (full mappings), and each mapping is replayed against each member's
+//     own conditions to assign it to the right answer sets.
+package mqo
+
+import (
+	"fmt"
+
+	"ogpa/internal/core"
+	"ogpa/internal/cq"
+	"ogpa/internal/dllite"
+	"ogpa/internal/graph"
+	"ogpa/internal/match"
+	"ogpa/internal/rewrite"
+)
+
+// Stats reports the sharing achieved by a batch.
+type Stats struct {
+	Queries      int
+	Groups       int
+	SharedRuns   int // group matches executed (== Groups)
+	MergedMatchs int // total matches enumerated across merged patterns
+}
+
+// Answer evaluates a batch of conjunctive queries under the ontology,
+// returning one answer set per query (aligned with the input), sharing
+// matching work across structurally identical queries.
+func Answer(queries []*cq.Query, t *dllite.TBox, g *graph.Graph, opts match.Options) ([]*core.AnswerSet, Stats, error) {
+	st := Stats{Queries: len(queries)}
+	patterns := make([]*core.Pattern, len(queries))
+	for i, q := range queries {
+		res, err := rewrite.Generate(q, t)
+		if err != nil {
+			return nil, st, fmt.Errorf("mqo: rewriting query %d: %w", i, err)
+		}
+		patterns[i] = res.Pattern
+	}
+
+	out := make([]*core.AnswerSet, len(queries))
+	groups := groupByShape(patterns)
+	st.Groups = len(groups)
+	for _, grp := range groups {
+		if len(grp.members) == 1 {
+			i := grp.members[0]
+			res, _, err := match.Match(patterns[i], g, opts)
+			if err != nil {
+				return nil, st, err
+			}
+			st.SharedRuns++
+			out[i] = res
+			continue
+		}
+		if err := answerGroup(grp, patterns, g, opts, out, &st); err != nil {
+			return nil, st, err
+		}
+		st.SharedRuns++
+	}
+	return out, st, nil
+}
+
+// group is one set of shape-identical patterns: members holds query
+// indexes; align[i] maps the representative's vertex indexes to member
+// i's vertex indexes.
+type group struct {
+	members []int
+	align   [][]int
+}
+
+// groupByShape buckets patterns by a cheap shape key, verifying real
+// alignments inside each bucket.
+func groupByShape(ps []*core.Pattern) []*group {
+	var groups []*group
+	buckets := map[string][]*group{}
+	for i, p := range ps {
+		key := shapeKey(p)
+		placed := false
+		for _, grp := range buckets[key] {
+			rep := ps[grp.members[0]]
+			if a := alignPatterns(rep, p); a != nil {
+				grp.members = append(grp.members, i)
+				grp.align = append(grp.align, a)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			identity := make([]int, len(p.Vertices))
+			for k := range identity {
+				identity[k] = k
+			}
+			grp := &group{members: []int{i}, align: [][]int{identity}}
+			buckets[key] = append(buckets[key], grp)
+			groups = append(groups, grp)
+		}
+	}
+	return groups
+}
+
+func shapeKey(p *core.Pattern) string {
+	degs := make([]int, len(p.Vertices))
+	for _, e := range p.Edges {
+		degs[e.From]++
+		degs[e.To]++
+	}
+	hist := map[int]int{}
+	for _, d := range degs {
+		hist[d]++
+	}
+	return fmt.Sprintf("v%d-e%d-%v", len(p.Vertices), len(p.Edges), hist)
+}
+
+// alignPatterns finds a vertex bijection from a to b preserving the edge
+// topology (predicates are ignored — conditions carry them). Returns nil
+// when the shapes differ.
+// maxAlignVertices bounds the backtracking alignment; larger patterns stay
+// in singleton groups (alignment is subgraph-isomorphism-hard).
+const maxAlignVertices = 8
+
+func alignPatterns(a, b *core.Pattern) []int {
+	if len(a.Vertices) != len(b.Vertices) || len(a.Edges) != len(b.Edges) {
+		return nil
+	}
+	if len(a.Vertices) > maxAlignVertices {
+		return nil
+	}
+	n := len(a.Vertices)
+	mapping := make([]int, n)
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	// Edge multiset of b, keyed by endpoints, for quick checks.
+	edgeCount := func(p *core.Pattern) map[[2]int]int {
+		out := map[[2]int]int{}
+		for _, e := range p.Edges {
+			out[[2]int{e.From, e.To}]++
+		}
+		return out
+	}
+	bEdges := edgeCount(b)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			// All vertices mapped: compare edge multisets under mapping.
+			seen := map[[2]int]int{}
+			for _, e := range a.Edges {
+				seen[[2]int{mapping[e.From], mapping[e.To]}]++
+			}
+			if len(seen) != len(bEdges) {
+				return false
+			}
+			for k, v := range seen {
+				if bEdges[k] != v {
+					return false
+				}
+			}
+			return true
+		}
+		for cand := 0; cand < n; cand++ {
+			if used[cand] {
+				continue
+			}
+			// Distinguished flags must line up so projections agree.
+			if a.Vertices[i].Distinguished != b.Vertices[cand].Distinguished {
+				continue
+			}
+			mapping[i] = cand
+			used[cand] = true
+			if rec(i + 1) {
+				return true
+			}
+			used[cand] = false
+			mapping[i] = -1
+		}
+		return false
+	}
+	if rec(0) {
+		return mapping
+	}
+	return nil
+}
+
+// answerGroup merges the group's patterns, matches once and replays each
+// mapping against the members.
+func answerGroup(grp *group, ps []*core.Pattern, g *graph.Graph, opts match.Options, out []*core.AnswerSet, st *Stats) error {
+	rep := ps[grp.members[0]]
+	n := len(rep.Vertices)
+
+	// remap rewrites a member condition into the representative's vertex
+	// numbering (align maps rep→member, so invert).
+	merged := &core.Pattern{}
+	inv := make([][]int, len(grp.members))
+	for mi, a := range grp.align {
+		inv[mi] = make([]int, n)
+		for repV, memV := range a {
+			inv[mi][memV] = repV
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		var matchDisj, omitDisj []core.Cond
+		for mi, qi := range grp.members {
+			p := ps[qi]
+			memV := grp.align[mi][v]
+			mv := p.Vertices[memV]
+			c := core.AndAll(remapCond(mv.Match, inv[mi]), labelAsCond(mv.Label, v))
+			if c == nil {
+				c = core.True{}
+			}
+			matchDisj = append(matchDisj, c)
+			if mv.Omit != nil {
+				omitDisj = append(omitDisj, remapCond(mv.Omit, inv[mi]))
+			}
+		}
+		merged.Vertices = append(merged.Vertices, core.Vertex{
+			Name:          rep.Vertices[v].Name,
+			Label:         core.Wildcard,
+			Match:         core.OrAll(matchDisj...),
+			Omit:          core.OrAll(omitDisj...),
+			Distinguished: true, // full mappings: replay needs every vertex
+		})
+	}
+
+	// Edges: align by endpoint pair (shape alignment guarantees a
+	// bijection of edge multisets; parallel edges merge pairwise in
+	// encounter order).
+	type key [2]int
+	memberEdges := make([]map[key][]core.Edge, len(grp.members))
+	for mi, qi := range grp.members {
+		m := map[key][]core.Edge{}
+		for _, e := range ps[qi].Edges {
+			k := key{inv[mi][e.From], inv[mi][e.To]}
+			m[k] = append(m[k], e)
+		}
+		memberEdges[mi] = m
+	}
+	repEdgeIdx := map[key]int{}
+	for _, e := range rep.Edges {
+		k := key{e.From, e.To}
+		idx := repEdgeIdx[k]
+		repEdgeIdx[k] = idx + 1
+		var disj []core.Cond
+		for mi := range grp.members {
+			me := memberEdges[mi][k][idx]
+			c := me.Match
+			if c == nil {
+				c = core.EdgeIs{X: k[0], Y: k[1], Label: me.Label}
+			} else {
+				c = remapCond(c, inv[mi])
+			}
+			disj = append(disj, c)
+		}
+		merged.Edges = append(merged.Edges, core.Edge{
+			From: k[0], To: k[1], Label: core.Wildcard,
+			Match: core.OrAll(disj...),
+		})
+	}
+
+	res, _, err := match.Match(merged, g, opts)
+	if err != nil {
+		return err
+	}
+	st.MergedMatchs += res.Len()
+
+	// Replay every shared match against each member.
+	for mi, qi := range grp.members {
+		p := ps[qi]
+		ans := core.NewAnswerSet()
+		memberMapping := make(core.Mapping, n)
+		for _, full := range res.Answers() {
+			// full is aligned with merged's vertices (all distinguished).
+			for memV := 0; memV < n; memV++ {
+				memberMapping[memV] = full[inv[mi][memV]]
+			}
+			if core.IsMatch(p, memberMapping, g) {
+				ans.Add(core.Project(p, memberMapping))
+			}
+		}
+		out[qi] = ans
+	}
+	return nil
+}
+
+// remapCond rewrites vertex references through memToRep.
+func remapCond(c core.Cond, memToRep []int) core.Cond {
+	switch t := c.(type) {
+	case nil:
+		return nil
+	case core.True:
+		return t
+	case core.LabelIs:
+		t.X = memToRep[t.X]
+		return t
+	case core.EdgeIs:
+		t.X, t.Y = memToRep[t.X], memToRep[t.Y]
+		return t
+	case core.EdgeExists:
+		t.X = memToRep[t.X]
+		return t
+	case core.AttrCmpConst:
+		t.X = memToRep[t.X]
+		return t
+	case core.AttrCmpAttr:
+		t.X, t.Y = memToRep[t.X], memToRep[t.Y]
+		return t
+	case core.SameAs:
+		t.X, t.Y = memToRep[t.X], memToRep[t.Y]
+		return t
+	case core.And:
+		return core.And{L: remapCond(t.L, memToRep), R: remapCond(t.R, memToRep)}
+	case core.Or:
+		return core.Or{L: remapCond(t.L, memToRep), R: remapCond(t.R, memToRep)}
+	default:
+		panic(fmt.Sprintf("mqo: unknown condition %T", c))
+	}
+}
+
+// labelAsCond renders a concrete vertex label as a condition on the merged
+// (wildcard) vertex.
+func labelAsCond(label string, v int) core.Cond {
+	if label == core.Wildcard {
+		return nil
+	}
+	return core.LabelIs{X: v, Label: label}
+}

@@ -1,0 +1,169 @@
+package mqo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ogpa/internal/core"
+	"ogpa/internal/cq"
+	"ogpa/internal/dllite"
+	"ogpa/internal/graph"
+	"ogpa/internal/match"
+	"ogpa/internal/rewrite"
+)
+
+func paperGraph() *graph.Graph {
+	b := graph.NewBuilder(nil)
+	b.AddLabel("y1", "Teacher")
+	b.AddLabel("y2", "Professor")
+	b.AddLabel("y3", "Student")
+	b.AddLabel("y4", "Student")
+	b.AddLabel("y5", "Article")
+	b.AddLabel("y6", "Course")
+	b.AddEdge("y1", "teaches", "y3")
+	b.AddEdge("y1", "teaches", "y4")
+	b.AddEdge("y2", "teaches", "y3")
+	b.AddEdge("y3", "takes", "y6")
+	b.AddEdge("y4", "takes", "y6")
+	b.AddEdge("y3", "publishes", "y5")
+	return b.Freeze()
+}
+
+// TestGroupingOfSimilarQueries: the paper's Q5/Q6 shapes (minus the
+// optional university vertex) form one group and answer correctly.
+func TestGroupingOfSimilarQueries(t *testing.T) {
+	g := paperGraph()
+	tb := dllite.NewTBox(nil, nil)
+	queries := []*cq.Query{
+		cq.MustParse(`q(x1, x2, x3) :- Professor(x1), teaches(x1, x2), Student(x2), publishes(x2, x3), Article(x3)`),
+		cq.MustParse(`q(x1, x2, x3) :- Teacher(x1), teaches(x1, x2), Student(x2), takes(x2, x3), Course(x3)`),
+	}
+	res, st, err := Answer(queries, tb, g, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups != 1 || st.SharedRuns != 1 {
+		t.Fatalf("stats = %+v, want one shared group", st)
+	}
+	q5 := res[0].Names(g)
+	q6 := res[1].Names(g)
+	if len(q5) != 1 || q5[0] != "y2,y3,y5" {
+		t.Fatalf("Q5 answers = %v", q5)
+	}
+	if len(q6) != 2 || q6[0] != "y1,y3,y6" || q6[1] != "y1,y4,y6" {
+		t.Fatalf("Q6 answers = %v", q6)
+	}
+}
+
+// TestBatchMatchesIndividual: batched answers equal per-query answers on
+// random workloads (the MQO invariant).
+func TestBatchMatchesIndividual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(nil)
+		labels := []string{"A", "B", "C"}
+		preds := []string{"p", "q", "r"}
+		n := 4 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			b.AddLabel(fmt.Sprintf("v%d", i), labels[rng.Intn(len(labels))])
+		}
+		for i := 0; i < n*2; i++ {
+			b.AddEdge(fmt.Sprintf("v%d", rng.Intn(n)), preds[rng.Intn(len(preds))], fmt.Sprintf("v%d", rng.Intn(n)))
+		}
+		g := b.Freeze()
+		tb := dllite.NewTBox([]dllite.ConceptInclusion{
+			{Sub: dllite.Atomic("A"), Sup: dllite.Atomic("B")},
+		}, []dllite.RoleInclusion{
+			{Sub: dllite.Role{Name: "p"}, Sup: dllite.Role{Name: "q"}},
+		})
+
+		// Several shape-identical 2-edge path queries with random preds.
+		var queries []*cq.Query
+		for k := 0; k < 3; k++ {
+			src := fmt.Sprintf(`q(x, y) :- %s(x, y), %s(y, z), %s(x)`,
+				preds[rng.Intn(len(preds))], preds[rng.Intn(len(preds))], labels[rng.Intn(len(labels))])
+			queries = append(queries, cq.MustParse(src))
+		}
+
+		batch, _, err := Answer(queries, tb, g, match.Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for i, q := range queries {
+			res, err := rewrite.Generate(q, tb)
+			if err != nil {
+				return false
+			}
+			want, _, err := match.Match(res.Pattern, g, match.Options{})
+			if err != nil {
+				return false
+			}
+			w, got := want.Names(g), batch[i].Names(g)
+			if len(w) != len(got) {
+				t.Logf("seed %d query %d (%s): individual %v vs batch %v", seed, i, q, w, got)
+				return false
+			}
+			for j := range w {
+				if w[j] != got[j] {
+					t.Logf("seed %d query %d: %v vs %v", seed, i, w, got)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentShapesStaySeparate(t *testing.T) {
+	g := paperGraph()
+	tb := dllite.NewTBox(nil, nil)
+	queries := []*cq.Query{
+		cq.MustParse(`q(x) :- teaches(x, y)`),
+		cq.MustParse(`q(x) :- teaches(x, y), takes(y, z)`),
+	}
+	_, st, err := Answer(queries, tb, g, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups != 2 {
+		t.Fatalf("stats = %+v, want separate groups", st)
+	}
+}
+
+func TestDistinguishedMismatchSeparates(t *testing.T) {
+	g := paperGraph()
+	tb := dllite.NewTBox(nil, nil)
+	queries := []*cq.Query{
+		cq.MustParse(`q(x) :- teaches(x, y)`),
+		cq.MustParse(`q(x, y) :- teaches(x, y)`),
+	}
+	res, st, err := Answer(queries, tb, g, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if res[0].Len() == 0 || res[1].Len() == 0 {
+		t.Fatal("answers missing")
+	}
+}
+
+// TestMergedConditionsRemapped: conditions referencing other vertices are
+// correctly renumbered into the representative's vertex space.
+func TestMergedConditionsRemapped(t *testing.T) {
+	c := remapCond(core.And{
+		L: core.EdgeIs{X: 0, Y: 2, Label: "p"},
+		R: core.Or{L: core.SameAs{X: 1, Y: 2}, R: core.AttrCmpAttr{X: 0, AttrX: "a", Y: 1, AttrY: "b"}},
+	}, []int{5, 6, 7})
+	want := "(p($5,$7) & ($6=$7 | $5.a = $6.b))"
+	if c.String() != want {
+		t.Fatalf("remapped = %s, want %s", c, want)
+	}
+}

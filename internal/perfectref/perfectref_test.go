@@ -1,0 +1,324 @@
+package perfectref
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ogpa/internal/cq"
+	"ogpa/internal/dllite"
+)
+
+// example2TBox is the paper's Example 2: Student ⊑ ∃takesCourse,
+// PhD ⊑ Student, PhD ⊑ ∃advisorOf^-.
+func example2TBox(t *testing.T) *dllite.TBox {
+	t.Helper()
+	tb, err := dllite.ParseTBox(strings.NewReader(`
+Student SubClassOf some takesCourse
+PhD SubClassOf Student
+PhD SubClassOf some advisorOf-
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+const example3Query = `q(x) :- advisorOf(y1, x), advisorOf(y1, y2), advisorOf(y1, y3), takesCourse(x, z)`
+
+// TestExample6 reproduces the paper's Example 6: PerfectRef on the Example 3
+// query under the Example 2 TBox. The UCQ must contain the single-atom
+// disjunct PhD(x) (which makes Ann an answer over A = {PhD(Ann)}) and the
+// disjunct advisorOf(y1,x) ∧ Student(x).
+//
+// Note: the paper lists q12(x) = Student(x) among the results, but that
+// disjunct would be unsound — no axiom of Example 2 gives a plain Student an
+// advisor, so Student(s) alone does not entail q(s). PerfectRef as defined
+// (replace one atom at a time) produces PhD(x) ∧ Student(x) there instead,
+// which is what we generate.
+func TestExample6(t *testing.T) {
+	q := cq.MustParse(example3Query)
+	u, err := Rewrite(q, example2TBox(t), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasPhD, hasAdvStudent, hasOriginal bool
+	for _, d := range u.Queries {
+		if d.Size() == 1 && !d.Atoms[0].IsRole && d.Atoms[0].Pred == "PhD" {
+			hasPhD = true
+		}
+		if d.Size() == 2 {
+			var adv, stu bool
+			for _, a := range d.Atoms {
+				if a.IsRole && a.Pred == "advisorOf" && a.Y == "x" {
+					adv = true
+				}
+				if !a.IsRole && a.Pred == "Student" {
+					stu = true
+				}
+			}
+			if adv && stu {
+				hasAdvStudent = true
+			}
+		}
+		if d.Size() == 4 {
+			hasOriginal = true
+		}
+	}
+	if !hasOriginal {
+		t.Error("UCQ must contain the original query")
+	}
+	if !hasPhD || !hasAdvStudent {
+		t.Errorf("UCQ must contain PhD(x) and advisorOf(y1,x)∧Student(x); got %d disjuncts:\n%s", u.Len(), u)
+	}
+	// Unsound disjuncts must be absent.
+	for _, d := range u.Queries {
+		if d.Size() == 1 && !d.Atoms[0].IsRole && d.Atoms[0].Pred == "Student" {
+			t.Errorf("unsound disjunct Student(x) generated")
+		}
+	}
+	// The paper derives q plus q1–q13; our dedup merges a few intermediate
+	// forms; the rewriting must stay in the same ballpark.
+	if u.Len() < 10 || u.Len() > 40 {
+		t.Errorf("unexpected UCQ size %d", u.Len())
+	}
+}
+
+// TestExample7ExponentialBlowup reproduces the paper's Example 7: the star
+// query under ∃P1 ⊑ ∃P_i yields a UCQ exponential in n.
+func TestExample7ExponentialBlowup(t *testing.T) {
+	build := func(n int) (*cq.Query, *dllite.TBox) {
+		var atoms []string
+		for i := 1; i <= n; i++ {
+			atoms = append(atoms, fmt.Sprintf("P%d(x, y%d)", i, i))
+		}
+		q := cq.MustParse("q(y1) :- " + strings.Join(atoms, ", "))
+		var cis []dllite.ConceptInclusion
+		for i := 2; i <= n; i++ {
+			cis = append(cis, dllite.ConceptInclusion{
+				Sub: dllite.Exists(dllite.Role{Name: "P1"}),
+				Sup: dllite.Exists(dllite.Role{Name: fmt.Sprintf("P%d", i)}),
+			})
+		}
+		return q, dllite.NewTBox(cis, nil)
+	}
+	sizes := map[int]int{}
+	for _, n := range []int{3, 4, 5, 6} {
+		q, tb := build(n)
+		u, err := Rewrite(q, tb, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[n] = u.Len()
+	}
+	// Exponential growth: at least doubling per extra atom.
+	if sizes[4] < 2*sizes[3]-2 || sizes[5] < 2*sizes[4]-2 || sizes[6] < 2*sizes[5]-2 {
+		t.Errorf("expected exponential growth, got %v", sizes)
+	}
+	if sizes[6] < 32 {
+		t.Errorf("n=6 should give ≥ 2^5 disjuncts, got %d", sizes[6])
+	}
+}
+
+func TestRewriteNoOntology(t *testing.T) {
+	q := cq.MustParse(`q(x) :- Student(x)`)
+	u, err := Rewrite(q, dllite.NewTBox(nil, nil), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 1 || u.Queries[0].String() != q.String() {
+		t.Fatalf("empty TBox should be the identity rewriting: %v", u)
+	}
+}
+
+func TestRoleInclusionsAlwaysApply(t *testing.T) {
+	// headOf ⊑ worksFor: worksFor(x,y) with *bound* y still rewrites.
+	tb, err := dllite.ParseTBox(strings.NewReader("headOf SubPropertyOf worksFor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParse(`q(x, y) :- worksFor(x, y)`)
+	u, err := Rewrite(q, tb, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 2 {
+		t.Fatalf("UCQ = %v", u)
+	}
+	found := false
+	for _, d := range u.Queries {
+		if d.Atoms[0].Pred == "headOf" && d.Atoms[0].X == "x" && d.Atoms[0].Y == "y" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("headOf(x,y) missing: %v", u)
+	}
+}
+
+func TestInverseRoleInclusion(t *testing.T) {
+	// advisee^- ⊑ advisorOf (I3): advisorOf(x,y) rewrites to advisee(y,x).
+	tb := dllite.NewTBox(nil, []dllite.RoleInclusion{
+		{Sub: dllite.Role{Name: "advisee", Inv: true}, Sup: dllite.Role{Name: "advisorOf"}},
+	})
+	q := cq.MustParse(`q(x, y) :- advisorOf(x, y)`)
+	u, err := Rewrite(q, tb, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range u.Queries {
+		if d.Atoms[0].Pred == "advisee" && d.Atoms[0].X == "y" && d.Atoms[0].Y == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("advisee(y,x) missing: %v", u)
+	}
+}
+
+func TestExistentialAppliesOnlyToUnbound(t *testing.T) {
+	// A ⊑ ∃P. q(x) :- P(x, y), Q(y, z): y is bound, so A(x) must NOT appear.
+	tb := dllite.NewTBox([]dllite.ConceptInclusion{
+		{Sub: dllite.Atomic("A"), Sup: dllite.Exists(dllite.Role{Name: "P"})},
+	}, nil)
+	qBound := cq.MustParse(`q(x) :- P(x, y), Q(y, z)`)
+	u, err := Rewrite(qBound, tb, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range u.Queries {
+		for _, a := range d.Atoms {
+			if a.Pred == "A" {
+				t.Fatalf("A(x) must not be derived for bound y: %v", u)
+			}
+		}
+	}
+	// With unbound y it must appear.
+	qUnbound := cq.MustParse(`q(x) :- P(x, _)`)
+	u2, err := Rewrite(qUnbound, tb, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range u2.Queries {
+		if d.Size() == 1 && d.Atoms[0].Pred == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("A(x) missing for unbound y: %v", u2)
+	}
+}
+
+func TestReductionEnablesDeduction(t *testing.T) {
+	// The heart of PerfectRef: q(x) :- P(x,y), P(z,y) — neither occurrence
+	// is unbound, but after unifying the two atoms y becomes unbound and
+	// A ⊑ ∃P applies.
+	tb := dllite.NewTBox([]dllite.ConceptInclusion{
+		{Sub: dllite.Atomic("A"), Sup: dllite.Exists(dllite.Role{Name: "P"})},
+	}, nil)
+	q := cq.MustParse(`q(x) :- P(x, y), P(z, y)`)
+	u, err := Rewrite(q, tb, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range u.Queries {
+		if d.Size() == 1 && d.Atoms[0].Pred == "A" && !d.Atoms[0].IsRole {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reduction should enable A(x): %v", u)
+	}
+}
+
+func TestLimits(t *testing.T) {
+	q := cq.MustParse(example3Query)
+	if _, err := Rewrite(q, example2TBox(t), Limits{MaxQueries: 2}); err != ErrLimit {
+		t.Fatalf("MaxQueries: err = %v", err)
+	}
+	if _, err := Rewrite(q, example2TBox(t), Limits{Timeout: time.Nanosecond}); err != ErrLimit {
+		t.Fatalf("Timeout: err = %v", err)
+	}
+}
+
+func TestRewriteOptimizedPrunes(t *testing.T) {
+	q := cq.MustParse(example3Query)
+	tb := example2TBox(t)
+	full, err := Rewrite(q, tb, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := RewriteOptimized(q, tb, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Len() >= full.Len() {
+		t.Fatalf("optimized UCQ (%d) should be smaller than classic (%d)", opt.Len(), full.Len())
+	}
+	// The minimal cover here is exactly {advisorOf∧takesCourse,
+	// advisorOf∧Student, PhD}: every other disjunct is subsumed.
+	if opt.Len() != 3 {
+		t.Fatalf("optimized UCQ should have 3 disjuncts, got %d:\n%s", opt.Len(), opt)
+	}
+	hasPhD := false
+	for _, d := range opt.Queries {
+		if d.Size() == 1 && d.Atoms[0].Pred == "PhD" {
+			hasPhD = true
+		}
+	}
+	if !hasPhD {
+		t.Fatalf("pruning removed the non-redundant disjunct PhD(x):\n%s", opt)
+	}
+	if opt.Size() > full.Size() {
+		t.Fatal("optimized Size should not exceed classic")
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	small := cq.MustParse(`q(x) :- P(x, y)`)
+	big := cq.MustParse(`q(x) :- P(x, y), P(x, z), R(z)`)
+	if !Subsumes(small, big) {
+		t.Fatal("small maps into big")
+	}
+	if Subsumes(big, small) {
+		t.Fatal("big cannot map into small")
+	}
+	// Head variables must be fixed.
+	other := cq.MustParse(`q(x) :- P(y, x)`)
+	if Subsumes(small, other) || Subsumes(other, small) {
+		t.Fatal("direction matters for head variables")
+	}
+}
+
+func TestIsoEqual(t *testing.T) {
+	a := cq.MustParse(`q(x) :- P(x, y), Q(y, z)`)
+	b := cq.MustParse(`q(x) :- Q(w, v), P(x, w)`)
+	if !isoEqual(a, b) {
+		t.Fatal("renamed/reordered queries are isomorphic")
+	}
+	c := cq.MustParse(`q(x) :- P(x, y), Q(z, y)`)
+	if isoEqual(a, c) {
+		t.Fatal("different shapes must not be isomorphic")
+	}
+	d := cq.MustParse(`q(x) :- P(x, y), Q(y, y)`)
+	if isoEqual(a, d) {
+		t.Fatal("variable merging must be detected")
+	}
+}
+
+func TestUCQStringAndSize(t *testing.T) {
+	u := &UCQ{Queries: []*cq.Query{
+		cq.MustParse(`q(x) :- P(x, y)`),
+		cq.MustParse(`q(x) :- A(x)`),
+	}}
+	if u.Size() != 2 || u.Len() != 2 {
+		t.Fatalf("Size=%d Len=%d", u.Size(), u.Len())
+	}
+	if !strings.Contains(u.String(), "∪") {
+		t.Fatal("String should join disjuncts")
+	}
+}

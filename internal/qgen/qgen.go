@@ -1,0 +1,212 @@
+// Package qgen generates the query workloads of the paper's evaluation:
+// random-walk conjunctive queries over a data graph (the standard strategy
+// of the subgraph-matching literature the paper follows), an
+// ontology-aware *generalization* step (atoms are replaced by super
+// concepts/roles so that the ontology actually constrains each query), and
+// the fixed "real-life" query sets (LUBM's 14 benchmark queries adapted to
+// the schema, 10 OWL2Bench-style queries, and 10 simple DBpedia/LSQ-style
+// queries).
+package qgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ogpa/internal/cq"
+	"ogpa/internal/dllite"
+	"ogpa/internal/graph"
+)
+
+// Config parameterizes RandomWalk.
+type Config struct {
+	Size  int // atoms per query (|Q| in the paper: 4, 8, 12, 16)
+	Count int // queries per set (paper: 100)
+	Seed  int64
+	// ConceptAtomProb is the chance an emitted atom is a concept atom on
+	// the current vertex instead of walking an edge.
+	ConceptAtomProb float64
+	// GeneralizeProb is the per-atom chance of replacing its predicate with
+	// a direct super concept/role from the ontology.
+	GeneralizeProb float64
+	// DistinguishedProb marks each variable distinguished with this
+	// probability (at least one always is).
+	DistinguishedProb float64
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig(size int, seed int64) Config {
+	return Config{
+		Size:              size,
+		Count:             100,
+		Seed:              seed,
+		ConceptAtomProb:   0.25,
+		GeneralizeProb:    0.5,
+		DistinguishedProb: 0.3,
+	}
+}
+
+// RandomWalk generates cfg.Count connected CQs of cfg.Size atoms by random
+// walks on g, then generalizes them against t. Every returned query has at
+// least one answer in g by construction (the walk itself is an embedding,
+// and generalization only widens the answer set).
+func RandomWalk(g *graph.Graph, t *dllite.TBox, cfg Config) []*cq.Query {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sup := newSupIndex(t)
+	var out []*cq.Query
+	attempts := 0
+	for len(out) < cfg.Count && attempts < cfg.Count*50 {
+		attempts++
+		q := walkOnce(g, rng, cfg)
+		if q == nil {
+			continue
+		}
+		if cfg.GeneralizeProb > 0 {
+			generalize(q, sup, rng, cfg.GeneralizeProb)
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func walkOnce(g *graph.Graph, rng *rand.Rand, cfg Config) *cq.Query {
+	if g.NumVertices() == 0 {
+		return nil
+	}
+	start := graph.VID(rng.Intn(g.NumVertices()))
+	if g.Degree(start) == 0 {
+		return nil
+	}
+	varOf := map[graph.VID]string{}
+	nextVar := 0
+	getVar := func(v graph.VID) string {
+		if name, ok := varOf[v]; ok {
+			return name
+		}
+		name := fmt.Sprintf("x%d", nextVar)
+		nextVar++
+		varOf[v] = name
+		return name
+	}
+
+	q := &cq.Query{Name: "q"}
+	seenAtoms := map[cq.Atom]bool{}
+	add := func(a cq.Atom) bool {
+		if seenAtoms[a] {
+			return false
+		}
+		seenAtoms[a] = true
+		q.Atoms = append(q.Atoms, a)
+		return true
+	}
+
+	cur := start
+	guard := 0
+	for len(q.Atoms) < cfg.Size && guard < cfg.Size*20 {
+		guard++
+		if rng.Float64() < cfg.ConceptAtomProb {
+			ls := g.Labels(cur)
+			if len(ls) > 0 {
+				l := ls[rng.Intn(len(ls))]
+				if add(cq.ConceptAtom(g.Symbols.Name(l), getVar(cur))) {
+					continue
+				}
+			}
+		}
+		outs, ins := g.Out(cur), g.In(cur)
+		if len(outs)+len(ins) == 0 {
+			// Dead end: restart from a previously visited vertex.
+			for v := range varOf {
+				if g.Degree(v) > 0 {
+					cur = v
+					break
+				}
+			}
+			continue
+		}
+		pick := rng.Intn(len(outs) + len(ins))
+		if pick < len(outs) {
+			h := outs[pick]
+			add(cq.RoleAtom(g.Symbols.Name(h.Label), getVar(cur), getVar(h.To)))
+			cur = h.To
+		} else {
+			h := ins[pick-len(outs)]
+			add(cq.RoleAtom(g.Symbols.Name(h.Label), getVar(h.To), getVar(cur)))
+			cur = h.To
+		}
+	}
+	if len(q.Atoms) < cfg.Size {
+		return nil
+	}
+
+	// Distinguished variables: random subset, at least one.
+	vars := q.Vars()
+	for _, v := range vars {
+		if rng.Float64() < cfg.DistinguishedProb {
+			q.Head = append(q.Head, v)
+		}
+	}
+	if len(q.Head) == 0 {
+		q.Head = append(q.Head, vars[rng.Intn(len(vars))])
+	}
+	return q
+}
+
+// supIndex resolves direct super concepts/roles (the inverse of the TBox's
+// subsumee indexes).
+type supIndex struct {
+	supConcept map[string][]string
+	supRole    map[string][]string
+}
+
+func newSupIndex(t *dllite.TBox) *supIndex {
+	s := &supIndex{supConcept: map[string][]string{}, supRole: map[string][]string{}}
+	for _, ci := range t.CIs {
+		if !ci.Sub.Exists && !ci.Sup.Exists {
+			s.supConcept[ci.Sub.Name] = append(s.supConcept[ci.Sub.Name], ci.Sup.Name)
+		}
+	}
+	for _, ri := range t.RIs {
+		if !ri.Sub.Inv { // only direction-preserving generalizations
+			s.supRole[ri.Sub.Name] = append(s.supRole[ri.Sub.Name], ri.Sup.Name)
+		}
+	}
+	return s
+}
+
+// generalize replaces atom predicates by direct supers with probability p,
+// ensuring the ontology constrains the query (paper Section VI, Queries).
+func generalize(q *cq.Query, sup *supIndex, rng *rand.Rand, p float64) {
+	generalized := false
+	for i := range q.Atoms {
+		if rng.Float64() >= p {
+			continue
+		}
+		a := &q.Atoms[i]
+		if a.IsRole {
+			if sups := sup.supRole[a.Pred]; len(sups) > 0 {
+				a.Pred = sups[rng.Intn(len(sups))]
+				generalized = true
+			}
+		} else {
+			if sups := sup.supConcept[a.Pred]; len(sups) > 0 {
+				a.Pred = sups[rng.Intn(len(sups))]
+				generalized = true
+			}
+		}
+	}
+	// Force at least one generalization when possible, so rules apply.
+	if !generalized {
+		for i := range q.Atoms {
+			a := &q.Atoms[i]
+			if a.IsRole {
+				if sups := sup.supRole[a.Pred]; len(sups) > 0 {
+					a.Pred = sups[0]
+					return
+				}
+			} else if sups := sup.supConcept[a.Pred]; len(sups) > 0 {
+				a.Pred = sups[0]
+				return
+			}
+		}
+	}
+}

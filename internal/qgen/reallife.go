@@ -1,0 +1,88 @@
+package qgen
+
+import "ogpa/internal/cq"
+
+// LUBMQueries returns the 14 LUBM benchmark queries, hand-translated onto
+// this repository's LUBM schema (the original SPARQL queries use the same
+// predicates; queries relying on features outside CQs — e.g. Q4's
+// datatype-property projections — are restricted to their CQ core, as is
+// standard for OWL 2 QL evaluations).
+func LUBMQueries() []*cq.Query {
+	srcs := []string{
+		// Q1: graduate students taking a specific-course shape.
+		`q1(x) :- GraduateStudent(x), takesCourse(x, y), GraduateCourse(y)`,
+		// Q2: graduate students member of a department of their university.
+		`q2(x, y, z) :- GraduateStudent(x), memberOf(x, y), Department(y), subOrganizationOf(y, z), University(z), degreeFrom(x, z)`,
+		// Q3: publications of a professor.
+		`q3(x) :- Publication(x), publicationAuthor(x, y), AssistantProfessor(y)`,
+		// Q4: professors working for a department.
+		`q4(x) :- Professor(x), worksFor(x, y), Department(y)`,
+		// Q5: members of a department.
+		`q5(x) :- Person(x), memberOf(x, y), Department(y)`,
+		// Q6: all students.
+		`q6(x) :- Student(x)`,
+		// Q7: courses taken from a professor's teaching.
+		`q7(x, y) :- Student(x), takesCourse(x, y), Course(y), teacherOf(z, y), AssociateProfessor(z)`,
+		// Q8: students member of departments of a university.
+		`q8(x, y) :- Student(x), memberOf(x, y), Department(y), subOrganizationOf(y, z), University(z)`,
+		// Q9: student-advisor-course triangle.
+		`q9(x, y, z) :- Student(x), Faculty(y), Course(z), advisor(x, y), teacherOf(y, z), takesCourse(x, z)`,
+		// Q10: students taking a course.
+		`q10(x) :- Student(x), takesCourse(x, y), GraduateCourse(y)`,
+		// Q11: research groups of a university.
+		`q11(x) :- ResearchGroup(x), subOrganizationOf(x, y), University(y)`,
+		// Q12: chairs heading departments of a university.
+		`q12(x, y) :- Chair(x), Department(y), worksFor(x, y), subOrganizationOf(y, z), University(z)`,
+		// Q13: alumni of a university.
+		`q13(x) :- Person(x), degreeFrom(x, y), University(y)`,
+		// Q14: all undergraduate students.
+		`q14(x) :- UndergraduateStudent(x)`,
+	}
+	return parseAll(srcs)
+}
+
+// OWL2BenchQueries returns 10 queries in the style of the OWL2Bench SPARQL
+// workload, over this repository's OWL2Bench schema.
+func OWL2BenchQueries() []*cq.Query {
+	srcs := []string{
+		`q1(x) :- Student(x)`,
+		`q2(x) :- PGStudent(x), hasAdvisor(x, y), Professor(y)`,
+		`q3(x, y) :- Faculty(x), teachesCourse(x, y), Course(y)`,
+		`q4(x) :- Person(x), attendsEvent(x, y), Event(y)`,
+		`q5(x, y) :- Department(x), partOfUniversity(x, y), University(y)`,
+		`q6(x) :- Student(x), takesCourse(x, y), teachesCourse(z, y), Professor(z)`,
+		`q7(x) :- Employee(x), worksFor(x, y), Department(y), partOfUniversity(y, z)`,
+		`q8(x, y) :- Person(x), authorOf(x, y), Publication(y)`,
+		`q9(x) :- Student(x), enrollFor(x, y), Degree(y)`,
+		`q10(x) :- Organization(x), organizes(x, y), Event(y)`,
+	}
+	return parseAll(srcs)
+}
+
+// DBpediaQueries returns 10 simple queries in the style of the LSQ query
+// log (user SPARQL queries against DBpedia): over 70% have fewer than 4
+// atoms, as the paper reports. The predicates address the top of the
+// synthetic DBpedia hierarchy, which carries the bulk of the instances.
+func DBpediaQueries() []*cq.Query {
+	srcs := []string{
+		`q1(x) :- C000(x)`,
+		`q2(x) :- C001(x), prop000(x, y)`,
+		`q3(x, y) :- prop001(x, y)`,
+		`q4(x) :- C002(x), prop002(x, y), C003(y)`,
+		`q5(x) :- prop003(x, y), prop004(y, z)`,
+		`q6(x, y) :- C004(x), prop005(x, y)`,
+		`q7(x) :- C005(x), prop006(x, y), prop007(y, z)`,
+		`q8(x) :- prop008(x, y), C006(y)`,
+		`q9(x, y, z) :- prop009(x, y), prop010(y, z), C007(z)`,
+		`q10(x) :- C008(x), prop011(x, y), C009(y), prop012(y, z)`,
+	}
+	return parseAll(srcs)
+}
+
+func parseAll(srcs []string) []*cq.Query {
+	out := make([]*cq.Query, len(srcs))
+	for i, s := range srcs {
+		out[i] = cq.MustParse(s)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ogpa/internal/graph"
+)
+
+func parseAll(t *testing.T, src string) []Triple {
+	t.Helper()
+	var out []Triple
+	if err := ParseTriples(strings.NewReader(src), func(tr Triple) error {
+		out = append(out, tr)
+		return nil
+	}); err != nil {
+		t.Fatalf("ParseTriples: %v", err)
+	}
+	return out
+}
+
+func TestParseIRITriple(t *testing.T) {
+	ts := parseAll(t, `<http://ex.org/ann> <http://ex.org/advisorOf> <http://ex.org/bob> .`)
+	if len(ts) != 1 {
+		t.Fatalf("got %d triples", len(ts))
+	}
+	tr := ts[0]
+	if tr.Subject != "http://ex.org/ann" || tr.Predicate != "http://ex.org/advisorOf" || tr.Object != "http://ex.org/bob" || tr.Kind != ObjectIRI {
+		t.Fatalf("triple = %+v", tr)
+	}
+}
+
+func TestParseBareNamesAndTypeShorthand(t *testing.T) {
+	ts := parseAll(t, "ann a PhD .\nann takesCourse course1 .")
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples", len(ts))
+	}
+	if ts[0].Predicate != TypePredicate || ts[0].Object != "PhD" {
+		t.Fatalf("type triple = %+v", ts[0])
+	}
+	if ts[1].Predicate != "takesCourse" {
+		t.Fatalf("edge triple = %+v", ts[1])
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	src := `c1 year "2023"^^<http://www.w3.org/2001/XMLSchema#integer> .
+c1 score "2.5"^^xsd:decimal .
+c1 name "Intro \"DB\"" .
+c1 code "42" .
+`
+	ts := parseAll(t, src)
+	if len(ts) != 4 {
+		t.Fatalf("got %d triples", len(ts))
+	}
+	if ts[0].Kind != ObjectInt || ts[0].Int != 2023 {
+		t.Fatalf("int literal = %+v", ts[0])
+	}
+	if ts[1].Kind != ObjectFloat || ts[1].Float != 2.5 {
+		t.Fatalf("float literal = %+v", ts[1])
+	}
+	if ts[2].Kind != ObjectString || ts[2].Object != `Intro "DB"` {
+		t.Fatalf("string literal = %+v", ts[2])
+	}
+	// Untyped numeric literal is promoted to int.
+	if ts[3].Kind != ObjectInt || ts[3].Int != 42 {
+		t.Fatalf("untyped numeric literal = %+v", ts[3])
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	ts := parseAll(t, "# comment\n\nann a PhD .\n")
+	if len(ts) != 1 {
+		t.Fatalf("got %d triples", len(ts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<unterminated <p> <o> .`,
+		`s .`,
+		`s p "unterminated .`,
+		`s p o junk junk .`,
+		`s "literal-predicate" o .`,
+		`s p "x"^^<unterminated .`,
+		`s p "3x"^^xsd:integer .`,
+		`s p "3x"^^xsd:decimal .`,
+	}
+	for _, src := range bad {
+		err := ParseTriples(strings.NewReader(src), func(Triple) error { return nil })
+		if err == nil {
+			t.Errorf("no error for %q", src)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("error for %q is %T, want *ParseError", src, err)
+		}
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := map[string]string{
+		"http://ex.org/onto#Student": "Student",
+		"http://ex.org/Student":      "Student",
+		"Student":                    "Student",
+	}
+	for in, want := range cases {
+		if got := LocalName(in); got != want {
+			t.Errorf("LocalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTransform(t *testing.T) {
+	src := `<http://ex.org/ann> <` + TypePredicate + `> <http://ex.org/o#PhD> .
+<http://ex.org/ann> <http://ex.org/o#takesCourse> <http://ex.org/c1> .
+<http://ex.org/c1> <http://ex.org/o#year> "2023"^^xsd:integer .
+`
+	b := graph.NewBuilder(nil)
+	n, err := Transform(strings.NewReader(src), b, TransformOptions{UseLocalNames: true})
+	if err != nil || n != 3 {
+		t.Fatalf("Transform = %d, %v", n, err)
+	}
+	g := b.Freeze()
+	ann := g.VertexByName("ann")
+	if ann == graph.NoVID {
+		t.Fatal("vertex ann missing after local-name transform")
+	}
+	if !g.HasLabel(ann, g.Symbols.Lookup("PhD")) {
+		t.Fatal("rdf:type did not become a label")
+	}
+	c1 := g.VertexByName("c1")
+	if !g.HasEdge(ann, g.Symbols.Lookup("takesCourse"), c1) {
+		t.Fatal("resource-object triple did not become an edge")
+	}
+	if v, ok := g.Attribute(c1, g.Symbols.Lookup("year")); !ok || v.Int != 2023 {
+		t.Fatal("literal-object triple did not become an attribute")
+	}
+}
+
+// TestWriteParseRoundTrip is a property test: any triple we can write must
+// parse back to itself.
+func TestWriteParseRoundTrip(t *testing.T) {
+	f := func(s, p, o string, n int64, fl float64, kind uint8) bool {
+		clean := func(x string) string {
+			x = strings.Map(func(r rune) rune {
+				if r < 32 || r == '<' || r == '>' || r == '"' || r == '\\' || r > 126 {
+					return 'x'
+				}
+				return r
+			}, x)
+			if x == "" {
+				x = "n"
+			}
+			return x
+		}
+		tr := Triple{Subject: clean(s), Predicate: clean(p), Kind: ObjectKind(kind % 4)}
+		switch tr.Kind {
+		case ObjectIRI:
+			tr.Object = clean(o)
+		case ObjectString:
+			tr.Object = clean(o)
+			// Writer quotes with %q; our reader handles standard escapes, so
+			// restrict to printable ASCII (already done by clean).
+		case ObjectInt:
+			tr.Int = n
+		case ObjectFloat:
+			tr.Float = fl
+		}
+		var buf bytes.Buffer
+		if err := WriteTriple(&buf, tr); err != nil {
+			return false
+		}
+		var got Triple
+		if err := ParseTriples(&buf, func(x Triple) error { got = x; return nil }); err != nil {
+			return false
+		}
+		// Untyped ints: a written string "123" parses as a string because the
+		// writer always quotes with no datatype... actually the parser
+		// promotes; accept that case.
+		if tr.Kind == ObjectString {
+			if _, err := parseIntStrict(tr.Object); err == nil {
+				return got.Kind == ObjectInt || got.Object == tr.Object
+			}
+		}
+		return got == tr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func parseIntStrict(s string) (int64, error) {
+	var n int64
+	var err error
+	n, err = parseInt(s)
+	return n, err
+}
+
+func parseInt(s string) (int64, error) {
+	var n int64
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	if s == "" {
+		return 0, &ParseError{0, "empty"}
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, &ParseError{0, "not a digit"}
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}

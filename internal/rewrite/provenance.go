@@ -1,0 +1,130 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ogpa/internal/dllite"
+)
+
+// Provenance explains where each generated condition came from: the chain
+// of TBox inclusions that derived it from an atom of the input query.
+// Reconstruction uses the parent pointers recorded during the subsumee
+// closures, so it costs nothing unless asked for.
+
+// provStep records how a concept was first reached during the closure of
+// one root: from which parent concept and via which inclusion.
+type provStep struct {
+	parent dllite.Concept
+	via    string
+}
+
+// derivation reconstructs the inclusion chain root → … → target for a
+// closure previously computed by subsumees(root).
+func (s *state) derivation(root, target dllite.Concept) []string {
+	steps, ok := s.provMemo[root]
+	if !ok {
+		return nil
+	}
+	var chain []string
+	cur := target
+	for cur != root {
+		st, ok := steps[cur]
+		if !ok {
+			return nil
+		}
+		chain = append(chain, st.via)
+		cur = st.parent
+	}
+	// Reverse: derivations read root-first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// ExplainProvenance renders, for every vertex alternative and omission
+// justification of the result, the inclusion chain that produced it.
+// Original-atom conditions (empty chains) are listed as "from the query".
+func (r *Result) ExplainProvenance() string {
+	if r.state == nil {
+		return ""
+	}
+	var b strings.Builder
+	s := r.state
+	for x, groups := range r.VertexAltGroups {
+		for gi, group := range groups {
+			if len(group) == 0 {
+				continue
+			}
+			root := s.groupRoots[x][gi]
+			for _, alt := range group {
+				fmt.Fprintf(&b, "C^l(%s) ∋ %s", s.vars[x], renderAlt(alt, s.vars[x]))
+				writeChain(&b, s.derivation(root, altToConcept(alt)))
+			}
+		}
+	}
+	for ei, alts := range r.EdgeAlts {
+		e := s.edges[ei]
+		root := dllite.Exists(dllite.Role{Name: e.role})
+		for _, alt := range alts {
+			fmt.Fprintf(&b, "C^l(%s,%s) ∋ %s", s.vars[e.from], s.vars[e.to], renderEdgeAlt(alt, s.vars[e.from], s.vars[e.to]))
+			writeChain(&b, s.derivation(root, edgeAltConcept(alt, true)))
+		}
+	}
+	for x, oms := range r.OmitSets {
+		for _, j := range oms {
+			fmt.Fprintf(&b, "C^o(%s) ∋ %s", s.vars[x], renderOmit(j, s.vars))
+			// Omission provenance chains span reductions; report the final
+			// producing inclusion set instead of a full chain.
+			b.WriteString("   [deduced: rules r11/r12 + reduction]\n")
+		}
+	}
+	return b.String()
+}
+
+func writeChain(b *strings.Builder, chain []string) {
+	if len(chain) == 0 {
+		b.WriteString("   [from the query]\n")
+		return
+	}
+	fmt.Fprintf(b, "   [%s]\n", strings.Join(chain, " ; "))
+}
+
+func renderAlt(a VertexAlt, v string) string {
+	if a.Kind == AltConcept {
+		return fmt.Sprintf("%s(%s)", a.Name, v)
+	}
+	if a.Out {
+		return fmt.Sprintf("%s(%s,_)", a.Name, v)
+	}
+	return fmt.Sprintf("%s(_,%s)", a.Name, v)
+}
+
+func renderEdgeAlt(a EdgeAlt, from, to string) string {
+	if a.Rev {
+		return fmt.Sprintf("%s(%s,%s)", a.Role, to, from)
+	}
+	return fmt.Sprintf("%s(%s,%s)", a.Role, from, to)
+}
+
+func renderOmit(j OmitJust, vars []string) string {
+	var base string
+	if j.Atom.Kind == OmitConcept {
+		base = fmt.Sprintf("%s(%s)", j.Atom.Name, vars[j.Atom.V])
+	} else if j.Atom.Out {
+		base = fmt.Sprintf("%s(%s,_)", j.Atom.Name, vars[j.Atom.V])
+	} else {
+		base = fmt.Sprintf("%s(_,%s)", j.Atom.Name, vars[j.Atom.V])
+	}
+	if len(j.Same) > 0 {
+		var eqs []string
+		for _, z := range j.Same {
+			eqs = append(eqs, fmt.Sprintf("%s=%s", vars[z], vars[j.Atom.V]))
+		}
+		sort.Strings(eqs)
+		base += " ∧ " + strings.Join(eqs, " ∧ ")
+	}
+	return base
+}

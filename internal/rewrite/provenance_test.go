@@ -1,0 +1,60 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"ogpa/internal/cq"
+	"ogpa/internal/dllite"
+)
+
+func TestExplainProvenance(t *testing.T) {
+	tb, err := dllite.ParseTBox(strings.NewReader(`
+Processor SubClassOf Hardware
+GPU SubClassOf Processor
+some teaches SubClassOf Hardware
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(cq.MustParse(`q(x) :- Hardware(x)`), tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.ExplainProvenance()
+	if !strings.Contains(out, "Hardware(x)   [from the query]") {
+		t.Fatalf("missing query-origin line:\n%s", out)
+	}
+	if !strings.Contains(out, "Processor(x)   [Processor SubClassOf Hardware]") {
+		t.Fatalf("missing one-step derivation:\n%s", out)
+	}
+	// Two-step chain: GPU ⊑ Processor ⊑ Hardware.
+	if !strings.Contains(out, "GPU(x)   [Processor SubClassOf Hardware ; GPU SubClassOf Processor]") {
+		t.Fatalf("missing chained derivation:\n%s", out)
+	}
+	// I8-introduced edge-existence alternative.
+	if !strings.Contains(out, "teaches(x,_)   [some teaches SubClassOf Hardware]") {
+		t.Fatalf("missing exists derivation:\n%s", out)
+	}
+}
+
+func TestProvenanceEdgeAndOmit(t *testing.T) {
+	tb, err := dllite.ParseTBox(strings.NewReader(`
+headOf SubPropertyOf worksFor
+Student SubClassOf some takesCourse
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(cq.MustParse(`q(x) :- worksFor(x, y), takesCourse(x, z)`), tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.ExplainProvenance()
+	if !strings.Contains(out, "headOf(x,y)   [headOf SubPropertyOf worksFor]") {
+		t.Fatalf("missing role derivation:\n%s", out)
+	}
+	if !strings.Contains(out, "C^o(z) ∋ Student(x)") {
+		t.Fatalf("missing omission provenance:\n%s", out)
+	}
+}

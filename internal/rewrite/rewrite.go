@@ -1,0 +1,871 @@
+// Package rewrite implements GenOGP (paper Section IV): a PTIME algorithm
+// that, given a conjunctive query q and a DL-Lite_R TBox T, generates a
+// single ontological graph pattern Q with Q ≡_T q — equivalent to the
+// worst-case exponential UCQ produced by PerfectRef, but of polynomial size.
+//
+// Following the paper's strategy, GenOGP maintains *disjunctive condition
+// sets* instead of a set of rewritten queries:
+//
+//   - C^l(x): vertex alternatives — "x carries label A" or "x has an
+//     incident P-edge" (the latter introduced by rules r7–r10 of Table II);
+//   - C^l(e): edge alternatives — (role, orientation) pairs, where the
+//     reversed orientation encodes inverse-role rewritings (rule r4);
+//   - C^o(x): omission justifications — conditions on *other* vertices
+//     under which x (and its incident edges) may be dropped from a match
+//     (rules r11–r12, i.e. inclusions I10/I11 removing atoms);
+//   - U(x): effective unboundness, seeded from the input query and extended
+//     by LazyReduction.
+//
+// CondDeduction closes all sets under the deduction rules of Table II; the
+// closure of a constraint is exactly the set of concepts subsumed by it in
+// T (following both concept inclusions and role-inclusion-induced ∃
+// subsumptions). LazyReduction merges same-label, same-orientation edges
+// around a hub whose far endpoints are unbound — the paper's answer to the
+// exponential Reduction step of PerfectRef — and may turn the hub itself
+// unbound, feeding new deductions. Omission justifications cascade: if
+// C^o(w) references a vertex that is itself omittable, the referenced
+// vertex's justifications are inherited, so whole dependent fringes can be
+// omitted together (paper Example 10: answering with PhD(Ann) only).
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"ogpa/internal/core"
+	"ogpa/internal/cq"
+	"ogpa/internal/dllite"
+)
+
+// AltKind discriminates vertex alternatives.
+type AltKind uint8
+
+// Vertex alternative kinds.
+const (
+	AltConcept    AltKind = iota // x carries label Name
+	AltEdgeExists                // x has an out (Out) or in edge labeled Name
+)
+
+// VertexAlt is one disjunct of a vertex matching condition C^l(x).
+type VertexAlt struct {
+	Kind AltKind
+	Name string
+	Out  bool
+}
+
+// EdgeAlt is one disjunct of an edge matching condition C^l(e): the data
+// edge carries label Role; Rev means it runs against the pattern edge's
+// direction (an inverse-role rewriting).
+type EdgeAlt struct {
+	Role string
+	Rev  bool
+}
+
+// OmitKind discriminates omission justifications.
+type OmitKind uint8
+
+// Omission justification kinds.
+const (
+	OmitConcept    OmitKind = iota // vertex V carries label Name
+	OmitEdgeExists                 // vertex V has an incident Name-edge (Out)
+)
+
+// OmitAtom is the base condition of one omission justification: a label or
+// an incident edge on vertex V.
+type OmitAtom struct {
+	Kind OmitKind
+	V    int
+	Name string
+	Out  bool
+}
+
+// OmitJust is one disjunct of an omission condition C^o(x): the base atom,
+// optionally gated by equalities.
+//
+// Plain (ungated) justifications arise from inclusions I10/I11 removing an
+// atom whose unbound endpoint is dropped, and from merges of unbound leaf
+// endpoints: the base atom on the kept vertex witnesses every merged atom
+// at once (their most general unifier), and because the dropped vertices
+// are existential the witness need not coincide with their matches.
+//
+// Gated justifications (Same non-empty) arise when LazyReduction unifies a
+// *bound* far endpoint z with the kept vertex: PerfectRef's reduced query
+// identifies z with the kept vertex, so the justification only applies to
+// matches where h(z) = h(kept) — z's remaining constraints then hold at the
+// kept vertex exactly as in the reduced query. This corner of Reduction is
+// glossed over in the paper; without the gate the rewriting is unsound, and
+// without handling it at all the rewriting is incomplete.
+type OmitJust struct {
+	Atom OmitAtom
+	Same []int // vertices that must coincide with Atom.V (sorted)
+}
+
+func (j OmitJust) key() string {
+	k := fmt.Sprintf("%d/%d/%s/%v", j.Atom.Kind, j.Atom.V, j.Atom.Name, j.Atom.Out)
+	for _, v := range j.Same {
+		k += fmt.Sprintf("~%d", v)
+	}
+	return k
+}
+
+// Result is the output of GenOGP: the compiled OGP plus the raw condition
+// sets (exposed for the paper's #COND metric, tests and explain output).
+type Result struct {
+	Query   *cq.Query
+	Pattern *core.Pattern
+
+	// VertexAltGroups[x] holds one closed alternative set per concept atom
+	// of the variable (conjunctive groups; normally ≤ 1 per the paper).
+	VertexAltGroups [][][]VertexAlt
+	EdgeAlts        [][]EdgeAlt
+	OmitSets        [][]OmitJust
+	Unbound         []bool
+	Iterations      int
+
+	state *state // retained for provenance explanations
+}
+
+// CondCount is the paper's #COND metric: total number of condition
+// disjuncts attached to the generated OGP.
+func (r *Result) CondCount() int {
+	n := 0
+	for _, groups := range r.VertexAltGroups {
+		for _, g := range groups {
+			n += len(g)
+		}
+	}
+	for _, as := range r.EdgeAlts {
+		n += len(as)
+	}
+	for _, os := range r.OmitSets {
+		n += len(os)
+	}
+	return n
+}
+
+type edgeInfo struct {
+	from, to int
+	role     string // the original atom's role
+	merged   bool   // LazyReduction folded this edge into a kept sibling
+
+	// rootsFrom/rootsTo are the alternatives (in this edge's orientation)
+	// that may seed *existential* deduction when the respective endpoint is
+	// unbound. For a structurally unbound endpoint this is the original
+	// atom; for an endpoint unbound through LazyReduction it is the common
+	// alternative the reduction was performed under — PerfectRef's reduced
+	// query contains that atom, not the original one, so wider roots would
+	// be unsound. nil means the endpoint never supports existential
+	// deduction on this edge.
+	rootsFrom, rootsTo map[EdgeAlt]bool
+	// gateFrom/gateTo list bound far endpoints LazyReduction unified with
+	// the kept vertex when unbinding the respective side; omission
+	// justifications derived from that side carry SameAs gates for them.
+	gateFrom, gateTo []int
+}
+
+type state struct {
+	q    *cq.Query
+	t    *dllite.TBox
+	vars []string
+	vidx map[string]int
+
+	conceptGroups [][]map[VertexAlt]bool // per vertex, per concept atom
+	groupRoots    [][]dllite.Concept     // the original atom of each group
+	edges         []edgeInfo
+	edgeAlts      []map[EdgeAlt]bool
+	omit          []map[string]OmitJust
+	unbound       []bool // effective: original unbound plus reduction hubs
+	origUnbound   []bool // structural: occurs once in q (degree-1 leaves)
+	distinguished []bool
+
+	closureMemo map[dllite.Concept][]dllite.Concept
+	provMemo    map[dllite.Concept]map[dllite.Concept]provStep
+}
+
+// Generate runs GenOGP (Algorithm 1 of the paper).
+func Generate(q *cq.Query, t *dllite.TBox) (*Result, error) {
+	s, err := newState(q, t)
+	if err != nil {
+		return nil, err
+	}
+	iterations := 0
+	for {
+		iterations++
+		changed := s.condDeduction()
+		changed = s.lazyReduction() || changed
+		if !changed {
+			break
+		}
+	}
+	// A final cascade so omission sets added by the last reduction are
+	// closed (condDeduction runs it, but the loop may exit right after a
+	// reduction-free pass; run once more idempotently).
+	s.condDeduction()
+	res := s.compile()
+	res.Iterations = iterations
+	return res, nil
+}
+
+func newState(q *cq.Query, t *dllite.TBox) (*state, error) {
+	s := &state{
+		q:           q,
+		t:           t,
+		vidx:        make(map[string]int),
+		closureMemo: make(map[dllite.Concept][]dllite.Concept),
+		provMemo:    make(map[dllite.Concept]map[dllite.Concept]provStep),
+	}
+	s.vars = q.Vars()
+	for i, v := range s.vars {
+		s.vidx[v] = i
+	}
+	n := len(s.vars)
+	s.conceptGroups = make([][]map[VertexAlt]bool, n)
+	s.groupRoots = make([][]dllite.Concept, n)
+	s.omit = make([]map[string]OmitJust, n)
+	s.unbound = make([]bool, n)
+	s.distinguished = make([]bool, n)
+	for i := range s.omit {
+		s.omit[i] = make(map[string]OmitJust)
+	}
+	for i, v := range s.vars {
+		s.distinguished[i] = q.IsDistinguished(v)
+	}
+
+	unb := q.Unbound()
+	for _, a := range q.Atoms {
+		if a.IsRole {
+			x, okx := s.vidx[a.X]
+			y, oky := s.vidx[a.Y]
+			if !okx || !oky {
+				return nil, fmt.Errorf("rewrite: atom %v references unknown variable", a)
+			}
+			e := edgeInfo{from: x, to: y, role: a.Pred}
+			orig := map[EdgeAlt]bool{{Role: a.Pred}: true}
+			if unb[a.X] {
+				e.rootsFrom = orig
+			}
+			if unb[a.Y] {
+				e.rootsTo = orig
+			}
+			s.edges = append(s.edges, e)
+			s.edgeAlts = append(s.edgeAlts, map[EdgeAlt]bool{{Role: a.Pred}: true})
+			continue
+		}
+		x := s.vidx[a.X]
+		s.conceptGroups[x] = append(s.conceptGroups[x], map[VertexAlt]bool{
+			{Kind: AltConcept, Name: a.Pred}: true,
+		})
+		s.groupRoots[x] = append(s.groupRoots[x], dllite.Atomic(a.Pred))
+	}
+
+	// Initialize U(·): a variable is unbound when it occurs exactly once in
+	// the body and is not distinguished (paper Section II).
+	s.origUnbound = make([]bool, n)
+	for i, v := range s.vars {
+		s.unbound[i] = unb[v]
+		s.origUnbound[i] = unb[v]
+	}
+	return s, nil
+}
+
+// subsumees returns the closure of concepts C' entailed to be ⊆ root by T:
+// direct concept inclusions plus ∃-subsumptions induced by role inclusions
+// (P2 ⊑ P1 ⟹ ∃P2 ⊑ ∃P1 and ∃P2⁻ ⊑ ∃P1⁻), excluding root itself.
+func (s *state) subsumees(root dllite.Concept) []dllite.Concept {
+	if memo, ok := s.closureMemo[root]; ok {
+		return memo
+	}
+	seen := map[dllite.Concept]bool{root: true}
+	stack := []dllite.Concept{root}
+	var order []dllite.Concept
+	prov := map[dllite.Concept]provStep{}
+	for len(stack) > 0 {
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		push := func(c dllite.Concept, via string) {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+				order = append(order, c)
+				prov[c] = provStep{parent: d, via: via}
+			}
+		}
+		for _, sub := range s.t.SubConceptsOf(d) {
+			push(sub, dllite.ConceptInclusion{Sub: sub, Sup: d}.String())
+		}
+		if d.Exists {
+			for _, r := range s.t.SubRolesOf(d.Role()) {
+				push(dllite.Exists(r), dllite.RoleInclusion{Sub: r, Sup: d.Role()}.String())
+			}
+		}
+	}
+	s.closureMemo[root] = order
+	s.provMemo[root] = prov
+	return order
+}
+
+func altToConcept(a VertexAlt) dllite.Concept {
+	if a.Kind == AltConcept {
+		return dllite.Atomic(a.Name)
+	}
+	return dllite.Exists(dllite.Role{Name: a.Name, Inv: !a.Out})
+}
+
+func conceptToAlt(c dllite.Concept) VertexAlt {
+	if !c.Exists {
+		return VertexAlt{Kind: AltConcept, Name: c.Name}
+	}
+	return VertexAlt{Kind: AltEdgeExists, Name: c.Name, Out: !c.Inv}
+}
+
+// edgeAltConcept views an edge alternative as the existential concept it
+// imposes on endpoint `onFrom` (true: the edge's From vertex, whose
+// constraint is ∃P for a forward alternative; false: the To vertex, ∃P⁻).
+func edgeAltConcept(a EdgeAlt, onFrom bool) dllite.Concept {
+	inv := !onFrom
+	if a.Rev {
+		inv = !inv
+	}
+	return dllite.Exists(dllite.Role{Name: a.Role, Inv: inv})
+}
+
+// conceptToEdgeAlt converts an existential subsumee back into an edge
+// alternative oriented so that the constrained endpoint plays `onFrom`.
+func conceptToEdgeAlt(c dllite.Concept, onFrom bool) EdgeAlt {
+	rev := c.Inv
+	if !onFrom {
+		rev = !rev
+	}
+	return EdgeAlt{Role: c.Name, Rev: rev}
+}
+
+// condDeduction applies the rules of Table II to every condition set until
+// this pass adds nothing (the caller loops passes to a global fixpoint).
+func (s *state) condDeduction() bool {
+	changed := false
+
+	// Rules r1/r5–r10: close every vertex alternative group.
+	for x := range s.conceptGroups {
+		for _, group := range s.conceptGroups[x] {
+			for alt := range copyAlts(group) {
+				for _, sub := range s.subsumees(altToConcept(alt)) {
+					na := conceptToAlt(sub)
+					if !group[na] {
+						group[na] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Rules r3/r4 and r5/r6/r11/r12 on edges.
+	structDeg := make([]int, len(s.vars))
+	activeDeg := make([]int, len(s.vars))
+	for _, e := range s.edges {
+		structDeg[e.from]++
+		structDeg[e.to]++
+		if !e.merged {
+			activeDeg[e.from]++
+			activeDeg[e.to]++
+		}
+	}
+	// Existential deduction treats an edge atom P(x, y) with unbound y as
+	// the concept ∃P on x. This is only valid when the atom is y's sole
+	// occurrence in the (possibly reduced) query: either y is structurally
+	// unbound (degree 1), or y became unbound through LazyReduction and e
+	// is its unique remaining active edge. Deduction then proceeds from the
+	// recorded root alternatives for that side (the original atom, or the
+	// common alternative of a reduction) — wider roots would be unsound.
+	existRoots := func(e *edgeInfo, y int) (map[EdgeAlt]bool, []int) {
+		if !s.unbound[y] || s.distinguished[y] {
+			return nil, nil
+		}
+		var roots map[EdgeAlt]bool
+		var gate []int
+		if y == e.from {
+			roots, gate = e.rootsFrom, e.gateFrom
+		} else {
+			roots, gate = e.rootsTo, e.gateTo
+		}
+		if roots == nil {
+			return nil, nil
+		}
+		if structDeg[y] == 1 || (!e.merged && activeDeg[y] == 1) {
+			return roots, gate
+		}
+		return nil, nil
+	}
+	for ei := range s.edges {
+		e := &s.edges[ei]
+		alts := s.edgeAlts[ei]
+		// Role inclusions always apply (r3/r4): close every alternative
+		// under subroles, preserving/flipping orientation.
+		for alt := range copyEdgeAlts(alts) {
+			for _, r := range s.t.SubRolesOf(dllite.Role{Name: alt.Role}) {
+				na := EdgeAlt{Role: r.Name, Rev: alt.Rev != r.Inv}
+				if !alts[na] {
+					alts[na] = true
+					changed = true
+				}
+			}
+		}
+		// Existential rules per unbound endpoint (r5/r6 add edge
+		// alternatives; r11/r12 turn atomic subsumees into omission
+		// justifications for the unbound endpoint).
+		for _, side := range [2]struct {
+			unboundV int // the endpoint that is dropped/anonymous
+			onFrom   bool
+		}{
+			{unboundV: e.to, onFrom: true},    // far endpoint e.to unbound: constraint on e.from
+			{unboundV: e.from, onFrom: false}, // far endpoint e.from unbound: constraint on e.to
+		} {
+			roots, gate := existRoots(e, side.unboundV)
+			keptV := e.to
+			if side.onFrom {
+				keptV = e.from
+			}
+			addJust := func(atom OmitAtom) {
+				j := OmitJust{Atom: atom, Same: gate}
+				k := j.key()
+				if _, ok := s.omit[side.unboundV][k]; !ok {
+					s.omit[side.unboundV][k] = j
+					changed = true
+				}
+			}
+			for root := range roots {
+				for _, sub := range s.subsumees(edgeAltConcept(root, side.onFrom)) {
+					if sub.Exists {
+						na := conceptToEdgeAlt(sub, side.onFrom)
+						if !alts[na] {
+							alts[na] = true
+							changed = true
+						}
+						// The subsumee also justifies dropping the unbound
+						// endpoint outright: a matching incident edge at the
+						// kept vertex witnesses the (reduced) atom, and the
+						// dropped endpoint is existential (rule r12
+						// generalized to existential subsumees).
+						addJust(OmitAtom{Kind: OmitEdgeExists, V: keptV, Name: sub.Name, Out: !sub.Inv})
+						continue
+					}
+					// Atomic subsumee A: inclusion A ⊑ ∃R removes the atom
+					// (rule r12): the unbound endpoint may be omitted when
+					// the kept endpoint carries A.
+					addJust(OmitAtom{Kind: OmitConcept, V: keptV, Name: sub.Name})
+				}
+			}
+		}
+	}
+
+	// Rule r2-style closure inside omission sets: weaken the base atom
+	// through subsumees, keeping the equality gate.
+	for w := range s.omit {
+		for _, j := range copyOmit(s.omit[w]) {
+			var root dllite.Concept
+			if j.Atom.Kind == OmitConcept {
+				root = dllite.Atomic(j.Atom.Name)
+			} else {
+				root = dllite.Exists(dllite.Role{Name: j.Atom.Name, Inv: !j.Atom.Out})
+			}
+			for _, sub := range s.subsumees(root) {
+				na := OmitAtom{V: j.Atom.V}
+				if sub.Exists {
+					na.Kind = OmitEdgeExists
+					na.Name = sub.Name
+					na.Out = !sub.Inv
+				} else {
+					na.Kind = OmitConcept
+					na.Name = sub.Name
+				}
+				nj := OmitJust{Atom: na, Same: j.Same}
+				k := nj.key()
+				if _, ok := s.omit[w][k]; !ok {
+					s.omit[w][k] = nj
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Omission cascade: a *leaf* vertex hanging entirely off an omittable
+	// vertex t inherits t's justifications, so fringes omit together
+	// (paper Example 10: y2/y3 follow y1). Inheritance is sound only for
+	// true leaves: when t is omitted, every edge of w is excused and w has
+	// no residual constraints. Wider inheritance would silently drop
+	// constraints of w that t's justification says nothing about.
+	for w := range s.omit {
+		if s.distinguished[w] || len(s.conceptGroups[w]) > 0 {
+			continue
+		}
+		anchor := -1 // the single neighbor of w, if unique
+		unique := true
+		for _, e := range s.edges {
+			var far int
+			switch w {
+			case e.from:
+				far = e.to
+			case e.to:
+				far = e.from
+			default:
+				continue
+			}
+			if anchor < 0 || anchor == far {
+				anchor = far
+			} else {
+				unique = false
+			}
+		}
+		if !unique || anchor < 0 || len(s.omit[anchor]) == 0 {
+			continue
+		}
+		for _, inh := range s.omit[anchor] {
+			if s.omitRefsVertex(inh, w) {
+				continue // avoid self-justification
+			}
+			k := inh.key()
+			if _, ok := s.omit[w][k]; !ok {
+				s.omit[w][k] = inh
+				changed = true
+			}
+		}
+	}
+
+	return changed
+}
+
+// omitRefs lists the pattern vertices (other than w) an omission
+// justification depends on.
+func (s *state) omitRefs(j OmitJust, w int) []int {
+	var out []int
+	if j.Atom.V != w {
+		out = append(out, j.Atom.V)
+	}
+	for _, v := range j.Same {
+		if v != w {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (s *state) omitRefsVertex(j OmitJust, v int) bool {
+	for _, r := range s.omitRefs(j, -1) {
+		if r == v {
+			return true
+		}
+	}
+	return false
+}
+
+// lazyReduction merges redundant edges around hub vertices (paper
+// Section IV-B): when all edges incident to a hub share a common (label,
+// orientation) alternative and all but at most one far endpoint is unbound,
+// the unbound far endpoints are marked omittable, justified by the kept
+// edge; a hub left with one effective edge and no other constraints becomes
+// unbound itself, enabling further deduction.
+func (s *state) lazyReduction() bool {
+	changed := false
+	n := len(s.vars)
+	for v := 0; v < n; v++ {
+		// Lazy strategy (paper Section IV-A, strategy (3)): only reduce
+		// when the hub can become unbound afterwards — under homomorphism
+		// semantics the merged matches are found anyway, so reduction only
+		// pays off by enabling new deductions. Hubs that are distinguished
+		// or labeled can never become unbound.
+		if s.distinguished[v] || len(s.conceptGroups[v]) > 0 {
+			continue
+		}
+		var incident []int
+		for ei, e := range s.edges {
+			if e.from == v || e.to == v {
+				incident = append(incident, ei)
+			}
+		}
+		if len(incident) < 2 {
+			continue
+		}
+
+		// Common alternative relative to v across all incident edges.
+		common := s.altsRelTo(incident[0], v)
+		for _, ei := range incident[1:] {
+			common = intersectRel(common, s.altsRelTo(ei, v))
+			if len(common) == 0 {
+				break
+			}
+		}
+		if len(common) == 0 {
+			continue
+		}
+
+		// Classify far endpoints: unification merges every existential far
+		// endpoint into one representative; at most one endpoint may be
+		// distinguished (two distinguished variables cannot unify).
+		var keep = -1
+		mergeable := make([]int, 0, len(incident))
+		ok := true
+		farOf := func(ei int) int {
+			far := s.edges[ei].from
+			if far == v {
+				far = s.edges[ei].to
+			}
+			return far
+		}
+		for _, ei := range incident {
+			far := farOf(ei)
+			if far == v || s.distinguished[far] {
+				if keep >= 0 {
+					ok = false // two distinguished neighbors (or a self-loop)
+					break
+				}
+				keep = ei
+				continue
+			}
+			mergeable = append(mergeable, ei)
+		}
+		if !ok || len(mergeable) == 0 {
+			continue
+		}
+		if keep < 0 {
+			// Prefer keeping a constrained endpoint as the representative.
+			best := 0
+			for i, ei := range mergeable {
+				far := farOf(ei)
+				if !s.unbound[far] || len(s.conceptGroups[far]) > 0 {
+					best = i
+					break
+				}
+			}
+			keep = mergeable[best]
+			mergeable = append(mergeable[:best], mergeable[best+1:]...)
+			if len(mergeable) == 0 {
+				continue
+			}
+		}
+
+		keepEdge := s.edges[keep]
+		keepFar := keepEdge.from
+		if keepFar == v {
+			keepFar = keepEdge.to
+		}
+		// Structural leaves (degree 1 in q, no labels) are justified by the
+		// *hub* having some incident edge matching a common alternative:
+		// such an edge witnesses the merged atom with the leaf mapped to
+		// the edge's far end, whatever the hub is matched to. Anchoring at
+		// the hub (rather than the kept far vertex) is essential: a far
+		// anchor would claim witnesses the hub's actual match may lack.
+		// Bound or labeled endpoints instead join the equality gate:
+		// PerfectRef's reduced query identifies them with the kept vertex,
+		// so hub-omission justifications only apply when they coincide
+		// with it (their remaining constraints then hold there, via the
+		// pattern).
+		var gate []int
+		for _, ei := range mergeable {
+			if ei == keep {
+				continue
+			}
+			far := farOf(ei)
+			plainLeaf := s.origUnbound[far] && len(s.conceptGroups[far]) == 0
+			if plainLeaf {
+				for rel := range common {
+					// rel.Rev == false ⇔ the data edge leaves the hub.
+					j := OmitJust{Atom: OmitAtom{Kind: OmitEdgeExists, V: v, Name: rel.Role, Out: !rel.Rev}}
+					k := j.key()
+					if _, seen := s.omit[far][k]; !seen {
+						s.omit[far][k] = j
+						changed = true
+					}
+				}
+			} else if far != keepFar {
+				gate = append(gate, far)
+			}
+			if !s.edges[ei].merged {
+				s.edges[ei].merged = true
+				changed = true
+			}
+		}
+		sort.Ints(gate)
+		gate = dedupInts(gate)
+
+		// The hub is now effectively unbound: only `keep` remains. Record
+		// the common alternatives as the existential-deduction roots for
+		// the hub side of the kept edge — PerfectRef's reduced query
+		// contains the unified (common) atom, so only its subsumees may be
+		// derived from the hub's unboundness — along with the equality gate.
+		if !s.unbound[v] {
+			active := 0
+			for _, e := range s.edges {
+				if (e.from == v || e.to == v) && !e.merged {
+					active++
+				}
+			}
+			if active <= 1 {
+				s.unbound[v] = true
+				roots := make(map[EdgeAlt]bool, len(common))
+				for rel := range common {
+					back := rel
+					if keepEdge.to == v { // undo the rel-to-hub flip
+						back.Rev = !back.Rev
+					}
+					roots[back] = true
+				}
+				if keepEdge.from == v {
+					s.edges[keep].rootsFrom = roots
+					s.edges[keep].gateFrom = gate
+				} else {
+					s.edges[keep].rootsTo = roots
+					s.edges[keep].gateTo = gate
+				}
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// altsRelTo orients an edge's alternatives relative to vertex v:
+// (role, outgoing-from-v).
+func (s *state) altsRelTo(ei, v int) map[EdgeAlt]bool {
+	out := make(map[EdgeAlt]bool, len(s.edgeAlts[ei]))
+	e := s.edges[ei]
+	for a := range s.edgeAlts[ei] {
+		rel := a
+		if e.to == v { // v is the head: flip orientation
+			rel.Rev = !rel.Rev
+		}
+		out[rel] = true
+	}
+	return out
+}
+
+func intersectRel(a, b map[EdgeAlt]bool) map[EdgeAlt]bool {
+	out := make(map[EdgeAlt]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func copyAlts(m map[VertexAlt]bool) map[VertexAlt]bool {
+	out := make(map[VertexAlt]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func copyEdgeAlts(m map[EdgeAlt]bool) map[EdgeAlt]bool {
+	out := make(map[EdgeAlt]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+func copyOmit(m map[string]OmitJust) map[string]OmitJust {
+	out := make(map[string]OmitJust, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// compile renders the condition sets as a core.Pattern.
+func (s *state) compile() *Result {
+	res := &Result{Query: s.q}
+	n := len(s.vars)
+	p := &core.Pattern{}
+
+	res.VertexAltGroups = make([][][]VertexAlt, n)
+	res.OmitSets = make([][]OmitJust, n)
+	res.Unbound = append([]bool(nil), s.unbound...)
+
+	compileEdgeAlt := func(ei int, a EdgeAlt) core.Cond {
+		e := s.edges[ei]
+		if a.Rev {
+			return core.EdgeIs{X: e.to, Y: e.from, Label: a.Role}
+		}
+		return core.EdgeIs{X: e.from, Y: e.to, Label: a.Role}
+	}
+
+	for x := 0; x < n; x++ {
+		var match core.Cond
+		var groups [][]VertexAlt
+		for _, group := range s.conceptGroups[x] {
+			alts := sortedAlts(group)
+			groups = append(groups, alts)
+			var disj []core.Cond
+			for _, a := range alts {
+				if a.Kind == AltConcept {
+					disj = append(disj, core.LabelIs{X: x, Label: a.Name})
+				} else {
+					disj = append(disj, core.EdgeExists{X: x, Label: a.Name, Out: a.Out})
+				}
+			}
+			match = core.AndAll(match, core.OrAll(disj...))
+		}
+		res.VertexAltGroups[x] = groups
+
+		var omit core.Cond
+		oms := sortedOmit(s.omit[x])
+		res.OmitSets[x] = oms
+		var disj []core.Cond
+		for _, j := range oms {
+			var base core.Cond
+			if j.Atom.Kind == OmitConcept {
+				base = core.LabelIs{X: j.Atom.V, Label: j.Atom.Name}
+			} else {
+				base = core.EdgeExists{X: j.Atom.V, Label: j.Atom.Name, Out: j.Atom.Out}
+			}
+			for _, z := range j.Same {
+				base = core.AndAll(base, core.SameAs{X: z, Y: j.Atom.V})
+			}
+			disj = append(disj, base)
+		}
+		omit = core.OrAll(disj...)
+
+		p.Vertices = append(p.Vertices, core.Vertex{
+			Name:          s.vars[x],
+			Label:         core.Wildcard,
+			Match:         match,
+			Omit:          omit,
+			Distinguished: s.distinguished[x],
+		})
+	}
+
+	res.EdgeAlts = make([][]EdgeAlt, len(s.edges))
+	for ei, e := range s.edges {
+		alts := sortedEdgeAlts(s.edgeAlts[ei])
+		res.EdgeAlts[ei] = alts
+		var disj []core.Cond
+		for _, a := range alts {
+			disj = append(disj, compileEdgeAlt(ei, a))
+		}
+		p.Edges = append(p.Edges, core.Edge{
+			From:  e.from,
+			To:    e.to,
+			Label: core.Wildcard,
+			Match: core.OrAll(disj...),
+		})
+	}
+
+	res.Pattern = p
+	res.state = s
+	return res
+}

@@ -1,0 +1,63 @@
+package rewrite
+
+import "sort"
+
+// Deterministic orderings for compiled condition sets, so that generated
+// patterns (and the #COND accounting) are stable across runs.
+
+func sortedAlts(m map[VertexAlt]bool) []VertexAlt {
+	out := make([]VertexAlt, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return !a.Out && b.Out
+	})
+	return out
+}
+
+func sortedEdgeAlts(m map[EdgeAlt]bool) []EdgeAlt {
+	out := make([]EdgeAlt, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Role != b.Role {
+			return a.Role < b.Role
+		}
+		return !a.Rev && b.Rev
+	})
+	return out
+}
+
+func sortedOmit(m map[string]OmitJust) []OmitJust {
+	out := make([]OmitJust, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Atom, out[j].Atom
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.V != b.V {
+			return a.V < b.V
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Out != b.Out {
+			return !a.Out && b.Out
+		}
+		return out[i].key() < out[j].key()
+	})
+	return out
+}

@@ -1,0 +1,87 @@
+package saturate
+
+import (
+	"fmt"
+
+	"ogpa/internal/dllite"
+	"ogpa/internal/graph"
+)
+
+// Violation reports one negative inclusion violated by the (saturated)
+// data.
+type Violation struct {
+	Inclusion string // rendered negative inclusion
+	Witness   string // individual or pair that violates it
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violated by %s", v.Inclusion, v.Witness)
+}
+
+// CheckConsistency saturates the ABox (bounded chase, depth 2 — negative
+// inclusions only inspect one edge/label at a time, and every deeper chase
+// level repeats the label/edge patterns of level ≤ 2, so a violation at
+// any depth already appears there) and evaluates every negative inclusion
+// of the TBox. It returns all violations found; an empty slice means the
+// KB is consistent.
+func CheckConsistency(t *dllite.TBox, a *dllite.ABox, lim Limits) ([]Violation, error) {
+	if len(t.NegCIs) == 0 && len(t.NegRIs) == 0 {
+		return nil, nil
+	}
+	g, _, err := Materialize(t, a, 2, lim)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Violation
+
+	// holds reports whether concept c applies to vertex v in g.
+	holds := func(c dllite.Concept, v graph.VID) bool {
+		if !c.Exists {
+			id := g.Symbols.Lookup(c.Name)
+			return id != 0 && g.HasLabel(v, id)
+		}
+		id := g.Symbols.Lookup(c.Name)
+		if id == 0 {
+			return false
+		}
+		if !c.Inv {
+			return g.HasOutLabel(v, id)
+		}
+		return g.HasInLabel(v, id)
+	}
+
+	for _, nc := range t.NegCIs {
+		for v := 0; v < g.NumVertices(); v++ {
+			vid := graph.VID(v)
+			if holds(nc.Sub, vid) && holds(nc.Neg, vid) {
+				out = append(out, Violation{Inclusion: nc.String(), Witness: g.Name(vid)})
+			}
+		}
+	}
+
+	for _, nr := range t.NegRIs {
+		subID := g.Symbols.Lookup(nr.Sub.Name)
+		negID := g.Symbols.Lookup(nr.Neg.Name)
+		if subID == 0 || negID == 0 {
+			continue
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			vid := graph.VID(v)
+			for _, h := range g.OutByLabel(vid, subID) {
+				from, to := vid, h.To
+				if nr.Sub.Inv {
+					from, to = to, from
+				}
+				// Does (from, to) also belong to the forbidden role?
+				if g.HasEdge(from, negID, to) {
+					out = append(out, Violation{
+						Inclusion: nr.String(),
+						Witness:   fmt.Sprintf("(%s, %s)", g.Name(from), g.Name(to)),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}

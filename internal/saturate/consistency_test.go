@@ -1,0 +1,136 @@
+package saturate
+
+import (
+	"strings"
+	"testing"
+
+	"ogpa/internal/dllite"
+)
+
+func TestConsistencyNoNegatives(t *testing.T) {
+	tb := exampleTBox(t)
+	abox := &dllite.ABox{}
+	abox.AddConcept("PhD", "Ann")
+	vs, err := CheckConsistency(tb, abox, Limits{})
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("vs=%v err=%v", vs, err)
+	}
+}
+
+func TestConceptDisjointness(t *testing.T) {
+	tb, err := dllite.ParseTBox(strings.NewReader(`
+PhD SubClassOf Student
+Student DisjointWith Course
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	abox := &dllite.ABox{}
+	abox.AddConcept("PhD", "Ann") // Student via hierarchy
+	abox.AddConcept("Course", "Ann")
+	vs, err := CheckConsistency(tb, abox, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].String(), "Ann") {
+		t.Fatalf("vs = %v", vs)
+	}
+
+	// Consistent data: no violation.
+	ok := &dllite.ABox{}
+	ok.AddConcept("PhD", "Ann")
+	ok.AddConcept("Course", "DB101")
+	vs, err = CheckConsistency(tb, ok, Limits{})
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("vs=%v err=%v", vs, err)
+	}
+}
+
+func TestExistsDisjointness(t *testing.T) {
+	// some teaches DisjointWith Student: teachers may not be students.
+	tb, err := dllite.ParseTBox(strings.NewReader(`
+some teaches DisjointWith Student
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	abox := &dllite.ABox{}
+	abox.AddRole("teaches", "bob", "db101")
+	abox.AddConcept("Student", "bob")
+	vs, err := CheckConsistency(tb, abox, Limits{})
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("vs=%v err=%v", vs, err)
+	}
+}
+
+func TestRoleDisjointness(t *testing.T) {
+	tb, err := dllite.ParseTBox(strings.NewReader(`
+advisorOf DisjointPropertyWith enemyOf
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	abox := &dllite.ABox{}
+	abox.AddRole("advisorOf", "bob", "ann")
+	abox.AddRole("enemyOf", "bob", "ann")
+	vs, err := CheckConsistency(tb, abox, Limits{})
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("vs=%v err=%v", vs, err)
+	}
+	if !strings.Contains(vs[0].Witness, "bob") {
+		t.Fatalf("witness = %q", vs[0].Witness)
+	}
+	// Reverse pair is fine.
+	ok := &dllite.ABox{}
+	ok.AddRole("advisorOf", "bob", "ann")
+	ok.AddRole("enemyOf", "ann", "bob")
+	vs, err = CheckConsistency(tb, ok, Limits{})
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("vs=%v err=%v", vs, err)
+	}
+}
+
+func TestViolationThroughChaseWitness(t *testing.T) {
+	// PhD ⊑ ∃advisorOf⁻ and ∃advisorOf⁻ DisjointWith Professor: a
+	// professor PhD is inconsistent even though the advisor edge is only
+	// entailed, never asserted.
+	tb, err := dllite.ParseTBox(strings.NewReader(`
+PhD SubClassOf some advisorOf-
+some advisorOf- DisjointWith Professor
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	abox := &dllite.ABox{}
+	abox.AddConcept("PhD", "Ann")
+	abox.AddConcept("Professor", "Ann")
+	vs, err := CheckConsistency(tb, abox, Limits{})
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("vs=%v err=%v", vs, err)
+	}
+}
+
+func TestNegativeParsingRoundTrip(t *testing.T) {
+	src := `PhD SubClassOf Student
+Student DisjointWith Course
+advisorOf DisjointPropertyWith enemyOf-
+`
+	tb, err := dllite.ParseTBox(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.NegCIs) != 1 || len(tb.NegRIs) != 1 {
+		t.Fatalf("negatives: %v %v", tb.NegCIs, tb.NegRIs)
+	}
+	var sb strings.Builder
+	if err := dllite.WriteTBox(&sb, tb); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := dllite.ParseTBox(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb2.NegCIs) != 1 || len(tb2.NegRIs) != 1 {
+		t.Fatalf("round trip lost negatives: %s", sb.String())
+	}
+}

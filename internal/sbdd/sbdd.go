@@ -1,0 +1,262 @@
+// Package sbdd implements shared (multi-rooted, hash-consed) reduced
+// ordered binary decision diagrams, the structure OMatch uses to "simplify
+// and share the computation of multiple conditions" (paper Section V,
+// citing Minato et al., DAC'90).
+//
+// All BDDs built through one Builder share a unique table, so equal
+// sub-conditions across different pattern conditions are represented once
+// and evaluated once. Boolean variables stand for atomic conditions; the
+// matcher assigns them truth values as pattern vertices get mapped, and
+// EvalPartial reports as soon as a condition's value is forced.
+package sbdd
+
+// Ref references a BDD node. False and True are the terminal nodes.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable index; terminals use a sentinel max level
+	lo, hi Ref
+}
+
+const terminalLevel = int32(1<<31 - 1)
+
+type opKey struct {
+	op   uint8
+	a, b Ref
+}
+
+const (
+	opAnd = iota
+	opOr
+)
+
+// Builder owns the shared unique table.
+type Builder struct {
+	nodes  []node
+	unique map[node]Ref
+	cache  map[opKey]Ref
+}
+
+// New returns an empty Builder containing only the terminals.
+func New() *Builder {
+	b := &Builder{
+		nodes: []node{
+			{level: terminalLevel}, // False
+			{level: terminalLevel}, // True
+		},
+		unique: make(map[node]Ref),
+		cache:  make(map[opKey]Ref),
+	}
+	return b
+}
+
+// NumNodes reports the number of live nodes including the two terminals;
+// it measures sharing across conditions.
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+func (b *Builder) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	n := node{level: level, lo: lo, hi: hi}
+	if r, ok := b.unique[n]; ok {
+		return r
+	}
+	r := Ref(len(b.nodes))
+	b.nodes = append(b.nodes, n)
+	b.unique[n] = r
+	return r
+}
+
+// Var returns the BDD for the boolean variable v (level order = v).
+func (b *Builder) Var(v int) Ref {
+	return b.mk(int32(v), False, True)
+}
+
+// Const returns a terminal.
+func (b *Builder) Const(v bool) Ref {
+	if v {
+		return True
+	}
+	return False
+}
+
+// And returns the conjunction of two BDDs.
+func (b *Builder) And(x, y Ref) Ref { return b.apply(opAnd, x, y) }
+
+// Or returns the disjunction of two BDDs.
+func (b *Builder) Or(x, y Ref) Ref { return b.apply(opOr, x, y) }
+
+func (b *Builder) apply(op uint8, x, y Ref) Ref {
+	switch op {
+	case opAnd:
+		if x == False || y == False {
+			return False
+		}
+		if x == True {
+			return y
+		}
+		if y == True {
+			return x
+		}
+	case opOr:
+		if x == True || y == True {
+			return True
+		}
+		if x == False {
+			return y
+		}
+		if y == False {
+			return x
+		}
+	}
+	if x == y {
+		return x
+	}
+	if x > y { // commutative ops: canonicalize cache key
+		x, y = y, x
+	}
+	k := opKey{op, x, y}
+	if r, ok := b.cache[k]; ok {
+		return r
+	}
+	nx, ny := b.nodes[x], b.nodes[y]
+	level := nx.level
+	if ny.level < level {
+		level = ny.level
+	}
+	xlo, xhi := x, x
+	if nx.level == level {
+		xlo, xhi = nx.lo, nx.hi
+	}
+	ylo, yhi := y, y
+	if ny.level == level {
+		ylo, yhi = ny.lo, ny.hi
+	}
+	r := b.mk(level, b.apply(op, xlo, ylo), b.apply(op, xhi, yhi))
+	b.cache[k] = r
+	return r
+}
+
+// Restrict fixes variable v to value val in r.
+func (b *Builder) Restrict(r Ref, v int, val bool) Ref {
+	if r <= True {
+		return r
+	}
+	n := b.nodes[r]
+	lv := int32(v)
+	if n.level > lv {
+		return r // v does not occur below this node
+	}
+	if n.level == lv {
+		if val {
+			return n.hi
+		}
+		return n.lo
+	}
+	lo := b.Restrict(n.lo, v, val)
+	hi := b.Restrict(n.hi, v, val)
+	return b.mk(n.level, lo, hi)
+}
+
+// Eval evaluates r under a total assignment.
+func (b *Builder) Eval(r Ref, assign func(v int) bool) bool {
+	for r > True {
+		n := b.nodes[r]
+		if assign(int(n.level)) {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return r == True
+}
+
+// EvalPartial evaluates r under a partial assignment: assign returns
+// (value, known). The result is (value, true) when every consistent
+// completion agrees, else (false, false).
+func (b *Builder) EvalPartial(r Ref, assign func(v int) (bool, bool)) (bool, bool) {
+	memo := make(map[Ref]int8) // 0 unknown-unvisited, 1 false, 2 true, 3 undetermined
+	var rec func(Ref) int8
+	rec = func(r Ref) int8 {
+		if r == False {
+			return 1
+		}
+		if r == True {
+			return 2
+		}
+		if v, ok := memo[r]; ok && v != 0 {
+			return v
+		}
+		n := b.nodes[r]
+		var res int8
+		if val, known := assign(int(n.level)); known {
+			if val {
+				res = rec(n.hi)
+			} else {
+				res = rec(n.lo)
+			}
+		} else {
+			lo := rec(n.lo)
+			hi := rec(n.hi)
+			if lo == hi {
+				res = lo
+			} else {
+				res = 3
+			}
+		}
+		memo[r] = res
+		return res
+	}
+	switch rec(r) {
+	case 1:
+		return false, true
+	case 2:
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// Support returns the set of variables r depends on.
+func (b *Builder) Support(r Ref) map[int]bool {
+	out := make(map[int]bool)
+	seen := make(map[Ref]bool)
+	var rec func(Ref)
+	rec = func(r Ref) {
+		if r <= True || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := b.nodes[r]
+		out[int(n.level)] = true
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(r)
+	return out
+}
+
+// Size reports the number of distinct nodes reachable from r (excluding
+// terminals).
+func (b *Builder) Size(r Ref) int {
+	seen := make(map[Ref]bool)
+	var rec func(Ref)
+	rec = func(r Ref) {
+		if r <= True || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := b.nodes[r]
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(r)
+	return len(seen)
+}

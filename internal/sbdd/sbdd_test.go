@@ -1,0 +1,251 @@
+package sbdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminalsAndVar(t *testing.T) {
+	b := New()
+	if b.Const(true) != True || b.Const(false) != False {
+		t.Fatal("Const wrong")
+	}
+	x := b.Var(0)
+	if x == b.Var(1) {
+		t.Fatal("distinct variables share a node")
+	}
+	if b.Var(0) != x {
+		t.Fatal("Var not hash-consed")
+	}
+	if b.Eval(x, func(int) bool { return true }) != true {
+		t.Fatal("Eval(x | x=1)")
+	}
+	if b.Eval(x, func(int) bool { return false }) != false {
+		t.Fatal("Eval(x | x=0)")
+	}
+}
+
+func TestApplyIdentities(t *testing.T) {
+	b := New()
+	x, y := b.Var(0), b.Var(1)
+	if b.And(x, False) != False || b.And(False, x) != False {
+		t.Fatal("x ∧ 0")
+	}
+	if b.And(x, True) != x || b.And(True, x) != x {
+		t.Fatal("x ∧ 1")
+	}
+	if b.Or(x, True) != True || b.Or(True, x) != True {
+		t.Fatal("x ∨ 1")
+	}
+	if b.Or(x, False) != x {
+		t.Fatal("x ∨ 0")
+	}
+	if b.And(x, x) != x || b.Or(x, x) != x {
+		t.Fatal("idempotence")
+	}
+	if b.And(x, y) != b.And(y, x) {
+		t.Fatal("∧ not commutative under hash-consing")
+	}
+}
+
+func TestSharing(t *testing.T) {
+	b := New()
+	x, y, z := b.Var(0), b.Var(1), b.Var(2)
+	f := b.And(x, y)
+	before := b.NumNodes()
+	g := b.Or(b.And(x, y), z) // reuses the f subgraph
+	_ = g
+	grown := b.NumNodes() - before
+	if grown > 3 {
+		t.Fatalf("expected structural sharing, grew by %d nodes", grown)
+	}
+	if b.Size(f) == 0 || b.Size(True) != 0 {
+		t.Fatal("Size wrong")
+	}
+}
+
+func TestSupport(t *testing.T) {
+	b := New()
+	f := b.Or(b.And(b.Var(0), b.Var(2)), b.Var(5))
+	sup := b.Support(f)
+	if !sup[0] || !sup[2] || !sup[5] || sup[1] {
+		t.Fatalf("Support = %v", sup)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	b := New()
+	x, y := b.Var(0), b.Var(1)
+	f := b.And(x, y)
+	if b.Restrict(f, 0, false) != False {
+		t.Fatal("(x∧y)|x=0")
+	}
+	if b.Restrict(f, 0, true) != y {
+		t.Fatal("(x∧y)|x=1")
+	}
+	if b.Restrict(f, 7, true) != f {
+		t.Fatal("restricting an absent variable must be a no-op")
+	}
+	if b.Restrict(True, 0, false) != True {
+		t.Fatal("restricting a terminal")
+	}
+	// Restrict below the root.
+	g := b.Or(x, y)
+	if b.Restrict(g, 1, true) != True {
+		t.Fatal("(x∨y)|y=1")
+	}
+}
+
+func TestEvalPartial(t *testing.T) {
+	b := New()
+	x, y := b.Var(0), b.Var(1)
+	f := b.And(x, y)
+	// Nothing known: undetermined.
+	if _, known := b.EvalPartial(f, func(int) (bool, bool) { return false, false }); known {
+		t.Fatal("x∧y with no assignment should be undetermined")
+	}
+	// x=0 forces false.
+	if v, known := b.EvalPartial(f, func(v int) (bool, bool) {
+		if v == 0 {
+			return false, true
+		}
+		return false, false
+	}); !known || v {
+		t.Fatal("x∧y with x=0 should be known false")
+	}
+	// x=1 leaves it on y: undetermined.
+	if _, known := b.EvalPartial(f, func(v int) (bool, bool) {
+		if v == 0 {
+			return true, true
+		}
+		return false, false
+	}); known {
+		t.Fatal("x∧y with x=1 should be undetermined")
+	}
+	// Tautology x ∨ ¬x cannot be built without Not; instead check that
+	// (x∧y)∨(x∧y) is determined whenever both branches agree.
+	g := b.Or(b.And(x, y), y)
+	if v, known := b.EvalPartial(g, func(v int) (bool, bool) {
+		if v == 1 {
+			return true, true
+		}
+		return false, false
+	}); !known || !v {
+		t.Fatal("(x∧y)∨y with y=1 should be known true")
+	}
+}
+
+// TestAgainstTruthTable builds random expressions and compares BDD
+// evaluation against direct evaluation for all assignments of 4 variables.
+func TestAgainstTruthTable(t *testing.T) {
+	type expr struct {
+		eval func(bits uint) bool
+		bdd  Ref
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New()
+		pool := make([]expr, 0, 16)
+		for v := 0; v < 4; v++ {
+			v := v
+			pool = append(pool, expr{
+				eval: func(bits uint) bool { return bits&(1<<v) != 0 },
+				bdd:  b.Var(v),
+			})
+		}
+		for i := 0; i < 12; i++ {
+			l := pool[rng.Intn(len(pool))]
+			r := pool[rng.Intn(len(pool))]
+			if rng.Intn(2) == 0 {
+				pool = append(pool, expr{
+					eval: func(bits uint) bool { return l.eval(bits) && r.eval(bits) },
+					bdd:  b.And(l.bdd, r.bdd),
+				})
+			} else {
+				pool = append(pool, expr{
+					eval: func(bits uint) bool { return l.eval(bits) || r.eval(bits) },
+					bdd:  b.Or(l.bdd, r.bdd),
+				})
+			}
+		}
+		for _, e := range pool {
+			for bits := uint(0); bits < 16; bits++ {
+				want := e.eval(bits)
+				got := b.Eval(e.bdd, func(v int) bool { return bits&(1<<v) != 0 })
+				if got != want {
+					return false
+				}
+				// EvalPartial with a total assignment must agree and be known.
+				pv, known := b.EvalPartial(e.bdd, func(v int) (bool, bool) { return bits&(1<<v) != 0, true })
+				if !known || pv != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalPartialSoundness: whenever EvalPartial reports a known value under
+// a partial assignment, every completion must produce that value.
+func TestEvalPartialSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New()
+		// Random 4-var expression.
+		cur := b.Var(rng.Intn(4))
+		for i := 0; i < 8; i++ {
+			v := b.Var(rng.Intn(4))
+			if rng.Intn(2) == 0 {
+				cur = b.And(cur, v)
+			} else {
+				cur = b.Or(cur, v)
+			}
+		}
+		// Random partial assignment: each var known with prob 1/2.
+		known := [4]bool{}
+		val := [4]bool{}
+		for v := 0; v < 4; v++ {
+			known[v] = rng.Intn(2) == 0
+			val[v] = rng.Intn(2) == 0
+		}
+		pv, pknown := b.EvalPartial(cur, func(v int) (bool, bool) { return val[v], known[v] })
+		if !pknown {
+			return true // nothing claimed, nothing to check
+		}
+		for bits := uint(0); bits < 16; bits++ {
+			consistent := true
+			for v := 0; v < 4; v++ {
+				if known[v] && (bits&(1<<v) != 0) != val[v] {
+					consistent = false
+					break
+				}
+			}
+			if !consistent {
+				continue
+			}
+			got := b.Eval(cur, func(v int) bool { return bits&(1<<v) != 0 })
+			if got != pv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bd := New()
+		var acc Ref = True
+		for v := 0; v < 16; v++ {
+			acc = bd.And(acc, bd.Or(bd.Var(v), bd.Var((v+1)%16)))
+		}
+	}
+}

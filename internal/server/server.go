@@ -1,0 +1,162 @@
+// Package server exposes a knowledge base over HTTP — the shape of a small
+// OMQA endpoint a downstream user would deploy. JSON in, JSON out, stdlib
+// only.
+//
+//	POST /query        answer a CQ (or SPARQL) query
+//	POST /rewrite      return the generated OGP for a query
+//	GET  /stats        knowledge-base statistics
+//	GET  /consistency  negative-inclusion check
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ogpa"
+)
+
+// QueryRequest is the body of POST /query and POST /rewrite.
+type QueryRequest struct {
+	Query      string `json:"query"`
+	SPARQL     bool   `json:"sparql,omitempty"`
+	Baseline   string `json:"baseline,omitempty"`
+	MaxResults int    `json:"maxResults,omitempty"`
+	TimeoutMs  int    `json:"timeoutMs,omitempty"`
+	Minimize   bool   `json:"minimize,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	Vars    []string   `json:"vars"`
+	Rows    [][]string `json:"rows"`
+	Count   int        `json:"count"`
+	TookMs  float64    `json:"tookMs"`
+	Method  string     `json:"method"`
+	Rewrote string     `json:"rewrote,omitempty"` // set when Minimize changed the query
+}
+
+// RewriteResponse is the body of a successful POST /rewrite.
+type RewriteResponse struct {
+	CondCount int    `json:"condCount"`
+	Pattern   string `json:"pattern"`
+}
+
+// ConsistencyResponse is the body of GET /consistency.
+type ConsistencyResponse struct {
+	Consistent bool     `json:"consistent"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler builds the HTTP handler for one knowledge base.
+func Handler(kb *ogpa.KB) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decode(w, r)
+		if !ok {
+			return
+		}
+		opt := ogpa.Options{
+			MaxResults: req.MaxResults,
+			Timeout:    time.Duration(req.TimeoutMs) * time.Millisecond,
+		}
+		method := "genogp+omatch"
+		query := req.Query
+		rewrote := ""
+		if req.Minimize && !req.SPARQL {
+			min, err := ogpa.MinimizeQuery(query)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			if min != query {
+				rewrote = min
+				query = min
+			}
+		}
+		start := time.Now()
+		var ans *ogpa.Answers
+		var err error
+		switch {
+		case req.SPARQL:
+			method = "genogp+omatch (sparql)"
+			ans, err = kb.AnswerSPARQL(query, opt)
+		case req.Baseline != "":
+			method = req.Baseline
+			ans, err = kb.AnswerBaseline(ogpa.Baseline(req.Baseline), query, opt)
+		default:
+			ans, err = kb.AnswerWithOptions(query, opt)
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, QueryResponse{
+			Vars:    ans.Vars,
+			Rows:    ans.Rows,
+			Count:   ans.Len(),
+			TookMs:  float64(time.Since(start).Microseconds()) / 1000,
+			Method:  method,
+			Rewrote: rewrote,
+		})
+	})
+
+	mux.HandleFunc("POST /rewrite", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decode(w, r)
+		if !ok {
+			return
+		}
+		rw, err := kb.Rewrite(req.Query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, RewriteResponse{CondCount: rw.CondCount(), Pattern: rw.Explain()})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"stats": kb.Stats()})
+	})
+
+	mux.HandleFunc("GET /consistency", func(w http.ResponseWriter, r *http.Request) {
+		vs, err := kb.CheckConsistency()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, ConsistencyResponse{Consistent: len(vs) == 0, Violations: vs})
+	})
+
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
+	var req QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return req, false
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
+		return req, false
+	}
+	return req, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ogpa"
+)
+
+func testKB(t *testing.T) *ogpa.KB {
+	t.Helper()
+	kb, err := ogpa.NewKB(strings.NewReader(`
+Student SubClassOf some takesCourse
+PhD SubClassOf Student
+PhD SubClassOf some advisorOf-
+Student DisjointWith Course
+`), strings.NewReader(`
+PhD(Ann)
+Student(Bob)
+takesCourse(Bob, DB101)
+Course(DB101)
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	h := Handler(testKB(t))
+	rec := do(t, h, "POST", "/query", `{"query":"q(x) :- Student(x), takesCourse(x, y)"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 2 || resp.Rows[0][0] != "Ann" || resp.Rows[1][0] != "Bob" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Method != "genogp+omatch" || resp.TookMs < 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestQuerySPARQLAndBaseline(t *testing.T) {
+	h := Handler(testKB(t))
+	rec := do(t, h, "POST", "/query", `{"query":"SELECT ?x WHERE { ?x a <http://e/Student> . }","sparql":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sparql status %d: %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp.Count != 2 {
+		t.Fatalf("sparql resp = %+v", resp)
+	}
+
+	rec = do(t, h, "POST", "/query", `{"query":"q(x) :- Student(x)","baseline":"datalog"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("baseline status %d: %s", rec.Code, rec.Body)
+	}
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp.Count != 2 || resp.Method != "datalog" {
+		t.Fatalf("baseline resp = %+v", resp)
+	}
+}
+
+func TestQueryMinimize(t *testing.T) {
+	h := Handler(testKB(t))
+	rec := do(t, h, "POST", "/query",
+		`{"query":"q(x) :- takesCourse(x, y), takesCourse(x, z)","minimize":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp.Rewrote == "" || strings.Count(resp.Rewrote, "takesCourse") != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestRewriteEndpoint(t *testing.T) {
+	h := Handler(testKB(t))
+	rec := do(t, h, "POST", "/rewrite", `{"query":"q(x) :- takesCourse(x, y)"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp RewriteResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp.CondCount == 0 || !strings.Contains(resp.Pattern, "PhD") {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestStatsAndConsistency(t *testing.T) {
+	h := Handler(testKB(t))
+	rec := do(t, h, "GET", "/stats", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "|O|=3") {
+		t.Fatalf("stats: %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "GET", "/consistency", "")
+	var resp ConsistencyResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	if !resp.Consistent {
+		t.Fatalf("consistency = %+v", resp)
+	}
+
+	// Inconsistent KB.
+	bad, err := ogpa.NewKB(strings.NewReader("Student DisjointWith Course"),
+		strings.NewReader("Student(x1)\nCourse(x1)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = do(t, Handler(bad), "GET", "/consistency", "")
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp.Consistent || len(resp.Violations) != 1 {
+		t.Fatalf("consistency = %+v", resp)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h := Handler(testKB(t))
+	cases := []struct {
+		method, path, body string
+	}{
+		{"POST", "/query", `{`},
+		{"POST", "/query", `{}`},
+		{"POST", "/query", `{"query":"not a query"}`},
+		{"POST", "/query", `{"query":"q(x) :- Student(x)","unknown":1}`},
+		{"POST", "/query", `{"query":"q(x) :- Student(x)","baseline":"nope"}`},
+		{"POST", "/rewrite", `{"query":"broken"}`},
+	}
+	for _, c := range cases {
+		rec := do(t, h, c.method, c.path, c.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s %s %q: status %d", c.method, c.path, c.body, rec.Code)
+		}
+	}
+	// Wrong method hits the mux's 405.
+	rec := do(t, h, "GET", "/query", "")
+	if rec.Code == http.StatusOK {
+		t.Error("GET /query should not succeed")
+	}
+}

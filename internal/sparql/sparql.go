@@ -1,0 +1,265 @@
+// Package sparql parses the SPARQL fragment that corresponds to
+// conjunctive queries — SELECT (DISTINCT) over a basic graph pattern —
+// into cq.Query values. The paper's real-life workload (the LSQ query log)
+// and the LUBM/OWL2Bench benchmark queries are shipped as SPARQL; this
+// parser makes them loadable directly.
+//
+// Supported:
+//
+//	PREFIX ns: <http://...>
+//	SELECT ?x ?y WHERE {
+//	    ?x rdf:type ub:Student .
+//	    ?x ub:takesCourse ?y .
+//	    ?x ub:memberOf <http://www.Department0.University0.edu> .
+//	}
+//
+// Triple patterns with `a` or rdf:type and an IRI object become concept
+// atoms; other triples become role atoms. Constant subjects/objects are
+// not part of the paper's CQ dialect and are rejected with a clear error
+// (the paper's queries are constant-free). OPTIONAL, FILTER, UNION and
+// property paths are out of scope and rejected.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"ogpa/internal/cq"
+	"ogpa/internal/rdf"
+)
+
+// Parse converts a SPARQL SELECT query over a basic graph pattern into a
+// conjunctive query.
+func Parse(src string) (*cq.Query, error) {
+	p := &parser{src: src}
+	return p.parse()
+}
+
+type parser struct {
+	src      string
+	prefixes map[string]string
+}
+
+func (p *parser) parse() (*cq.Query, error) {
+	p.prefixes = map[string]string{
+		"rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+	}
+	rest := strings.TrimSpace(p.src)
+
+	// PREFIX declarations.
+	for {
+		lower := strings.ToLower(rest)
+		if !strings.HasPrefix(lower, "prefix") {
+			break
+		}
+		line := rest[len("prefix"):]
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("sparql: malformed PREFIX")
+		}
+		name := strings.TrimSpace(line[:colon])
+		line = strings.TrimSpace(line[colon+1:])
+		if !strings.HasPrefix(line, "<") {
+			return nil, fmt.Errorf("sparql: PREFIX %s lacks an IRI", name)
+		}
+		end := strings.IndexByte(line, '>')
+		if end < 0 {
+			return nil, fmt.Errorf("sparql: unterminated PREFIX IRI")
+		}
+		p.prefixes[name] = line[1:end]
+		rest = strings.TrimSpace(line[end+1:])
+	}
+
+	lower := strings.ToLower(rest)
+	if !strings.HasPrefix(lower, "select") {
+		return nil, fmt.Errorf("sparql: only SELECT queries are supported")
+	}
+	rest = strings.TrimSpace(rest[len("select"):])
+	lower = strings.ToLower(rest)
+	if strings.HasPrefix(lower, "distinct") {
+		rest = strings.TrimSpace(rest[len("distinct"):])
+	}
+
+	whereIdx := strings.Index(strings.ToLower(rest), "where")
+	if whereIdx < 0 {
+		return nil, fmt.Errorf("sparql: missing WHERE")
+	}
+	head := strings.Fields(rest[:whereIdx])
+	body := strings.TrimSpace(rest[whereIdx+len("where"):])
+
+	q := &cq.Query{Name: "q"}
+	if len(head) == 1 && head[0] == "*" {
+		head = nil // filled from the pattern below
+	}
+	for _, h := range head {
+		v, err := varName(h)
+		if err != nil {
+			return nil, err
+		}
+		q.Head = append(q.Head, v)
+	}
+
+	if !strings.HasPrefix(body, "{") || !strings.HasSuffix(body, "}") {
+		return nil, fmt.Errorf("sparql: WHERE block must be braced")
+	}
+	body = body[1 : len(body)-1]
+	for _, kw := range []string{"optional", "filter", "union", "graph {", "minus"} {
+		if strings.Contains(strings.ToLower(body), kw) {
+			return nil, fmt.Errorf("sparql: %s is outside the CQ fragment", strings.ToUpper(strings.TrimSuffix(kw, " {")))
+		}
+	}
+
+	anon := 0
+	for _, stmt := range splitStatements(body) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		terms, err := p.terms(stmt)
+		if err != nil {
+			return nil, err
+		}
+		if len(terms) != 3 {
+			return nil, fmt.Errorf("sparql: triple pattern %q has %d terms", stmt, len(terms))
+		}
+		s, pr, o := terms[0], terms[1], terms[2]
+		if !s.isVar {
+			return nil, fmt.Errorf("sparql: constant subject %q not in the CQ fragment", s.text)
+		}
+		subj := s.text
+		if subj == "_" {
+			anon++
+			subj = fmt.Sprintf("_s%d", anon)
+		}
+		if pr.isVar {
+			return nil, fmt.Errorf("sparql: variable predicates are not supported")
+		}
+		pred := rdf.LocalName(pr.text)
+		if pr.text == rdf.TypePredicate || pr.text == "a" {
+			if o.isVar {
+				return nil, fmt.Errorf("sparql: variable classes are not supported")
+			}
+			q.Atoms = append(q.Atoms, cq.ConceptAtom(rdf.LocalName(o.text), subj))
+			continue
+		}
+		if !o.isVar {
+			return nil, fmt.Errorf("sparql: constant object %q not in the CQ fragment", o.text)
+		}
+		obj := o.text
+		if obj == "_" {
+			anon++
+			obj = fmt.Sprintf("_s%d", anon)
+		}
+		q.Atoms = append(q.Atoms, cq.RoleAtom(pred, subj, obj))
+	}
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("sparql: empty basic graph pattern")
+	}
+	if q.Head == nil { // SELECT *
+		q.Head = q.Vars()
+	}
+	for _, h := range q.Head {
+		found := false
+		for _, a := range q.Atoms {
+			if a.X == h || (a.IsRole && a.Y == h) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sparql: projected variable ?%s not in the pattern", h)
+		}
+	}
+	return q, nil
+}
+
+// splitStatements splits a basic graph pattern on the '.' separators,
+// ignoring dots inside IRIs.
+func splitStatements(body string) []string {
+	var out []string
+	start := 0
+	inIRI := false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '<':
+			inIRI = true
+		case '>':
+			inIRI = false
+		case '.':
+			if !inIRI {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, body[start:])
+	return out
+}
+
+type term struct {
+	text  string
+	isVar bool
+}
+
+// terms tokenizes one triple pattern.
+func (p *parser) terms(stmt string) ([]term, error) {
+	var out []term
+	rest := stmt
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return out, nil
+		}
+		switch {
+		case rest[0] == '?' || rest[0] == '$':
+			end := strings.IndexAny(rest, " \t\n")
+			if end < 0 {
+				end = len(rest)
+			}
+			v, err := varName(rest[:end])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, term{text: v, isVar: true})
+			rest = rest[end:]
+		case rest[0] == '<':
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return nil, fmt.Errorf("sparql: unterminated IRI in %q", stmt)
+			}
+			out = append(out, term{text: rest[1:end]})
+			rest = rest[end+1:]
+		case rest[0] == '"':
+			return nil, fmt.Errorf("sparql: literals are not in the CQ fragment (%q)", stmt)
+		case rest[0] == '[':
+			return nil, fmt.Errorf("sparql: blank-node syntax is not supported (%q)", stmt)
+		default:
+			end := strings.IndexAny(rest, " \t\n")
+			if end < 0 {
+				end = len(rest)
+			}
+			word := rest[:end]
+			rest = rest[end:]
+			if word == "a" {
+				out = append(out, term{text: "a"})
+				continue
+			}
+			colon := strings.IndexByte(word, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("sparql: unexpected token %q", word)
+			}
+			ns, ok := p.prefixes[word[:colon]]
+			if !ok {
+				return nil, fmt.Errorf("sparql: undeclared prefix %q", word[:colon])
+			}
+			out = append(out, term{text: ns + word[colon+1:]})
+		}
+	}
+}
+
+func varName(tok string) (string, error) {
+	if len(tok) < 2 || (tok[0] != '?' && tok[0] != '$') {
+		return "", fmt.Errorf("sparql: %q is not a variable", tok)
+	}
+	return tok[1:], nil
+}

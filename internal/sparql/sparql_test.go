@@ -1,0 +1,128 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+// lubmQ2 is (a CQ-fragment version of) LUBM benchmark query 2.
+const lubmQ2 = `
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?x ?y ?z WHERE {
+    ?x rdf:type ub:GraduateStudent .
+    ?y rdf:type ub:University .
+    ?z rdf:type ub:Department .
+    ?x ub:memberOf ?z .
+    ?z ub:subOrganizationOf ?y .
+    ?x ub:undergraduateDegreeFrom ?y .
+}`
+
+func TestParseLUBMQ2(t *testing.T) {
+	q, err := Parse(lubmQ2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 3 || q.Head[0] != "x" || q.Head[2] != "z" {
+		t.Fatalf("head = %v", q.Head)
+	}
+	if q.Size() != 6 {
+		t.Fatalf("atoms = %d", q.Size())
+	}
+	var concepts, roles int
+	for _, a := range q.Atoms {
+		if a.IsRole {
+			roles++
+		} else {
+			concepts++
+		}
+	}
+	if concepts != 3 || roles != 3 {
+		t.Fatalf("concepts=%d roles=%d", concepts, roles)
+	}
+	// Prefixed names resolve to local names.
+	if q.Atoms[0].Pred != "GraduateStudent" {
+		t.Fatalf("atom 0 = %v", q.Atoms[0])
+	}
+	if !q.Connected() {
+		t.Fatal("Q2 should be connected")
+	}
+}
+
+func TestParseShorthandType(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?x a <http://ex.org/Student> . ?x <http://ex.org/takes> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 2 || q.Atoms[0].Pred != "Student" || q.Atoms[1].Pred != "takes" {
+		t.Fatalf("q = %s", q)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE { ?x <http://ex.org/p> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 2 {
+		t.Fatalf("head = %v", q.Head)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT ?x WHERE { ?x a <http://ex.org/C> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 1 || q.Head[0] != "x" {
+		t.Fatalf("head = %v", q.Head)
+	}
+}
+
+func TestRejectsOutsideFragment(t *testing.T) {
+	bad := map[string]string{
+		"ask":       `ASK { ?x ?p ?y }`,
+		"optional":  `SELECT ?x WHERE { ?x a <C> . OPTIONAL { ?x <p> ?y } }`,
+		"filter":    `SELECT ?x WHERE { ?x <p> ?y . FILTER(?y > 3) }`,
+		"union":     `SELECT ?x WHERE { { ?x a <C> } UNION { ?x a <D> } }`,
+		"literal":   `SELECT ?x WHERE { ?x <p> "lit" . }`,
+		"constSubj": `SELECT ?x WHERE { <http://ex.org/s> <p> ?x . }`,
+		"constObj":  `SELECT ?x WHERE { ?x <http://ex.org/p> <http://ex.org/o> . }`,
+		"varPred":   `SELECT ?x WHERE { ?x ?p ?y . }`,
+		"varClass":  `SELECT ?x WHERE { ?x a ?c . }`,
+		"badPrefix": `SELECT ?x WHERE { ?x ub:p ?y . }`,
+		"projected": `SELECT ?zzz WHERE { ?x <p> ?y . }`,
+		"empty":     `SELECT ?x WHERE { }`,
+		"noWhere":   `SELECT ?x`,
+		"blank":     `SELECT ?x WHERE { ?x <p> [ <q> ?y ] . }`,
+		"arity":     `SELECT ?x WHERE { ?x <p> . }`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestPrefixErrors(t *testing.T) {
+	for _, src := range []string{
+		`PREFIX ub <http://x> SELECT ?x WHERE { ?x a ub:C . }`,
+		`PREFIX ub: http://x SELECT ?x WHERE { ?x a ub:C . }`,
+		`PREFIX ub: <http://x SELECT ?x WHERE { ?x a ub:C . }`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted malformed prefix %q", src)
+		}
+	}
+}
+
+func TestRoundTripThroughCQ(t *testing.T) {
+	q, err := Parse(lubmQ2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parsed query must be a valid CQ (re-parseable in CQ syntax).
+	if !strings.Contains(q.String(), "memberOf(x, z)") {
+		t.Fatalf("String = %s", q)
+	}
+}

@@ -1,0 +1,68 @@
+// Package symbols provides string interning tables shared by the graph,
+// ontology and query layers. Interning keeps hot paths (label comparison,
+// adjacency probes) on small integer IDs instead of strings.
+package symbols
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies an interned string. The zero value is reserved for "absent".
+type ID uint32
+
+// None is the reserved invalid ID.
+const None ID = 0
+
+// Table is an append-only intern table. It is not safe for concurrent
+// mutation; concurrent reads are safe once loading is done.
+type Table struct {
+	byName map[string]ID
+	names  []string
+}
+
+// NewTable returns an empty table. ID 0 is reserved; the first interned
+// string receives ID 1.
+func NewTable() *Table {
+	return &Table{
+		byName: make(map[string]ID, 64),
+		names:  []string{""},
+	}
+}
+
+// Intern returns the ID for s, assigning a fresh one on first sight.
+func (t *Table) Intern(s string) ID {
+	if id, ok := t.byName[s]; ok {
+		return id
+	}
+	id := ID(len(t.names))
+	t.names = append(t.names, s)
+	t.byName[s] = id
+	return id
+}
+
+// Lookup returns the ID for s, or None if s was never interned.
+func (t *Table) Lookup(s string) ID {
+	return t.byName[s]
+}
+
+// Name returns the string for id. It panics on an out-of-range ID, which
+// always indicates a programming error (IDs are only minted by Intern).
+func (t *Table) Name(id ID) string {
+	if int(id) >= len(t.names) {
+		panic(fmt.Sprintf("symbols: ID %d out of range (table has %d entries)", id, len(t.names)))
+	}
+	return t.names[id]
+}
+
+// Len reports the number of interned strings (excluding the reserved slot).
+func (t *Table) Len() int { return len(t.names) - 1 }
+
+// All returns the interned strings in sorted order. Intended for stats and
+// debugging output, not hot paths.
+func (t *Table) All() []string {
+	out := make([]string, 0, t.Len())
+	out = append(out, t.names[1:]...)
+	sort.Strings(out)
+	return out
+}

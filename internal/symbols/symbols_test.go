@@ -1,0 +1,59 @@
+package symbols
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternLookup(t *testing.T) {
+	tbl := NewTable()
+	a := tbl.Intern("alpha")
+	b := tbl.Intern("beta")
+	if a == b {
+		t.Fatal("distinct strings share an ID")
+	}
+	if a == None || b == None {
+		t.Fatal("minted the reserved ID")
+	}
+	if tbl.Intern("alpha") != a {
+		t.Fatal("re-interning changed the ID")
+	}
+	if tbl.Lookup("alpha") != a {
+		t.Fatal("Lookup disagrees with Intern")
+	}
+	if tbl.Lookup("gamma") != None {
+		t.Fatal("Lookup of unknown string should be None")
+	}
+	if tbl.Name(a) != "alpha" || tbl.Name(b) != "beta" {
+		t.Fatal("Name round-trip failed")
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tbl.Len())
+	}
+	all := tbl.All()
+	if len(all) != 2 || all[0] != "alpha" || all[1] != "beta" {
+		t.Fatalf("All = %v", all)
+	}
+}
+
+func TestNamePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable().Name(42)
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	tbl := NewTable()
+	f := func(n uint16) bool {
+		s := fmt.Sprintf("sym-%d", n%512)
+		id := tbl.Intern(s)
+		return tbl.Name(id) == s && tbl.Lookup(s) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,368 @@
+// Package ogpa is the public API of this repository: ontology-mediated
+// query answering over DL-Lite_R knowledge bases using ontological graph
+// patterns (OGPs), as described in "Ontology-Mediated Query Answering Using
+// Graph Patterns with Conditions" (ICDE 2024).
+//
+// The primary pipeline is GenOGP + OMatch: a conjunctive query is rewritten
+// into a single polynomial-size OGP equivalent to the query under the
+// ontology, and the OGP is matched directly on the data graph. The
+// baselines of the paper's evaluation (PerfectRef UCQ rewriting, datalog
+// rewriting, saturation) are also exposed for comparison.
+//
+// Quick start:
+//
+//	kb, _ := ogpa.NewKB(ontologyReader, dataReader)
+//	ans, _ := kb.Answer(`q(x) :- Student(x), takesCourse(x, y)`)
+//	for _, row := range ans.Rows { fmt.Println(row) }
+package ogpa
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ogpa/internal/core"
+	"ogpa/internal/cq"
+	"ogpa/internal/daf"
+	"ogpa/internal/datalog"
+	"ogpa/internal/dllite"
+	"ogpa/internal/graph"
+	"ogpa/internal/match"
+	"ogpa/internal/mqo"
+	"ogpa/internal/perfectref"
+	"ogpa/internal/rdf"
+	"ogpa/internal/rewrite"
+	"ogpa/internal/saturate"
+	"ogpa/internal/sparql"
+)
+
+// Options bound query answering. The zero value means no limits.
+type Options struct {
+	Timeout    time.Duration // wall-clock budget for matching
+	MaxResults int           // cap on returned answers
+}
+
+// KB is a loaded knowledge base: a DL-Lite_R TBox plus a data graph.
+type KB struct {
+	tbox *dllite.TBox
+	abox *dllite.ABox
+	g    *graph.Graph
+}
+
+// NewKB builds a KB from an ontology (the SubClassOf/SubPropertyOf text
+// format) and data (assertion lines like "PhD(ann)" / "advisorOf(bob, ann)").
+func NewKB(ontology, data io.Reader) (*KB, error) {
+	t, err := dllite.ParseTBox(ontology)
+	if err != nil {
+		return nil, err
+	}
+	a, err := dllite.ParseABox(data)
+	if err != nil {
+		return nil, err
+	}
+	return FromParts(t, a), nil
+}
+
+// NewKBFromTriples builds a KB from the ontology text format and an
+// N-Triples data stream (rdf:type triples become labels, IRIs are shortened
+// to local names).
+func NewKBFromTriples(ontology, triples io.Reader) (*KB, error) {
+	t, err := dllite.ParseTBox(ontology)
+	if err != nil {
+		return nil, err
+	}
+	a := &dllite.ABox{}
+	err = rdf.ParseTriples(triples, func(tr rdf.Triple) error {
+		switch {
+		case tr.Predicate == rdf.TypePredicate && tr.Kind == rdf.ObjectIRI:
+			a.AddConcept(rdf.LocalName(tr.Object), rdf.LocalName(tr.Subject))
+		case tr.Kind == rdf.ObjectIRI:
+			a.AddRole(rdf.LocalName(tr.Predicate), rdf.LocalName(tr.Subject), rdf.LocalName(tr.Object))
+		case tr.Kind == rdf.ObjectInt:
+			a.AddAttr(rdf.LocalName(tr.Subject), rdf.LocalName(tr.Predicate), graph.Int(tr.Int))
+		case tr.Kind == rdf.ObjectFloat:
+			a.AddAttr(rdf.LocalName(tr.Subject), rdf.LocalName(tr.Predicate), graph.Float(tr.Float))
+		default:
+			a.AddAttr(rdf.LocalName(tr.Subject), rdf.LocalName(tr.Predicate), graph.String(tr.Object))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FromParts(t, a), nil
+}
+
+// OpenKB loads ontology and data files by path.
+func OpenKB(ontologyPath, dataPath string) (*KB, error) {
+	of, err := os.Open(ontologyPath)
+	if err != nil {
+		return nil, err
+	}
+	defer of.Close()
+	df, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	defer df.Close()
+	if strings.HasSuffix(dataPath, ".nt") {
+		return NewKBFromTriples(of, df)
+	}
+	return NewKB(of, df)
+}
+
+// FromParts wraps an existing TBox and ABox.
+func FromParts(t *dllite.TBox, a *dllite.ABox) *KB {
+	return &KB{tbox: t, abox: a, g: a.Graph(nil)}
+}
+
+// TBox exposes the ontology.
+func (kb *KB) TBox() *dllite.TBox { return kb.tbox }
+
+// ABox exposes the dataset.
+func (kb *KB) ABox() *dllite.ABox { return kb.abox }
+
+// Graph exposes the data graph (type-aware transformation of the ABox).
+func (kb *KB) Graph() *graph.Graph { return kb.g }
+
+// Stats summarizes the KB.
+func (kb *KB) Stats() string {
+	return fmt.Sprintf("|D|=%d assertions, |V|=%d, |E|=%d, |O|=%d axioms",
+		kb.abox.Size(), kb.g.NumVertices(), kb.g.NumEdges(), kb.tbox.Size())
+}
+
+// Answers is a set of certain-answer tuples.
+type Answers struct {
+	// Vars names the distinguished variables, in head order.
+	Vars []string
+	// Rows holds one tuple per answer; "⊥" marks an omitted (optional)
+	// distinguished vertex.
+	Rows [][]string
+}
+
+// Len reports the number of answers.
+func (a *Answers) Len() int { return len(a.Rows) }
+
+// Rewriting is the result of GenOGP on one query.
+type Rewriting struct {
+	Query   *cq.Query
+	Pattern *core.Pattern
+	result  *rewrite.Result
+}
+
+// CondCount reports the paper's #COND size metric.
+func (r *Rewriting) CondCount() int { return r.result.CondCount() }
+
+// Explain renders the generated OGP.
+func (r *Rewriting) Explain() string { return r.Pattern.String() }
+
+// ExplainProvenance renders, per generated condition, the chain of TBox
+// inclusions that derived it.
+func (r *Rewriting) ExplainProvenance() string { return r.result.ExplainProvenance() }
+
+// Rewrite runs GenOGP: it compiles the query into a single OGP equivalent
+// to the query under the KB's ontology.
+func (kb *KB) Rewrite(query string) (*Rewriting, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rewrite.Generate(q, kb.tbox)
+	if err != nil {
+		return nil, err
+	}
+	return &Rewriting{Query: q, Pattern: res.Pattern, result: res}, nil
+}
+
+// Answer runs the full GenOGP + OMatch pipeline with no limits.
+func (kb *KB) Answer(query string) (*Answers, error) {
+	return kb.AnswerWithOptions(query, Options{})
+}
+
+// AnswerWithOptions runs GenOGP + OMatch under the given limits.
+func (kb *KB) AnswerWithOptions(query string, opt Options) (*Answers, error) {
+	rw, err := kb.Rewrite(query)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := match.Match(rw.Pattern, kb.g, match.Options{Limits: matchLimits(opt)})
+	if err != nil {
+		return nil, err
+	}
+	return kb.render(rw.Query, res), nil
+}
+
+// MatchOGP matches a hand-written OGP (built with the Pattern helpers) and
+// returns its answer tuples.
+func (kb *KB) MatchOGP(p *core.Pattern, opt Options) (*Answers, error) {
+	res, _, err := match.Match(p, kb.g, match.Options{Limits: matchLimits(opt)})
+	if err != nil {
+		return nil, err
+	}
+	var vars []string
+	for _, i := range p.Distinguished() {
+		vars = append(vars, p.Vertices[i].Name)
+	}
+	return &Answers{Vars: vars, Rows: res.Names2D(kb.g)}, nil
+}
+
+// Baseline identifies one comparison pipeline from the paper's evaluation.
+type Baseline string
+
+// Baselines.
+const (
+	BaselineUCQ      Baseline = "perfectref+daf" // PerfectRef UCQ rewriting + DAF
+	BaselineUCQOpt   Baseline = "perfectrefopt+daf"
+	BaselineDatalog  Baseline = "datalog"
+	BaselineSaturate Baseline = "saturate"
+)
+
+// AnswerBaseline answers the query with one of the baseline pipelines.
+func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	lim := daf.Limits{MaxResults: opt.MaxResults}
+	if opt.Timeout > 0 {
+		lim.Deadline = time.Now().Add(opt.Timeout)
+	}
+	switch b {
+	case BaselineUCQ, BaselineUCQOpt:
+		prLim := perfectref.Limits{Timeout: opt.Timeout}
+		var u *perfectref.UCQ
+		if b == BaselineUCQ {
+			u, err = perfectref.Rewrite(q, kb.tbox, prLim)
+		} else {
+			u, err = perfectref.RewriteOptimized(q, kb.tbox, prLim)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := daf.EvalUCQ(u.Queries, kb.g, lim)
+		if err != nil {
+			return nil, err
+		}
+		return kb.render(q, res), nil
+	case BaselineDatalog:
+		prog, err := datalog.Rewrite(q, kb.tbox, perfectref.Limits{Timeout: opt.Timeout})
+		if err != nil {
+			return nil, err
+		}
+		var dlim datalog.Limits
+		if opt.Timeout > 0 {
+			dlim.Deadline = time.Now().Add(opt.Timeout)
+		}
+		tuples, err := datalog.Answer(prog, datalog.LoadABox(kb.abox), dlim)
+		if err != nil {
+			return nil, err
+		}
+		out := &Answers{Vars: append([]string(nil), q.Head...)}
+		for _, t := range tuples {
+			out.Rows = append(out.Rows, append([]string(nil), t...))
+		}
+		return out, nil
+	case BaselineSaturate:
+		var slim saturate.Limits
+		if opt.Timeout > 0 {
+			slim.Deadline = time.Now().Add(opt.Timeout)
+		}
+		res, mg, _, err := saturate.AnswerCQ(kb.tbox, kb.abox, q, slim, lim)
+		if err != nil {
+			return nil, err
+		}
+		out := &Answers{Vars: append([]string(nil), q.Head...)}
+		for _, row := range res.Answers() {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = mg.Name(v)
+			}
+			out.Rows = append(out.Rows, cells)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("ogpa: unknown baseline %q", b)
+	}
+}
+
+// AnswerSPARQL parses a SPARQL SELECT query over a basic graph pattern
+// (the CQ fragment used by the paper's real-life workloads) and answers it
+// through GenOGP + OMatch.
+func (kb *KB) AnswerSPARQL(src string, opt Options) (*Answers, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rewrite.Generate(q, kb.tbox)
+	if err != nil {
+		return nil, err
+	}
+	ans, _, err := match.Match(res.Pattern, kb.g, match.Options{Limits: matchLimits(opt)})
+	if err != nil {
+		return nil, err
+	}
+	return kb.render(q, ans), nil
+}
+
+// AnswerBatch evaluates several queries at once with multi-query
+// optimization: structurally identical queries share one matching run.
+func (kb *KB) AnswerBatch(queries []string, opt Options) ([]*Answers, error) {
+	qs := make([]*cq.Query, len(queries))
+	for i, src := range queries {
+		q, err := cq.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	results, _, err := mqo.Answer(qs, kb.tbox, kb.g, match.Options{Limits: matchLimits(opt)})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Answers, len(results))
+	for i, r := range results {
+		out[i] = kb.render(qs[i], r)
+	}
+	return out, nil
+}
+
+// CheckConsistency verifies the KB against the ontology's negative
+// inclusions (DisjointWith / DisjointPropertyWith statements). It returns
+// human-readable violations; an empty slice means consistent.
+func (kb *KB) CheckConsistency() ([]string, error) {
+	vs, err := saturate.CheckConsistency(kb.tbox, kb.abox, saturate.Limits{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out, nil
+}
+
+// MinimizeQuery returns the core of a conjunctive query (smallest
+// equivalent subquery); minimizing before Rewrite yields smaller OGPs.
+func MinimizeQuery(query string) (string, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return q.Minimize().String(), nil
+}
+
+func (kb *KB) render(q *cq.Query, res *core.AnswerSet) *Answers {
+	out := &Answers{Vars: append([]string(nil), q.Head...)}
+	out.Rows = res.Names2D(kb.g)
+	return out
+}
+
+func matchLimits(opt Options) match.Limits {
+	lim := match.Limits{MaxResults: opt.MaxResults}
+	if opt.Timeout > 0 {
+		lim.Deadline = time.Now().Add(opt.Timeout)
+	}
+	return lim
+}

@@ -1,0 +1,181 @@
+package ogpa
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ogpa/internal/core"
+)
+
+const exampleOntology = `
+# paper Example 2
+Student SubClassOf some takesCourse
+PhD SubClassOf Student
+PhD SubClassOf some advisorOf-
+`
+
+const exampleData = `
+PhD(Ann)
+Student(Bob)
+advisorOf(Prof, Bob)
+takesCourse(Bob, DB101)
+`
+
+func exampleKB(t testing.TB) *KB {
+	t.Helper()
+	kb, err := NewKB(strings.NewReader(exampleOntology), strings.NewReader(exampleData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+func TestKBStats(t *testing.T) {
+	kb := exampleKB(t)
+	s := kb.Stats()
+	if !strings.Contains(s, "|D|=4") || !strings.Contains(s, "|O|=3") {
+		t.Fatalf("Stats = %q", s)
+	}
+	if kb.TBox().Size() != 3 || kb.ABox().Size() != 4 || kb.Graph().NumVertices() == 0 {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestAnswerRunningExample(t *testing.T) {
+	kb := exampleKB(t)
+	ans, err := kb.Answer(`q(x) :- advisorOf(y1, x), advisorOf(y1, y2), advisorOf(y1, y3), takesCourse(x, z)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ann (via the ontology) and Bob (directly) are both answers.
+	if ans.Len() != 2 || ans.Rows[0][0] != "Ann" || ans.Rows[1][0] != "Bob" {
+		t.Fatalf("answers = %v", ans.Rows)
+	}
+	if len(ans.Vars) != 1 || ans.Vars[0] != "x" {
+		t.Fatalf("vars = %v", ans.Vars)
+	}
+}
+
+func TestAllBaselinesAgree(t *testing.T) {
+	kb := exampleKB(t)
+	query := `q(x) :- advisorOf(y1, x), takesCourse(x, z)`
+	want, err := kb.Answer(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Baseline{BaselineUCQ, BaselineUCQOpt, BaselineDatalog, BaselineSaturate} {
+		got, err := kb.AnswerBaseline(b, query, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("%s: %v vs %v", b, got.Rows, want.Rows)
+		}
+		for i := range got.Rows {
+			if strings.Join(got.Rows[i], ",") != strings.Join(want.Rows[i], ",") {
+				t.Fatalf("%s: %v vs %v", b, got.Rows, want.Rows)
+			}
+		}
+	}
+	if _, err := kb.AnswerBaseline("nope", query, Options{}); err == nil {
+		t.Fatal("unknown baseline should error")
+	}
+}
+
+func TestRewriteExplain(t *testing.T) {
+	kb := exampleKB(t)
+	rw, err := kb.Rewrite(`q(x) :- takesCourse(x, z)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.CondCount() == 0 {
+		t.Fatal("no conditions generated")
+	}
+	out := rw.Explain()
+	// The omission condition for z must mention Student and PhD.
+	if !strings.Contains(out, "Student") || !strings.Contains(out, "PhD") {
+		t.Fatalf("Explain:\n%s", out)
+	}
+}
+
+func TestOptionsLimits(t *testing.T) {
+	kb := exampleKB(t)
+	ans, err := kb.AnswerWithOptions(`q(x, y) :- advisorOf(x, y)`, Options{MaxResults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 1 {
+		t.Fatalf("MaxResults ignored: %d", ans.Len())
+	}
+	_, err = kb.AnswerWithOptions(`q(x) :- Student(x)`, Options{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchOGP(t *testing.T) {
+	kb := exampleKB(t)
+	// Hand-written OGP: students, optionally with an advisor.
+	p := &core.Pattern{
+		Vertices: []core.Vertex{
+			{Name: "x", Label: "Student", Distinguished: true},
+			{Name: "a", Label: core.Wildcard, Distinguished: true,
+				Omit: core.LabelIs{X: 0, Label: "Student"}},
+		},
+		Edges: []core.Edge{{From: 1, To: 0, Label: "advisorOf"}},
+	}
+	ans, err := kb.MatchOGP(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() == 0 {
+		t.Fatal("no matches")
+	}
+	foundReal, foundOmitted := false, false
+	for _, row := range ans.Rows {
+		if row[0] == "Bob" && row[1] == "Prof" {
+			foundReal = true
+		}
+		if row[1] == "⊥" {
+			foundOmitted = true
+		}
+	}
+	if !foundReal || !foundOmitted {
+		t.Fatalf("rows = %v", ans.Rows)
+	}
+}
+
+func TestNewKBFromTriples(t *testing.T) {
+	triples := `<http://ex.org/Ann> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/onto#PhD> .
+<http://ex.org/Prof> <http://ex.org/onto#advisorOf> <http://ex.org/Ann> .
+<http://ex.org/Ann> <http://ex.org/onto#age> "30"^^xsd:integer .
+`
+	kb, err := NewKBFromTriples(strings.NewReader(exampleOntology), strings.NewReader(triples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := kb.Answer(`q(x) :- PhD(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 1 || ans.Rows[0][0] != "Ann" {
+		t.Fatalf("answers = %v", ans.Rows)
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	if _, err := NewKB(strings.NewReader("garbage"), strings.NewReader("")); err == nil {
+		t.Fatal("bad ontology accepted")
+	}
+	if _, err := NewKB(strings.NewReader(""), strings.NewReader("garbage")); err == nil {
+		t.Fatal("bad data accepted")
+	}
+	kb := exampleKB(t)
+	if _, err := kb.Answer("not a query"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if _, err := kb.AnswerBaseline(BaselineUCQ, "not a query", Options{}); err == nil {
+		t.Fatal("bad baseline query accepted")
+	}
+}
