@@ -41,6 +41,10 @@ func main() {
 	}
 	if *statsOnly {
 		fmt.Println(kb.Stats())
+		if p := kb.TBox().ProfileString(); p != "" {
+			fmt.Println("TBox profile (Table II):")
+			fmt.Println(p)
+		}
 		return
 	}
 	if *consistency {

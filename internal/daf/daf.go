@@ -147,6 +147,7 @@ func (m *matcher) check() error {
 			continue
 		}
 		ei, ok := e.Match.(core.EdgeIs)
+		//lint:ignore internsafety one-time pattern-shape validation, not a per-candidate probe
 		if !ok || ei.X != e.From || ei.Y != e.To || ei.Label != e.Label {
 			return fmt.Errorf("daf: edge %d has a non-structural condition; use OMatch", i)
 		}
@@ -194,8 +195,11 @@ func (m *matcher) requiredLabels(u int) ([]symbols.ID, bool) {
 			return add(t.Label)
 		case core.And:
 			return walk(t.L) && walk(t.R)
+		default:
+			// Disjunctions and non-label atoms never *require* a label;
+			// validate() has already rejected conditions DAF cannot run.
+			return true
 		}
-		return true
 	}
 	if !walk(v.Match) {
 		return nil, false
@@ -395,8 +399,7 @@ func (m *matcher) buildCS() bool {
 		out := m.cand[u][:0]
 		for _, v := range m.cand[u] {
 			ok := true
-			for ei, e := range m.edges {
-				_ = ei
+			for _, e := range m.edges {
 				var far int
 				if e.parent == u {
 					far = e.child

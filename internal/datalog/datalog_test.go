@@ -75,7 +75,10 @@ func TestEvaluateTransitiveClosure(t *testing.T) {
 		t.Fatalf("path has %d tuples, want 6", got)
 	}
 	// Query with a constant.
-	res := Query([]string{"y"}, []Atom{{Pred: "path", Args: []Term{C("a"), V("y")}}}, db)
+	res, err := Query([]string{"y"}, []Atom{{Pred: "path", Args: []Term{C("a"), V("y")}}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 3 {
 		t.Fatalf("path(a, y) = %v", res)
 	}
@@ -108,12 +111,15 @@ func TestQueryConstantsAndSelfJoin(t *testing.T) {
 	db := NewDatabase()
 	db.AddFact("p", "a", "a")
 	db.AddFact("p", "a", "b")
-	res := Query([]string{"x"}, []Atom{{Pred: "p", Args: []Term{V("x"), V("x")}}}, db)
+	res, err := Query([]string{"x"}, []Atom{{Pred: "p", Args: []Term{V("x"), V("x")}}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 1 || res[0][0] != "a" {
 		t.Fatalf("p(x,x) = %v", res)
 	}
-	if got := Query([]string{"x"}, []Atom{{Pred: "absent", Args: []Term{V("x"), V("x")}}}, db); got != nil {
-		t.Fatalf("absent predicate should yield nil, got %v", got)
+	if got, err := Query([]string{"x"}, []Atom{{Pred: "absent", Args: []Term{V("x"), V("x")}}}, db); err != nil || got != nil {
+		t.Fatalf("absent predicate should yield nil, got %v (err %v)", got, err)
 	}
 }
 

@@ -331,25 +331,25 @@ func joinRest(rule Rule, skip int, bind map[string]string, db *Database, emit fu
 
 // Query evaluates a conjunctive query (body atoms + head vars) against db,
 // returning distinct head bindings sorted lexicographically.
-func Query(head []string, body []Atom, db *Database) []Tuple {
+func Query(head []string, body []Atom, db *Database) ([]Tuple, error) {
 	rule := Rule{Head: Atom{Pred: "_q", Args: varTerms(head)}, Body: body}
 	seen := map[string]bool{}
 	var out []Tuple
 	// Reuse joinRest with a fake delta covering the first atom.
 	if len(body) == 0 {
-		return nil
+		return nil, nil
 	}
 	first := body[0]
 	rel := db.Lookup(first.Pred)
 	if rel == nil {
-		return nil
+		return nil, nil
 	}
 	for _, t := range rel.Tuples() {
 		bind := map[string]string{}
 		if !unifyAtom(first, t, bind) {
 			continue
 		}
-		_ = joinRest(rule, 0, bind, db, func(final map[string]string) error {
+		err := joinRest(rule, 0, bind, db, func(final map[string]string) error {
 			args := make(Tuple, len(head))
 			for i, h := range head {
 				args[i] = final[h]
@@ -361,9 +361,12 @@ func Query(head []string, body []Atom, db *Database) []Tuple {
 			}
 			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
-	return out
+	return out, nil
 }
 
 func varTerms(names []string) []Term {

@@ -266,7 +266,11 @@ func Answer(prog *Program, db *Database, lim Limits) ([]Tuple, error) {
 				body[i] = Atom{Pred: a.Pred, Args: []Term{V(a.X)}}
 			}
 		}
-		for _, t := range Query(d.Head, body, db) {
+		tuples, err := Query(d.Head, body, db)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tuples {
 			k := t.key()
 			if !seen[k] {
 				seen[k] = true

@@ -1,0 +1,66 @@
+package dllite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe returns the Table II shape of the inclusion type, in the
+// paper's notation. The switch deliberately has no default: it is guarded
+// by the exhaustiveswitch analyzer, so adding an inclusion type without
+// describing it fails the lint pass.
+func (t InclusionType) Describe() string {
+	switch t {
+	case I1:
+		return "A2 ⊑ A1"
+	case I2:
+		return "P2 ⊑ P1"
+	case I3:
+		return "P2⁻ ⊑ P1"
+	case I4:
+		return "∃P2 ⊑ ∃P1"
+	case I5:
+		return "∃P2⁻ ⊑ ∃P1"
+	case I6:
+		return "∃P2 ⊑ ∃P1⁻"
+	case I7:
+		return "∃P2⁻ ⊑ ∃P1⁻"
+	case I8:
+		return "∃P ⊑ A"
+	case I9:
+		return "∃P⁻ ⊑ A"
+	case I10:
+		return "A ⊑ ∃P"
+	case I11:
+		return "A ⊑ ∃P⁻"
+	}
+	panic(fmt.Sprintf("dllite: Describe on invalid InclusionType %d", int(t)))
+}
+
+// Profile counts the TBox's positive inclusions by Table II type. The
+// returned slice is indexed by InclusionType (index 0 is unused), so
+// profile[I4] is the number of ∃P2 ⊑ ∃P1 inclusions.
+func (t *TBox) Profile() []int {
+	profile := make([]int, I11+1)
+	for _, ci := range t.CIs {
+		profile[ClassifyConcept(ci)]++
+	}
+	for _, ri := range t.RIs {
+		profile[ClassifyRole(ri)]++
+	}
+	return profile
+}
+
+// ProfileString renders the non-zero entries of Profile, one inclusion
+// type per line, e.g. "  I1 (A2 ⊑ A1): 3".
+func (t *TBox) ProfileString() string {
+	profile := t.Profile()
+	var b strings.Builder
+	for it := I1; it <= I11; it++ {
+		if profile[it] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-3s (%s): %d\n", it, it.Describe(), profile[it])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,70 @@
+package dllite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeCoversAllTypes(t *testing.T) {
+	seen := make(map[string]bool)
+	for it := I1; it <= I11; it++ {
+		d := it.Describe()
+		if d == "" {
+			t.Errorf("%v.Describe() is empty", it)
+		}
+		if seen[d] {
+			t.Errorf("%v.Describe() = %q duplicates another type", it, d)
+		}
+		seen[d] = true
+		if !strings.Contains(d, "⊑") {
+			t.Errorf("%v.Describe() = %q is not an inclusion shape", it, d)
+		}
+	}
+}
+
+func TestDescribePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Describe on InclusionType(0) should panic")
+		}
+	}()
+	InclusionType(0).Describe()
+}
+
+func TestProfile(t *testing.T) {
+	p := func(n string) Role { return Role{Name: n} }
+	tb := NewTBox([]ConceptInclusion{
+		{Atomic("A2"), Atomic("A1")},            // I1
+		{Atomic("B2"), Atomic("B1")},            // I1
+		{Exists(p("P2")), Exists(p("P1"))},      // I4
+		{Atomic("A"), Exists(p("P"))},           // I10
+		{Atomic("B"), Exists(p("Q").Inverse())}, // I11
+		{Exists(p("R").Inverse()), Atomic("C")}, // I9
+	}, []RoleInclusion{
+		{p("S2"), p("S1")},           // I2
+		{p("T2").Inverse(), p("T1")}, // I3
+	})
+
+	profile := tb.Profile()
+	want := map[InclusionType]int{I1: 2, I2: 1, I3: 1, I4: 1, I9: 1, I10: 1, I11: 1}
+	total := 0
+	for it := I1; it <= I11; it++ {
+		if profile[it] != want[it] {
+			t.Errorf("profile[%v] = %d, want %d", it, profile[it], want[it])
+		}
+		total += profile[it]
+	}
+	if total != tb.Size() {
+		t.Errorf("profile total %d != TBox size %d", total, tb.Size())
+	}
+
+	s := tb.ProfileString()
+	for _, line := range []string{"I1", "A2 ⊑ A1", "I10", "A ⊑ ∃P", ": 2"} {
+		if !strings.Contains(s, line) {
+			t.Errorf("ProfileString missing %q:\n%s", line, s)
+		}
+	}
+	if strings.Contains(s, "I5") || strings.Contains(s, "I8") {
+		t.Errorf("ProfileString should omit zero-count types:\n%s", s)
+	}
+}

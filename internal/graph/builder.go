@@ -13,8 +13,8 @@ import (
 type Builder struct {
 	symbols *symbols.Table
 
-	names  []string
-	byName map[string]VID
+	names  []symbols.ID
+	byName map[symbols.ID]VID
 
 	labels [][]symbols.ID
 	out    [][]Half
@@ -32,7 +32,7 @@ func NewBuilder(tbl *symbols.Table) *Builder {
 	}
 	return &Builder{
 		symbols: tbl,
-		byName:  make(map[string]VID, 1024),
+		byName:  make(map[symbols.ID]VID, 1024),
 	}
 }
 
@@ -40,13 +40,16 @@ func NewBuilder(tbl *symbols.Table) *Builder {
 func (b *Builder) Symbols() *symbols.Table { return b.symbols }
 
 // Vertex returns the VID for the named vertex, creating it on first sight.
+// Names are interned into the shared symbol table, keeping the index and
+// the per-vertex name storage on integer IDs.
 func (b *Builder) Vertex(name string) VID {
-	if v, ok := b.byName[name]; ok {
+	id := b.symbols.Intern(name)
+	if v, ok := b.byName[id]; ok {
 		return v
 	}
 	v := VID(len(b.names))
-	b.byName[name] = v
-	b.names = append(b.names, name)
+	b.byName[id] = v
+	b.names = append(b.names, id)
 	b.labels = append(b.labels, nil)
 	b.out = append(b.out, nil)
 	b.in = append(b.in, nil)

@@ -114,11 +114,13 @@ type Attr struct {
 }
 
 // Graph is a frozen directed labeled graph. All slices are indexed by VID.
+// Vertex names are interned in Symbols alongside labels and attribute
+// names, so name lookups and the byName index stay on integer IDs.
 type Graph struct {
 	Symbols *symbols.Table
 
-	names  []string // external vertex names (IRIs / constants)
-	byName map[string]VID
+	names  []symbols.ID // external vertex names (IRIs / constants), interned
+	byName map[symbols.ID]VID
 
 	labels  [][]symbols.ID // sorted label set per vertex
 	out     [][]Half       // sorted by (Label, To)
@@ -139,11 +141,15 @@ func (g *Graph) NumVertices() int { return len(g.names) }
 func (g *Graph) NumEdges() int { return g.numEdges }
 
 // Name returns the external name of v.
-func (g *Graph) Name(v VID) string { return g.names[v] }
+func (g *Graph) Name(v VID) string { return g.Symbols.Name(g.names[v]) }
 
 // VertexByName resolves an external name, returning NoVID when absent.
 func (g *Graph) VertexByName(name string) VID {
-	if v, ok := g.byName[name]; ok {
+	id := g.Symbols.Lookup(name)
+	if id == symbols.None {
+		return NoVID
+	}
+	if v, ok := g.byName[id]; ok {
 		return v
 	}
 	return NoVID

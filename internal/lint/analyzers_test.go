@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// expectation is one "// want:<analyzer>" marker in a fixture file.
+type expectation struct {
+	file     string // relative to testdata/src
+	line     int
+	analyzer string
+}
+
+func (e expectation) String() string {
+	return e.file + ":" + itoa(e.line) + " [" + e.analyzer + "]"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+var wantRe = regexp.MustCompile(`want:([a-z,]+)`)
+
+// TestAnalyzersOnFixtures loads the fixture module under testdata/src and
+// checks that each analyzer fires exactly where the fixtures say it should
+// — every want marker produces a diagnostic, every diagnostic has a want
+// marker, and //lint:ignore suppressions hold.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 4 {
+		t.Fatalf("loaded %d fixture packages, want at least 4", len(pkgs))
+	}
+
+	want := make(map[expectation]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rel, err := filepath.Rel(root, pos.Filename)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, name := range strings.Split(m[1], ",") {
+						want[expectation{filepath.ToSlash(rel), pos.Line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no want markers found in fixtures; the fixture set is broken")
+	}
+
+	got := make(map[expectation]bool)
+	for _, d := range Run(pkgs, All()) {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := expectation{filepath.ToSlash(rel), d.Pos.Line, d.Analyzer}
+		if got[e] {
+			t.Errorf("duplicate diagnostic %s", e)
+		}
+		got[e] = true
+	}
+
+	var missed, spurious []string
+	for e := range want {
+		if !got[e] {
+			missed = append(missed, e.String())
+		}
+	}
+	for e := range got {
+		if !want[e] {
+			spurious = append(spurious, e.String())
+		}
+	}
+	sort.Strings(missed)
+	sort.Strings(spurious)
+	for _, s := range missed {
+		t.Errorf("expected diagnostic did not fire: %s", s)
+	}
+	for _, s := range spurious {
+		t.Errorf("unexpected diagnostic: %s", s)
+	}
+}
+
+// TestEachAnalyzerHasFixtureCoverage guards the fixture set itself: every
+// registered analyzer must have at least one positive case.
+func TestEachAnalyzerHasFixtureCoverage(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(map[string]bool)
+	for _, d := range Run(pkgs, All()) {
+		fired[d.Analyzer] = true
+	}
+	for _, a := range All() {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s has no positive fixture case", a.Name)
+		}
+	}
+}
+
+// TestMalformedIgnoreDirective checks that a reason-less suppression is
+// itself reported, under the pseudo-analyzer "lint".
+func TestMalformedIgnoreDirective(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpmod\n\ngo 1.23\n")
+	write("a.go", `package tmpmod
+
+func mayFail() error { return nil }
+
+func f() {
+	//lint:ignore droppederr
+	mayFail()
+}
+`)
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, All())
+	var sawMalformed, sawDropped bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			sawMalformed = true
+		case "droppederr":
+			sawDropped = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("malformed directive not reported: %v", diags)
+	}
+	if !sawDropped {
+		t.Errorf("malformed directive must not suppress the finding: %v", diags)
+	}
+}
+
+// TestLoadModuleRejectsMissingGoMod pins the loader's error path.
+func TestLoadModuleRejectsMissingGoMod(t *testing.T) {
+	if _, err := LoadModule(t.TempDir()); err == nil {
+		t.Fatal("LoadModule on a dir without go.mod should fail")
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr flags calls whose error result is silently discarded: a call
+// used as a bare statement, or assigned entirely to blank identifiers.
+//
+// Exemptions, chosen to match this repository's conventions:
+//
+//   - defer / go statements themselves (deferred cleanup such as
+//     f.Close() on read-only files is conventionally best-effort), though
+//     statements inside a go'd function literal are still checked;
+//   - the fmt print family and methods of strings.Builder / bytes.Buffer,
+//     whose error results are vestigial (Builder and Buffer never fail);
+//   - lines carrying //lint:ignore droppederr <reason>, for the rare spot
+//     where dropping is genuinely correct (e.g. writing an HTTP response
+//     body, where the client may already be gone).
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "error-returning calls must not discard the error (bare statement or assignment to blanks)",
+	Run:  runDroppedErr,
+}
+
+var droppedErrExemptFuncs = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+var droppedErrExemptRecvs = []string{
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+func runDroppedErr(p *Pass) {
+	// Deferred and go'd calls are DeferStmt/GoStmt fields, not ExprStmts,
+	// so they are exempt by construction; statements inside a goroutine's
+	// function literal are ordinary ExprStmts and are still checked.
+	p.inspectFiles(func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				checkDroppedCall(p, call, "call result")
+			}
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) != 1 || !allBlank(stmt.Lhs) {
+				return true
+			}
+			if call, ok := stmt.Rhs[0].(*ast.CallExpr); ok {
+				checkDroppedCall(p, call, "assignment to _")
+			}
+		}
+		return true
+	})
+}
+
+func checkDroppedCall(p *Pass, call *ast.CallExpr, how string) {
+	if !returnsError(p.Pkg.Info, call) {
+		return
+	}
+	name, exempt := calleeName(p.Pkg.Info, call)
+	if exempt {
+		return
+	}
+	p.Reportf(call.Pos(), "%s discards the error returned by %s; handle it or suppress with a reasoned //lint:ignore", how, name)
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if types.Identical(rt.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(rt, errType)
+	}
+}
+
+// calleeName resolves the called function's full name and whether it is on
+// the exempt list. Indirect calls (function values) come back as "call".
+func calleeName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fun := ast.Unparen(call.Fun)
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return "call", false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return id.Name, false
+	}
+	full := fn.FullName()
+	if droppedErrExemptFuncs[full] {
+		return full, true
+	}
+	for _, prefix := range droppedErrExemptRecvs {
+		if strings.HasPrefix(full, prefix) {
+			return full, true
+		}
+	}
+	return full, false
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

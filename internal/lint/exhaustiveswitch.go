@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveSwitch enforces that switches over this module's enum-like
+// types handle every value. Two switch shapes are checked:
+//
+//   - a constant switch whose tag has a named integer type declared in this
+//     module with two or more constants of exactly that type (e.g.
+//     dllite.InclusionType I1–I11, core.CmpOp, graph.ValueKind) must either
+//     list every constant or carry an explicit default;
+//   - a type switch over a module-declared *sealed* interface (one with at
+//     least one unexported method, e.g. core.Cond) must either cover every
+//     implementing type declared in the interface's package or carry an
+//     explicit default.
+//
+// A missed case in either shape silently drops a rewriting or evaluation
+// branch, which is exactly the failure mode GenOGP's equivalence proof
+// cannot tolerate.
+var ExhaustiveSwitch = &Analyzer{
+	Name: "exhaustiveswitch",
+	Doc:  "switches over module enum types and sealed interfaces must be exhaustive or carry an explicit default",
+	Run:  runExhaustiveSwitch,
+}
+
+func runExhaustiveSwitch(p *Pass) {
+	info := p.Pkg.Info
+	p.inspectFiles(func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.SwitchStmt:
+			checkConstSwitch(p, stmt)
+		case *ast.TypeSwitchStmt:
+			checkTypeSwitch(p, stmt, info)
+		}
+		return true
+	})
+}
+
+func checkConstSwitch(p *Pass, stmt *ast.SwitchStmt) {
+	if stmt.Tag == nil {
+		return
+	}
+	tagType := p.Pkg.Info.TypeOf(stmt.Tag)
+	named, ok := tagType.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !inModule(obj.Pkg(), p.Pkg.Pkg) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	consts := enumConstants(named)
+	if len(consts) < 2 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	for _, clause := range stmt.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: author opted out of exhaustiveness
+		}
+		for _, e := range cc.List {
+			if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		p.Reportf(stmt.Switch, "switch over %s misses %s; add the cases or an explicit default",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumConstants returns the constants declared with exactly type named in
+// its defining package, in declaration-name order.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func checkTypeSwitch(p *Pass, stmt *ast.TypeSwitchStmt, info *types.Info) {
+	// The switch guard is either `x := y.(type)` or `y.(type)`.
+	var operand ast.Expr
+	switch g := stmt.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(g.Rhs) == 1 {
+			if ta, ok := g.Rhs[0].(*ast.TypeAssertExpr); ok {
+				operand = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := g.X.(*ast.TypeAssertExpr); ok {
+			operand = ta.X
+		}
+	}
+	if operand == nil {
+		return
+	}
+	named, ok := info.TypeOf(operand).(*types.Named)
+	if !ok {
+		return
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !inModule(obj.Pkg(), p.Pkg.Pkg) || !sealed(iface) {
+		return
+	}
+
+	var caseTypes []types.Type
+	for _, clause := range stmt.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default
+		}
+		for _, e := range cc.List {
+			if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if tv, ok := info.Types[e]; ok && tv.Type != nil {
+				caseTypes = append(caseTypes, tv.Type)
+			}
+		}
+	}
+
+	var missing []string
+	for _, impl := range implementers(named, iface) {
+		if !typeCovered(impl, caseTypes, iface) {
+			missing = append(missing, impl.Obj().Name())
+		}
+	}
+	if len(missing) > 0 {
+		p.Reportf(stmt.Switch, "type switch over %s misses %s; add the cases or an explicit default",
+			obj.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// sealed reports whether the interface has an unexported method, which
+// confines its implementers to the declaring package.
+func sealed(iface *types.Interface) bool {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if !iface.Method(i).Exported() {
+			return true
+		}
+	}
+	return false
+}
+
+// implementers returns the non-interface named types of the interface's
+// package that implement it (by value or by pointer), name-sorted.
+func implementers(named *types.Named, iface *types.Interface) []*types.Named {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Named
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		cand, ok := tn.Type().(*types.Named)
+		if !ok || cand == named {
+			continue
+		}
+		if _, isIface := cand.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(cand, iface) || types.Implements(types.NewPointer(cand), iface) {
+			out = append(out, cand)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj().Name() < out[j].Obj().Name() })
+	return out
+}
+
+// typeCovered reports whether implementer impl is handled by one of the
+// case types: the type itself, a pointer to it, or a sub-interface it
+// satisfies.
+func typeCovered(impl *types.Named, caseTypes []types.Type, iface *types.Interface) bool {
+	for _, ct := range caseTypes {
+		if types.Identical(ct, impl) || types.Identical(ct, types.NewPointer(impl)) {
+			return true
+		}
+		if sub, ok := ct.Underlying().(*types.Interface); ok && sub != iface {
+			if types.Implements(impl, sub) || types.Implements(types.NewPointer(impl), sub) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inModule reports whether pkg belongs to the same module as cur, judged by
+// import-path prefix (the loader only ever mixes one module with stdlib).
+func inModule(pkg, cur *types.Package) bool {
+	mod := modulePrefix(cur.Path())
+	return pkg.Path() == mod || strings.HasPrefix(pkg.Path(), mod+"/")
+}
+
+// modulePrefix extracts the module path from an import path produced by the
+// loader: the first path segment for single-segment modules ("ogpa",
+// "fixture"), or the whole path when the package is the module root.
+func modulePrefix(path string) string {
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

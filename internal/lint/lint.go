@@ -1,0 +1,175 @@
+// Package lint is a small, stdlib-only static-analysis framework for this
+// repository, plus the repo-specific analyzers that run under it (see
+// cmd/ogpalint and the root-level lint test). It is deliberately built on
+// go/ast, go/parser, go/token and go/types alone — no golang.org/x/tools —
+// so the module keeps its zero-dependency property.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports position-accurate diagnostics. Findings can be suppressed at
+// a specific line with a directive comment:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive suppresses matching diagnostics on its own line and on the
+// line directly below it, so both the trailing and the preceding comment
+// styles work. A directive without a reason is itself a diagnostic: every
+// suppression must say why.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects the Pass's package and reports findings via Pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer catalogue in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ExhaustiveSwitch,
+		LockSafety,
+		DroppedErr,
+		InternSafety,
+	}
+}
+
+// Run applies every analyzer to every package, applies ignore directives,
+// and returns the surviving diagnostics sorted by position. Malformed
+// directives are reported under the pseudo-analyzer "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ign, bad := collectIgnores(pkg)
+		diags = append(diags, bad...)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if !ign.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// ignoreIndex records, per file and line, which analyzers are ignored.
+type ignoreIndex map[string]map[int]map[string]bool
+
+func (ix ignoreIndex) suppresses(d Diagnostic) bool {
+	lines := ix[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive covers its own line and the next one.
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := lines[line]; names != nil && names[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores parses //lint:ignore directives out of a package's
+// comments. Malformed directives come back as diagnostics.
+func collectIgnores(pkg *Package) (ignoreIndex, []Diagnostic) {
+	ix := make(ignoreIndex)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed ignore directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				lines := ix[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ix[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return ix, bad
+}
+
+// inspectFiles runs fn over every node of every file of the pass's package.
+func (p *Pass) inspectFiles(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

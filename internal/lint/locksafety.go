@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSafety enforces the locking discipline of structs that hold a
+// sync.Mutex or sync.RWMutex:
+//
+//   - such a struct must not be copied: methods must use pointer receivers
+//     and functions must not take the struct by value;
+//   - a pointer-receiver method that reads or writes any sibling field of
+//     the mutex must also touch the mutex (lock it, or be an intentionally
+//     unexported helper that still references it); a method that accesses
+//     guarded state while never mentioning the mutex is flagged.
+//
+// The second check is deliberately conservative: mentioning the mutex
+// anywhere in the method satisfies it, so helpers called with the lock held
+// can document that by asserting or locking as appropriate, or suppress
+// with //lint:ignore locksafety <reason> when the discipline is external.
+var LockSafety = &Analyzer{
+	Name: "locksafety",
+	Doc:  "structs holding a sync.Mutex must not be copied and their methods must acquire the mutex before touching sibling fields",
+	Run:  runLockSafety,
+}
+
+func runLockSafety(p *Pass) {
+	// Map each lock-holding struct type in this package to the index of its
+	// (first) mutex field.
+	guarded := make(map[*types.Named]int)
+	scope := p.Pkg.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isSyncLock(st.Field(i).Type()) {
+				guarded[named] = i
+				break
+			}
+		}
+	}
+
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockParams(p, fd, guarded)
+			if fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvType := p.Pkg.Info.TypeOf(fd.Recv.List[0].Type)
+			ptr := false
+			if pt, ok := recvType.(*types.Pointer); ok {
+				recvType = pt.Elem()
+				ptr = true
+			}
+			named, ok := recvType.(*types.Named)
+			if !ok {
+				continue
+			}
+			mutexIdx, ok := guarded[named]
+			if !ok {
+				continue
+			}
+			if !ptr {
+				p.Reportf(fd.Pos(), "method %s copies %s by value; it holds %s — use a pointer receiver",
+					fd.Name.Name, named.Obj().Name(), mutexFieldName(named, mutexIdx))
+				continue
+			}
+			checkGuardedAccess(p, fd, named, mutexIdx)
+		}
+	}
+}
+
+// checkLockParams flags by-value parameters of lock-holding struct types.
+func checkLockParams(p *Pass, fd *ast.FuncDecl, guarded map[*types.Named]int) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		t := p.Pkg.Info.TypeOf(field.Type)
+		if named, ok := t.(*types.Named); ok {
+			if idx, bad := guarded[named]; bad {
+				p.Reportf(field.Pos(), "parameter of %s passes %s by value; it holds %s — pass a pointer",
+					fd.Name.Name, named.Obj().Name(), mutexFieldName(named, idx))
+			}
+		}
+	}
+}
+
+// checkGuardedAccess flags pointer-receiver methods that access sibling
+// fields of the mutex without ever referencing the mutex.
+func checkGuardedAccess(p *Pass, fd *ast.FuncDecl, named *types.Named, mutexIdx int) {
+	if fd.Body == nil || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recvObj := p.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return
+	}
+
+	usesMutex := false
+	var firstSibling *ast.SelectorExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || p.Pkg.Info.Uses[base] != recvObj {
+			return true
+		}
+		selection := p.Pkg.Info.Selections[sel]
+		if selection == nil || len(selection.Index()) == 0 {
+			return true
+		}
+		first := selection.Index()[0]
+		// The first index step is a field hop for field accesses and for
+		// promoted members of embedded fields; methods declared directly on
+		// the struct reach here with a method index instead, which we
+		// recognize by the selection object.
+		if _, isField := selection.Obj().(*types.Var); !isField && len(selection.Index()) == 1 {
+			return true // direct method call on the receiver: analyzed on its own
+		}
+		if first == mutexIdx {
+			usesMutex = true
+		} else if firstSibling == nil {
+			firstSibling = sel
+		}
+		return true
+	})
+
+	if firstSibling != nil && !usesMutex {
+		p.Reportf(firstSibling.Pos(), "method %s accesses %s.%s without acquiring %s",
+			fd.Name.Name, named.Obj().Name(), firstSibling.Sel.Name, mutexFieldName(named, mutexIdx))
+	}
+}
+
+func mutexFieldName(named *types.Named, idx int) string {
+	return named.Underlying().(*types.Struct).Field(idx).Name()
+}
+
+// isSyncLock reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,69 @@
+// Package dropped is a lint fixture for the droppederr analyzer: calls
+// whose error result is discarded, with the exemptions the analyzer
+// documents (defer/go, fmt prints, Builder/Buffer writes).
+package dropped
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func noError() int { return 0 }
+
+func bare() {
+	mayFail() // want:droppederr
+}
+
+func blanked() {
+	_ = mayFail() // want:droppederr
+}
+
+func blankedPair() {
+	_, _ = pair() // want:droppederr
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := pair()
+	_ = n
+	return err
+}
+
+func keptValueDroppedError() {
+	n, _ := pair()
+	_ = n
+}
+
+func noErrorResult() {
+	noError()
+	_ = noError()
+}
+
+func deferred(f *os.File) {
+	defer f.Close()
+	go mayFail()
+}
+
+func goroutineBodyStillChecked() {
+	go func() {
+		mayFail() // want:droppederr
+	}()
+}
+
+func exemptWriters() {
+	var b strings.Builder
+	b.WriteString("hi")
+	fmt.Println(b.String())
+	fmt.Printf("%d\n", 1)
+}
+
+func suppressed() {
+	_ = mayFail() //lint:ignore droppederr fixture: error is provably nil here
+}

@@ -1,0 +1,139 @@
+// Package enums is a lint fixture for the exhaustiveswitch analyzer:
+// constant switches over a declared enum type and type switches over a
+// sealed interface. Lines carrying a "want:<analyzer>" comment are expected
+// findings; everything else must stay clean.
+package enums
+
+// Color is an enum with three constants.
+type Color int
+
+// Colors.
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Size has only one constant: too small to count as an enum, so switches
+// over it are never checked.
+type Size int
+
+// SizeOnly is Size's lone constant.
+const SizeOnly Size = 0
+
+func complete(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return ""
+}
+
+func withDefault(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+func missing(c Color) string {
+	switch c { // want:exhaustiveswitch
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return ""
+}
+
+func suppressed(c Color) string {
+	//lint:ignore exhaustiveswitch fixture: suppression must silence the finding on the next line
+	switch c {
+	case Red:
+		return "red"
+	}
+	return ""
+}
+
+func notAnEnum(s Size, n int) {
+	switch s {
+	case SizeOnly:
+	}
+	switch n {
+	case 1:
+	}
+}
+
+// Shape is a sealed interface (unexported method): the analyzer knows every
+// implementer and can demand coverage.
+type Shape interface {
+	isShape()
+}
+
+// Circle implements Shape.
+type Circle struct{}
+
+// Square implements Shape.
+type Square struct{}
+
+// Dot implements Shape via pointer receiver.
+type Dot struct{}
+
+func (Circle) isShape() {}
+func (Square) isShape() {}
+func (*Dot) isShape()   {}
+
+// Area makes Circle implement Open as well.
+func (Circle) Area() float64 { return 0 }
+
+// Open is NOT sealed: implementers may live anywhere, so no coverage check.
+type Open interface {
+	Area() float64
+}
+
+func shapeComplete(s Shape) string {
+	switch s.(type) {
+	case nil:
+		return "nil"
+	case Circle:
+		return "circle"
+	case Square:
+		return "square"
+	case *Dot:
+		return "dot"
+	}
+	return ""
+}
+
+func shapeDefault(s Shape) string {
+	switch s.(type) {
+	case Circle:
+		return "circle"
+	default:
+		return "other"
+	}
+}
+
+func shapeMissing(s Shape) string {
+	switch s.(type) { // want:exhaustiveswitch
+	case Circle:
+		return "circle"
+	case *Dot:
+		return "dot"
+	}
+	return ""
+}
+
+func openUnchecked(o Open) float64 {
+	switch o.(type) {
+	case Circle:
+		return 0
+	}
+	return o.Area()
+}

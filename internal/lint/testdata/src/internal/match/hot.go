@@ -1,0 +1,43 @@
+// Package match is a lint fixture for the internsafety analyzer. Its
+// import path ends in internal/match, which puts it on the analyzer's
+// hot-path list: raw string comparisons and map[string] indexes are
+// findings here (they would be fine in any other package).
+package match
+
+// wildcard mirrors core.Wildcard: comparisons against constants are cheap
+// guards, not per-candidate probes, and stay allowed.
+const wildcard = "*"
+
+func compareRaw(a, b string) bool {
+	return a == b // want:internsafety
+}
+
+func compareNeq(a, b string) bool {
+	return a != b // want:internsafety
+}
+
+func compareEmpty(a string) bool {
+	return a == ""
+}
+
+func compareSentinel(a string) bool {
+	return a == wildcard
+}
+
+func compareSuppressed(a, b string) bool {
+	//lint:ignore internsafety fixture: one-time validation outside the matching loop
+	return a == b
+}
+
+func compareInts(a, b int) bool {
+	return a == b
+}
+
+type index struct {
+	byName map[string]int // want:internsafety
+	byID   map[uint32]int
+}
+
+func makeIndex() map[string]bool { // want:internsafety
+	return nil
+}

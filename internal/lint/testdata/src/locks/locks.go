@@ -1,0 +1,77 @@
+// Package locks is a lint fixture for the locksafety analyzer: structs
+// holding a sync.Mutex must not be copied, and pointer-receiver methods
+// must touch the mutex before touching sibling fields.
+package locks
+
+import "sync"
+
+// Counter guards n with mu.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc locks correctly.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Get reads n without the lock.
+func (c *Counter) Get() int {
+	return c.n // want:locksafety
+}
+
+// Sneak suppresses the finding with a reason.
+func (c *Counter) Sneak() int {
+	//lint:ignore locksafety fixture: caller holds mu for the whole transaction
+	return c.n
+}
+
+// ByValue copies the mutex via its receiver.
+func (c Counter) ByValue() int { // want:locksafety
+	return 0
+}
+
+// LockOnly only touches the mutex: nothing guarded is read.
+func (c *Counter) LockOnly() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+func byValueParam(c Counter) int { // want:locksafety
+	return 0
+}
+
+func byPointerParam(c *Counter) {
+	c.Inc()
+}
+
+// Embedded embeds the mutex; Lock/Unlock are promoted.
+type Embedded struct {
+	sync.Mutex
+	n int
+}
+
+// Inc locks through the promoted method.
+func (e *Embedded) Inc() {
+	e.Lock()
+	e.n++
+	e.Unlock()
+}
+
+// Peek reads n without the promoted lock.
+func (e *Embedded) Peek() int {
+	return e.n // want:locksafety
+}
+
+// Plain has no mutex: no discipline to enforce.
+type Plain struct {
+	n int
+}
+
+// Bump is fine without any locking.
+func (p *Plain) Bump() { p.n++ }
+
+func plainByValue(p Plain) int { return p.n }

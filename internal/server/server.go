@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"ogpa"
@@ -53,12 +54,62 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Stats    string `json:"stats"`
+	Queries  uint64 `json:"queries"`
+	Rewrites uint64 `json:"rewrites"`
+	Errors   uint64 `json:"errors"`
+}
+
+// metrics counts requests served by one handler. Every field access goes
+// through mu; the lint locksafety analyzer enforces that discipline.
+type metrics struct {
+	mu       sync.Mutex
+	queries  uint64
+	rewrites uint64
+	errors   uint64
+}
+
+func (m *metrics) recordQuery() {
+	m.mu.Lock()
+	m.queries++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordRewrite() {
+	m.mu.Lock()
+	m.rewrites++
+	m.mu.Unlock()
+}
+
+func (m *metrics) recordError() {
+	m.mu.Lock()
+	m.errors++
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() (queries, rewrites, errors uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queries, m.rewrites, m.errors
+}
+
 // Handler builds the HTTP handler for one knowledge base.
+//
+// The KB's symbol table is frozen here: request handling only ever reads
+// it (unknown query labels resolve through Lookup), so freezing makes the
+// shared table race-free by construction and turns any accidental
+// query-time Intern into a loud panic instead of a data race.
 func Handler(kb *ogpa.KB) http.Handler {
+	kb.Graph().Symbols.Freeze()
+	m := &metrics{}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		m.recordQuery()
 		req, ok := decode(w, r)
 		if !ok {
+			m.recordError()
 			return
 		}
 		opt := ogpa.Options{
@@ -71,6 +122,7 @@ func Handler(kb *ogpa.KB) http.Handler {
 		if req.Minimize && !req.SPARQL {
 			min, err := ogpa.MinimizeQuery(query)
 			if err != nil {
+				m.recordError()
 				writeError(w, http.StatusBadRequest, err)
 				return
 			}
@@ -93,6 +145,7 @@ func Handler(kb *ogpa.KB) http.Handler {
 			ans, err = kb.AnswerWithOptions(query, opt)
 		}
 		if err != nil {
+			m.recordError()
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -107,12 +160,15 @@ func Handler(kb *ogpa.KB) http.Handler {
 	})
 
 	mux.HandleFunc("POST /rewrite", func(w http.ResponseWriter, r *http.Request) {
+		m.recordRewrite()
 		req, ok := decode(w, r)
 		if !ok {
+			m.recordError()
 			return
 		}
 		rw, err := kb.Rewrite(req.Query)
 		if err != nil {
+			m.recordError()
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -120,7 +176,8 @@ func Handler(kb *ogpa.KB) http.Handler {
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]string{"stats": kb.Stats()})
+		q, rw, e := m.snapshot()
+		writeJSON(w, StatsResponse{Stats: kb.Stats(), Queries: q, Rewrites: rw, Errors: e})
 	})
 
 	mux.HandleFunc("GET /consistency", func(w http.ResponseWriter, r *http.Request) {
@@ -152,11 +209,13 @@ func decode(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore droppederr best-effort response write; the client may be gone and there is no channel left to report on
 	_ = json.NewEncoder(w).Encode(v)
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	//lint:ignore droppederr best-effort response write; the client may be gone and there is no channel left to report on
 	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
 }

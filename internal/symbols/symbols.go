@@ -1,11 +1,28 @@
 // Package symbols provides string interning tables shared by the graph,
 // ontology and query layers. Interning keeps hot paths (label comparison,
 // adjacency probes) on small integer IDs instead of strings.
+//
+// # Lifecycle
+//
+// A Table goes through two phases:
+//
+//  1. Load: a single goroutine interns strings while the graph is built.
+//     The table is NOT safe for concurrent mutation in this phase.
+//  2. Serve: Freeze() seals the table. From then on every read — Lookup,
+//     Name, Len, All, and Intern of an already-present string — is
+//     lock-free and safe from any number of goroutines, because nothing
+//     mutates anymore. Intern of a NEW string panics with a clear message:
+//     a query-time intern on a shared table would otherwise be a silent
+//     data race.
+//
+// Servers (internal/server) freeze the table at startup; batch tools that
+// never share the table across goroutines may skip Freeze entirely.
 package symbols
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // ID identifies an interned string. The zero value is reserved for "absent".
@@ -14,11 +31,12 @@ type ID uint32
 // None is the reserved invalid ID.
 const None ID = 0
 
-// Table is an append-only intern table. It is not safe for concurrent
-// mutation; concurrent reads are safe once loading is done.
+// Table is an append-only intern table. See the package comment for the
+// load/serve lifecycle and the concurrency rules of each phase.
 type Table struct {
 	byName map[string]ID
 	names  []string
+	frozen atomic.Bool
 }
 
 // NewTable returns an empty table. ID 0 is reserved; the first interned
@@ -31,15 +49,29 @@ func NewTable() *Table {
 }
 
 // Intern returns the ID for s, assigning a fresh one on first sight.
+// On a frozen table, interning a string that was never seen during load
+// panics: mutating a shared table at serve time would be a data race.
 func (t *Table) Intern(s string) ID {
 	if id, ok := t.byName[s]; ok {
 		return id
+	}
+	if t.frozen.Load() {
+		panic(fmt.Sprintf("symbols: Intern(%q) on a frozen table — intern every string during load, before Freeze", s))
 	}
 	id := ID(len(t.names))
 	t.names = append(t.names, s)
 	t.byName[s] = id
 	return id
 }
+
+// Freeze seals the table: subsequent Intern calls for new strings panic,
+// and all reads become safe for concurrent use (they were already
+// lock-free; freezing guarantees nothing mutates under them). Freeze must
+// be called on the loading goroutine, before the table is shared.
+func (t *Table) Freeze() { t.frozen.Store(true) }
+
+// Frozen reports whether Freeze has been called.
+func (t *Table) Frozen() bool { return t.frozen.Load() }
 
 // Lookup returns the ID for s, or None if s was never interned.
 func (t *Table) Lookup(s string) ID {

@@ -2,6 +2,7 @@ package symbols
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -56,4 +57,54 @@ func TestRoundTripProperty(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestFreeze(t *testing.T) {
+	tbl := NewTable()
+	a := tbl.Intern("alpha")
+	tbl.Freeze()
+	if !tbl.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	// Re-interning an existing string stays legal after Freeze: it is a
+	// pure read and callers on the serve path may not know the string is
+	// already present.
+	if tbl.Intern("alpha") != a {
+		t.Fatal("re-interning a known string after Freeze changed the ID")
+	}
+	if tbl.Lookup("beta") != None {
+		t.Fatal("Lookup of unknown string should be None on a frozen table")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intern of a new string on a frozen table must panic")
+		}
+	}()
+	tbl.Intern("beta")
+}
+
+func TestFrozenConcurrentReads(t *testing.T) {
+	tbl := NewTable()
+	ids := make([]ID, 64)
+	for i := range ids {
+		ids[i] = tbl.Intern(fmt.Sprintf("sym-%d", i))
+	}
+	tbl.Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 100; r++ {
+				for i, id := range ids {
+					s := fmt.Sprintf("sym-%d", i)
+					if tbl.Lookup(s) != id || tbl.Name(id) != s || tbl.Intern(s) != id {
+						t.Error("frozen read disagrees")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

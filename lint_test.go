@@ -1,0 +1,25 @@
+package ogpa
+
+import (
+	"testing"
+
+	"ogpa/internal/lint"
+)
+
+// TestRepoLintClean runs the repository's own static-analysis pass (the
+// same one `go run ./cmd/ogpalint ./...` runs) as part of tier-1 tests, so
+// the invariants it checks — exhaustive I1–I11 and condition-AST switches,
+// lock discipline, no dropped errors, interned hot-path comparisons — are
+// enforced on every change forever.
+func TestRepoLintClean(t *testing.T) {
+	pkgs, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module loader is missing code", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, lint.All()) {
+		t.Errorf("%s", d)
+	}
+}
