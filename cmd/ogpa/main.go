@@ -23,6 +23,7 @@ func main() {
 		explain      = flag.Bool("explain", false, "print the generated OGP before answering")
 		maxResults   = flag.Int("max-results", 0, "cap the number of answers (0 = unlimited)")
 		timeout      = flag.Duration("timeout", 0, "wall-clock budget (0 = unlimited)")
+		workers      = flag.Int("workers", 0, "matcher worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		statsOnly    = flag.Bool("stats", false, "print KB statistics and exit")
 		isSPARQL     = flag.Bool("sparql", false, "the query argument is a SPARQL SELECT query")
 		minimize     = flag.Bool("minimize", false, "minimize the query (compute its core) before rewriting")
@@ -85,7 +86,7 @@ func main() {
 		fmt.Printf("condition provenance:\n%s\n", rw.ExplainProvenance())
 	}
 
-	opt := ogpa.Options{MaxResults: *maxResults, Timeout: *timeout}
+	opt := ogpa.Options{MaxResults: *maxResults, Timeout: *timeout, Workers: *workers}
 	start := time.Now()
 	var ans *ogpa.Answers
 	switch {

@@ -20,6 +20,7 @@ func main() {
 		ontologyPath = flag.String("ontology", "", "ontology file")
 		dataPath     = flag.String("data", "", "data file (.abox or .nt)")
 		addr         = flag.String("addr", "localhost:8080", "listen address")
+		maxWorkers   = flag.Int("max-workers", 0, "cap matcher workers per query (0 = uncapped)")
 	)
 	flag.Parse()
 	if *ontologyPath == "" || *dataPath == "" {
@@ -33,5 +34,6 @@ func main() {
 	}
 	log.Printf("loaded %s", kb.Stats())
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.Handler(kb)))
+	cfg := server.Config{MaxWorkersPerQuery: *maxWorkers}
+	log.Fatal(http.ListenAndServe(*addr, server.HandlerWithConfig(kb, cfg)))
 }

@@ -125,6 +125,16 @@ type SameAs struct {
 	X, Y int
 }
 
+// IsOmitted is x = ⊥: vertex x is omitted by the mapping. Like SameAs it
+// extends the paper's τ grammar; GenOGP uses it to degrade a SameAs gate
+// whose referenced vertex is itself omittable — the equality constraint
+// only applies while the referent is present (its own omission condition
+// governs otherwise), so the gate compiles to IsOmitted(z) ∨ SameAs(z, v)
+// instead of an unsatisfiable bare SameAs.
+type IsOmitted struct {
+	X int
+}
+
 // And is τ1 ∧ τ2.
 type And struct{ L, R Cond }
 
@@ -138,6 +148,7 @@ func (EdgeExists) isCond()   {}
 func (AttrCmpConst) isCond() {}
 func (AttrCmpAttr) isCond()  {}
 func (SameAs) isCond()       {}
+func (IsOmitted) isCond()    {}
 func (And) isCond()          {}
 func (Or) isCond()           {}
 
@@ -163,6 +174,8 @@ func (c AttrCmpAttr) String() string {
 }
 
 func (c SameAs) String() string { return fmt.Sprintf("$%d=$%d", c.X, c.Y) }
+
+func (c IsOmitted) String() string { return fmt.Sprintf("$%d=⊥", c.X) }
 
 func (c And) String() string { return "(" + c.L.String() + " & " + c.R.String() + ")" }
 func (c Or) String() string  { return "(" + c.L.String() + " | " + c.R.String() + ")" }
@@ -232,6 +245,8 @@ func collectVars(c Cond, out map[int]bool) {
 	case SameAs:
 		out[t.X] = true
 		out[t.Y] = true
+	case IsOmitted:
+		out[t.X] = true
 	case And:
 		collectVars(t.L, out)
 		collectVars(t.R, out)

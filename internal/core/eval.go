@@ -94,6 +94,10 @@ func Eval(c Cond, m Mapping, g *graph.Graph) bool {
 	case SameAs:
 		x, y := m[t.X], m[t.Y]
 		return x != Omitted && y != Omitted && x == y
+	case IsOmitted:
+		// The deliberate exception to "atoms referencing an omitted vertex
+		// are false": this atom asserts the omission itself.
+		return m[t.X] == Omitted
 	case And:
 		return Eval(t.L, m, g) && Eval(t.R, m, g)
 	case Or:

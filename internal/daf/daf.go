@@ -17,7 +17,10 @@ package daf
 import (
 	"errors"
 	"fmt"
+	stdruntime "runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ogpa/internal/core"
@@ -44,6 +47,10 @@ type Limits struct {
 	MaxResults int
 	MaxSteps   int64
 	Deadline   time.Time
+	// Workers bounds the worker pool EvalUCQ uses to evaluate disjuncts
+	// concurrently (each disjunct itself runs sequentially). 0 means
+	// runtime.GOMAXPROCS(0); 1 evaluates disjuncts in order.
+	Workers int
 }
 
 // ErrLimit reports that enumeration stopped due to Limits.
@@ -62,6 +69,10 @@ type Stats struct {
 	CSCandidates  int   // total candidates across pattern vertices after refinement
 	RefinePasses  int
 	EmptyCandSets int // pattern vertices whose candidate set refined to empty
+	// Truncated reports that enumeration stopped before exhausting the
+	// search space (MaxResults reached, MaxSteps exceeded, or the
+	// deadline passed).
+	Truncated bool
 }
 
 // vertexReq is the compiled per-vertex requirement: labels the data vertex
@@ -676,8 +687,11 @@ func (m *matcher) backtrack(out *core.AnswerSet) error {
 		return any, nil
 	}
 	_, err := rec(false)
-	if errors.Is(err, ErrLimit) && m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
-		return nil // hitting MaxResults is a successful (truncated) run
+	if errors.Is(err, ErrLimit) {
+		m.stats.Truncated = true
+		if m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
+			return nil // hitting MaxResults is a successful (truncated) run
+		}
 	}
 	return err
 }
@@ -713,8 +727,95 @@ func EvalCQ(q *cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats, er
 
 // EvalUCQ evaluates a union of conjunctive queries: the union of the
 // disjuncts' answer sets, deduplicated. Disjunct answers are only unioned
-// when their heads agree (guaranteed for PerfectRef output).
+// when their heads agree (guaranteed for PerfectRef output). With
+// lim.Workers > 1 (or 0, meaning GOMAXPROCS) disjuncts are evaluated
+// concurrently; per-disjunct answer sets are merged in disjunct order, so
+// the result is identical to the sequential loop.
 func EvalUCQ(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats, error) {
+	workers := lim.Workers
+	if workers <= 0 {
+		workers = stdruntime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		return evalUCQSeq(qs, g, lim)
+	}
+
+	type result struct {
+		res *core.AnswerSet
+		st  Stats
+		err error
+	}
+	results := make([]result, len(qs))
+	// stop is a disjunct-granular early exit: once MaxResults distinct
+	// answers exist across completed disjuncts (tracked in seen under mu),
+	// workers stop claiming new disjuncts.
+	var stop atomic.Bool
+	var mu sync.Mutex
+	//lint:ignore internsafety keys are canonical Answer.Key() strings (mirrors core.AnswerSet); touched once per disjunct answer, not per node
+	seen := make(map[string]bool)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				res, st, err := EvalCQ(qs[i], g, lim)
+				results[i] = result{res, st, err}
+				if err != nil {
+					stop.Store(true)
+					return
+				}
+				if lim.MaxResults > 0 {
+					mu.Lock()
+					for _, a := range res.Answers() {
+						seen[a.Key()] = true
+					}
+					if len(seen) >= lim.MaxResults {
+						stop.Store(true)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := core.NewAnswerSet()
+	var total Stats
+	for i := range results {
+		r := &results[i]
+		total.Steps += r.st.Steps
+		total.CSCandidates += r.st.CSCandidates
+		if r.err != nil {
+			total.Truncated = true
+			return out, total, r.err
+		}
+		if r.res == nil {
+			continue // disjunct skipped by early exit
+		}
+		for _, a := range r.res.Answers() {
+			if lim.MaxResults > 0 && out.Len() >= lim.MaxResults {
+				total.Truncated = true
+				return out, total, nil
+			}
+			out.Add(a)
+		}
+	}
+	if lim.MaxResults > 0 && out.Len() >= lim.MaxResults {
+		total.Truncated = true
+	}
+	return out, total, nil
+}
+
+func evalUCQSeq(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats, error) {
 	out := core.NewAnswerSet()
 	var total Stats
 	for _, q := range qs {
@@ -722,11 +823,13 @@ func EvalUCQ(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats
 		total.Steps += st.Steps
 		total.CSCandidates += st.CSCandidates
 		if err != nil {
+			total.Truncated = true
 			return out, total, err
 		}
 		for _, a := range res.Answers() {
 			out.Add(a)
 			if lim.MaxResults > 0 && out.Len() >= lim.MaxResults {
+				total.Truncated = true
 				return out, total, nil
 			}
 		}

@@ -75,3 +75,55 @@ type Plain struct {
 func (p *Plain) Bump() { p.n++ }
 
 func plainByValue(p Plain) int { return p.n }
+
+// The worker-pool shapes from the parallel matcher: a mutex-guarded
+// result gate whose methods run off the hot path, next to an
+// atomics-only budget that needs no mutex discipline at all.
+
+// poolBudget is atomics-only (modelled here as plain fields since the
+// fixture module has no sync/atomic dependency wired up): no mutex, so
+// locksafety has nothing to enforce.
+type poolBudget struct {
+	steps int64
+	stop  bool
+}
+
+func (b *poolBudget) trip() { b.stop = true }
+
+// gate deduplicates answers across workers; every access to seen and
+// count must hold mu.
+type gate struct {
+	mu    sync.Mutex
+	seen  map[string]bool
+	count int
+	bud   *poolBudget
+}
+
+// record is the correct pattern: lock, mutate, consult the (unguarded,
+// atomics-in-real-life) budget, unlock.
+func (g *gate) record(k string) {
+	g.mu.Lock()
+	if !g.seen[k] {
+		g.seen[k] = true
+		g.count++
+		if g.count >= 4 {
+			g.bud.trip()
+		}
+	}
+	g.mu.Unlock()
+}
+
+// peek reads the guarded map without the lock.
+func (g *gate) peek(k string) bool {
+	return g.seen[k] // want:locksafety
+}
+
+// size reads the guarded counter without the lock.
+func (g *gate) size() int {
+	return g.count // want:locksafety
+}
+
+// drain copies the gate by value into a worker.
+func drain(g gate) int { // want:locksafety
+	return 0
+}

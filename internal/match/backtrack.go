@@ -1,13 +1,17 @@
 package match
 
 import (
-	"errors"
+	"time"
 
 	"ogpa/internal/core"
 	"ogpa/internal/graph"
+	"ogpa/internal/sbdd"
 )
 
-// runtime state for OMBacktrack.
+// runtime is the per-worker state of OMBacktrack. Every field is owned by
+// exactly one goroutine; the only shared state it touches is the budget
+// (atomics), the optional result gate (mutex-guarded) and the matcher's
+// frozen compile-phase structures (read-only after buildOMCS).
 type runtime struct {
 	m       *matcher
 	mapping core.Mapping // Omitted doubles as "unmapped"; see mapped flags
@@ -16,20 +20,36 @@ type runtime struct {
 	// a condition is decided exactly when its counter hits zero.
 	remaining []int
 	out       *core.AnswerSet
+	bud       *budget
+	gate      *resultGate // nil unless parallel with MaxResults
+	cache     *sbdd.EvalCache
+	atomEvals int64
+	// steps is the local tick count since the last flush to the shared
+	// budget; base is the global total as of that flush. Batching keeps
+	// the per-node hot path off the shared cache line — a naive
+	// bud.steps.Add(1) per tick makes the parallel pool slower than
+	// sequential from contention alone.
+	steps int64
+	base  int64
 }
 
-// backtrack implements OMBacktrack (paper Section V-B): adaptive or static
-// ordering over the OMDAG, ⊥ assignments for omittable vertices, and
-// condition evaluation through the shared BDD as soon as variables are
-// mapped.
-func (m *matcher) backtrack(out *core.AnswerSet) error {
-	n := len(m.p.Vertices)
+// stepFlush is how many local ticks a runtime accumulates before
+// flushing to the shared budget (and re-checking deadline/stop). It
+// bounds MaxSteps overshoot at workers*stepFlush and cancellation
+// latency at stepFlush nodes.
+const stepFlush = 256
+
+// newRuntime builds a fresh runtime over m's frozen structures.
+func (m *matcher) newRuntime(out *core.AnswerSet, bud *budget, gate *resultGate) *runtime {
 	rt := &runtime{
 		m:         m,
-		mapping:   make(core.Mapping, n),
-		mapped:    make([]bool, n),
+		mapping:   make(core.Mapping, len(m.p.Vertices)),
+		mapped:    make([]bool, len(m.p.Vertices)),
 		remaining: make([]int, len(m.conds)),
 		out:       out,
+		bud:       bud,
+		gate:      gate,
+		cache:     sbdd.NewEvalCache(),
 	}
 	for i := range rt.mapping {
 		rt.mapping[i] = core.Omitted
@@ -37,12 +57,64 @@ func (m *matcher) backtrack(out *core.AnswerSet) error {
 	for ci, c := range m.conds {
 		rt.remaining[ci] = len(c.vars)
 	}
+	return rt
+}
 
-	err := rt.rec(0)
-	if errors.Is(err, ErrLimit) && m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
-		return nil // truncation at MaxResults is a successful run
+// tick charges one enumeration step against the shared budget.
+func (rt *runtime) tick() error {
+	rt.steps++
+	if rt.bud.maxSteps > 0 && rt.base+rt.steps > rt.bud.maxSteps {
+		rt.flushSteps()
+		if rt.base > rt.bud.maxSteps {
+			return ErrLimit
+		}
 	}
-	return err
+	if rt.steps >= stepFlush {
+		rt.flushSteps()
+		if !rt.bud.deadline.IsZero() && time.Now().After(rt.bud.deadline) {
+			return ErrLimit
+		}
+		if rt.bud.stop.Load() {
+			return errStopped
+		}
+	}
+	return nil
+}
+
+// flushSteps publishes the local tick count to the shared budget and
+// refreshes the global snapshot. Callers must flush once more when a
+// runtime retires so Stats.Steps is exact.
+func (rt *runtime) flushSteps() {
+	rt.base = rt.bud.steps.Add(rt.steps)
+	rt.steps = 0
+}
+
+// evalAtom evaluates atomic condition id under the current mapping via its
+// precompiled closure.
+func (rt *runtime) evalAtom(id int, mapping core.Mapping) bool {
+	rt.atomEvals++
+	return rt.m.atomFns[id](mapping)
+}
+
+// emit records the completed mapping as an answer. It returns ErrLimit
+// (sequential) or errStopped (parallel) once MaxResults distinct answers
+// exist, so the enumeration unwinds.
+func (rt *runtime) emit() error {
+	a := core.Project(rt.m.p, rt.mapping)
+	isNew := rt.out.Add(a)
+	if rt.gate != nil {
+		if isNew {
+			rt.gate.record(a.Key())
+		}
+		if rt.bud.stop.Load() {
+			return errStopped
+		}
+		return nil
+	}
+	if rt.m.opts.Limits.MaxResults > 0 && rt.out.Len() >= rt.m.opts.Limits.MaxResults {
+		return ErrLimit
+	}
+	return nil
 }
 
 // assign maps u (to a vertex or ⊥) and evaluates every condition this
@@ -88,7 +160,7 @@ func (rt *runtime) checkCond(ci int) bool {
 		}
 	}
 	return rt.m.bdd.Eval(c.ref, func(atom int) bool {
-		return rt.m.evalAtom(atom, rt.mapping)
+		return rt.evalAtom(atom, rt.mapping)
 	})
 }
 
@@ -118,13 +190,13 @@ func (rt *runtime) earlyReject(u int) bool {
 				continue
 			}
 		}
-		val, known := rt.m.bdd.EvalPartial(c.ref, func(atom int) (bool, bool) {
+		val, known := rt.m.bdd.EvalPartialCached(c.ref, rt.cache, func(atom int) (bool, bool) {
 			for _, w := range rt.m.atomVars[atom] {
 				if !rt.mapped[w] {
 					return false, false
 				}
 			}
-			return rt.m.evalAtom(atom, rt.mapping), true
+			return rt.evalAtom(atom, rt.mapping), true
 		})
 		if known && !val {
 			return true
@@ -246,17 +318,33 @@ func (rt *runtime) allRemainingExistential() bool {
 	return true
 }
 
+// try assigns u := v, prunes, recurses and rolls back — one branch of the
+// search. runItem reuses it for first-level work items, so the parallel
+// subtrees are explored exactly as the sequential loop would.
+func (rt *runtime) try(u int, v graph.VID, depth int) error {
+	ok := rt.assign(u, v)
+	if ok && v != core.Omitted && !rt.m.opts.DisableEarlyReject {
+		// Structural DAG edges whose child was mapped earlier than this
+		// parent (possible under forced orders) are covered by the edge
+		// conditions, which assign() just checked. Early rejection via
+		// partial evaluation prunes deeper work.
+		ok = !rt.earlyReject(u)
+	}
+	var err error
+	if ok {
+		err = rt.rec(depth + 1)
+	}
+	rt.unassign(u)
+	return err
+}
+
 func (rt *runtime) rec(depth int) error {
 	m := rt.m
-	if err := m.tick(); err != nil {
+	if err := rt.tick(); err != nil {
 		return err
 	}
 	if depth == len(m.p.Vertices) {
-		rt.out.Add(core.Project(m.p, rt.mapping))
-		if m.opts.Limits.MaxResults > 0 && rt.out.Len() >= m.opts.Limits.MaxResults {
-			return ErrLimit
-		}
-		return nil
+		return rt.emit()
 	}
 	// Existential completion: once every distinguished vertex is assigned,
 	// the answer tuple is fixed — find one completion and stop, instead of
@@ -267,10 +355,7 @@ func (rt *runtime) rec(depth int) error {
 			return err
 		}
 		if found {
-			rt.out.Add(core.Project(m.p, rt.mapping))
-			if m.opts.Limits.MaxResults > 0 && rt.out.Len() >= m.opts.Limits.MaxResults {
-				return ErrLimit
-			}
+			return rt.emit()
 		}
 		return nil
 	}
@@ -279,30 +364,13 @@ func (rt *runtime) rec(depth int) error {
 		return nil
 	}
 
-	try := func(v graph.VID) error {
-		ok := rt.assign(u, v)
-		if ok && v != core.Omitted && !m.opts.DisableEarlyReject {
-			// Structural DAG edges whose child was mapped earlier than this
-			// parent (possible under forced orders) are covered by the edge
-			// conditions, which assign() just checked. Early rejection via
-			// partial evaluation prunes deeper work.
-			ok = !rt.earlyReject(u)
-		}
-		var err error
-		if ok {
-			err = rt.rec(depth + 1)
-		}
-		rt.unassign(u)
-		return err
-	}
-
 	for _, v := range rt.candidates(u) {
-		if err := try(v); err != nil {
+		if err := rt.try(u, v, depth); err != nil {
 			return err
 		}
 	}
 	if m.canOmit[u] {
-		if err := try(core.Omitted); err != nil {
+		if err := rt.try(u, core.Omitted, depth); err != nil {
 			return err
 		}
 	}
@@ -312,7 +380,7 @@ func (rt *runtime) rec(depth int) error {
 // exists searches for any one completion of the existential remainder.
 func (rt *runtime) exists(depth int) (bool, error) {
 	m := rt.m
-	if err := m.tick(); err != nil {
+	if err := rt.tick(); err != nil {
 		return false, err
 	}
 	if depth == len(m.p.Vertices) {

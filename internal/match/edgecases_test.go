@@ -1,6 +1,7 @@
 package match
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -240,5 +241,52 @@ func TestEmptyCandidatesOmittableVertex(t *testing.T) {
 	got := res.Names(g)
 	if len(got) != 1 || got[0] != "s,⊥" {
 		t.Fatalf("got %v", got)
+	}
+}
+
+// TestTruncatedStats: Stats.Truncated reports exactly "the enumeration
+// stopped before exhausting the search space" — false on a complete run,
+// true when MaxResults cuts it short (a success) and when MaxSteps does
+// (an error), on both the sequential and the parallel path.
+func TestTruncatedStats(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	for i := 0; i < 6; i++ {
+		b.AddLabel(fmt.Sprintf("v%d", i), "A")
+	}
+	g := b.Freeze()
+	p := &core.Pattern{
+		Vertices: []core.Vertex{{Name: "x", Label: "A", Distinguished: true}},
+	}
+	for _, workers := range []int{1, 4} {
+		// Complete run: all six answers, not truncated.
+		res, st, err := Match(p, g, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st.Truncated {
+			t.Fatalf("workers=%d: complete run reported Truncated", workers)
+		}
+		if res.Len() != 6 {
+			t.Fatalf("workers=%d: %d answers, want 6", workers, res.Len())
+		}
+
+		// MaxResults truncation: success with exactly the limit.
+		res, st, err = Match(p, g, Options{Limits: Limits{MaxResults: 2}, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d MaxResults: %v", workers, err)
+		}
+		if !st.Truncated || res.Len() != 2 {
+			t.Fatalf("workers=%d MaxResults: truncated=%v len=%d, want true/2",
+				workers, st.Truncated, res.Len())
+		}
+
+		// MaxSteps truncation: ErrLimit and Truncated.
+		_, st, err = Match(p, g, Options{Limits: Limits{MaxSteps: 1}, Workers: workers})
+		if !errors.Is(err, ErrLimit) {
+			t.Fatalf("workers=%d MaxSteps: err=%v, want ErrLimit", workers, err)
+		}
+		if !st.Truncated {
+			t.Fatalf("workers=%d MaxSteps: Truncated=false after ErrLimit", workers)
+		}
 	}
 }

@@ -9,20 +9,11 @@ import (
 	"ogpa/internal/rewrite"
 )
 
-// TestKnownBugOmissionGateOnOmittedVertex pins a known GenOGP bug (see
-// ROADMAP "Open items"): when a LazyReduction equality gate in an
-// omission justification refers to a vertex that must itself be omitted,
-// the compiled SameAs conjunct is unsatisfiable and the OGP loses
-// answers the UCQ rewriting finds. The seed below is a minimal-ish
-// randomKB instance: query q(x) :- p(y, x), q(z, y), q(w, z) whose
-// entire tail y/z/w must drop for the answers [b c e].
-//
-// While the bug stands the test SKIPs (it is documentation, not a
-// gate); once a fix lands it passes and the skip path goes dead — then
-// delete the ROADMAP entry and fold this seed into the equivalence
-// property test's fixed preamble.
-func TestKnownBugOmissionGateOnOmittedVertex(t *testing.T) {
-	rng := rand.New(rand.NewSource(-143985124633941825))
+// ucqVsOGP evaluates one randomKB seed both ways and returns the sorted
+// answer rows (UCQ reference first).
+func ucqVsOGP(t *testing.T, seed int64) (want, got []string, query string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
 	tb, abox, q := randomKB(rng)
 	g := abox.Graph(nil)
 
@@ -30,7 +21,7 @@ func TestKnownBugOmissionGateOnOmittedVertex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := daf.EvalUCQ(u.Queries, g, daf.Limits{})
+	ref, _, err := daf.EvalUCQ(u.Queries, g, daf.Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,18 +29,70 @@ func TestKnownBugOmissionGateOnOmittedVertex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := Match(res.Pattern, g, Options{})
+	ans, _, err := Match(res.Pattern, g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, gn := want.Names(g), got.Names(g)
-	if len(w) != len(gn) {
-		t.Skipf("known bug still present: UCQ answers %v, OGP answers %v (query %s)", w, gn, q)
+	return ref.Names(g), ans.Names(g), q.String()
+}
+
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	for i := range w {
-		if w[i] != gn[i] {
-			t.Skipf("known bug still present: UCQ answers %v, OGP answers %v (query %s)", w, gn, q)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	t.Log("previously-failing seed now passes; remove this skip, update ROADMAP")
+	return true
+}
+
+// TestOmissionGateOnOmittedVertex is the regression test for a fixed
+// GenOGP bug: when a LazyReduction equality gate in an omission
+// justification referred to a vertex that must itself be omitted, the
+// compiled SameAs conjunct was unsatisfiable and the OGP lost answers
+// the UCQ rewriting finds. The seed is a minimal-ish randomKB instance:
+// query q(x) :- p(y, x), q(z, y), q(w, z) whose entire tail y/z/w must
+// drop for the answers [b c e]. The fix is two-part: gates over
+// omittable vertices degrade to IsOmitted ∨ SameAs, and justifications
+// anchored at omittable vertices compose transitively with the anchor's
+// own justifications (gate-aware omission cascade in condDeduction).
+func TestOmissionGateOnOmittedVertex(t *testing.T) {
+	want, got, q := ucqVsOGP(t, -143985124633941825)
+	if !equalRows(want, got) {
+		t.Fatalf("regression: UCQ answers %v, OGP answers %v (query %s)", want, got, q)
+	}
+}
+
+// TestKnownBugResidualGenOGPSeeds pins four pre-existing GenOGP
+// incompleteness/unsoundness instances surfaced by a 30k-seed sweep (see
+// ROADMAP "Open items"). All three predate the omission-gate fix (they
+// reproduce on the unpatched tree) and involve derivation orders the
+// current justification calculus does not cover:
+//
+//   - seed 2392402369435569976 over-answers (OGP ⊋ UCQ): an omission
+//     justification fires for a mapping PerfectRef cannot derive;
+//   - seeds 3913136004195287598, 1644683122221037022 and
+//     6913217735738182772 under-answer (OGP ⊊ UCQ): a hub unbound by
+//     LazyReduction never receives its own existentially-justified
+//     omission conditions, so fringe-dropping derivations through the
+//     hub are lost.
+//
+// While the bugs stand these SKIP (documentation, not a gate); once a
+// fix lands the skip paths go dead — then convert to hard failures and
+// fold the seeds into the equivalence property test's fixed preamble.
+func TestKnownBugResidualGenOGPSeeds(t *testing.T) {
+	for _, seed := range []int64{
+		2392402369435569976,
+		3913136004195287598,
+		1644683122221037022,
+		6913217735738182772,
+	} {
+		want, got, q := ucqVsOGP(t, seed)
+		if !equalRows(want, got) {
+			t.Skipf("known bug still present: seed %d UCQ answers %v, OGP answers %v (query %s)", seed, want, got, q)
+		}
+	}
+	t.Log("previously-failing seeds now pass; convert skips to failures, update ROADMAP")
 }

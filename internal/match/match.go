@@ -56,6 +56,14 @@ type Options struct {
 	Order  Order
 	Limits Limits
 
+	// Workers bounds the worker pool of the parallel backtracker: the
+	// first decision level's candidate pool (including the ⊥ candidate)
+	// is partitioned across this many goroutines, each owning its own
+	// runtime state and BDD evaluation cache. 0 means
+	// runtime.GOMAXPROCS(0); 1 runs the sequential path. Answers are
+	// merged in candidate order, so results are identical to sequential.
+	Workers int
+
 	// Ablation switches (benchmarking only; both default to enabled).
 	DisableEarlyReject           bool // skip partial-BDD pruning during backtracking
 	DisableExistentialCompletion bool // enumerate existential witnesses exhaustively
@@ -69,6 +77,10 @@ type Stats struct {
 	BDDNodes     int
 	AtomCacheHit int64
 	AtomEvals    int64
+	// Truncated reports that enumeration stopped before exhausting the
+	// search space (MaxResults reached, MaxSteps exceeded, or the
+	// deadline passed).
+	Truncated bool
 }
 
 type condKind uint8
@@ -129,10 +141,10 @@ type matcher struct {
 	depParents  [][]int // dependency parents by vertex
 	adj         []map[graph.VID][]graph.VID
 
-	// Runtime.
-	stats    Stats
-	steps    int64
-	deadline time.Time
+	// Build-phase statistics; per-worker runtime counters (steps, atom
+	// evaluations) live in budget/runtime and are merged in after the
+	// backtracking phase.
+	stats Stats
 }
 
 type dagEdge struct {
@@ -147,8 +159,7 @@ func Match(p *core.Pattern, g *graph.Graph, opts Options) (*core.AnswerSet, Stat
 	}
 	m := &matcher{
 		p: p, g: g, opts: opts,
-		atomIdx:  make(map[core.Cond]int),
-		deadline: opts.Limits.Deadline,
+		atomIdx: make(map[core.Cond]int),
 	}
 	m.bdd = sbdd.New()
 	m.compileConditions()
@@ -257,6 +268,11 @@ func (m *matcher) compileAtom(c core.Cond) func(core.Mapping) bool {
 		return func(mp core.Mapping) bool {
 			vx, vy := mp[x], mp[y]
 			return vx != core.Omitted && vx == vy
+		}
+	case core.IsOmitted:
+		x := t.X
+		return func(mp core.Mapping) bool {
+			return mp[x] == core.Omitted
 		}
 	default:
 		// Attribute comparisons and anything exotic fall back to the
@@ -794,23 +810,4 @@ func (m *matcher) buildOMCS() bool {
 		m.adj[di] = am
 	}
 	return true
-}
-
-func (m *matcher) tick() error {
-	m.steps++
-	m.stats.Steps = m.steps
-	if m.opts.Limits.MaxSteps > 0 && m.steps > m.opts.Limits.MaxSteps {
-		return ErrLimit
-	}
-	if m.steps%4096 == 0 && !m.deadline.IsZero() && time.Now().After(m.deadline) {
-		return ErrLimit
-	}
-	return nil
-}
-
-// evalAtom evaluates atomic condition id under the current mapping via its
-// precompiled closure.
-func (m *matcher) evalAtom(id int, mapping core.Mapping) bool {
-	m.stats.AtomEvals++
-	return m.atomFns[id](mapping)
 }

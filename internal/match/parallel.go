@@ -1,0 +1,186 @@
+package match
+
+import (
+	"errors"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ogpa/internal/core"
+	"ogpa/internal/graph"
+)
+
+// errStopped is the internal cancellation sentinel: a worker unwinds with
+// it when another worker has already collected MaxResults distinct
+// answers. It never escapes Match.
+var errStopped = errors.New("match: stopped")
+
+// budget is the enumeration budget shared by every worker of one Match
+// call. It is atomics-only so the per-node hot path (tick) takes no locks.
+type budget struct {
+	maxSteps int64
+	deadline time.Time
+	steps    atomic.Int64
+	stop     atomic.Bool
+}
+
+// resultGate tracks globally-distinct answers across workers so
+// MaxResults-aware early cancellation fires at the right count: per-worker
+// answer sets deduplicate only locally, and the same answer can be reached
+// from different first-level candidates. It sits off the hot path — one
+// lock per *distinct local* answer, not per node.
+type resultGate struct {
+	mu sync.Mutex
+	//lint:ignore internsafety keys are canonical Answer.Key() strings (mirrors core.AnswerSet); touched once per distinct answer, not per node
+	seen map[string]bool
+	max  int
+	bud  *budget
+}
+
+// record registers one answer key; reaching max distinct keys trips the
+// shared stop flag.
+func (rg *resultGate) record(k string) {
+	rg.mu.Lock()
+	if !rg.seen[k] {
+		rg.seen[k] = true
+		if len(rg.seen) >= rg.max {
+			rg.bud.stop.Store(true)
+		}
+	}
+	rg.mu.Unlock()
+}
+
+// runItem explores the subtree of one first-level assignment u := v. The
+// runtime's mapping is empty on entry and restored on exit, so a worker
+// reuses one runtime (and its BDD evaluation cache) across items.
+func (rt *runtime) runItem(u int, v graph.VID) error {
+	return rt.try(u, v, 0)
+}
+
+// backtrack implements OMBacktrack (paper Section V-B): adaptive or static
+// ordering over the OMDAG, ⊥ assignments for omittable vertices, and
+// condition evaluation through the shared BDD as soon as variables are
+// mapped. With Workers > 1 the first decision level's candidate pool is
+// partitioned across a worker pool; per-item answer sets are merged in
+// candidate order, so the result is identical to the sequential path.
+func (m *matcher) backtrack(out *core.AnswerSet) error {
+	bud := &budget{maxSteps: m.opts.Limits.MaxSteps, deadline: m.opts.Limits.Deadline}
+	workers := m.opts.Workers
+	if workers <= 0 {
+		workers = stdruntime.GOMAXPROCS(0)
+	}
+
+	// The probe runtime decides the first vertex exactly as the sequential
+	// recursion would (over the same frozen candidate sets), then doubles
+	// as the sequential runtime when the pool degenerates.
+	rt := m.newRuntime(out, bud, nil)
+	var items []graph.VID
+	u0 := -1
+	if workers > 1 && len(m.p.Vertices) > 0 {
+		u0 = rt.pickNext()
+		if u0 >= 0 {
+			cands := rt.candidates(u0)
+			items = make([]graph.VID, 0, len(cands)+1)
+			items = append(items, cands...)
+			if m.canOmit[u0] {
+				items = append(items, core.Omitted) // ⊥ last, as in rec
+			}
+		}
+	}
+
+	if workers <= 1 || u0 < 0 || len(items) < 2 {
+		err := rt.rec(0)
+		rt.flushSteps()
+		m.stats.Steps = bud.steps.Load()
+		m.stats.AtomEvals += rt.atomEvals
+		if errors.Is(err, ErrLimit) {
+			m.stats.Truncated = true
+			if m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
+				return nil // truncation at MaxResults is a successful run
+			}
+		}
+		return err
+	}
+	return m.backtrackPar(out, bud, u0, items, workers)
+}
+
+// backtrackPar fans the first-level work items out over a bounded worker
+// pool. Workers claim items off a shared atomic index, emit into per-item
+// answer sets, and cancel early (via the budget's stop flag) once
+// MaxResults globally-distinct answers exist.
+func (m *matcher) backtrackPar(out *core.AnswerSet, bud *budget, u0 int, items []graph.VID, workers int) error {
+	var gate *resultGate
+	if m.opts.Limits.MaxResults > 0 {
+		//lint:ignore internsafety keys are canonical Answer.Key() strings (mirrors core.AnswerSet); touched once per distinct answer, not per node
+		gate = &resultGate{seen: make(map[string]bool), max: m.opts.Limits.MaxResults, bud: bud}
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	results := make([]*core.AnswerSet, len(items))
+	errs := make([]error, len(items))
+	var next atomic.Int64
+	var atomEvals atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wrt := m.newRuntime(nil, bud, gate)
+			for !bud.stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					break
+				}
+				sub := core.NewAnswerSet()
+				results[i] = sub
+				wrt.out = sub
+				if errs[i] = wrt.runItem(u0, items[i]); errs[i] != nil {
+					// Real limit errors cancel the whole pool; errStopped
+					// means someone else already did.
+					bud.stop.Store(true)
+					break
+				}
+			}
+			wrt.flushSteps()
+			atomEvals.Add(wrt.atomEvals)
+		}()
+	}
+	wg.Wait()
+
+	// Merge in candidate order with global deduplication: identical to the
+	// sequential insertion order. Under MaxResults the merge truncates to
+	// exactly the limit (workers may have banked a few extra answers
+	// between the gate tripping and the unwind).
+	limit := m.opts.Limits.MaxResults
+	for _, sub := range results {
+		if sub == nil {
+			continue
+		}
+		for _, a := range sub.Answers() {
+			if limit > 0 && out.Len() >= limit {
+				break
+			}
+			out.Add(a)
+		}
+	}
+
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errStopped) {
+			firstErr = err
+			break
+		}
+	}
+	m.stats.Steps = bud.steps.Load()
+	m.stats.AtomEvals += atomEvals.Load()
+	if firstErr != nil || bud.stop.Load() {
+		m.stats.Truncated = true
+	}
+	if errors.Is(firstErr, ErrLimit) && limit > 0 && out.Len() >= limit {
+		return nil // truncation at MaxResults is a successful run
+	}
+	return firstErr
+}

@@ -321,6 +321,9 @@ func remapCond(c core.Cond, memToRep []int) core.Cond {
 	case core.SameAs:
 		t.X, t.Y = memToRep[t.X], memToRep[t.Y]
 		return t
+	case core.IsOmitted:
+		t.X = memToRep[t.X]
+		return t
 	case core.And:
 		return core.And{L: remapCond(t.L, memToRep), R: remapCond(t.R, memToRep)}
 	case core.Or:

@@ -531,7 +531,110 @@ func (s *state) condDeduction() bool {
 		}
 	}
 
+	// Gate-aware omission cascade: a justification j of w anchored at an
+	// omittable vertex t composes with t's own justifications. In the
+	// PerfectRef derivation j encodes, the witness atom at t is a *query*
+	// atom — it is realized by t's own pattern neighborhood, not by the data
+	// graph — so when that derivation continues by also dropping t's atoms,
+	// w's omission is ultimately justified by whatever justifies t. Without
+	// this closure, C^o(w) consists solely of atoms on t, which all evaluate
+	// to false under h(t) = ⊥, and the OGP loses answers PerfectRef reaches
+	// by dropping the whole fringe (ROADMAP known bug, seed
+	// -143985124633941825). Requiring the witness to be virtually present
+	// keeps the composition sound: disconnected pattern components cannot
+	// bootstrap each other's omission out of nothing.
+	for w := range s.omit {
+		for _, j := range copyOmit(s.omit[w]) {
+			t := j.Atom.V
+			if t == w || len(s.omit[t]) == 0 || !s.witnessVirtual(j.Atom, w) {
+				continue
+			}
+			for _, inh := range copyOmit(s.omit[t]) {
+				if inh.Atom.V == w {
+					continue // an atom on w is dead while w is omitted
+				}
+				nj := OmitJust{Atom: inh.Atom, Same: mergeGates(j.Same, inh.Same)}
+				k := nj.key()
+				if _, ok := s.omit[w][k]; !ok {
+					s.omit[w][k] = nj
+					changed = true
+				}
+			}
+		}
+	}
+
 	return changed
+}
+
+// witnessVirtual reports whether the witness atom of an omission
+// justification for w is realized by the pattern itself at the anchor
+// vertex t = a.V: a matching alternative in t's concept groups, or an
+// alternative of a t-incident edge whose far endpoint is not w. Such a
+// witness is an atom of the rewritten query, so it needs no data-graph
+// counterpart once the anchor itself is dropped by its own derivation.
+func (s *state) witnessVirtual(a OmitAtom, w int) bool {
+	t := a.V
+	for _, group := range s.conceptGroups[t] {
+		for alt := range group {
+			if a.Kind == OmitConcept {
+				if alt.Kind == AltConcept && alt.Name == a.Name {
+					return true
+				}
+			} else if alt.Kind != AltConcept && alt.Name == a.Name && alt.Out == a.Out {
+				return true
+			}
+		}
+	}
+	if a.Kind == OmitConcept {
+		return false
+	}
+	for ei, e := range s.edges {
+		var far int
+		switch t {
+		case e.from:
+			far = e.to
+		case e.to:
+			far = e.from
+		default:
+			continue
+		}
+		if far == w {
+			continue
+		}
+		for alt := range s.edgeAlts[ei] {
+			if alt.Role != a.Name {
+				continue
+			}
+			src := e.from
+			if alt.Rev {
+				src = e.to
+			}
+			if (src == t) == a.Out {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mergeGates unions two sorted gate lists.
+func mergeGates(a, b []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range a {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range b {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // omitRefs lists the pattern vertices (other than w) an omission
@@ -834,7 +937,17 @@ func (s *state) compile() *Result {
 				base = core.EdgeExists{X: j.Atom.V, Label: j.Atom.Name, Out: j.Atom.Out}
 			}
 			for _, z := range j.Same {
-				base = core.AndAll(base, core.SameAs{X: z, Y: j.Atom.V})
+				var eq core.Cond = core.SameAs{X: z, Y: j.Atom.V}
+				if len(s.omit[z]) > 0 {
+					// Gate-aware omission cascade: the referenced vertex can
+					// itself be omitted, in which case its own C^o certifies a
+					// derivation that dropped z's atoms before this reduction
+					// fired — the equality gate is then vacuous, not violated.
+					// A bare SameAs would be unsatisfiable under h(z) = ⊥ and
+					// lose answers PerfectRef finds via that derivation order.
+					eq = core.Or{L: core.IsOmitted{X: z}, R: eq}
+				}
+				base = core.AndAll(base, eq)
 			}
 			disj = append(disj, base)
 		}

@@ -178,11 +178,36 @@ func (b *Builder) Eval(r Ref, assign func(v int) bool) bool {
 	return r == True
 }
 
-// EvalPartial evaluates r under a partial assignment: assign returns
-// (value, known). The result is (value, true) when every consistent
-// completion agrees, else (false, false).
-func (b *Builder) EvalPartial(r Ref, assign func(v int) (bool, bool)) (bool, bool) {
-	memo := make(map[Ref]int8) // 0 unknown-unvisited, 1 false, 2 true, 3 undetermined
+// EvalCache is a reusable memo for EvalPartialCached. Each caller (e.g.
+// one backtracking worker) owns its cache: lookups are epoch-stamped
+// slice reads indexed by node, so the per-node hot path takes no locks
+// and allocates nothing once warmed up. The Builder itself must be
+// quiescent (no And/Or/Var calls) while caches are in use; concurrent
+// EvalPartialCached calls with distinct caches are then safe.
+type EvalCache struct {
+	state []int8 // 1 false, 2 true, 3 undetermined
+	stamp []uint32
+	epoch uint32
+}
+
+// NewEvalCache returns an empty cache sized lazily to the builder it is
+// first used with.
+func NewEvalCache() *EvalCache { return &EvalCache{} }
+
+// EvalPartialCached is EvalPartial with a caller-owned memo.
+func (b *Builder) EvalPartialCached(r Ref, c *EvalCache, assign func(v int) (bool, bool)) (bool, bool) {
+	if n := len(b.nodes); len(c.state) < n {
+		c.state = make([]int8, n)
+		c.stamp = make([]uint32, n)
+		c.epoch = 0
+	}
+	c.epoch++
+	if c.epoch == 0 { // wrapped: stale stamps would alias the new epoch
+		for i := range c.stamp {
+			c.stamp[i] = 0
+		}
+		c.epoch = 1
+	}
 	var rec func(Ref) int8
 	rec = func(r Ref) int8 {
 		if r == False {
@@ -191,8 +216,8 @@ func (b *Builder) EvalPartial(r Ref, assign func(v int) (bool, bool)) (bool, boo
 		if r == True {
 			return 2
 		}
-		if v, ok := memo[r]; ok && v != 0 {
-			return v
+		if c.stamp[r] == c.epoch {
+			return c.state[r]
 		}
 		n := b.nodes[r]
 		var res int8
@@ -211,7 +236,8 @@ func (b *Builder) EvalPartial(r Ref, assign func(v int) (bool, bool)) (bool, boo
 				res = 3
 			}
 		}
-		memo[r] = res
+		c.stamp[r] = c.epoch
+		c.state[r] = res
 		return res
 	}
 	switch rec(r) {
@@ -222,6 +248,14 @@ func (b *Builder) EvalPartial(r Ref, assign func(v int) (bool, bool)) (bool, boo
 	default:
 		return false, false
 	}
+}
+
+// EvalPartial evaluates r under a partial assignment: assign returns
+// (value, known). The result is (value, true) when every consistent
+// completion agrees, else (false, false).
+func (b *Builder) EvalPartial(r Ref, assign func(v int) (bool, bool)) (bool, bool) {
+	var c EvalCache
+	return b.EvalPartialCached(r, &c, assign)
 }
 
 // Support returns the set of variables r depends on.

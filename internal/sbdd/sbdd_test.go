@@ -249,3 +249,63 @@ func BenchmarkApply(b *testing.B) {
 		}
 	}
 }
+
+// TestEvalCacheReuse: one cache reused across many EvalPartialCached
+// calls (the per-worker pattern in the matcher) must agree with the
+// throwaway-cache EvalPartial on every call, including after the builder
+// grows between uses and across epoch turnover.
+func TestEvalCacheReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := New()
+	c := NewEvalCache()
+	var roots []Ref
+	for round := 0; round < 50; round++ {
+		// Grow the builder between evaluations: the cache must resize.
+		cur := b.Var(rng.Intn(6))
+		for i := 0; i < 6; i++ {
+			v := b.Var(rng.Intn(6))
+			if rng.Intn(2) == 0 {
+				cur = b.And(cur, v)
+			} else {
+				cur = b.Or(cur, v)
+			}
+		}
+		roots = append(roots, cur)
+		for trial := 0; trial < 20; trial++ {
+			var known, val [6]bool
+			for v := 0; v < 6; v++ {
+				known[v] = rng.Intn(2) == 0
+				val[v] = rng.Intn(2) == 0
+			}
+			assign := func(v int) (bool, bool) { return val[v], known[v] }
+			r := roots[rng.Intn(len(roots))]
+			gv, gk := b.EvalPartialCached(r, c, assign)
+			wv, wk := b.EvalPartial(r, assign)
+			if gv != wv || gk != wk {
+				t.Fatalf("round %d trial %d: cached (%v,%v) vs fresh (%v,%v)",
+					round, trial, gv, gk, wv, wk)
+			}
+		}
+	}
+}
+
+// TestEvalCacheEpochWrap forces the uint32 epoch counter to wrap and
+// checks stale stamps cannot alias the new epoch.
+func TestEvalCacheEpochWrap(t *testing.T) {
+	b := New()
+	x, y := b.Var(0), b.Var(1)
+	r := b.Or(b.And(x, y), b.And(x, b.Or(y, x)))
+	c := NewEvalCache()
+	// Prime the cache, then jump the epoch to just before the wrap.
+	if v, k := b.EvalPartialCached(r, c, func(int) (bool, bool) { return true, true }); !v || !k {
+		t.Fatalf("prime: got (%v,%v)", v, k)
+	}
+	c.epoch = ^uint32(0) - 1
+	for i := 0; i < 4; i++ { // crosses the wrap on the second call
+		want := i%2 == 0
+		v, k := b.EvalPartialCached(r, c, func(int) (bool, bool) { return want, true })
+		if !k || v != want {
+			t.Fatalf("call %d across wrap: got (%v,%v), want (%v,true)", i, v, k, want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	stdruntime "runtime"
 	"sync"
 	"time"
 
@@ -26,6 +27,9 @@ type QueryRequest struct {
 	MaxResults int    `json:"maxResults,omitempty"`
 	TimeoutMs  int    `json:"timeoutMs,omitempty"`
 	Minimize   bool   `json:"minimize,omitempty"`
+	// Workers requests a matcher worker-pool size for this query
+	// (0 = server default). The server clamps it to its per-query cap.
+	Workers int `json:"workers,omitempty"`
 }
 
 // QueryResponse is the body of a successful POST /query.
@@ -95,13 +99,39 @@ func (m *metrics) snapshot() (queries, rewrites, errors uint64) {
 	return m.queries, m.rewrites, m.errors
 }
 
-// Handler builds the HTTP handler for one knowledge base.
+// Config tunes one handler.
+type Config struct {
+	// MaxWorkersPerQuery caps the matcher worker pool any single request
+	// may use; requests asking for more (or for the default) are clamped.
+	// 0 means no cap: requests get what they ask for, defaulting to
+	// GOMAXPROCS. Under concurrent load a cap keeps one heavy query from
+	// monopolizing every core.
+	MaxWorkersPerQuery int
+}
+
+// workersFor resolves a request's worker count against the server cap.
+func (c Config) workersFor(requested int) int {
+	w := requested
+	if w <= 0 {
+		w = stdruntime.GOMAXPROCS(0)
+	}
+	if c.MaxWorkersPerQuery > 0 && w > c.MaxWorkersPerQuery {
+		w = c.MaxWorkersPerQuery
+	}
+	return w
+}
+
+// Handler builds the HTTP handler for one knowledge base with the default
+// configuration.
+func Handler(kb *ogpa.KB) http.Handler { return HandlerWithConfig(kb, Config{}) }
+
+// HandlerWithConfig builds the HTTP handler for one knowledge base.
 //
 // The KB's symbol table is frozen here: request handling only ever reads
 // it (unknown query labels resolve through Lookup), so freezing makes the
 // shared table race-free by construction and turns any accidental
 // query-time Intern into a loud panic instead of a data race.
-func Handler(kb *ogpa.KB) http.Handler {
+func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 	kb.Graph().Symbols.Freeze()
 	m := &metrics{}
 	mux := http.NewServeMux()
@@ -115,6 +145,7 @@ func Handler(kb *ogpa.KB) http.Handler {
 		opt := ogpa.Options{
 			MaxResults: req.MaxResults,
 			Timeout:    time.Duration(req.TimeoutMs) * time.Millisecond,
+			Workers:    cfg.workersFor(req.Workers),
 		}
 		method := "genogp+omatch"
 		query := req.Query

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -42,6 +43,11 @@ import (
 type Options struct {
 	Timeout    time.Duration // wall-clock budget for matching
 	MaxResults int           // cap on returned answers
+	// Workers bounds the matcher's worker pool (and, for the UCQ
+	// baseline, concurrent disjunct evaluation). 0 uses
+	// runtime.GOMAXPROCS(0); 1 forces sequential matching. Answers are
+	// identical regardless of the value.
+	Workers int
 }
 
 // KB is a loaded knowledge base: a DL-Lite_R TBox plus a data graph.
@@ -187,7 +193,7 @@ func (kb *KB) AnswerWithOptions(query string, opt Options) (*Answers, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := match.Match(rw.Pattern, kb.g, match.Options{Limits: matchLimits(opt)})
+	res, _, err := match.Match(rw.Pattern, kb.g, matchOptions(opt))
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +203,7 @@ func (kb *KB) AnswerWithOptions(query string, opt Options) (*Answers, error) {
 // MatchOGP matches a hand-written OGP (built with the Pattern helpers) and
 // returns its answer tuples.
 func (kb *KB) MatchOGP(p *core.Pattern, opt Options) (*Answers, error) {
-	res, _, err := match.Match(p, kb.g, match.Options{Limits: matchLimits(opt)})
+	res, _, err := match.Match(p, kb.g, matchOptions(opt))
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +231,7 @@ func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, e
 	if err != nil {
 		return nil, err
 	}
-	lim := daf.Limits{MaxResults: opt.MaxResults}
+	lim := daf.Limits{MaxResults: opt.MaxResults, Workers: opt.Workers}
 	if opt.Timeout > 0 {
 		lim.Deadline = time.Now().Add(opt.Timeout)
 	}
@@ -263,6 +269,7 @@ func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, e
 		for _, t := range tuples {
 			out.Rows = append(out.Rows, append([]string(nil), t...))
 		}
+		sortRows(out.Rows)
 		return out, nil
 	case BaselineSaturate:
 		var slim saturate.Limits
@@ -281,6 +288,7 @@ func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, e
 			}
 			out.Rows = append(out.Rows, cells)
 		}
+		sortRows(out.Rows)
 		return out, nil
 	default:
 		return nil, fmt.Errorf("ogpa: unknown baseline %q", b)
@@ -299,7 +307,7 @@ func (kb *KB) AnswerSPARQL(src string, opt Options) (*Answers, error) {
 	if err != nil {
 		return nil, err
 	}
-	ans, _, err := match.Match(res.Pattern, kb.g, match.Options{Limits: matchLimits(opt)})
+	ans, _, err := match.Match(res.Pattern, kb.g, matchOptions(opt))
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +325,7 @@ func (kb *KB) AnswerBatch(queries []string, opt Options) ([]*Answers, error) {
 		}
 		qs[i] = q
 	}
-	results, _, err := mqo.Answer(qs, kb.tbox, kb.g, match.Options{Limits: matchLimits(opt)})
+	results, _, err := mqo.Answer(qs, kb.tbox, kb.g, matchOptions(opt))
 	if err != nil {
 		return nil, err
 	}
@@ -353,16 +361,25 @@ func MinimizeQuery(query string) (string, error) {
 	return q.Minimize().String(), nil
 }
 
+// sortRows canonicalizes answer-row order the way AnswerSet.Names2D does;
+// pipelines whose natural enumeration order is map-dependent (datalog,
+// saturate) would otherwise return rows in a nondeterministic order.
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		return strings.Join(rows[i], ",") < strings.Join(rows[j], ",")
+	})
+}
+
 func (kb *KB) render(q *cq.Query, res *core.AnswerSet) *Answers {
 	out := &Answers{Vars: append([]string(nil), q.Head...)}
 	out.Rows = res.Names2D(kb.g)
 	return out
 }
 
-func matchLimits(opt Options) match.Limits {
+func matchOptions(opt Options) match.Options {
 	lim := match.Limits{MaxResults: opt.MaxResults}
 	if opt.Timeout > 0 {
 		lim.Deadline = time.Now().Add(opt.Timeout)
 	}
-	return lim
+	return match.Options{Limits: lim, Workers: opt.Workers}
 }
