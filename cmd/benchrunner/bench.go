@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"ogpa/internal/core"
+	"ogpa/internal/gen"
+	"ogpa/internal/graph"
+	"ogpa/internal/match"
+	"ogpa/internal/qgen"
+	"ogpa/internal/rewrite"
+)
+
+// benchResult is one row of the machine-readable benchmark report
+// (BENCH_3.json): the same three numbers `go test -bench -benchmem`
+// prints, in a form CI and plotting scripts can diff across commits.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// benchWorkload is the shared fixture for the JSON benchmark suite: a
+// LUBM-scale graph plus rewritten patterns, mirroring the repo-root
+// Fig. 4 benchmarks (bench_test.go) at the same laptop scale.
+type benchWorkload struct {
+	g        *graph.Graph
+	patterns []*core.Pattern
+}
+
+func buildBenchWorkload(seed int64) (*benchWorkload, error) {
+	d := gen.LUBM(gen.LUBMConfig{Universities: 6, Seed: seed})
+	g := d.Graph()
+	cfg := qgen.DefaultConfig(8, 8*101+1) // same query seeds as bench_test.go
+	cfg.Count = 4
+	qs := qgen.RandomWalk(g, d.TBox, cfg)
+	w := &benchWorkload{g: g}
+	for _, q := range qs {
+		res, err := rewrite.Generate(q, d.TBox)
+		if err != nil {
+			return nil, err
+		}
+		w.patterns = append(w.patterns, res.Pattern)
+	}
+	return w, nil
+}
+
+func (w *benchWorkload) runOpts() match.Options {
+	return match.Options{Limits: match.Limits{
+		Deadline:   time.Now().Add(5 * time.Second),
+		MaxResults: 100000,
+	}}
+}
+
+// benchBuildOMCS measures Prepare only: DAG construction, candidate-space
+// refinement and adjacency materialization — the phase the CSR rewrite
+// targets.
+func (w *benchWorkload) benchBuildOMCS(legacy bool) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range w.patterns {
+				pr, err := match.Prepare(p, w.g, match.Options{UseLegacyCS: legacy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pr.Stats().CSCandidates == 0 {
+					b.Fatal("empty candidate space")
+				}
+			}
+		}
+	}
+}
+
+// benchAdjacency measures Run only (Prepare hoisted out): enumeration
+// over the candidate adjacency, the phase candidates() intersections hit.
+func (w *benchWorkload) benchAdjacency(legacy bool) func(*testing.B) {
+	prepared := make([]*match.Prepared, 0, len(w.patterns))
+	for _, p := range w.patterns {
+		pr, err := match.Prepare(p, w.g, match.Options{UseLegacyCS: legacy})
+		if err != nil {
+			return func(b *testing.B) { b.Fatal(err) }
+		}
+		prepared = append(prepared, pr)
+	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, pr := range prepared {
+				if _, _, err := pr.Run(w.runOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// benchEval measures the full Fig. 4(c)/(d)-style evaluation:
+// Prepare + Run per pattern.
+func (w *benchWorkload) benchEval(legacy bool) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range w.patterns {
+				opts := w.runOpts()
+				opts.UseLegacyCS = legacy
+				if _, _, err := match.Match(p, w.g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// runBenchJSON runs the benchmark suite via testing.Benchmark and writes
+// the results to outPath. Each CSR-path benchmark has a /map twin on the
+// legacy candidate-space build, so one file shows the delta.
+func runBenchJSON(outPath string, seed int64) error {
+	w, err := buildBenchWorkload(seed)
+	if err != nil {
+		return err
+	}
+	suite := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkBuildOMCS/csr", w.benchBuildOMCS(false)},
+		{"BenchmarkBuildOMCS/map", w.benchBuildOMCS(true)},
+		{"BenchmarkAdjacency/csr", w.benchAdjacency(false)},
+		{"BenchmarkAdjacency/map", w.benchAdjacency(true)},
+		{"BenchmarkFig4cd_Eval/csr", w.benchEval(false)},
+		{"BenchmarkFig4cd_Eval/map", w.benchEval(true)},
+	}
+	results := make([]benchResult, 0, len(suite))
+	for _, bb := range suite {
+		r := testing.Benchmark(bb.fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s failed", bb.name)
+		}
+		row := benchResult{
+			Name:        bb.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		results = append(results, row)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %12d B/op %9d allocs/op\n",
+			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

@@ -7,7 +7,8 @@
 // Experiments: stats (Table IV), rewriteQ (Fig 4a/b), evalQ (Fig 4c/d),
 // rewriteO (Fig 4e/f), evalO (Fig 4g/h), sensitivity (Fig 4i/j),
 // scale (Fig 4k/l), cdf (Fig 4m/n), endtoend (Fig 4o), memory (Fig 4p),
-// rewritesize (Exp-2), reallife (Exp-2).
+// rewritesize (Exp-2), reallife (Exp-2), bench (machine-readable
+// ns/op, B/op and allocs/op rows written to -bench-out as JSON).
 package main
 
 import (
@@ -29,8 +30,21 @@ func main() {
 		evalTimeout = flag.Duration("eval-timeout", 5*time.Second, "per-query evaluation limit")
 		rwTimeout   = flag.Duration("rewrite-timeout", 2*time.Second, "per-query rewriting limit")
 		markdown    = flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
+		benchOut    = flag.String("bench-out", "BENCH_3.json", "output path for -exp bench")
 	)
 	flag.Parse()
+
+	// -exp bench short-circuits the table experiments: it runs the
+	// machine-readable benchmark suite (csr vs legacy map candidate
+	// spaces) and writes JSON for CI and plotting scripts.
+	if *exp == "bench" {
+		if err := runBenchJSON(*benchOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		return
+	}
 
 	s := harness.NewSuite()
 	s.QueriesPerSet = *n

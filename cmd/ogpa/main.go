@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ogpa"
+	"ogpa/internal/prof"
 )
 
 func main() {
@@ -28,8 +29,21 @@ func main() {
 		isSPARQL     = flag.Bool("sparql", false, "the query argument is a SPARQL SELECT query")
 		minimize     = flag.Bool("minimize", false, "minimize the query (compute its core) before rewriting")
 		consistency  = flag.Bool("check-consistency", false, "check the KB against DisjointWith axioms and exit")
+		matchStats   = flag.Bool("match-stats", false, "print matcher work counters to stderr (GenOGP+OMatch pipeline only)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	profSession, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := profSession.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ogpa:", err)
+		}
+	}()
 
 	if *ontologyPath == "" || *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: ogpa -ontology FILE -data FILE [flags] 'q(x) :- ...'")
@@ -89,18 +103,38 @@ func main() {
 	opt := ogpa.Options{MaxResults: *maxResults, Timeout: *timeout, Workers: *workers}
 	start := time.Now()
 	var ans *ogpa.Answers
+	var st ogpa.MatchStats
+	haveStats := false
 	switch {
+	case *baseline != "":
+		ans, err = kb.AnswerBaseline(ogpa.Baseline(*baseline), query, opt)
+	case *matchStats:
+		var pq *ogpa.PreparedQuery
+		if *isSPARQL {
+			pq, err = kb.PrepareSPARQL(query)
+		} else {
+			pq, err = kb.Prepare(query)
+		}
+		if err != nil {
+			fail(err)
+		}
+		ans, st, err = pq.AnswerWithStats(opt)
+		haveStats = true
 	case *isSPARQL:
 		ans, err = kb.AnswerSPARQL(query, opt)
-	case *baseline == "":
-		ans, err = kb.AnswerWithOptions(query, opt)
 	default:
-		ans, err = kb.AnswerBaseline(ogpa.Baseline(*baseline), query, opt)
+		ans, err = kb.AnswerWithOptions(query, opt)
 	}
 	if err != nil {
 		fail(err)
 	}
 	elapsed := time.Since(start)
+	if haveStats {
+		fmt.Fprintf(os.Stderr,
+			"match stats: cs-candidates=%d adj-pairs=%d bdd-nodes=%d steps=%d atom-evals=%d build=%v enum=%v truncated=%v\n",
+			st.CSCandidates, st.AdjPairs, st.BDDNodes, st.Steps, st.AtomEvals,
+			time.Duration(st.BuildNanos), time.Duration(st.EnumNanos), st.Truncated)
+	}
 
 	for i, v := range ans.Vars {
 		if i > 0 {

@@ -5,22 +5,31 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ogpa"
+	"ogpa/internal/prof"
 	"ogpa/internal/server"
 )
 
 func main() {
 	var (
-		ontologyPath = flag.String("ontology", "", "ontology file")
-		dataPath     = flag.String("data", "", "data file (.abox or .nt)")
-		addr         = flag.String("addr", "localhost:8080", "listen address")
-		maxWorkers   = flag.Int("max-workers", 0, "cap matcher workers per query (0 = uncapped)")
+		ontologyPath  = flag.String("ontology", "", "ontology file")
+		dataPath      = flag.String("data", "", "data file (.abox or .nt)")
+		addr          = flag.String("addr", "localhost:8080", "listen address")
+		maxWorkers    = flag.Int("max-workers", 0, "cap matcher workers per query (0 = uncapped)")
+		planCacheSize = flag.Int("plan-cache-size", 0, "LRU plan-cache capacity (0 = default 128, negative = disabled)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on SIGINT/SIGTERM)")
+		memProfile    = flag.String("memprofile", "", "write a heap profile to this file on shutdown")
 	)
 	flag.Parse()
 	if *ontologyPath == "" || *dataPath == "" {
@@ -28,12 +37,43 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	profSession, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
 	kb, err := ogpa.OpenKB(*ontologyPath, *dataPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("loaded %s", kb.Stats())
+	cfg := server.Config{MaxWorkersPerQuery: *maxWorkers, PlanCacheSize: *planCacheSize}
+	srv := &http.Server{Addr: *addr, Handler: server.HandlerWithConfig(kb, cfg)}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and flush
+	// any profiles; a plain log.Fatal would lose the CPU profile tail.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
 	log.Printf("listening on %s", *addr)
-	cfg := server.Config{MaxWorkersPerQuery: *maxWorkers}
-	log.Fatal(http.ListenAndServe(*addr, server.HandlerWithConfig(kb, cfg)))
+
+	select {
+	case err := <-serveErr:
+		profStop(profSession)
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	profStop(profSession)
+}
+
+func profStop(s *prof.Session) {
+	if err := s.Stop(); err != nil {
+		log.Printf("%v", err)
+	}
 }

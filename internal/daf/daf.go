@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ogpa/internal/bitset"
 	"ogpa/internal/core"
 	"ogpa/internal/cq"
 	"ogpa/internal/graph"
@@ -65,8 +66,12 @@ type Options struct {
 
 // Stats reports work done by one Match call.
 type Stats struct {
-	Steps         int64 // backtracking tree nodes visited
-	CSCandidates  int   // total candidates across pattern vertices after refinement
+	Steps        int64 // backtracking tree nodes visited
+	CSCandidates int   // total candidates across pattern vertices after refinement
+	// AdjPairs counts the candidate pairs materialized in the per-DAG-edge
+	// adjacency — the CS index's true size (CSCandidates is summed before
+	// materialization and does not see pairwise pruning).
+	AdjPairs      int
 	RefinePasses  int
 	EmptyCandSets int // pattern vertices whose candidate set refined to empty
 	// Truncated reports that enumeration stopped before exhausting the
@@ -104,8 +109,17 @@ type matcher struct {
 	edges []dagEdge
 	// parentEdges[u] = indexes into edges whose child is u.
 	parentEdges [][]int
-	// adj[e] maps a candidate of edges[e].parent to its viable children.
-	adj []map[graph.VID][]graph.VID
+	// CS adjacency in CSR form: adjStart[e] holds len(cand[parent])+1
+	// offsets into the flat pool adjItems[e]; the row of the pi-th parent
+	// candidate (cand being sorted) spans
+	// adjItems[e][adjStart[e][pi]:adjStart[e][pi+1]], sorted ascending.
+	adjStart [][]uint32
+	adjItems [][]graph.VID
+	// candBuf[u] is u's scratch buffer for candidate-list intersections.
+	// localCandidates(u) is only consulted while u is unmapped, and u
+	// stays mapped for the whole subtree beneath it, so deeper frames
+	// never clobber a buffer a shallower frame is iterating.
+	candBuf [][]graph.VID
 
 	stats    Stats
 	deadline time.Time
@@ -388,19 +402,19 @@ func (m *matcher) neighborsAlong(e dagEdge, v graph.VID) []graph.Half {
 }
 
 // buildCS refines candidate sets by iterated DAG-DP and materializes the
-// per-edge candidate adjacency (the CS structure).
+// per-edge candidate adjacency (the CS structure). Membership probes run
+// on word-packed bitmaps and the adjacency is CSR over the sorted
+// candidate pools — same layout as the OMatch build in internal/match.
 func (m *matcher) buildCS() bool {
 	n := len(m.p.Vertices)
-	inCand := make([]map[graph.VID]bool, n)
-	rebuild := func(u int) {
-		s := make(map[graph.VID]bool, len(m.cand[u]))
+	pool := bitset.NewPool(m.g.NumVertices())
+	inCand := make([]*bitset.Set, n)
+	for u := 0; u < n; u++ {
+		s := pool.Get()
 		for _, v := range m.cand[u] {
-			s[v] = true
+			s.Add(uint32(v))
 		}
 		inCand[u] = s
-	}
-	for u := 0; u < n; u++ {
-		rebuild(u)
 	}
 
 	// refine removes v from C(u) unless, for every DAG edge incident to u,
@@ -422,7 +436,7 @@ func (m *matcher) buildCS() bool {
 				found := false
 				if e.parent == u {
 					for _, h := range m.neighborsAlong(e, v) {
-						if inCand[far][h.To] {
+						if inCand[far].Has(uint32(h.To)) {
 							found = true
 							break
 						}
@@ -431,7 +445,7 @@ func (m *matcher) buildCS() bool {
 					// v plays the child: walk the reverse direction.
 					rev := dagEdge{parent: e.child, child: e.parent, label: e.label, forward: !e.forward}
 					for _, h := range m.neighborsAlong(rev, v) {
-						if inCand[far][h.To] {
+						if inCand[far].Has(uint32(h.To)) {
 							found = true
 							break
 						}
@@ -446,12 +460,10 @@ func (m *matcher) buildCS() bool {
 				out = append(out, v)
 			} else {
 				changed = true
+				inCand[u].Remove(uint32(v))
 			}
 		}
 		m.cand[u] = out
-		if changed {
-			rebuild(u)
-		}
 		return changed
 	}
 
@@ -481,25 +493,96 @@ func (m *matcher) buildCS() bool {
 		m.stats.CSCandidates += len(m.cand[u])
 	}
 
-	// Materialize CS edges.
-	m.adj = make([]map[graph.VID][]graph.VID, len(m.edges))
+	// Materialize CS edges as CSR rows over the sorted candidate pools.
+	m.adjStart = make([][]uint32, len(m.edges))
+	m.adjItems = make([][]graph.VID, len(m.edges))
 	for ei, e := range m.edges {
-		am := make(map[graph.VID][]graph.VID, len(m.cand[e.parent]))
-		for _, v := range m.cand[e.parent] {
-			var vs []graph.VID
+		starts := make([]uint32, len(m.cand[e.parent])+1)
+		var items []graph.VID
+		for pi, v := range m.cand[e.parent] {
+			starts[pi] = uint32(len(items))
+			segStart := len(items)
 			for _, h := range m.neighborsAlong(e, v) {
-				if inCand[e.child][h.To] {
-					vs = append(vs, h.To)
+				if inCand[e.child].Has(uint32(h.To)) {
+					items = append(items, h.To)
 				}
 			}
-			if len(vs) > 0 {
-				sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-				am[v] = vs
+			// Single-probe rows arrive sorted by To except under a
+			// wildcard label (half-edges then sort by (label, To)).
+			if seg := items[segStart:]; !vidsSorted(seg) {
+				sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
 			}
 		}
-		m.adj[ei] = am
+		starts[len(m.cand[e.parent])] = uint32(len(items))
+		m.adjStart[ei] = starts
+		m.adjItems[ei] = items
+		m.stats.AdjPairs += len(items)
+	}
+	for u := 0; u < n; u++ {
+		pool.Put(inCand[u])
 	}
 	return true
+}
+
+// adjRow returns the CSR adjacency row of DAG edge ei for parent value
+// pv, located by binary search over the sorted parent candidate pool.
+func (m *matcher) adjRow(ei int, pv graph.VID) []graph.VID {
+	cand := m.cand[m.edges[ei].parent]
+	i := searchVID(cand, pv)
+	if i >= len(cand) || cand[i] != pv {
+		return nil
+	}
+	starts := m.adjStart[ei]
+	return m.adjItems[ei][starts[i]:starts[i+1]]
+}
+
+// searchVID returns the first index of xs (ascending) not less than v;
+// hand-rolled to keep sort.Search's closure off the hot path.
+func searchVID(xs []graph.VID, v graph.VID) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// vidsSorted reports whether xs is ascending.
+func vidsSorted(xs []graph.VID) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// intersectInto writes the sorted-merge intersection of a and b into dst
+// (len 0, possibly aliasing a's backing array — writes stay at or behind
+// the read cursor of a, so in-place narrowing is safe; b must not alias
+// dst). Unlike the match package's galloping variant this is always a
+// linear merge: DAF rows may contain duplicates (parallel edges under a
+// wildcard label), and the merge's pairwise duplicate semantics are what
+// the pre-CSR backtracker had.
+func intersectInto(dst, a, b []graph.VID) []graph.VID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
 }
 
 func (m *matcher) tick() error {
@@ -523,9 +606,12 @@ func (m *matcher) backtrack(out *core.AnswerSet) error {
 	}
 	mappedCount := 0
 	used := make(map[graph.VID]int) // injectivity refcount
+	m.candBuf = make([][]graph.VID, n)
 
 	// localCandidates computes the viable candidates of u given currently
-	// mapped DAG parents: the intersection of adjacency lists.
+	// mapped DAG parents: the intersection of adjacency lists. The first
+	// constraining parent's CSR row is served directly (no copy); further
+	// parents intersect into u's scratch buffer in place.
 	localCandidates := func(u int) []graph.VID {
 		var base []graph.VID
 		first := true
@@ -534,7 +620,7 @@ func (m *matcher) backtrack(out *core.AnswerSet) error {
 			if mapping[e.parent] == core.Omitted {
 				continue
 			}
-			vs := m.adj[ei][mapping[e.parent]]
+			vs := m.adjRow(ei, mapping[e.parent])
 			if len(vs) == 0 {
 				return nil
 			}
@@ -543,20 +629,8 @@ func (m *matcher) backtrack(out *core.AnswerSet) error {
 				first = false
 				continue
 			}
-			merged := make([]graph.VID, 0, min(len(base), len(vs)))
-			i, j := 0, 0
-			for i < len(base) && j < len(vs) {
-				switch {
-				case base[i] == vs[j]:
-					merged = append(merged, base[i])
-					i++
-					j++
-				case base[i] < vs[j]:
-					i++
-				default:
-					j++
-				}
-			}
+			merged := intersectInto(m.candBuf[u][:0], base, vs)
+			m.candBuf[u] = merged[:0]
 			base = merged
 			if len(base) == 0 {
 				return nil
@@ -703,21 +777,14 @@ func (m *matcher) checkMappedChildren(u int, v graph.VID, mapping core.Mapping) 
 		if e.parent != u || mapping[e.child] == core.Omitted {
 			continue
 		}
-		vs := m.adj[ei][v]
+		vs := m.adjRow(ei, v)
 		target := mapping[e.child]
-		i := sort.Search(len(vs), func(i int) bool { return vs[i] >= target })
+		i := searchVID(vs, target)
 		if i >= len(vs) || vs[i] != target {
 			return false
 		}
 	}
 	return true
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // EvalCQ evaluates a single conjunctive query homomorphically over g.
@@ -794,6 +861,7 @@ func EvalUCQ(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats
 		r := &results[i]
 		total.Steps += r.st.Steps
 		total.CSCandidates += r.st.CSCandidates
+		total.AdjPairs += r.st.AdjPairs
 		if r.err != nil {
 			total.Truncated = true
 			return out, total, r.err
@@ -822,6 +890,7 @@ func evalUCQSeq(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, St
 		res, st, err := EvalCQ(q, g, lim)
 		total.Steps += st.Steps
 		total.CSCandidates += st.CSCandidates
+		total.AdjPairs += st.AdjPairs
 		if err != nil {
 			total.Truncated = true
 			return out, total, err

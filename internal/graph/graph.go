@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ogpa/internal/bitset"
 	"ogpa/internal/symbols"
 )
 
@@ -218,6 +219,15 @@ func (g *Graph) HasInLabel(v VID, l symbols.ID) bool { return len(g.InByLabel(v,
 // VerticesByLabel returns all vertices carrying label l (sorted).
 // Callers must not mutate the returned slice.
 func (g *Graph) VerticesByLabel(l symbols.ID) []VID { return g.byLabel[l] }
+
+// LabelBits ORs the vertices carrying label l into s, a bit set over
+// VIDs (s must cover [0, NumVertices())). The matchers use it to seed
+// candidate bitmaps from label buckets without materializing maps.
+func (g *Graph) LabelBits(l symbols.ID, s *bitset.Set) {
+	for _, v := range g.byLabel[l] {
+		s.Add(uint32(v))
+	}
+}
 
 // Attribute returns the value of attribute a on v.
 func (g *Graph) Attribute(v VID, a symbols.ID) (Value, bool) {

@@ -24,6 +24,16 @@ type runtime struct {
 	gate      *resultGate // nil unless parallel with MaxResults
 	cache     *sbdd.EvalCache
 	atomEvals int64
+	// evalFn / partialFn are the BDD atom-evaluation callbacks, built once
+	// per runtime: passing a fresh closure on every checkCond/earlyReject
+	// call allocates on the hot path.
+	evalFn    func(atom int) bool
+	partialFn func(atom int) (bool, bool)
+	// candBuf[u] is u's scratch buffer for candidate-list intersections.
+	// candidates(u) is only consulted while u is unmapped, and u stays
+	// mapped for the whole subtree beneath it, so deeper frames never
+	// clobber a buffer a shallower frame is still iterating.
+	candBuf [][]graph.VID
 	// steps is the local tick count since the last flush to the shared
 	// budget; base is the global total as of that flush. Batching keeps
 	// the per-node hot path off the shared cache line — a naive
@@ -56,6 +66,18 @@ func (m *matcher) newRuntime(out *core.AnswerSet, bud *budget, gate *resultGate)
 	}
 	for ci, c := range m.conds {
 		rt.remaining[ci] = len(c.vars)
+	}
+	rt.candBuf = make([][]graph.VID, len(m.p.Vertices))
+	rt.evalFn = func(atom int) bool {
+		return rt.evalAtom(atom, rt.mapping)
+	}
+	rt.partialFn = func(atom int) (bool, bool) {
+		for _, w := range rt.m.atomVars[atom] {
+			if !rt.mapped[w] {
+				return false, false
+			}
+		}
+		return rt.evalAtom(atom, rt.mapping), true
 	}
 	return rt
 }
@@ -159,9 +181,7 @@ func (rt *runtime) checkCond(ci int) bool {
 			return true // edge excused by an omitted endpoint
 		}
 	}
-	return rt.m.bdd.Eval(c.ref, func(atom int) bool {
-		return rt.evalAtom(atom, rt.mapping)
-	})
+	return rt.m.bdd.Eval(c.ref, rt.evalFn)
 }
 
 // earlyReject uses partial BDD evaluation to kill branches whose
@@ -190,14 +210,7 @@ func (rt *runtime) earlyReject(u int) bool {
 				continue
 			}
 		}
-		val, known := rt.m.bdd.EvalPartialCached(c.ref, rt.cache, func(atom int) (bool, bool) {
-			for _, w := range rt.m.atomVars[atom] {
-				if !rt.mapped[w] {
-					return false, false
-				}
-			}
-			return rt.evalAtom(atom, rt.mapping), true
-		})
+		val, known := rt.m.bdd.EvalPartialCached(c.ref, rt.cache, rt.partialFn)
 		if known && !val {
 			return true
 		}
@@ -211,42 +224,35 @@ func (rt *runtime) earlyReject(u int) bool {
 // constrains u.
 func (rt *runtime) candidates(u int) []graph.VID {
 	m := rt.m
+	if m.adjMap != nil {
+		return rt.legacyCandidates(u)
+	}
 	var base []graph.VID
 	first := true
 	for _, di := range m.parentEdges[u] {
 		de := m.dagEdges[di]
-		if m.adj[di] == nil { // non-indexable edge: handled as a condition
+		if m.adjStart[di] == nil { // non-indexable edge: handled as a condition
 			continue
 		}
 		if !rt.mapped[de.parent] || rt.mapping[de.parent] == core.Omitted {
 			continue
 		}
-		vs := m.adj[di][rt.mapping[de.parent]]
+		vs := m.adjRow(di, rt.mapping[de.parent])
 		if len(vs) == 0 {
-			if m.canOmit[u] {
-				return nil // only ⊥ remains possible
-			}
-			return nil
+			return nil // only ⊥ remains possible (if u is omittable)
 		}
 		if first {
+			// One constraining parent: serve its CSR row directly, no copy.
 			base = vs
 			first = false
 			continue
 		}
-		merged := make([]graph.VID, 0, minInt(len(base), len(vs)))
-		i, j := 0, 0
-		for i < len(base) && j < len(vs) {
-			switch {
-			case base[i] == vs[j]:
-				merged = append(merged, base[i])
-				i++
-				j++
-			case base[i] < vs[j]:
-				i++
-			default:
-				j++
-			}
-		}
+		// Further parents intersect into u's scratch buffer. On the first
+		// intersection base is a CSR row; afterwards base IS the scratch
+		// buffer, and intersectInto's write-behind-read discipline makes
+		// the in-place narrowing safe.
+		merged := intersectInto(rt.candBuf[u][:0], base, vs)
+		rt.candBuf[u] = merged[:0]
 		base = merged
 		if len(base) == 0 {
 			return nil
@@ -390,28 +396,15 @@ func (rt *runtime) exists(depth int) (bool, error) {
 	if u < 0 {
 		return false, nil
 	}
-	try := func(v graph.VID) (bool, error) {
-		ok := rt.assign(u, v)
-		if ok && v != core.Omitted && !m.opts.DisableEarlyReject {
-			ok = !rt.earlyReject(u)
-		}
-		var found bool
-		var err error
-		if ok {
-			found, err = rt.exists(depth + 1)
-		}
-		rt.unassign(u)
-		return found, err
-	}
 	// ⊥ first: for omittable witnesses it is the cheapest completion.
 	if m.canOmit[u] {
-		found, err := try(core.Omitted)
+		found, err := rt.tryExists(u, core.Omitted, depth)
 		if err != nil || found {
 			return found, err
 		}
 	}
 	for _, v := range rt.candidates(u) {
-		found, err := try(v)
+		found, err := rt.tryExists(u, v, depth)
 		if err != nil || found {
 			return found, err
 		}
@@ -419,9 +412,19 @@ func (rt *runtime) exists(depth int) (bool, error) {
 	return false, nil
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
+// tryExists is try for the existential-completion search: assign, prune,
+// recurse for any one witness, roll back. A method rather than a closure
+// inside exists so the hot path does not allocate one per node.
+func (rt *runtime) tryExists(u int, v graph.VID, depth int) (bool, error) {
+	ok := rt.assign(u, v)
+	if ok && v != core.Omitted && !rt.m.opts.DisableEarlyReject {
+		ok = !rt.earlyReject(u)
 	}
-	return b
+	var found bool
+	var err error
+	if ok {
+		found, err = rt.exists(depth + 1)
+	}
+	rt.unassign(u)
+	return found, err
 }

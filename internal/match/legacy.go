@@ -1,0 +1,215 @@
+package match
+
+import (
+	"sort"
+
+	"ogpa/internal/core"
+	"ogpa/internal/graph"
+)
+
+// This file preserves the pre-bitset, map-based candidate-space build
+// verbatim (Options.UseLegacyCS). It exists as the reference
+// implementation for the bitset-vs-map equivalence property test and as
+// the baseline side of the BuildOMCS/Adjacency benchmarks; it is not
+// used on any serving path.
+
+// legacyNeighborsVia is the allocating neighborsVia the CSR path
+// replaced: partner candidates of v along pattern edge ei, deduplicated
+// through a per-call map.
+func (m *matcher) legacyNeighborsVia(ei int, v graph.VID, fromSide bool) []graph.VID {
+	var out []graph.VID
+	seen := map[graph.VID]bool{}
+	for _, pr := range m.edgeProbes[ei] {
+		for _, h := range m.probeHalves(pr, v, fromSide) {
+			if !seen[h.To] {
+				seen[h.To] = true
+				out = append(out, h.To)
+			}
+		}
+	}
+	return out
+}
+
+// buildOMCSLegacy is the map-based buildOMCS: candidate membership in
+// map[graph.VID]bool sets rebuilt wholesale after each refinement pass,
+// and the per-DAG-edge adjacency in map[graph.VID][]graph.VID. Any
+// behavioural change here breaks the equivalence test's baseline.
+func (m *matcher) buildOMCSLegacy() bool {
+	n := len(m.p.Vertices)
+	inCand := make([]map[graph.VID]bool, n)
+	rebuild := func(u int) {
+		s := make(map[graph.VID]bool, len(m.cand[u]))
+		for _, v := range m.cand[u] {
+			s[v] = true
+		}
+		inCand[u] = s
+	}
+	for u := 0; u < n; u++ {
+		rebuild(u)
+	}
+
+	refineVertex := func(u int) bool {
+		changed := false
+		out := m.cand[u][:0]
+		for _, v := range m.cand[u] {
+			ok := true
+			for ei, e := range m.p.Edges {
+				if !m.edgeIndexab[ei] {
+					continue
+				}
+				var far int
+				var fromSide bool
+				switch u {
+				case e.From:
+					far, fromSide = e.To, true
+				case e.To:
+					far, fromSide = e.From, false
+				default:
+					continue
+				}
+				if m.canOmit[far] || m.canOmit[u] {
+					continue // edge may be excused; do not prune through it
+				}
+				found := false
+				for _, w := range m.legacyNeighborsVia(ei, v, fromSide) {
+					if !inCand[far][w] {
+						continue
+					}
+					var okPair bool
+					if fromSide {
+						okPair = m.pairwiseOK(ei, v, w)
+					} else {
+						okPair = m.pairwiseOK(ei, w, v)
+					}
+					if okPair {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, v)
+			} else {
+				changed = true
+			}
+		}
+		m.cand[u] = out
+		if changed {
+			rebuild(u)
+		}
+		return changed
+	}
+
+	for pass := 0; pass < 4; pass++ {
+		m.stats.RefinePasses++
+		changed := false
+		if pass%2 == 0 {
+			for i := len(m.order) - 1; i >= 0; i-- {
+				changed = refineVertex(m.order[i]) || changed
+			}
+		} else {
+			for _, u := range m.order {
+				changed = refineVertex(u) || changed
+			}
+		}
+		for u := 0; u < n; u++ {
+			if len(m.cand[u]) == 0 && !m.canOmit[u] {
+				return false
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for u := 0; u < n; u++ {
+		m.stats.CSCandidates += len(m.cand[u])
+	}
+
+	// Materialize adjacency for indexable DAG edges.
+	m.adjMap = make([]map[graph.VID][]graph.VID, len(m.dagEdges))
+	for di, de := range m.dagEdges {
+		if !m.edgeIndexab[de.edge] {
+			continue
+		}
+		e := m.p.Edges[de.edge]
+		fromSide := de.parent == e.From
+		am := make(map[graph.VID][]graph.VID, len(m.cand[de.parent]))
+		for _, v := range m.cand[de.parent] {
+			var vs []graph.VID
+			for _, w := range m.legacyNeighborsVia(de.edge, v, fromSide) {
+				if !inCand[de.child][w] {
+					continue
+				}
+				var okPair bool
+				if fromSide {
+					okPair = m.pairwiseOK(de.edge, v, w)
+				} else {
+					okPair = m.pairwiseOK(de.edge, w, v)
+				}
+				if okPair {
+					vs = append(vs, w)
+				}
+			}
+			if len(vs) > 0 {
+				sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+				am[v] = vs
+				m.stats.AdjPairs += len(vs)
+			}
+		}
+		m.adjMap[di] = am
+	}
+	return true
+}
+
+// legacyCandidates is candidates() over the map adjacency, kept
+// behaviour-identical to the pre-CSR backtracker (including its fresh
+// merge allocation per intersection).
+func (rt *runtime) legacyCandidates(u int) []graph.VID {
+	m := rt.m
+	var base []graph.VID
+	first := true
+	for _, di := range m.parentEdges[u] {
+		de := m.dagEdges[di]
+		if m.adjMap[di] == nil { // non-indexable edge: handled as a condition
+			continue
+		}
+		if !rt.mapped[de.parent] || rt.mapping[de.parent] == core.Omitted {
+			continue
+		}
+		vs := m.adjMap[di][rt.mapping[de.parent]]
+		if len(vs) == 0 {
+			return nil
+		}
+		if first {
+			base = vs
+			first = false
+			continue
+		}
+		merged := make([]graph.VID, 0, min(len(base), len(vs)))
+		i, j := 0, 0
+		for i < len(base) && j < len(vs) {
+			switch {
+			case base[i] == vs[j]:
+				merged = append(merged, base[i])
+				i++
+				j++
+			case base[i] < vs[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		base = merged
+		if len(base) == 0 {
+			return nil
+		}
+	}
+	if first {
+		return m.cand[u]
+	}
+	return base
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"ogpa/internal/bitset"
 	"ogpa/internal/core"
 	"ogpa/internal/graph"
 	"ogpa/internal/sbdd"
@@ -67,16 +68,31 @@ type Options struct {
 	// Ablation switches (benchmarking only; both default to enabled).
 	DisableEarlyReject           bool // skip partial-BDD pruning during backtracking
 	DisableExistentialCompletion bool // enumerate existential witnesses exhaustively
+
+	// UseLegacyCS selects the pre-bitset, map-based candidate-space build
+	// and adjacency (legacy.go). It exists only as the reference for the
+	// bitset-vs-map equivalence property test and the BuildOMCS
+	// benchmarks; answers are identical either way.
+	UseLegacyCS bool
 }
 
 // Stats reports work done by one Match call.
 type Stats struct {
 	Steps        int64
 	CSCandidates int
+	// AdjPairs counts the candidate pairs actually materialized in the
+	// per-DAG-edge adjacency (the CS index's true size; CSCandidates is
+	// summed before materialization and does not see pairwise pruning).
+	AdjPairs     int
 	RefinePasses int
 	BDDNodes     int
 	AtomCacheHit int64
 	AtomEvals    int64
+	// BuildNanos and EnumNanos split wall-clock time between the shared
+	// build phase (BuildOMDAG + BuildOMCS + BDD compilation) and the
+	// enumeration phase (OMBacktrack).
+	BuildNanos int64
+	EnumNanos  int64
 	// Truncated reports that enumeration stopped before exhausting the
 	// search space (MaxResults reached, MaxSteps exceeded, or the
 	// deadline passed).
@@ -139,7 +155,26 @@ type matcher struct {
 	dagEdges    []dagEdge
 	parentEdges [][]int // structural DAG edge indexes by child
 	depParents  [][]int // dependency parents by vertex
-	adj         []map[graph.VID][]graph.VID
+
+	// CS adjacency, one entry per DAG edge, in CSR form: adjStart[di]
+	// holds len(cand[parent])+1 offsets into the flat candidate pool
+	// adjItems[di]; row pi (the pi-th parent candidate, cand being
+	// sorted) spans adjItems[di][adjStart[di][pi]:adjStart[di][pi+1]],
+	// itself sorted ascending so intersections run as linear merges or
+	// galloping binary searches. adjStart[di] == nil marks a
+	// non-indexable edge (checked purely as a condition).
+	adjStart [][]uint32
+	adjItems [][]graph.VID
+
+	// adjMap is the legacy map-based adjacency (Options.UseLegacyCS);
+	// non-nil only on the legacy path, which candidates() dispatches on.
+	adjMap []map[graph.VID][]graph.VID
+
+	// Build-phase scratch, released after Prepare so a shared Prepared
+	// carries no mutable state into concurrent Runs.
+	mini    core.Mapping // reusable partial mapping for local/pairwise probes
+	nbrBuf  []graph.VID  // reusable neighbor buffer
+	nbrSeen *bitset.Set  // dedup bits for multi-probe neighbor walks
 
 	// Build-phase statistics; per-worker runtime counters (steps, atom
 	// evaluations) live in budget/runtime and are merged in after the
@@ -154,9 +189,34 @@ type dagEdge struct {
 
 // Match computes Q(G) for a full OGP.
 func Match(p *core.Pattern, g *graph.Graph, opts Options) (*core.AnswerSet, Stats, error) {
-	if err := p.Validate(); err != nil {
+	pr, err := Prepare(p, g, opts)
+	if err != nil {
 		return nil, Stats{}, err
 	}
+	return pr.Run(opts)
+}
+
+// Prepared is a compiled matching plan for one (pattern, graph) pair:
+// conditions compiled into the shared BDD, the OMDAG built, candidate
+// sets refined and the CS adjacency materialized. The build phase
+// depends only on the pattern and the graph, so a Prepared can be
+// cached and Run many times — concurrently, with different limits and
+// worker counts — which is how the server's plan cache skips GenOGP
+// and BuildOMCS on repeated queries.
+type Prepared struct {
+	m     *matcher
+	stats Stats // build-phase statistics, copied into every Run
+	empty bool  // build proved Q(G) = ∅
+}
+
+// Prepare runs the shared build phase. Of opts only UseLegacyCS is
+// consulted (it selects the reference candidate-space representation);
+// enumeration options are taken per Run.
+func Prepare(p *core.Pattern, g *graph.Graph, opts Options) (*Prepared, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
 	m := &matcher{
 		p: p, g: g, opts: opts,
 		atomIdx: make(map[core.Cond]int),
@@ -164,16 +224,46 @@ func Match(p *core.Pattern, g *graph.Graph, opts Options) (*core.AnswerSet, Stat
 	m.bdd = sbdd.New()
 	m.compileConditions()
 
-	out := core.NewAnswerSet()
-	if !m.buildOMDAG() {
-		return out, m.stats, nil
+	pr := &Prepared{m: m}
+	built := m.buildOMDAG()
+	if built {
+		if opts.UseLegacyCS {
+			built = m.buildOMCSLegacy()
+		} else {
+			built = m.buildOMCS()
+		}
 	}
-	if !m.buildOMCS() {
-		return out, m.stats, nil
-	}
+	pr.empty = !built
 	m.stats.BDDNodes = m.bdd.NumNodes()
-	err := m.backtrack(out)
-	return out, m.stats, err
+	m.stats.BuildNanos = time.Since(start).Nanoseconds()
+	// Release build-phase scratch: a shared Prepared must carry no
+	// mutable state into concurrent Runs, and the buffers are dead
+	// weight in a plan cache.
+	m.mini, m.nbrBuf, m.nbrSeen = nil, nil, nil
+	pr.stats = m.stats
+	return pr, nil
+}
+
+// Stats reports the build-phase statistics (BuildNanos, CSCandidates,
+// AdjPairs, BDDNodes, RefinePasses).
+func (pr *Prepared) Stats() Stats { return pr.stats }
+
+// Run enumerates answers over the prepared plan under opts. It is safe
+// to call concurrently on one Prepared: the compile-phase structures
+// are frozen, and each Run works on its own shallow matcher copy and
+// runtime state.
+func (pr *Prepared) Run(opts Options) (*core.AnswerSet, Stats, error) {
+	out := core.NewAnswerSet()
+	if pr.empty {
+		return out, pr.stats, nil
+	}
+	mc := *pr.m // shallow copy: compile structures shared read-only
+	mc.opts = opts
+	mc.stats = pr.stats
+	start := time.Now()
+	err := mc.backtrack(out)
+	mc.stats.EnumNanos = time.Since(start).Nanoseconds()
+	return out, mc.stats, err
 }
 
 // atomID interns an atomic condition as a BDD variable and compiles it to
@@ -400,6 +490,19 @@ func (m *matcher) compileConditions() {
 	}
 }
 
+// scratchMini returns the matcher's reusable build-phase partial
+// mapping, all-⊥; callers set the slots they probe and must restore
+// them to core.Omitted before returning.
+func (m *matcher) scratchMini() core.Mapping {
+	if m.mini == nil {
+		m.mini = make(core.Mapping, len(m.p.Vertices))
+		for i := range m.mini {
+			m.mini[i] = core.Omitted
+		}
+	}
+	return m.mini
+}
+
 // localPass checks the label constraint plus the vertex's local condition
 // disjuncts on a single candidate.
 func (m *matcher) localPass(u int, v graph.VID) bool {
@@ -413,11 +516,9 @@ func (m *matcher) localPass(u int, v graph.VID) bool {
 	if m.localDNF[u] == nil {
 		return true
 	}
-	mini := make(core.Mapping, len(m.p.Vertices))
-	for i := range mini {
-		mini[i] = core.Omitted
-	}
+	mini := m.scratchMini()
 	mini[u] = v
+	defer func() { mini[u] = core.Omitted }()
 	for _, clause := range m.localDNF[u] {
 		ok := true
 		for _, a := range clause {
@@ -449,8 +550,9 @@ func (m *matcher) seedPool(u int) []graph.VID {
 		return m.g.VerticesByLabel(l)
 	}
 	if m.localDNF[u] != nil {
-		var union []graph.VID
-		seen := map[graph.VID]bool{}
+		// Union of the clauses' label buckets via a label bitmap: each
+		// clause must pin a label for the bucket seeding to be sound.
+		bits := bitset.New(m.g.NumVertices())
 		ok := true
 		for _, clause := range m.localDNF[u] {
 			label := ""
@@ -464,15 +566,14 @@ func (m *matcher) seedPool(u int) []graph.VID {
 				ok = false
 				break
 			}
-			for _, v := range m.g.VerticesByLabel(m.g.Symbols.Lookup(label)) {
-				if !seen[v] {
-					seen[v] = true
-					union = append(union, v)
-				}
-			}
+			m.g.LabelBits(m.g.Symbols.Lookup(label), bits)
 		}
 		if ok {
-			sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+			union := make([]graph.VID, 0, bits.Count())
+			bits.ForEach(func(i uint32) bool {
+				union = append(union, graph.VID(i))
+				return true
+			})
 			return union
 		}
 	}
@@ -616,49 +717,65 @@ func (m *matcher) buildOMDAG() bool {
 	return true
 }
 
-// neighborsVia enumerates partner candidates of v along pattern edge ei,
-// where v plays vertex side (From if fromSide).
-func (m *matcher) neighborsVia(ei int, v graph.VID, fromSide bool) []graph.VID {
-	var out []graph.VID
-	seen := map[graph.VID]bool{}
-	for _, pr := range m.edgeProbes[ei] {
-		// A forward probe runs From→To in the data graph.
-		outgoing := pr.forward == fromSide
-		var hs []graph.Half
-		if outgoing {
-			if pr.label == symbols.None {
-				hs = m.g.Out(v)
-			} else {
-				hs = m.g.OutByLabel(v, pr.label)
-			}
-		} else {
-			if pr.label == symbols.None {
-				hs = m.g.In(v)
-			} else {
-				hs = m.g.InByLabel(v, pr.label)
-			}
+// appendNeighborsVia appends the partner candidates of v along pattern
+// edge ei (v playing the From side iff fromSide) to dst and returns the
+// extended slice. Partners are deduplicated across probes via the
+// nbrSeen bitmap; the set bits are cleared by re-walking the appended
+// range, so the cost stays proportional to the neighborhood, not |V|.
+func (m *matcher) appendNeighborsVia(dst []graph.VID, ei int, v graph.VID, fromSide bool) []graph.VID {
+	probes := m.edgeProbes[ei]
+	// A single labeled probe yields unique partners already (frozen
+	// adjacency is deduplicated per (label, To)): skip the bitmap.
+	if len(probes) == 1 && probes[0].label != symbols.None {
+		for _, h := range m.probeHalves(probes[0], v, fromSide) {
+			dst = append(dst, h.To)
 		}
-		for _, h := range hs {
-			if !seen[h.To] {
-				seen[h.To] = true
-				out = append(out, h.To)
+		return dst
+	}
+	if m.nbrSeen == nil {
+		m.nbrSeen = bitset.New(m.g.NumVertices())
+	}
+	base := len(dst)
+	for _, pr := range probes {
+		for _, h := range m.probeHalves(pr, v, fromSide) {
+			if !m.nbrSeen.Has(uint32(h.To)) {
+				m.nbrSeen.Add(uint32(h.To))
+				dst = append(dst, h.To)
 			}
 		}
 	}
-	return out
+	for _, w := range dst[base:] {
+		m.nbrSeen.Remove(uint32(w))
+	}
+	return dst
+}
+
+// probeHalves resolves one probe to the matching half-edge slice of v in
+// the frozen graph (no copying; callers project h.To as they iterate).
+func (m *matcher) probeHalves(pr probe, v graph.VID, fromSide bool) []graph.Half {
+	// A forward probe runs From→To in the data graph.
+	outgoing := pr.forward == fromSide
+	if outgoing {
+		if pr.label == symbols.None {
+			return m.g.Out(v)
+		}
+		return m.g.OutByLabel(v, pr.label)
+	}
+	if pr.label == symbols.None {
+		return m.g.In(v)
+	}
+	return m.g.InByLabel(v, pr.label)
 }
 
 // pairwiseOK checks the pairwise-local part of edge ei's condition for the
 // candidate pair (atoms referencing third vertices are optimistic).
 func (m *matcher) pairwiseOK(ei int, vFrom, vTo graph.VID) bool {
 	e := m.p.Edges[ei]
-	mini := make(core.Mapping, len(m.p.Vertices))
-	for i := range mini {
-		mini[i] = core.Omitted
-	}
+	mini := m.scratchMini()
 	mini[e.From], mini[e.To] = vFrom, vTo
+	ok := false
 	for _, clause := range m.edgePairs[ei] {
-		ok := true
+		clauseOK := true
 		for _, a := range clause {
 			local := true
 			for w := range core.Vars(a) {
@@ -668,32 +785,35 @@ func (m *matcher) pairwiseOK(ei int, vFrom, vTo graph.VID) bool {
 				}
 			}
 			if local && !core.Eval(a, mini, m.g) {
-				ok = false
+				clauseOK = false
 				break
 			}
 		}
-		if ok {
-			return true
+		if clauseOK {
+			ok = true
+			break
 		}
 	}
-	return false
+	mini[e.From], mini[e.To] = core.Omitted, core.Omitted
+	return ok
 }
 
 // buildOMCS refines candidate sets and materializes per-DAG-edge adjacency.
 // Edges whose far endpoint is omittable never prune (they may be excused),
-// keeping OMCS sound (paper Section V-B).
+// keeping OMCS sound (paper Section V-B). Candidate-set membership lives
+// in word-packed bitmaps (one probe = shift + mask) and the adjacency is
+// CSR over the sorted candidate pools; buildOMCSLegacy (legacy.go) is the
+// map-based reference this must stay answer-identical to.
 func (m *matcher) buildOMCS() bool {
 	n := len(m.p.Vertices)
-	inCand := make([]map[graph.VID]bool, n)
-	rebuild := func(u int) {
-		s := make(map[graph.VID]bool, len(m.cand[u]))
+	pool := bitset.NewPool(m.g.NumVertices())
+	inCand := make([]*bitset.Set, n)
+	for u := 0; u < n; u++ {
+		s := pool.Get()
 		for _, v := range m.cand[u] {
-			s[v] = true
+			s.Add(uint32(v))
 		}
 		inCand[u] = s
-	}
-	for u := 0; u < n; u++ {
-		rebuild(u)
 	}
 
 	refineVertex := func(u int) bool {
@@ -719,8 +839,9 @@ func (m *matcher) buildOMCS() bool {
 					continue // edge may be excused; do not prune through it
 				}
 				found := false
-				for _, w := range m.neighborsVia(ei, v, fromSide) {
-					if !inCand[far][w] {
+				m.nbrBuf = m.appendNeighborsVia(m.nbrBuf[:0], ei, v, fromSide)
+				for _, w := range m.nbrBuf {
+					if !inCand[far].Has(uint32(w)) {
 						continue
 					}
 					var okPair bool
@@ -743,12 +864,10 @@ func (m *matcher) buildOMCS() bool {
 				out = append(out, v)
 			} else {
 				changed = true
+				inCand[u].Remove(uint32(v))
 			}
 		}
 		m.cand[u] = out
-		if changed {
-			rebuild(u)
-		}
 		return changed
 	}
 
@@ -777,19 +896,25 @@ func (m *matcher) buildOMCS() bool {
 		m.stats.CSCandidates += len(m.cand[u])
 	}
 
-	// Materialize adjacency for indexable DAG edges.
-	m.adj = make([]map[graph.VID][]graph.VID, len(m.dagEdges))
+	// Materialize CSR adjacency for indexable DAG edges: one offset row
+	// per (sorted) parent candidate into a flat per-edge pool, each row
+	// sorted ascending.
+	m.adjStart = make([][]uint32, len(m.dagEdges))
+	m.adjItems = make([][]graph.VID, len(m.dagEdges))
 	for di, de := range m.dagEdges {
 		if !m.edgeIndexab[de.edge] {
 			continue
 		}
 		e := m.p.Edges[de.edge]
 		fromSide := de.parent == e.From
-		am := make(map[graph.VID][]graph.VID, len(m.cand[de.parent]))
-		for _, v := range m.cand[de.parent] {
-			var vs []graph.VID
-			for _, w := range m.neighborsVia(de.edge, v, fromSide) {
-				if !inCand[de.child][w] {
+		starts := make([]uint32, len(m.cand[de.parent])+1)
+		var items []graph.VID
+		for pi, v := range m.cand[de.parent] {
+			starts[pi] = uint32(len(items))
+			segStart := len(items)
+			m.nbrBuf = m.appendNeighborsVia(m.nbrBuf[:0], de.edge, v, fromSide)
+			for _, w := range m.nbrBuf {
+				if !inCand[de.child].Has(uint32(w)) {
 					continue
 				}
 				var okPair bool
@@ -799,15 +924,93 @@ func (m *matcher) buildOMCS() bool {
 					okPair = m.pairwiseOK(de.edge, w, v)
 				}
 				if okPair {
-					vs = append(vs, w)
+					items = append(items, w)
 				}
 			}
-			if len(vs) > 0 {
-				sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-				am[v] = vs
+			if seg := items[segStart:]; !vidsSorted(seg) {
+				sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
 			}
 		}
-		m.adj[di] = am
+		starts[len(m.cand[de.parent])] = uint32(len(items))
+		m.adjStart[di] = starts
+		m.adjItems[di] = items
+		m.stats.AdjPairs += len(items)
+	}
+	for u := 0; u < n; u++ {
+		pool.Put(inCand[u])
 	}
 	return true
+}
+
+// vidsSorted reports whether xs is ascending (CSR rows from a single
+// labeled probe already are; multi-probe rows may need a sort).
+func vidsSorted(xs []graph.VID) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// adjRow returns the CSR adjacency row of DAG edge di for parent value
+// pv, located by binary search over the sorted parent candidate pool.
+// Assigned parents always come from that pool, so the search hits; a
+// miss (possible only on foreign input) reads as an empty row.
+func (m *matcher) adjRow(di int, pv graph.VID) []graph.VID {
+	cand := m.cand[m.dagEdges[di].parent]
+	i := searchVID(cand, pv)
+	if i >= len(cand) || cand[i] != pv {
+		return nil
+	}
+	starts := m.adjStart[di]
+	return m.adjItems[di][starts[i]:starts[i+1]]
+}
+
+// searchVID returns the first index of xs (ascending) not less than v.
+// Hand-rolled so the hot path avoids sort.Search's closure allocation.
+func searchVID(xs []graph.VID, v graph.VID) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// intersectInto writes the intersection of the sorted lists a and b
+// into dst (len 0, possibly aliasing a's backing array) and returns it.
+// When a is much shorter than b the probe gallops: each element of a is
+// a binary search in b; otherwise a linear merge. Writes into dst stay
+// at or behind the read cursor of a, so aliasing dst with a is safe —
+// b must not alias dst.
+func intersectInto(dst, a, b []graph.VID) []graph.VID {
+	if len(a)*16 < len(b) {
+		for _, v := range a {
+			j := searchVID(b, v)
+			if j < len(b) && b[j] == v {
+				dst = append(dst, v)
+			}
+			b = b[j:]
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
 }

@@ -1,0 +1,78 @@
+// Package prof wires -cpuprofile / -memprofile flags into the CLIs via
+// runtime/pprof, so hot-path regressions can be diagnosed on a deployed
+// binary without editing code:
+//
+//	ogpa -cpuprofile cpu.out ... && go tool pprof cpu.out
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session is one profiling run. Start it before the measured work and
+// Stop it exactly once afterwards (for servers: on signal-triggered
+// shutdown); the zero Session and a nil *Session are inert.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling into cpuPath and arranges for a heap
+// profile at memPath on Stop. Either path may be empty to skip that
+// profile; if both are empty the returned Session is inert.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			//lint:ignore droppederr Close error is secondary to the StartCPUProfile failure being returned
+			_ = f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile. It is safe
+// on a nil Session and idempotent.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			first = err
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		s.memPath = ""
+	}
+	if first != nil {
+		return fmt.Errorf("prof: %w", first)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"ogpa"
+)
+
+// planCache is a mutex-guarded LRU of compiled query plans
+// (ogpa.PreparedQuery), keyed by (ontology fingerprint, query kind,
+// query text). A hit skips GenOGP, the OGP's candidate-space build and
+// the BDD compilation; only enumeration runs per request. Plans are
+// safe to share: PreparedQuery.Answer is concurrent-safe, so one cached
+// plan may serve overlapping requests.
+//
+// Every sibling field is accessed under mu (the locksafety analyzer
+// enforces the discipline).
+type planCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type planEntry struct {
+	key  string
+	plan *ogpa.PreparedQuery
+}
+
+// newPlanCache builds a cache holding up to capacity plans; capacity
+// <= 0 returns nil (caching disabled — a nil *planCache is inert).
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached plan for key, promoting it to most recently
+// used, or nil on a miss. Hit/miss counters move here.
+func (c *planCache) get(key string) *ogpa.PreparedQuery {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*planEntry).plan
+}
+
+// put inserts a plan, evicting the least recently used entry when full.
+// A concurrent duplicate insert (two requests missing on the same key)
+// just refreshes the existing entry.
+func (c *planCache) put(key string, plan *ogpa.PreparedQuery) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*planEntry).plan = plan
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, plan: plan})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*planEntry).key)
+	}
+}
+
+// snapshot reports the counters and current size.
+func (c *planCache) snapshot() (hits, misses uint64, size int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

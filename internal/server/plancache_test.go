@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestPlanCacheAlternatingQueries is the correctness + reuse contract of
+// the plan cache: two distinct queries alternated across repeated
+// requests keep returning their own (correct) answers — cached plans
+// never leak across keys — and the hit counter shows that every request
+// after each query's first skipped GenOGP.
+func TestPlanCacheAlternatingQueries(t *testing.T) {
+	h := Handler(testKB(t))
+	queries := []struct {
+		body      string
+		wantCount int
+		wantFirst string
+	}{
+		{`{"query":"q(x) :- Student(x), takesCourse(x, y)"}`, 2, "Ann"},
+		{`{"query":"q(x) :- PhD(x)"}`, 1, "Ann"},
+	}
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		for qi, q := range queries {
+			rec := do(t, h, "POST", "/query", q.body)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("round %d query %d: status %d: %s", round, qi, rec.Code, rec.Body)
+			}
+			var resp QueryResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Count != q.wantCount || resp.Rows[0][0] != q.wantFirst {
+				t.Fatalf("round %d query %d: resp = %+v, want count %d first %q",
+					round, qi, resp, q.wantCount, q.wantFirst)
+			}
+		}
+	}
+
+	rec := do(t, h, "POST", "/query", `{"query":"q(x) :- Student(x)","baseline":"datalog"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("baseline status %d: %s", rec.Code, rec.Body)
+	}
+
+	var stats StatsResponse
+	rec = do(t, h, "GET", "/stats", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	// Each query misses once (its first request) and hits on every later
+	// round; the baseline request bypasses the cache entirely.
+	wantMisses := uint64(len(queries))
+	wantHits := uint64(len(queries) * (rounds - 1))
+	if stats.PlanCacheMisses != wantMisses || stats.PlanCacheHits != wantHits {
+		t.Fatalf("plan cache hits=%d misses=%d, want hits=%d misses=%d",
+			stats.PlanCacheHits, stats.PlanCacheMisses, wantHits, wantMisses)
+	}
+	if stats.PlanCacheSize != len(queries) {
+		t.Fatalf("plan cache size = %d, want %d", stats.PlanCacheSize, len(queries))
+	}
+}
+
+// TestPlanCacheDisabled pins the negative-capacity escape hatch: with
+// caching off every request still answers correctly and the counters
+// stay zero.
+func TestPlanCacheDisabled(t *testing.T) {
+	h := HandlerWithConfig(testKB(t), Config{PlanCacheSize: -1})
+	for i := 0; i < 3; i++ {
+		rec := do(t, h, "POST", "/query", `{"query":"q(x) :- PhD(x)"}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	var stats StatsResponse
+	rec := do(t, h, "GET", "/stats", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PlanCacheHits != 0 || stats.PlanCacheMisses != 0 || stats.PlanCacheSize != 0 {
+		t.Fatalf("disabled cache reported hits=%d misses=%d size=%d",
+			stats.PlanCacheHits, stats.PlanCacheMisses, stats.PlanCacheSize)
+	}
+}
+
+// TestPlanCacheLRUEviction pins the eviction order: with capacity 2 and
+// three distinct queries in rotation, the least recently used plan is
+// evicted, so a fourth request for it misses again.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	h := HandlerWithConfig(testKB(t), Config{PlanCacheSize: 2})
+	q := func(name string) string {
+		return fmt.Sprintf(`{"query":"q(x) :- %s(x)"}`, name)
+	}
+	// A, B fill the cache; C evicts A; A misses again and evicts B.
+	for _, name := range []string{"Student", "PhD", "Course", "Student"} {
+		rec := do(t, h, "POST", "/query", q(name))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, rec.Code, rec.Body)
+		}
+	}
+	var stats StatsResponse
+	rec := do(t, h, "GET", "/stats", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PlanCacheMisses != 4 || stats.PlanCacheHits != 0 || stats.PlanCacheSize != 2 {
+		t.Fatalf("hits=%d misses=%d size=%d, want 0/4/2",
+			stats.PlanCacheHits, stats.PlanCacheMisses, stats.PlanCacheSize)
+	}
+}

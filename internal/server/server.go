@@ -64,6 +64,11 @@ type StatsResponse struct {
 	Queries  uint64 `json:"queries"`
 	Rewrites uint64 `json:"rewrites"`
 	Errors   uint64 `json:"errors"`
+	// Plan-cache counters: a hit means the request skipped GenOGP and the
+	// candidate-space build entirely and went straight to enumeration.
+	PlanCacheHits   uint64 `json:"planCacheHits"`
+	PlanCacheMisses uint64 `json:"planCacheMisses"`
+	PlanCacheSize   int    `json:"planCacheSize"`
 }
 
 // metrics counts requests served by one handler. Every field access goes
@@ -107,6 +112,27 @@ type Config struct {
 	// GOMAXPROCS. Under concurrent load a cap keeps one heavy query from
 	// monopolizing every core.
 	MaxWorkersPerQuery int
+
+	// PlanCacheSize bounds the LRU cache of compiled query plans
+	// (rewritten OGP + candidate space + condition BDD) shared across
+	// requests. 0 means the default (128 plans); negative disables
+	// caching.
+	PlanCacheSize int
+}
+
+// defaultPlanCacheSize is the plan-cache capacity when Config leaves
+// PlanCacheSize at zero.
+const defaultPlanCacheSize = 128
+
+func (c Config) planCacheSize() int {
+	switch {
+	case c.PlanCacheSize < 0:
+		return 0
+	case c.PlanCacheSize == 0:
+		return defaultPlanCacheSize
+	default:
+		return c.PlanCacheSize
+	}
 }
 
 // workersFor resolves a request's worker count against the server cap.
@@ -134,6 +160,31 @@ func Handler(kb *ogpa.KB) http.Handler { return HandlerWithConfig(kb, Config{}) 
 func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 	kb.Graph().Symbols.Freeze()
 	m := &metrics{}
+	cache := newPlanCache(cfg.planCacheSize())
+	fingerprint := kb.Fingerprint() // constant per handler; part of every cache key
+	answerCached := func(kind, query string, opt ogpa.Options) (*ogpa.Answers, error) {
+		if cache == nil {
+			if kind == "sparql" {
+				return kb.AnswerSPARQL(query, opt)
+			}
+			return kb.AnswerWithOptions(query, opt)
+		}
+		key := fingerprint + "|" + kind + "|" + query
+		pq := cache.get(key)
+		if pq == nil {
+			var err error
+			if kind == "sparql" {
+				pq, err = kb.PrepareSPARQL(query)
+			} else {
+				pq, err = kb.Prepare(query)
+			}
+			if err != nil {
+				return nil, err
+			}
+			cache.put(key, pq)
+		}
+		return pq.Answer(opt)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		m.recordQuery()
@@ -168,12 +219,14 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 		switch {
 		case req.SPARQL:
 			method = "genogp+omatch (sparql)"
-			ans, err = kb.AnswerSPARQL(query, opt)
+			ans, err = answerCached("sparql", query, opt)
 		case req.Baseline != "":
+			// Baselines bypass the plan cache: they exist for comparison
+			// runs, and UCQ/datalog rewrites have no Prepared form.
 			method = req.Baseline
 			ans, err = kb.AnswerBaseline(ogpa.Baseline(req.Baseline), query, opt)
 		default:
-			ans, err = kb.AnswerWithOptions(query, opt)
+			ans, err = answerCached("cq", query, opt)
 		}
 		if err != nil {
 			m.recordError()
@@ -208,7 +261,11 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		q, rw, e := m.snapshot()
-		writeJSON(w, StatsResponse{Stats: kb.Stats(), Queries: q, Rewrites: rw, Errors: e})
+		hits, misses, size := cache.snapshot()
+		writeJSON(w, StatsResponse{
+			Stats: kb.Stats(), Queries: q, Rewrites: rw, Errors: e,
+			PlanCacheHits: hits, PlanCacheMisses: misses, PlanCacheSize: size,
+		})
 	})
 
 	mux.HandleFunc("GET /consistency", func(w http.ResponseWriter, r *http.Request) {

@@ -18,6 +18,7 @@ package ogpa
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"sort"
@@ -139,6 +140,28 @@ func (kb *KB) Stats() string {
 		kb.abox.Size(), kb.g.NumVertices(), kb.g.NumEdges(), kb.tbox.Size())
 }
 
+// Fingerprint returns a stable FNV-1a hash of the ontology's positive
+// inclusion axioms — the part of the KB that GenOGP output depends on.
+// Cache layers (the server's plan cache) key rewrites by
+// (Fingerprint, query text) so plans never outlive the ontology that
+// produced them.
+func (kb *KB) Fingerprint() string {
+	h := fnv.New64a()
+	line := func(s string) {
+		//lint:ignore droppederr hash.Hash.Write never fails
+		_, _ = io.WriteString(h, s)
+		//lint:ignore droppederr hash.Hash.Write never fails
+		_, _ = h.Write([]byte{'\n'})
+	}
+	for _, ci := range kb.tbox.CIs {
+		line(ci.String())
+	}
+	for _, ri := range kb.tbox.RIs {
+		line(ri.String())
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // Answers is a set of certain-answer tuples.
 type Answers struct {
 	// Vars names the distinguished variables, in head order.
@@ -198,6 +221,113 @@ func (kb *KB) AnswerWithOptions(query string, opt Options) (*Answers, error) {
 		return nil, err
 	}
 	return kb.render(rw.Query, res), nil
+}
+
+// MatchStats mirrors the matcher's per-query statistics for the public
+// API (the matcher itself lives in an internal package).
+type MatchStats struct {
+	// Build-phase numbers, fixed when the plan is prepared.
+	CSCandidates int   // candidates across pattern vertices after refinement
+	AdjPairs     int   // candidate pairs materialized in the CS adjacency
+	BDDNodes     int   // nodes in the shared condition BDD
+	BuildNanos   int64 // wall-clock of GenOGP output compilation + BuildOMCS
+	// Enumeration-phase numbers, per Run.
+	Steps     int64 // backtracking tree nodes visited
+	AtomEvals int64 // atomic condition evaluations
+	EnumNanos int64 // wall-clock of OMBacktrack
+	Truncated bool  // enumeration stopped at a limit
+}
+
+func fromMatchStats(st match.Stats) MatchStats {
+	return MatchStats{
+		CSCandidates: st.CSCandidates,
+		AdjPairs:     st.AdjPairs,
+		BDDNodes:     st.BDDNodes,
+		BuildNanos:   st.BuildNanos,
+		Steps:        st.Steps,
+		AtomEvals:    st.AtomEvals,
+		EnumNanos:    st.EnumNanos,
+		Truncated:    st.Truncated,
+	}
+}
+
+// PreparedQuery is a query compiled down to a reusable matching plan:
+// GenOGP has run and the OGP's candidate space, CS adjacency and
+// condition BDD are built. Answer can be called many times —
+// concurrently, with different limits — without repeating that work.
+// The server's plan cache stores these across requests.
+type PreparedQuery struct {
+	kb *KB
+	q  *cq.Query
+	rw *Rewriting
+	pr *match.Prepared
+}
+
+// Prepare compiles a CQ into a reusable matching plan.
+func (kb *KB) Prepare(query string) (*PreparedQuery, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return kb.prepare(q)
+}
+
+// PrepareSPARQL compiles a SPARQL SELECT query into a reusable plan.
+func (kb *KB) PrepareSPARQL(src string) (*PreparedQuery, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return kb.prepare(q)
+}
+
+func (kb *KB) prepare(q *cq.Query) (*PreparedQuery, error) {
+	res, err := rewrite.Generate(q, kb.tbox)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := match.Prepare(res.Pattern, kb.g, match.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{
+		kb: kb,
+		q:  q,
+		rw: &Rewriting{Query: q, Pattern: res.Pattern, result: res},
+		pr: pr,
+	}, nil
+}
+
+// Rewriting exposes the generated OGP behind the plan.
+func (pq *PreparedQuery) Rewriting() *Rewriting { return pq.rw }
+
+// Stats reports the build-phase statistics of the plan (the
+// enumeration-phase fields are zero; AnswerWithStats fills them per run).
+func (pq *PreparedQuery) Stats() MatchStats { return fromMatchStats(pq.pr.Stats()) }
+
+// Answer enumerates the query's certain answers under opt.
+func (pq *PreparedQuery) Answer(opt Options) (*Answers, error) {
+	ans, _, err := pq.AnswerWithStats(opt)
+	return ans, err
+}
+
+// AnswerWithStats is Answer plus the matcher's work counters.
+func (pq *PreparedQuery) AnswerWithStats(opt Options) (*Answers, MatchStats, error) {
+	res, st, err := pq.pr.Run(matchOptions(opt))
+	if err != nil {
+		return nil, MatchStats{}, err
+	}
+	return pq.kb.render(pq.q, res), fromMatchStats(st), nil
+}
+
+// AnswerWithStats runs GenOGP + OMatch under the given limits and also
+// returns the matcher's work counters (what `ogpa -match-stats` prints).
+func (kb *KB) AnswerWithStats(query string, opt Options) (*Answers, MatchStats, error) {
+	pq, err := kb.Prepare(query)
+	if err != nil {
+		return nil, MatchStats{}, err
+	}
+	return pq.AnswerWithStats(opt)
 }
 
 // MatchOGP matches a hand-written OGP (built with the Pattern helpers) and
