@@ -8,15 +8,19 @@ import (
 	"time"
 
 	"ogpa/internal/core"
+	"ogpa/internal/cq"
+	"ogpa/internal/daf"
+	"ogpa/internal/dllite"
 	"ogpa/internal/gen"
 	"ogpa/internal/graph"
 	"ogpa/internal/match"
+	"ogpa/internal/perfectref"
 	"ogpa/internal/qgen"
 	"ogpa/internal/rewrite"
 )
 
 // benchResult is one row of the machine-readable benchmark report
-// (BENCH_3.json): the same three numbers `go test -bench -benchmem`
+// (BENCH_4.json): the same three numbers `go test -bench -benchmem`
 // prints, in a form CI and plotting scripts can diff across commits.
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -28,9 +32,13 @@ type benchResult struct {
 
 // benchWorkload is the shared fixture for the JSON benchmark suite: a
 // LUBM-scale graph plus rewritten patterns, mirroring the repo-root
-// Fig. 4 benchmarks (bench_test.go) at the same laptop scale.
+// Fig. 4 benchmarks (bench_test.go) at the same laptop scale. The raw
+// (pre-rewrite) queries are kept so the DAF front-end of the shared
+// engine is measured on the same workload.
 type benchWorkload struct {
 	g        *graph.Graph
+	tbox     *dllite.TBox
+	queries  []*cq.Query
 	patterns []*core.Pattern
 }
 
@@ -40,7 +48,7 @@ func buildBenchWorkload(seed int64) (*benchWorkload, error) {
 	cfg := qgen.DefaultConfig(8, 8*101+1) // same query seeds as bench_test.go
 	cfg.Count = 4
 	qs := qgen.RandomWalk(g, d.TBox, cfg)
-	w := &benchWorkload{g: g}
+	w := &benchWorkload{g: g, tbox: d.TBox, queries: qs}
 	for _, q := range qs {
 		res, err := rewrite.Generate(q, d.TBox)
 		if err != nil {
@@ -118,6 +126,36 @@ func (w *benchWorkload) benchEval(legacy bool) func(*testing.B) {
 	}
 }
 
+// benchDAFEval measures the DAF front-end of the shared engine on the
+// perfectref+daf baseline workload: PrepareUCQ + Run over each query's
+// optimized UCQ rewriting, so the report shows both front-ends compiling
+// into the same runtime (the raw pre-rewrite CQs have empty candidate
+// spaces on the data graph — only the rewritten disjuncts match).
+func (w *benchWorkload) benchDAFEval(legacy bool) func(*testing.B) {
+	ucqs := make([][]*cq.Query, 0, len(w.queries))
+	for _, q := range w.queries {
+		u, err := perfectref.RewriteOptimized(q, w.tbox, perfectref.Limits{})
+		if err != nil {
+			return func(b *testing.B) { b.Fatal(err) }
+		}
+		ucqs = append(ucqs, u.Queries)
+	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, qs := range ucqs {
+				pu, err := daf.PrepareUCQ(qs, w.g, daf.Options{UseLegacyCS: legacy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := pu.Run(daf.Limits{MaxResults: 100000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
 // runBenchJSON runs the benchmark suite via testing.Benchmark and writes
 // the results to outPath. Each CSR-path benchmark has a /map twin on the
 // legacy candidate-space build, so one file shows the delta.
@@ -136,6 +174,8 @@ func runBenchJSON(outPath string, seed int64) error {
 		{"BenchmarkAdjacency/map", w.benchAdjacency(true)},
 		{"BenchmarkFig4cd_Eval/csr", w.benchEval(false)},
 		{"BenchmarkFig4cd_Eval/map", w.benchEval(true)},
+		{"BenchmarkDAFEval/csr", w.benchDAFEval(false)},
+		{"BenchmarkDAFEval/map", w.benchDAFEval(true)},
 	}
 	results := make([]benchResult, 0, len(suite))
 	for _, bb := range suite {

@@ -29,7 +29,7 @@ func main() {
 		isSPARQL     = flag.Bool("sparql", false, "the query argument is a SPARQL SELECT query")
 		minimize     = flag.Bool("minimize", false, "minimize the query (compute its core) before rewriting")
 		consistency  = flag.Bool("check-consistency", false, "check the KB against DisjointWith axioms and exit")
-		matchStats   = flag.Bool("match-stats", false, "print matcher work counters to stderr (GenOGP+OMatch pipeline only)")
+		matchStats   = flag.Bool("match-stats", false, "print matcher work counters to stderr (GenOGP+OMatch and UCQ baselines; datalog/saturate have no counters)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -106,6 +106,18 @@ func main() {
 	var st ogpa.MatchStats
 	haveStats := false
 	switch {
+	case *baseline != "" && *matchStats:
+		// The UCQ baselines compile into the shared engine, so they report
+		// the same counters as the primary pipeline; datalog/saturate have
+		// no prepared form and fall back to plain answering.
+		var pq *ogpa.PreparedQuery
+		pq, err = kb.PrepareBaseline(ogpa.Baseline(*baseline), query)
+		if err == nil {
+			ans, st, err = pq.AnswerWithStats(opt)
+			haveStats = true
+		} else {
+			ans, err = kb.AnswerBaseline(ogpa.Baseline(*baseline), query, opt)
+		}
 	case *baseline != "":
 		ans, err = kb.AnswerBaseline(ogpa.Baseline(*baseline), query, opt)
 	case *matchStats:

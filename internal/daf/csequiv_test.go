@@ -1,0 +1,111 @@
+package daf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ogpa/internal/core"
+)
+
+// TestBitsetMapEquivalenceDAF is the DAF-side contract of the engine's
+// candidate-space oracle: for any condition-free pattern, the bitset/CSR
+// build must yield byte-identical answers and the same index statistics
+// as the map-based legacy build (Options.UseLegacyCS, engine/legacy.go)
+// — under homomorphism and subgraph isomorphism, sequentially and with a
+// worker pool. 100 random instances; internal/match runs the OGP-side
+// twin of this test over the same single oracle copy.
+func TestBitsetMapEquivalenceDAF(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, qs := randomUCQInstance(rng)
+		for qi, q := range qs {
+			p := core.FromCQ(q)
+			for _, injective := range []bool{false, true} {
+				mapAns, mapSt, err := Match(p, g, Options{
+					Injective:   injective,
+					Limits:      Limits{Workers: 1},
+					UseLegacyCS: true,
+				})
+				if err != nil {
+					t.Fatalf("seed %d q%d inj=%v: legacy Match: %v", seed, qi, injective, err)
+				}
+				mapNames := fmt.Sprint(mapAns.Names(g))
+
+				for _, workers := range []int{1, 4} {
+					csrAns, csrSt, err := Match(p, g, Options{
+						Injective: injective,
+						Limits:    Limits{Workers: workers},
+					})
+					if err != nil {
+						t.Fatalf("seed %d q%d inj=%v workers %d: bitset Match: %v",
+							seed, qi, injective, workers, err)
+					}
+					if names := fmt.Sprint(csrAns.Names(g)); names != mapNames {
+						t.Fatalf("seed %d q%d inj=%v workers %d:\nmap    %s\nbitset %s\npattern:\n%s",
+							seed, qi, injective, workers, mapNames, names, p)
+					}
+					if csrSt.Truncated != mapSt.Truncated {
+						t.Fatalf("seed %d q%d inj=%v workers %d: Truncated %v vs legacy %v",
+							seed, qi, injective, workers, csrSt.Truncated, mapSt.Truncated)
+					}
+					// Same index, not merely same answers: totals are
+					// deterministic for both builds.
+					if csrSt.CSCandidates != mapSt.CSCandidates ||
+						csrSt.AdjPairs != mapSt.AdjPairs ||
+						csrSt.RefinePasses != mapSt.RefinePasses {
+						t.Fatalf("seed %d q%d inj=%v workers %d: index stats diverge: bitset {cand %d pairs %d passes %d} vs map {cand %d pairs %d passes %d}",
+							seed, qi, injective, workers,
+							csrSt.CSCandidates, csrSt.AdjPairs, csrSt.RefinePasses,
+							mapSt.CSCandidates, mapSt.AdjPairs, mapSt.RefinePasses)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedUCQMatchesEvalUCQ pins the plan-cache contract: running a
+// prepared UCQ (the unit the server caches) must agree with the direct
+// EvalUCQ path on answers and truncation, including repeated Runs of the
+// same PreparedUCQ with different limits.
+func TestPreparedUCQMatchesEvalUCQ(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, qs := randomUCQInstance(rng)
+
+		direct, directSt, err := EvalUCQ(qs, g, Limits{Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d: EvalUCQ: %v", seed, err)
+		}
+		pu, err := PrepareUCQ(qs, g, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: PrepareUCQ: %v", seed, err)
+		}
+		for _, workers := range []int{1, 4} {
+			got, gotSt, err := pu.Run(Limits{Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: PreparedUCQ.Run: %v", seed, workers, err)
+			}
+			if fmt.Sprint(got.Names(g)) != fmt.Sprint(direct.Names(g)) {
+				t.Fatalf("seed %d workers %d:\nEvalUCQ  %v\nPrepared %v",
+					seed, workers, direct.Names(g), got.Names(g))
+			}
+			if gotSt.Truncated != directSt.Truncated {
+				t.Fatalf("seed %d workers %d: Truncated %v vs %v",
+					seed, workers, gotSt.Truncated, directSt.Truncated)
+			}
+		}
+		if direct.Len() < 2 {
+			continue
+		}
+		limit := 1 + int(seed)%direct.Len()
+		res, st, err := pu.Run(Limits{MaxResults: limit, Workers: 2})
+		if err != nil {
+			t.Fatalf("seed %d limit %d: %v", seed, limit, err)
+		}
+		if res.Len() != limit || !st.Truncated {
+			t.Fatalf("seed %d limit %d: len=%d truncated=%v", seed, limit, res.Len(), st.Truncated)
+		}
+	}
+}

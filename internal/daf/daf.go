@@ -1,46 +1,47 @@
-// Package daf implements the DAF subgraph-matching algorithm of Han et al.
-// (SIGMOD'19) reviewed in Section V-A of the paper: BuildDAG (rooted DAG
-// ordering of the pattern), BuildCS (a compact candidate-space index with
-// per-DAG-edge adjacency), and Backtrack (enumeration with the adaptive
-// candidate-size matching order).
+// Package daf is the plain-CQ front-end of the shared execution engine
+// (internal/engine): the DAF subgraph-matching algorithm of Han et al.
+// (SIGMOD'19) reviewed in Section V-A of the paper. BuildDAG, BuildCS
+// and Backtrack — which OMatch extends rather than replaces — live in
+// the engine; this package validates that a pattern is condition-free
+// in the DAF sense and compiles it into an engine plan with the
+// OGP-only capabilities (⊥ candidates, dependency edges) off.
 //
-// Two departures from the original, both required by the paper's setting:
-// homomorphism semantics are supported alongside subgraph isomorphism
-// (OGPs and CQ evaluation are homomorphic), and a static-BFS matching order
-// is available (the paper's OMatch_BFS ablation uses it).
+// Two departures from the original DAF, both required by the paper's
+// setting: homomorphism semantics are the default alongside subgraph
+// isomorphism (OGPs and CQ evaluation are homomorphic; Options.
+// Injective installs the engine's Injective capability), and a
+// static-BFS matching order is available (the paper's OMatch_BFS
+// ablation uses it).
 //
-// DAF here evaluates condition-free patterns: the pattern's structure
-// (labels and edges) is the whole constraint. It is the evaluation engine
-// for the UCQ baselines and the base OMatch extends.
+// It is the evaluation engine for the UCQ baselines, with Prepare/Run
+// (and PrepareUCQ/Run for whole rewritings) so the server's plan cache
+// can reuse compiled baseline plans across requests.
 package daf
 
 import (
-	"errors"
 	"fmt"
 	stdruntime "runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"ogpa/internal/bitset"
 	"ogpa/internal/core"
 	"ogpa/internal/cq"
+	"ogpa/internal/engine"
 	"ogpa/internal/graph"
-	"ogpa/internal/symbols"
 )
 
 // Order selects the matching order used by Backtrack.
-type Order int
+type Order = engine.Order
 
 // Matching orders.
 const (
 	// OrderAdaptive is DAF's candidate-size order: among extendable
 	// vertices, pick the one with the fewest remaining candidates.
-	OrderAdaptive Order = iota
+	OrderAdaptive = engine.OrderAdaptive
 	// OrderStaticBFS fixes the BFS order of the DAG up front (the
 	// OMatch_BFS / CECI-style ablation).
-	OrderStaticBFS
+	OrderStaticBFS = engine.OrderStaticBFS
 )
 
 // Limits bounds an enumeration. Zero values disable the respective limit.
@@ -48,83 +49,84 @@ type Limits struct {
 	MaxResults int
 	MaxSteps   int64
 	Deadline   time.Time
-	// Workers bounds the worker pool EvalUCQ uses to evaluate disjuncts
-	// concurrently (each disjunct itself runs sequentially). 0 means
-	// runtime.GOMAXPROCS(0); 1 evaluates disjuncts in order.
+	// Workers bounds the worker pools: EvalUCQ/PreparedUCQ evaluate
+	// disjuncts concurrently (each disjunct itself running sequentially),
+	// and a single Match fans its first decision level out across the
+	// engine's worker pool. 0 means runtime.GOMAXPROCS(0); 1 is fully
+	// sequential. Answers are merged canonically either way, so results
+	// are identical to sequential.
 	Workers int
 }
 
-// ErrLimit reports that enumeration stopped due to Limits.
-var ErrLimit = errors.New("daf: enumeration limit exceeded")
+// ErrLimit reports that enumeration stopped due to Limits. It is the
+// engine's sentinel, re-exported so existing == comparisons keep working.
+var ErrLimit = engine.ErrLimit
 
 // Options configures Match.
 type Options struct {
 	Injective bool // subgraph isomorphism instead of homomorphism
 	Order     Order
 	Limits    Limits
+
+	// UseLegacyCS selects the engine's pre-bitset, map-based
+	// candidate-space oracle (engine/legacy.go). It exists only for the
+	// bitset-vs-map equivalence property test on the DAF side; answers
+	// are identical either way.
+	UseLegacyCS bool
 }
 
-// Stats reports work done by one Match call.
-type Stats struct {
-	Steps        int64 // backtracking tree nodes visited
-	CSCandidates int   // total candidates across pattern vertices after refinement
-	// AdjPairs counts the candidate pairs materialized in the per-DAG-edge
-	// adjacency — the CS index's true size (CSCandidates is summed before
-	// materialization and does not see pairwise pruning).
-	AdjPairs      int
-	RefinePasses  int
-	EmptyCandSets int // pattern vertices whose candidate set refined to empty
-	// Truncated reports that enumeration stopped before exhausting the
-	// search space (MaxResults reached, MaxSteps exceeded, or the
-	// deadline passed).
-	Truncated bool
+// Stats reports work done by one Match call; see engine.Stats.
+type Stats = engine.Stats
+
+// engineOptions translates front-end options into engine options with
+// the DAF capability set: no ⊥ candidates, no dependency edges, and the
+// Injective capability tracking Options.Injective.
+func engineOptions(o Options) engine.Options {
+	return engine.Options{
+		Order: o.Order,
+		Limits: engine.Limits{
+			MaxResults: o.Limits.MaxResults,
+			MaxSteps:   o.Limits.MaxSteps,
+			Deadline:   o.Limits.Deadline,
+		},
+		Workers:     o.Limits.Workers,
+		UseLegacyCS: o.UseLegacyCS,
+		Caps:        engine.Caps{Injective: o.Injective},
+	}
 }
 
-// vertexReq is the compiled per-vertex requirement: labels the data vertex
-// must carry plus incident edge labels it must have.
-type vertexReq struct {
-	labels []symbols.ID
-	// outLabels/inLabels: labels of incident pattern edges (0 = wildcard,
-	// skipped); used only for cheap degree-style filtering.
-	outLabels []symbols.ID
-	inLabels  []symbols.ID
-	wildcard  bool // no label constraint at all
-}
-
-// dagEdge is one pattern edge oriented along the DAG: parent → child.
-type dagEdge struct {
-	parent, child int
-	label         symbols.ID // 0 = wildcard
-	forward       bool       // true: pattern edge goes parent→child in G
-}
-
-type matcher struct {
-	p    *core.Pattern
-	g    *graph.Graph
+// Prepared is a compiled DAF matching plan (an engine plan with the DAF
+// capability set). Like match.Prepared it depends only on the pattern
+// and the graph, so it can be cached and Run many times concurrently.
+type Prepared struct {
+	pl   *engine.Plan
 	opts Options
+}
 
-	reqs  []vertexReq
-	cand  [][]graph.VID // refined candidate sets per pattern vertex
-	order []int         // BFS order of the DAG
-	edges []dagEdge
-	// parentEdges[u] = indexes into edges whose child is u.
-	parentEdges [][]int
-	// CS adjacency in CSR form: adjStart[e] holds len(cand[parent])+1
-	// offsets into the flat pool adjItems[e]; the row of the pi-th parent
-	// candidate (cand being sorted) spans
-	// adjItems[e][adjStart[e][pi]:adjStart[e][pi+1]], sorted ascending.
-	adjStart [][]uint32
-	adjItems [][]graph.VID
-	// candBuf[u] is u's scratch buffer for candidate-list intersections.
-	// localCandidates(u) is only consulted while u is unmapped, and u
-	// stays mapped for the whole subtree beneath it, so deeper frames
-	// never clobber a buffer a shallower frame is iterating.
-	candBuf [][]graph.VID
+// Prepare validates the pattern and runs the engine's shared build
+// phase (BuildDAG + BuildCS). Of opts.Limits nothing is consulted;
+// enumeration limits are taken per Run.
+func Prepare(p *core.Pattern, g *graph.Graph, opts Options) (*Prepared, error) {
+	if err := checkPattern(p); err != nil {
+		return nil, err
+	}
+	pl, err := engine.Prepare(p, g, engineOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{pl: pl, opts: opts}, nil
+}
 
-	stats    Stats
-	deadline time.Time
-	steps    int64
-	maxSteps int64
+// Stats reports the build-phase statistics.
+func (pr *Prepared) Stats() Stats { return pr.pl.Stats() }
+
+// Run enumerates matches over the prepared plan under lim. Safe to call
+// concurrently on one Prepared.
+func (pr *Prepared) Run(lim Limits) (*core.AnswerSet, Stats, error) {
+	eo := engineOptions(pr.opts)
+	eo.Limits = engine.Limits{MaxResults: lim.MaxResults, MaxSteps: lim.MaxSteps, Deadline: lim.Deadline}
+	eo.Workers = lim.Workers
+	return pr.pl.Run(eo)
 }
 
 // Match computes the matches of a condition-free pattern p in g, projected
@@ -132,34 +134,23 @@ type matcher struct {
 // non-structural matching conditions are rejected — use the match package
 // (OMatch) for full OGPs.
 func Match(p *core.Pattern, g *graph.Graph, opts Options) (*core.AnswerSet, Stats, error) {
-	m := &matcher{p: p, g: g, opts: opts}
-	if err := m.check(); err != nil {
+	pr, err := Prepare(p, g, opts)
+	if err != nil {
 		return nil, Stats{}, err
 	}
-	m.deadline = opts.Limits.Deadline
-	m.maxSteps = opts.Limits.MaxSteps
-
-	out := core.NewAnswerSet()
-	if !m.buildDAG() {
-		return out, m.stats, nil // some candidate set empty: no matches
-	}
-	if !m.buildCS() {
-		return out, m.stats, nil
-	}
-	err := m.backtrack(out)
-	return out, m.stats, err
+	return pr.Run(opts.Limits)
 }
 
-// check validates that the pattern is condition-free in the DAF sense:
-// vertex Match conditions may only be conjunctions of LabelIs on the vertex
-// itself (these arise from CQs with several concept atoms on one variable),
-// edge Match conditions may only restate the edge, and no vertex may carry
-// an omission condition.
-func (m *matcher) check() error {
-	if err := m.p.Validate(); err != nil {
+// checkPattern validates that the pattern is condition-free in the DAF
+// sense: vertex Match conditions may only be conjunctions of LabelIs on
+// the vertex itself (these arise from CQs with several concept atoms on
+// one variable), edge Match conditions may only restate the edge, and no
+// vertex may carry an omission condition.
+func checkPattern(p *core.Pattern) error {
+	if err := p.Validate(); err != nil {
 		return err
 	}
-	for i, v := range m.p.Vertices {
+	for i, v := range p.Vertices {
 		if v.Omit != nil {
 			return fmt.Errorf("daf: vertex %d has an omission condition; use OMatch", i)
 		}
@@ -167,7 +158,7 @@ func (m *matcher) check() error {
 			return fmt.Errorf("daf: vertex %d has a non-structural condition; use OMatch", i)
 		}
 	}
-	for i, e := range m.p.Edges {
+	for i, e := range p.Edges {
 		if e.Match == nil {
 			continue
 		}
@@ -193,600 +184,6 @@ func isLocalLabelConjunction(c core.Cond, self int) bool {
 	}
 }
 
-// requiredLabels extracts the conjunction of labels vertex u must carry.
-func (m *matcher) requiredLabels(u int) ([]symbols.ID, bool) {
-	v := m.p.Vertices[u]
-	var labels []symbols.ID
-	add := func(name string) bool {
-		if name == core.Wildcard {
-			return true
-		}
-		id := m.g.Symbols.Lookup(name)
-		if id == symbols.None {
-			return false // label never appears in G: no candidates
-		}
-		labels = append(labels, id)
-		return true
-	}
-	if !add(v.Label) {
-		return nil, false
-	}
-	var walk func(core.Cond) bool
-	walk = func(c core.Cond) bool {
-		switch t := c.(type) {
-		case nil, core.True:
-			return true
-		case core.LabelIs:
-			return add(t.Label)
-		case core.And:
-			return walk(t.L) && walk(t.R)
-		default:
-			// Disjunctions and non-label atoms never *require* a label;
-			// validate() has already rejected conditions DAF cannot run.
-			return true
-		}
-	}
-	if !walk(v.Match) {
-		return nil, false
-	}
-	return labels, true
-}
-
-// initialCandidates computes C(u) from labels and incident edge labels.
-func (m *matcher) initialCandidates() bool {
-	n := len(m.p.Vertices)
-	m.reqs = make([]vertexReq, n)
-	m.cand = make([][]graph.VID, n)
-	for u := 0; u < n; u++ {
-		labels, ok := m.requiredLabels(u)
-		if !ok {
-			m.stats.EmptyCandSets++
-			return false
-		}
-		req := vertexReq{labels: labels, wildcard: len(labels) == 0}
-		for _, e := range m.p.Edges {
-			var id symbols.ID
-			if e.Label != core.Wildcard {
-				id = m.g.Symbols.Lookup(e.Label)
-				if id == symbols.None {
-					m.stats.EmptyCandSets++
-					return false // edge label absent from G entirely
-				}
-			}
-			if e.From == u && id != symbols.None {
-				req.outLabels = append(req.outLabels, id)
-			}
-			if e.To == u && id != symbols.None {
-				req.inLabels = append(req.inLabels, id)
-			}
-		}
-		m.reqs[u] = req
-
-		var base []graph.VID
-		if req.wildcard {
-			base = make([]graph.VID, m.g.NumVertices())
-			for i := range base {
-				base[i] = graph.VID(i)
-			}
-		} else {
-			// Seed from the rarest required label.
-			best := m.g.VerticesByLabel(req.labels[0])
-			for _, l := range req.labels[1:] {
-				if vs := m.g.VerticesByLabel(l); len(vs) < len(best) {
-					best = vs
-				}
-			}
-			base = best
-		}
-		out := make([]graph.VID, 0, len(base))
-	next:
-		for _, v := range base {
-			for _, l := range req.labels {
-				if !m.g.HasLabel(v, l) {
-					continue next
-				}
-			}
-			for _, l := range req.outLabels {
-				if !m.g.HasOutLabel(v, l) {
-					continue next
-				}
-			}
-			for _, l := range req.inLabels {
-				if !m.g.HasInLabel(v, l) {
-					continue next
-				}
-			}
-			out = append(out, v)
-		}
-		if len(out) == 0 {
-			m.stats.EmptyCandSets++
-			return false
-		}
-		m.cand[u] = out
-	}
-	return true
-}
-
-// buildDAG picks the root (small candidate set relative to degree) and
-// BFS-orders the pattern; every pattern edge is oriented from the earlier
-// to the later vertex in that order.
-func (m *matcher) buildDAG() bool {
-	if !m.initialCandidates() {
-		return false
-	}
-	n := len(m.p.Vertices)
-
-	deg := make([]int, n)
-	adjV := make([][]int, n)
-	for _, e := range m.p.Edges {
-		deg[e.From]++
-		deg[e.To]++
-		adjV[e.From] = append(adjV[e.From], e.To)
-		adjV[e.To] = append(adjV[e.To], e.From)
-	}
-	root := 0
-	bestScore := float64(1 << 60)
-	for u := 0; u < n; u++ {
-		d := deg[u]
-		if d == 0 {
-			d = 1
-		}
-		score := float64(len(m.cand[u])) / float64(d)
-		if score < bestScore {
-			bestScore = score
-			root = u
-		}
-	}
-
-	// BFS from root; disconnected patterns get additional BFS roots.
-	pos := make([]int, n)
-	for i := range pos {
-		pos[i] = -1
-	}
-	m.order = m.order[:0]
-	visit := func(start int) {
-		queue := []int{start}
-		pos[start] = len(m.order)
-		m.order = append(m.order, start)
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, w := range adjV[u] {
-				if pos[w] < 0 {
-					pos[w] = len(m.order)
-					m.order = append(m.order, w)
-					queue = append(queue, w)
-				}
-			}
-		}
-	}
-	visit(root)
-	for u := 0; u < n; u++ {
-		if pos[u] < 0 {
-			visit(u)
-		}
-	}
-
-	m.edges = m.edges[:0]
-	m.parentEdges = make([][]int, n)
-	for _, e := range m.p.Edges {
-		var id symbols.ID
-		if e.Label != core.Wildcard {
-			id = m.g.Symbols.Lookup(e.Label)
-		}
-		de := dagEdge{label: id}
-		if pos[e.From] <= pos[e.To] {
-			de.parent, de.child, de.forward = e.From, e.To, true
-		} else {
-			de.parent, de.child, de.forward = e.To, e.From, false
-		}
-		idx := len(m.edges)
-		m.edges = append(m.edges, de)
-		m.parentEdges[de.child] = append(m.parentEdges[de.child], idx)
-	}
-	return true
-}
-
-// neighborsAlong returns the data neighbors of v along DAG edge e.
-func (m *matcher) neighborsAlong(e dagEdge, v graph.VID) []graph.Half {
-	if e.forward {
-		if e.label == symbols.None {
-			return m.g.Out(v)
-		}
-		return m.g.OutByLabel(v, e.label)
-	}
-	if e.label == symbols.None {
-		return m.g.In(v)
-	}
-	return m.g.InByLabel(v, e.label)
-}
-
-// buildCS refines candidate sets by iterated DAG-DP and materializes the
-// per-edge candidate adjacency (the CS structure). Membership probes run
-// on word-packed bitmaps and the adjacency is CSR over the sorted
-// candidate pools — same layout as the OMatch build in internal/match.
-func (m *matcher) buildCS() bool {
-	n := len(m.p.Vertices)
-	pool := bitset.NewPool(m.g.NumVertices())
-	inCand := make([]*bitset.Set, n)
-	for u := 0; u < n; u++ {
-		s := pool.Get()
-		for _, v := range m.cand[u] {
-			s.Add(uint32(v))
-		}
-		inCand[u] = s
-	}
-
-	// refine removes v from C(u) unless, for every DAG edge incident to u,
-	// v has at least one viable partner.
-	refineVertex := func(u int) bool {
-		changed := false
-		out := m.cand[u][:0]
-		for _, v := range m.cand[u] {
-			ok := true
-			for _, e := range m.edges {
-				var far int
-				if e.parent == u {
-					far = e.child
-				} else if e.child == u {
-					far = e.parent
-				} else {
-					continue
-				}
-				found := false
-				if e.parent == u {
-					for _, h := range m.neighborsAlong(e, v) {
-						if inCand[far].Has(uint32(h.To)) {
-							found = true
-							break
-						}
-					}
-				} else {
-					// v plays the child: walk the reverse direction.
-					rev := dagEdge{parent: e.child, child: e.parent, label: e.label, forward: !e.forward}
-					for _, h := range m.neighborsAlong(rev, v) {
-						if inCand[far].Has(uint32(h.To)) {
-							found = true
-							break
-						}
-					}
-				}
-				if !found {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				out = append(out, v)
-			} else {
-				changed = true
-				inCand[u].Remove(uint32(v))
-			}
-		}
-		m.cand[u] = out
-		return changed
-	}
-
-	for pass := 0; pass < 4; pass++ {
-		m.stats.RefinePasses++
-		changed := false
-		if pass%2 == 0 { // reverse order
-			for i := len(m.order) - 1; i >= 0; i-- {
-				changed = refineVertex(m.order[i]) || changed
-			}
-		} else {
-			for _, u := range m.order {
-				changed = refineVertex(u) || changed
-			}
-		}
-		for u := 0; u < n; u++ {
-			if len(m.cand[u]) == 0 {
-				m.stats.EmptyCandSets++
-				return false
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	for u := 0; u < n; u++ {
-		m.stats.CSCandidates += len(m.cand[u])
-	}
-
-	// Materialize CS edges as CSR rows over the sorted candidate pools.
-	m.adjStart = make([][]uint32, len(m.edges))
-	m.adjItems = make([][]graph.VID, len(m.edges))
-	for ei, e := range m.edges {
-		starts := make([]uint32, len(m.cand[e.parent])+1)
-		var items []graph.VID
-		for pi, v := range m.cand[e.parent] {
-			starts[pi] = uint32(len(items))
-			segStart := len(items)
-			for _, h := range m.neighborsAlong(e, v) {
-				if inCand[e.child].Has(uint32(h.To)) {
-					items = append(items, h.To)
-				}
-			}
-			// Single-probe rows arrive sorted by To except under a
-			// wildcard label (half-edges then sort by (label, To)).
-			if seg := items[segStart:]; !vidsSorted(seg) {
-				sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
-			}
-		}
-		starts[len(m.cand[e.parent])] = uint32(len(items))
-		m.adjStart[ei] = starts
-		m.adjItems[ei] = items
-		m.stats.AdjPairs += len(items)
-	}
-	for u := 0; u < n; u++ {
-		pool.Put(inCand[u])
-	}
-	return true
-}
-
-// adjRow returns the CSR adjacency row of DAG edge ei for parent value
-// pv, located by binary search over the sorted parent candidate pool.
-func (m *matcher) adjRow(ei int, pv graph.VID) []graph.VID {
-	cand := m.cand[m.edges[ei].parent]
-	i := searchVID(cand, pv)
-	if i >= len(cand) || cand[i] != pv {
-		return nil
-	}
-	starts := m.adjStart[ei]
-	return m.adjItems[ei][starts[i]:starts[i+1]]
-}
-
-// searchVID returns the first index of xs (ascending) not less than v;
-// hand-rolled to keep sort.Search's closure off the hot path.
-func searchVID(xs []graph.VID, v graph.VID) int {
-	lo, hi := 0, len(xs)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if xs[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
-// vidsSorted reports whether xs is ascending.
-func vidsSorted(xs []graph.VID) bool {
-	for i := 1; i < len(xs); i++ {
-		if xs[i-1] > xs[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// intersectInto writes the sorted-merge intersection of a and b into dst
-// (len 0, possibly aliasing a's backing array — writes stay at or behind
-// the read cursor of a, so in-place narrowing is safe; b must not alias
-// dst). Unlike the match package's galloping variant this is always a
-// linear merge: DAF rows may contain duplicates (parallel edges under a
-// wildcard label), and the merge's pairwise duplicate semantics are what
-// the pre-CSR backtracker had.
-func intersectInto(dst, a, b []graph.VID) []graph.VID {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			dst = append(dst, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return dst
-}
-
-func (m *matcher) tick() error {
-	m.steps++
-	m.stats.Steps = m.steps
-	if m.maxSteps > 0 && m.steps > m.maxSteps {
-		return ErrLimit
-	}
-	if m.steps%4096 == 0 && !m.deadline.IsZero() && time.Now().After(m.deadline) {
-		return ErrLimit
-	}
-	return nil
-}
-
-// backtrack enumerates matches.
-func (m *matcher) backtrack(out *core.AnswerSet) error {
-	n := len(m.p.Vertices)
-	mapping := make(core.Mapping, n)
-	for i := range mapping {
-		mapping[i] = core.Omitted // sentinel for "unmapped" during search
-	}
-	mappedCount := 0
-	used := make(map[graph.VID]int) // injectivity refcount
-	m.candBuf = make([][]graph.VID, n)
-
-	// localCandidates computes the viable candidates of u given currently
-	// mapped DAG parents: the intersection of adjacency lists. The first
-	// constraining parent's CSR row is served directly (no copy); further
-	// parents intersect into u's scratch buffer in place.
-	localCandidates := func(u int) []graph.VID {
-		var base []graph.VID
-		first := true
-		for _, ei := range m.parentEdges[u] {
-			e := m.edges[ei]
-			if mapping[e.parent] == core.Omitted {
-				continue
-			}
-			vs := m.adjRow(ei, mapping[e.parent])
-			if len(vs) == 0 {
-				return nil
-			}
-			if first {
-				base = vs
-				first = false
-				continue
-			}
-			merged := intersectInto(m.candBuf[u][:0], base, vs)
-			m.candBuf[u] = merged[:0]
-			base = merged
-			if len(base) == 0 {
-				return nil
-			}
-		}
-		if first {
-			return m.cand[u]
-		}
-		return base
-	}
-
-	// extendable vertices: unmapped, with all DAG parents mapped.
-	extendable := func() []int {
-		var out []int
-		for _, u := range m.order {
-			if mapping[u] != core.Omitted {
-				continue
-			}
-			ok := true
-			for _, ei := range m.parentEdges[u] {
-				if mapping[m.edges[ei].parent] == core.Omitted {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				out = append(out, u)
-			}
-		}
-		return out
-	}
-
-	// allRemainingExistential reports whether every unmapped vertex is
-	// non-distinguished: only the existence of a completion then matters.
-	allRemainingExistential := func() bool {
-		for u, v := range m.p.Vertices {
-			if v.Distinguished && mapping[u] == core.Omitted {
-				return false
-			}
-		}
-		return true
-	}
-
-	var rec func(existMode bool) (bool, error)
-	rec = func(existMode bool) (bool, error) {
-		if err := m.tick(); err != nil {
-			return false, err
-		}
-		if mappedCount == n {
-			if existMode {
-				return true, nil
-			}
-			out.Add(core.Project(m.p, mapping))
-			if m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
-				return true, ErrLimit
-			}
-			return true, nil
-		}
-		// Existential completion: once all distinguished vertices are
-		// mapped, find one witness assignment and stop enumerating.
-		if !existMode && mappedCount > 0 && allRemainingExistential() {
-			found, err := rec(true)
-			if err != nil {
-				return false, err
-			}
-			if found {
-				out.Add(core.Project(m.p, mapping))
-				if m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
-					return true, ErrLimit
-				}
-			}
-			return found, nil
-		}
-		var u int
-		switch m.opts.Order {
-		case OrderStaticBFS:
-			u = -1
-			for _, w := range m.order {
-				if mapping[w] == core.Omitted {
-					u = w
-					break
-				}
-			}
-		default:
-			ext := extendable()
-			if len(ext) == 0 {
-				return false, nil // disconnected remainder should not happen
-			}
-			u = ext[0]
-			bestLen := len(localCandidates(u))
-			for _, w := range ext[1:] {
-				if l := len(localCandidates(w)); l < bestLen {
-					bestLen = l
-					u = w
-				}
-			}
-		}
-		if u < 0 {
-			return false, nil
-		}
-		any := false
-		for _, v := range localCandidates(u) {
-			if m.opts.Injective && used[v] > 0 {
-				continue
-			}
-			// Non-DAG-parent edges to already-mapped vertices where u is
-			// the parent must also be verified.
-			if !m.checkMappedChildren(u, v, mapping) {
-				continue
-			}
-			mapping[u] = v
-			mappedCount++
-			used[v]++
-			found, err := rec(existMode)
-			used[v]--
-			mappedCount--
-			mapping[u] = core.Omitted
-			if err != nil {
-				return any || found, err
-			}
-			if found {
-				any = true
-				if existMode {
-					return true, nil
-				}
-			}
-		}
-		return any, nil
-	}
-	_, err := rec(false)
-	if errors.Is(err, ErrLimit) {
-		m.stats.Truncated = true
-		if m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
-			return nil // hitting MaxResults is a successful (truncated) run
-		}
-	}
-	return err
-}
-
-// checkMappedChildren verifies DAG edges whose parent is u against already
-// mapped children (possible under the adaptive order).
-func (m *matcher) checkMappedChildren(u int, v graph.VID, mapping core.Mapping) bool {
-	for ei, e := range m.edges {
-		if e.parent != u || mapping[e.child] == core.Omitted {
-			continue
-		}
-		vs := m.adjRow(ei, v)
-		target := mapping[e.child]
-		i := searchVID(vs, target)
-		if i >= len(vs) || vs[i] != target {
-			return false
-		}
-	}
-	return true
-}
-
 // EvalCQ evaluates a single conjunctive query homomorphically over g.
 func EvalCQ(q *cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats, error) {
 	return Match(core.FromCQ(q), g, Options{Limits: lim})
@@ -799,15 +196,92 @@ func EvalCQ(q *cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats, er
 // concurrently; per-disjunct answer sets are merged in disjunct order, so
 // the result is identical to the sequential loop.
 func EvalUCQ(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats, error) {
+	return evalDisjuncts(len(qs), lim, func(i int, inner Limits) (*core.AnswerSet, Stats, error) {
+		return EvalCQ(qs[i], g, inner)
+	})
+}
+
+// PreparedUCQ is a whole rewriting compiled disjunct-by-disjunct into
+// engine plans. It is to EvalUCQ what Prepared is to Match: the build
+// phase (per-disjunct BuildDAG + BuildCS) runs once, and Run can be
+// issued many times concurrently — the unit the server's plan cache
+// stores for UCQ-baseline queries.
+type PreparedUCQ struct {
+	plans []*Prepared
+}
+
+// PrepareUCQ compiles every disjunct of the rewriting.
+func PrepareUCQ(qs []*cq.Query, g *graph.Graph, opts Options) (*PreparedUCQ, error) {
+	pu := &PreparedUCQ{plans: make([]*Prepared, len(qs))}
+	for i, q := range qs {
+		pr, err := Prepare(core.FromCQ(q), g, opts)
+		if err != nil {
+			return nil, err
+		}
+		pu.plans[i] = pr
+	}
+	return pu, nil
+}
+
+// Stats sums the build-phase statistics over the disjunct plans.
+func (pu *PreparedUCQ) Stats() Stats {
+	var total Stats
+	for _, pr := range pu.plans {
+		st := pr.Stats()
+		total.CSCandidates += st.CSCandidates
+		total.AdjPairs += st.AdjPairs
+		total.RefinePasses += st.RefinePasses
+		total.EmptyCandSets += st.EmptyCandSets
+		total.BDDNodes += st.BDDNodes
+		total.BuildNanos += st.BuildNanos
+	}
+	return total
+}
+
+// Run enumerates the union over the prepared disjunct plans under lim,
+// with the same disjunct-order merge as EvalUCQ.
+func (pu *PreparedUCQ) Run(lim Limits) (*core.AnswerSet, Stats, error) {
+	return evalDisjuncts(len(pu.plans), lim, func(i int, inner Limits) (*core.AnswerSet, Stats, error) {
+		return pu.plans[i].Run(inner)
+	})
+}
+
+// evalDisjuncts is the shared disjunct evaluator behind EvalUCQ and
+// PreparedUCQ.Run: eval(i, inner) evaluates the i-th disjunct (inner has
+// Workers forced to 1 so each disjunct runs sequentially and its result
+// — including Truncated — is deterministic), and the per-disjunct answer
+// sets are merged in disjunct order with global deduplication.
+func evalDisjuncts(n int, lim Limits, eval func(int, Limits) (*core.AnswerSet, Stats, error)) (*core.AnswerSet, Stats, error) {
+	inner := lim
+	inner.Workers = 1
 	workers := lim.Workers
 	if workers <= 0 {
 		workers = stdruntime.GOMAXPROCS(0)
 	}
-	if workers > len(qs) {
-		workers = len(qs)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		return evalUCQSeq(qs, g, lim)
+		out := core.NewAnswerSet()
+		var total Stats
+		for i := 0; i < n; i++ {
+			res, st, err := eval(i, inner)
+			total.Steps += st.Steps
+			total.CSCandidates += st.CSCandidates
+			total.AdjPairs += st.AdjPairs
+			if err != nil {
+				total.Truncated = true
+				return out, total, err
+			}
+			for _, a := range res.Answers() {
+				out.Add(a)
+				if lim.MaxResults > 0 && out.Len() >= lim.MaxResults {
+					total.Truncated = true
+					return out, total, nil
+				}
+			}
+		}
+		return out, total, nil
 	}
 
 	type result struct {
@@ -815,7 +289,7 @@ func EvalUCQ(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats
 		st  Stats
 		err error
 	}
-	results := make([]result, len(qs))
+	results := make([]result, n)
 	// stop is a disjunct-granular early exit: once MaxResults distinct
 	// answers exist across completed disjuncts (tracked in seen under mu),
 	// workers stop claiming new disjuncts.
@@ -831,10 +305,10 @@ func EvalUCQ(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats
 			defer wg.Done()
 			for !stop.Load() {
 				i := int(next.Add(1)) - 1
-				if i >= len(qs) {
+				if i >= n {
 					return
 				}
-				res, st, err := EvalCQ(qs[i], g, lim)
+				res, st, err := eval(i, inner)
 				results[i] = result{res, st, err}
 				if err != nil {
 					stop.Store(true)
@@ -879,29 +353,6 @@ func EvalUCQ(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats
 	}
 	if lim.MaxResults > 0 && out.Len() >= lim.MaxResults {
 		total.Truncated = true
-	}
-	return out, total, nil
-}
-
-func evalUCQSeq(qs []*cq.Query, g *graph.Graph, lim Limits) (*core.AnswerSet, Stats, error) {
-	out := core.NewAnswerSet()
-	var total Stats
-	for _, q := range qs {
-		res, st, err := EvalCQ(q, g, lim)
-		total.Steps += st.Steps
-		total.CSCandidates += st.CSCandidates
-		total.AdjPairs += st.AdjPairs
-		if err != nil {
-			total.Truncated = true
-			return out, total, err
-		}
-		for _, a := range res.Answers() {
-			out.Add(a)
-			if lim.MaxResults > 0 && out.Len() >= lim.MaxResults {
-				total.Truncated = true
-				return out, total, nil
-			}
-		}
 	}
 	return out, total, nil
 }

@@ -1,8 +1,9 @@
-package match
+package engine
 
 import (
 	"time"
 
+	"ogpa/internal/bitset"
 	"ogpa/internal/core"
 	"ogpa/internal/graph"
 	"ogpa/internal/sbdd"
@@ -34,6 +35,13 @@ type runtime struct {
 	// mapped for the whole subtree beneath it, so deeper frames never
 	// clobber a buffer a shallower frame is still iterating.
 	candBuf [][]graph.VID
+	// used / usedMine implement the Injective capability (subgraph
+	// isomorphism): used marks data vertices currently claimed by some
+	// pattern vertex, usedMine[u] records whether u's own assignment set
+	// the bit (a clashing assign must not clear a bit it did not set).
+	// Both are nil when the plan is homomorphic.
+	used     *bitset.Set
+	usedMine []bool
 	// steps is the local tick count since the last flush to the shared
 	// budget; base is the global total as of that flush. Batching keeps
 	// the per-node hot path off the shared cache line — a naive
@@ -68,6 +76,10 @@ func (m *matcher) newRuntime(out *core.AnswerSet, bud *budget, gate *resultGate)
 		rt.remaining[ci] = len(c.vars)
 	}
 	rt.candBuf = make([][]graph.VID, len(m.p.Vertices))
+	if m.opts.Caps.Injective {
+		rt.used = bitset.New(m.g.NumVertices())
+		rt.usedMine = make([]bool, len(m.p.Vertices))
+	}
 	rt.evalFn = func(atom int) bool {
 		return rt.evalAtom(atom, rt.mapping)
 	}
@@ -140,12 +152,22 @@ func (rt *runtime) emit() error {
 }
 
 // assign maps u (to a vertex or ⊥) and evaluates every condition this
-// decides. It reports false when a decided condition fails; the caller must
-// still call unassign to roll the counters back.
+// decides. Under the Injective capability it also claims the data vertex,
+// failing on a clash. It reports false when a decided condition fails; the
+// caller must still call unassign to roll the counters back.
 func (rt *runtime) assign(u int, v graph.VID) bool {
 	rt.mapping[u] = v
 	rt.mapped[u] = true
 	ok := true
+	if rt.used != nil && v != core.Omitted {
+		if rt.used.Has(uint32(v)) {
+			ok = false
+			rt.usedMine[u] = false
+		} else {
+			rt.used.Add(uint32(v))
+			rt.usedMine[u] = true
+		}
+	}
 	for _, ci := range rt.m.condsOf[u] {
 		rt.remaining[ci]--
 		if ok && rt.remaining[ci] == 0 && !rt.checkCond(ci) {
@@ -156,6 +178,10 @@ func (rt *runtime) assign(u int, v graph.VID) bool {
 }
 
 func (rt *runtime) unassign(u int) {
+	if rt.used != nil && rt.usedMine[u] {
+		rt.used.Remove(uint32(rt.mapping[u]))
+		rt.usedMine[u] = false
+	}
 	for _, ci := range rt.m.condsOf[u] {
 		rt.remaining[ci]++
 	}

@@ -1,0 +1,996 @@
+// Package engine is the shared pattern-matching execution engine behind
+// both front-ends of this repository: OMatch (internal/match, paper
+// Section V) and plain DAF (internal/daf, Han et al. SIGMOD'19). The
+// paper presents OMatch as *an extension of* DAF — same DAG ordering,
+// candidate-space index and adaptive backtracking, plus OGP-specific
+// machinery — and this package owns exactly that shared pipeline:
+//
+//   - BuildOMDAG: rooted DAG ordering of the pattern, with optional
+//     dependency edges from conditions (Caps.DependencyEdges);
+//   - BuildOMCS: candidate sets refined incrementally on word-packed
+//     bitsets, per-DAG-edge adjacency materialized in CSR form (the
+//     map-based build of legacy.go is kept as the test oracle);
+//   - OMBacktrack: a zero-allocation backtracking runtime with adaptive
+//     or static-BFS ordering, a first-decision-level worker pool,
+//     budget/step accounting and truncation.
+//
+// OGP-only features are *capabilities* a front-end installs at Prepare
+// time (Caps): ⊥ dummy candidates for omittable vertices (Omission),
+// dependency edges (DependencyEdges), and injective matching for
+// subgraph isomorphism (Injective). Conditions are always compiled into
+// one shared BDD over interned atoms; a condition-free CQ is simply the
+// degenerate case where every vertex condition is a label conjunction
+// and every edge condition restates its edge, so the same runtime
+// serves both front-ends without branching on "which algorithm am I".
+//
+// The contract is Prepare(pattern, graph, opts) → *Plan, then
+// Plan.Run(opts) → answers: the build phase depends only on the pattern
+// and the graph, so plans are cacheable and safe for concurrent Runs.
+package engine
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"ogpa/internal/bitset"
+	"ogpa/internal/core"
+	"ogpa/internal/graph"
+	"ogpa/internal/sbdd"
+	"ogpa/internal/symbols"
+)
+
+// Order selects the matching order.
+type Order int
+
+// Matching orders.
+const (
+	// OrderAdaptive is DAF's candidate-size order.
+	OrderAdaptive Order = iota
+	// OrderStaticBFS is the OMatch_BFS ablation of the paper.
+	OrderStaticBFS
+)
+
+// Limits bounds an enumeration; zero values disable a limit.
+type Limits struct {
+	MaxResults int
+	MaxSteps   int64
+	Deadline   time.Time
+}
+
+// ErrLimit reports that the enumeration hit a limit. The front-end
+// packages re-export this exact value, so errors.Is and == work across
+// package boundaries.
+var ErrLimit = errors.New("engine: enumeration limit exceeded")
+
+// Caps are the plan capabilities a front-end installs at Prepare time.
+// They are properties of the compiled plan, not of a single Run: Run
+// ignores the Caps of its own Options and keeps the prepared ones.
+type Caps struct {
+	// Omission enables ⊥ dummy candidates: a vertex with a non-empty
+	// omission condition may map to ⊥ and its incident edges are then
+	// excused (paper BuildOMDAG step 1b). Off, omission conditions are
+	// ignored entirely (the DAF front-end rejects them before Prepare).
+	Omission bool
+	// DependencyEdges adds OMDAG edges (u', u) when a condition of u
+	// references u' (paper BuildOMDAG step 1c), steering the root choice
+	// away from condition-dependent vertices.
+	DependencyEdges bool
+	// Injective switches from homomorphism to subgraph-isomorphism
+	// semantics: two pattern vertices may not map to the same data
+	// vertex (⊥ assignments are exempt).
+	Injective bool
+}
+
+// Options configures Prepare and Run.
+type Options struct {
+	Order  Order
+	Limits Limits
+
+	// Workers bounds the worker pool of the parallel backtracker: the
+	// first decision level's candidate pool (including the ⊥ candidate)
+	// is partitioned across this many goroutines, each owning its own
+	// runtime state and BDD evaluation cache. 0 means
+	// runtime.GOMAXPROCS(0); 1 runs the sequential path. Answers are
+	// merged in candidate order, so results are identical to sequential.
+	Workers int
+
+	// Caps select the plan capabilities; consulted by Prepare only.
+	Caps Caps
+
+	// Ablation switches (benchmarking only; both default to enabled).
+	DisableEarlyReject           bool // skip partial-BDD pruning during backtracking
+	DisableExistentialCompletion bool // enumerate existential witnesses exhaustively
+
+	// UseLegacyCS selects the pre-bitset, map-based candidate-space build
+	// and adjacency (legacy.go). It exists only as the reference for the
+	// bitset-vs-map equivalence property tests of both front-ends and the
+	// BuildOMCS benchmarks; answers are identical either way.
+	UseLegacyCS bool
+}
+
+// Stats reports work done by one Prepare + Run.
+type Stats struct {
+	Steps        int64
+	CSCandidates int
+	// AdjPairs counts the candidate pairs actually materialized in the
+	// per-DAG-edge adjacency (the CS index's true size; CSCandidates is
+	// summed before materialization and does not see pairwise pruning).
+	AdjPairs     int
+	RefinePasses int
+	// EmptyCandSets counts pattern vertices whose candidate set was (or
+	// refined to) empty while the vertex cannot be omitted — each one
+	// proves Q(G) = ∅ during the build phase.
+	EmptyCandSets int
+	BDDNodes      int
+	AtomCacheHit  int64
+	AtomEvals     int64
+	// BuildNanos and EnumNanos split wall-clock time between the shared
+	// build phase (BuildOMDAG + BuildOMCS + BDD compilation) and the
+	// enumeration phase (OMBacktrack).
+	BuildNanos int64
+	EnumNanos  int64
+	// Truncated reports that enumeration stopped before exhausting the
+	// search space (MaxResults reached, MaxSteps exceeded, or the
+	// deadline passed).
+	Truncated bool
+}
+
+type condKind uint8
+
+const (
+	condVertexMatch condKind = iota
+	condVertexOmit
+	condEdgeMatch
+)
+
+type condInfo struct {
+	kind  condKind
+	owner int // vertex index or edge index
+	ref   sbdd.Ref
+	vars  []int // pattern vertices that must be assigned before deciding
+}
+
+// probe describes how to enumerate partner candidates along an edge:
+// follow data edges labeled label (0 = any) in the given direction.
+type probe struct {
+	label   symbols.ID
+	forward bool // true: pattern-From → pattern-To direction
+}
+
+type matcher struct {
+	p    *core.Pattern
+	g    *graph.Graph
+	opts Options
+
+	canOmit []bool
+	cand    [][]graph.VID
+
+	// Conditions and the shared BDD.
+	bdd      *sbdd.Builder
+	atoms    []core.Cond
+	atomVars [][]int
+	atomFns  []func(core.Mapping) bool
+	atomIdx  map[core.Cond]int
+	conds    []condInfo
+	// condsOf[u] = indexes of conditions whose vars include u.
+	condsOf [][]int
+
+	// localDNF[u]: DNF of the vertex's matching condition restricted check
+	// (nil when no condition).
+	localDNF [][][]core.Cond
+
+	// Per-edge compiled info.
+	edgeProbes                    [][]probe
+	edgeIndexab                   []bool
+	edgePairs                     [][][]core.Cond // DNF clauses for pairwise checking
+	edgeCondIdx                   []int           // index into conds, or -1
+	vertexMatchIdx, vertexOmitIdx []int
+
+	// OMDAG.
+	order       []int
+	dagEdges    []dagEdge
+	parentEdges [][]int // structural DAG edge indexes by child
+	depParents  [][]int // dependency parents by vertex
+
+	// CS adjacency, one entry per DAG edge, in CSR form: adjStart[di]
+	// holds len(cand[parent])+1 offsets into the flat candidate pool
+	// adjItems[di]; row pi (the pi-th parent candidate, cand being
+	// sorted) spans adjItems[di][adjStart[di][pi]:adjStart[di][pi+1]],
+	// itself sorted ascending so intersections run as linear merges or
+	// galloping binary searches. adjStart[di] == nil marks a
+	// non-indexable edge (checked purely as a condition).
+	adjStart [][]uint32
+	adjItems [][]graph.VID
+
+	// adjMap is the legacy map-based adjacency (Options.UseLegacyCS);
+	// non-nil only on the legacy path, which candidates() dispatches on.
+	adjMap []map[graph.VID][]graph.VID
+
+	// Build-phase scratch, released after Prepare so a shared Plan
+	// carries no mutable state into concurrent Runs.
+	mini    core.Mapping // reusable partial mapping for local/pairwise probes
+	nbrBuf  []graph.VID  // reusable neighbor buffer
+	nbrSeen *bitset.Set  // dedup bits for multi-probe neighbor walks
+
+	// Build-phase statistics; per-worker runtime counters (steps, atom
+	// evaluations) live in budget/runtime and are merged in after the
+	// backtracking phase.
+	stats Stats
+}
+
+type dagEdge struct {
+	parent, child int
+	edge          int // pattern edge index
+}
+
+// Plan is a compiled matching plan for one (pattern, graph, caps)
+// triple: conditions compiled into the shared BDD, the OMDAG built,
+// candidate sets refined and the CS adjacency materialized. The build
+// phase depends only on the pattern and the graph, so a Plan can be
+// cached and Run many times — concurrently, with different limits and
+// worker counts — which is how the server's plan cache skips the
+// rewriter and BuildOMCS on repeated queries.
+type Plan struct {
+	m     *matcher
+	stats Stats // build-phase statistics, copied into every Run
+	empty bool  // build proved Q(G) = ∅
+}
+
+// Prepare runs the shared build phase. Of opts, Caps and UseLegacyCS
+// are consulted (they fix the plan's capabilities and candidate-space
+// representation); enumeration options are taken per Run.
+func Prepare(p *core.Pattern, g *graph.Graph, opts Options) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := &matcher{
+		p: p, g: g, opts: opts,
+		atomIdx: make(map[core.Cond]int),
+	}
+	m.bdd = sbdd.New()
+	m.compileConditions()
+
+	pl := &Plan{m: m}
+	built := m.buildOMDAG()
+	if built {
+		if opts.UseLegacyCS {
+			built = m.buildOMCSLegacy()
+		} else {
+			built = m.buildOMCS()
+		}
+	}
+	pl.empty = !built
+	m.stats.BDDNodes = m.bdd.NumNodes()
+	m.stats.BuildNanos = time.Since(start).Nanoseconds()
+	// Release build-phase scratch: a shared Plan must carry no mutable
+	// state into concurrent Runs, and the buffers are dead weight in a
+	// plan cache.
+	m.mini, m.nbrBuf, m.nbrSeen = nil, nil, nil
+	pl.stats = m.stats
+	return pl, nil
+}
+
+// Stats reports the build-phase statistics (BuildNanos, CSCandidates,
+// AdjPairs, BDDNodes, RefinePasses, EmptyCandSets).
+func (pl *Plan) Stats() Stats { return pl.stats }
+
+// Run enumerates answers over the prepared plan under opts. It is safe
+// to call concurrently on one Plan: the compile-phase structures are
+// frozen, and each Run works on its own shallow matcher copy and
+// runtime state. The plan's Caps are kept; opts.Caps is ignored.
+func (pl *Plan) Run(opts Options) (*core.AnswerSet, Stats, error) {
+	out := core.NewAnswerSet()
+	if pl.empty {
+		return out, pl.stats, nil
+	}
+	mc := *pl.m // shallow copy: compile structures shared read-only
+	mc.opts = opts
+	mc.opts.Caps = pl.m.opts.Caps // capabilities are plan properties
+	mc.stats = pl.stats
+	start := time.Now()
+	err := mc.backtrack(out)
+	mc.stats.EnumNanos = time.Since(start).Nanoseconds()
+	return out, mc.stats, err
+}
+
+// atomID interns an atomic condition as a BDD variable and compiles it to
+// a closure with pre-interned symbol IDs (the paper's "additional OMCS
+// entries" caching role: no string lookups or graph-name resolution happen
+// during backtracking).
+func (m *matcher) atomID(c core.Cond) int {
+	if id, ok := m.atomIdx[c]; ok {
+		return id
+	}
+	id := len(m.atoms)
+	m.atomIdx[c] = id
+	m.atoms = append(m.atoms, c)
+	vars := make([]int, 0, 2)
+	for v := range core.Vars(c) {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	m.atomVars = append(m.atomVars, vars)
+	m.atomFns = append(m.atomFns, m.compileAtom(c))
+	return id
+}
+
+// compileAtom builds the evaluation closure for one atomic condition.
+func (m *matcher) compileAtom(c core.Cond) func(core.Mapping) bool {
+	g := m.g
+	lookup := func(name string) (symbols.ID, bool) {
+		if name == core.Wildcard {
+			return symbols.None, true
+		}
+		id := g.Symbols.Lookup(name)
+		return id, id != symbols.None
+	}
+	never := func(core.Mapping) bool { return false }
+	switch t := c.(type) {
+	case core.LabelIs:
+		id, ok := lookup(t.Label)
+		if !ok {
+			return never
+		}
+		x := t.X
+		return func(mp core.Mapping) bool {
+			v := mp[x]
+			return v != core.Omitted && g.HasLabel(v, id)
+		}
+	case core.EdgeIs:
+		id, ok := lookup(t.Label)
+		if !ok {
+			return never
+		}
+		x, y := t.X, t.Y
+		if id == symbols.None { // wildcard label
+			return func(mp core.Mapping) bool {
+				vx, vy := mp[x], mp[y]
+				return vx != core.Omitted && vy != core.Omitted && g.HasAnyEdge(vx, vy)
+			}
+		}
+		return func(mp core.Mapping) bool {
+			vx, vy := mp[x], mp[y]
+			return vx != core.Omitted && vy != core.Omitted && g.HasEdge(vx, id, vy)
+		}
+	case core.EdgeExists:
+		id, ok := lookup(t.Label)
+		if !ok {
+			return never
+		}
+		x, out := t.X, t.Out
+		if id == symbols.None {
+			return func(mp core.Mapping) bool {
+				v := mp[x]
+				if v == core.Omitted {
+					return false
+				}
+				if out {
+					return g.OutDegree(v) > 0
+				}
+				return g.InDegree(v) > 0
+			}
+		}
+		return func(mp core.Mapping) bool {
+			v := mp[x]
+			if v == core.Omitted {
+				return false
+			}
+			if out {
+				return g.HasOutLabel(v, id)
+			}
+			return g.HasInLabel(v, id)
+		}
+	case core.SameAs:
+		x, y := t.X, t.Y
+		return func(mp core.Mapping) bool {
+			vx, vy := mp[x], mp[y]
+			return vx != core.Omitted && vx == vy
+		}
+	case core.IsOmitted:
+		x := t.X
+		return func(mp core.Mapping) bool {
+			return mp[x] == core.Omitted
+		}
+	default:
+		// Attribute comparisons and anything exotic fall back to the
+		// generic evaluator (they intern names per call, but attribute
+		// conditions are rare and cheap relative to enumeration).
+		return func(mp core.Mapping) bool {
+			return core.Eval(c, mp, g)
+		}
+	}
+}
+
+// toBDD compiles a condition tree into the shared BDD.
+func (m *matcher) toBDD(c core.Cond) sbdd.Ref {
+	switch t := c.(type) {
+	case nil, core.True:
+		return sbdd.True
+	case core.And:
+		return m.bdd.And(m.toBDD(t.L), m.toBDD(t.R))
+	case core.Or:
+		return m.bdd.Or(m.toBDD(t.L), m.toBDD(t.R))
+	default:
+		return m.bdd.Var(m.atomID(c))
+	}
+}
+
+func (m *matcher) addCond(kind condKind, owner int, c core.Cond, extraVars ...int) int {
+	ref := m.toBDD(c)
+	seen := map[int]bool{}
+	var vars []int
+	add := func(v int) {
+		if !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+	}
+	for v := range core.Vars(c) {
+		add(v)
+	}
+	for _, v := range extraVars {
+		add(v)
+	}
+	ci := len(m.conds)
+	m.conds = append(m.conds, condInfo{kind: kind, owner: owner, ref: ref, vars: vars})
+	return ci
+}
+
+func (m *matcher) compileConditions() {
+	n := len(m.p.Vertices)
+	m.canOmit = make([]bool, n)
+	m.localDNF = make([][][]core.Cond, n)
+	m.vertexMatchIdx = make([]int, n)
+	m.vertexOmitIdx = make([]int, n)
+	for u, v := range m.p.Vertices {
+		// ⊥ candidates are the Omission capability: without it a vertex
+		// never maps to ⊥ (the DAF front-end rejects omission conditions
+		// before Prepare, so nothing is silently dropped here).
+		m.canOmit[u] = m.opts.Caps.Omission && v.Omit != nil
+		m.vertexMatchIdx[u] = -1
+		m.vertexOmitIdx[u] = -1
+		if v.Match != nil {
+			m.localDNF[u] = core.DNF(v.Match)
+			m.vertexMatchIdx[u] = m.addCond(condVertexMatch, u, v.Match, u)
+		}
+		if v.Omit != nil && m.opts.Caps.Omission {
+			m.vertexOmitIdx[u] = m.addCond(condVertexOmit, u, v.Omit, u)
+		}
+	}
+
+	m.edgeProbes = make([][]probe, len(m.p.Edges))
+	m.edgeIndexab = make([]bool, len(m.p.Edges))
+	m.edgePairs = make([][][]core.Cond, len(m.p.Edges))
+	m.edgeCondIdx = make([]int, len(m.p.Edges))
+	for ei, e := range m.p.Edges {
+		cond := e.Match
+		if cond == nil {
+			cond = core.EdgeIs{X: e.From, Y: e.To, Label: e.Label}
+		}
+		m.edgeCondIdx[ei] = m.addCond(condEdgeMatch, ei, cond, e.From, e.To)
+		clauses := core.DNF(cond)
+		m.edgePairs[ei] = clauses
+		indexable := true
+		seen := map[probe]bool{}
+		var probes []probe
+		for _, clause := range clauses {
+			found := false
+			for _, a := range clause {
+				pe, ok := a.(core.EdgeIs)
+				if !ok {
+					continue
+				}
+				var pr probe
+				switch {
+				case pe.X == e.From && pe.Y == e.To:
+					pr = probe{forward: true}
+				case pe.X == e.To && pe.Y == e.From:
+					pr = probe{forward: false}
+				default:
+					continue
+				}
+				if pe.Label != core.Wildcard {
+					pr.label = m.g.Symbols.Lookup(pe.Label)
+					if pr.label == symbols.None {
+						continue // label absent from G: this atom can never hold
+					}
+				}
+				found = true
+				if !seen[pr] {
+					seen[pr] = true
+					probes = append(probes, pr)
+				}
+			}
+			if !found {
+				// Some disjunct does not pin a data edge between the
+				// endpoints: candidate partners cannot be enumerated from
+				// adjacency. The edge is checked purely as a condition.
+				indexable = false
+			}
+		}
+		m.edgeProbes[ei] = probes
+		m.edgeIndexab[ei] = indexable && len(probes) > 0
+	}
+
+	m.condsOf = make([][]int, n)
+	for ci, c := range m.conds {
+		for _, v := range c.vars {
+			m.condsOf[v] = append(m.condsOf[v], ci)
+		}
+	}
+}
+
+// scratchMini returns the matcher's reusable build-phase partial
+// mapping, all-⊥; callers set the slots they probe and must restore
+// them to core.Omitted before returning.
+func (m *matcher) scratchMini() core.Mapping {
+	if m.mini == nil {
+		m.mini = make(core.Mapping, len(m.p.Vertices))
+		for i := range m.mini {
+			m.mini[i] = core.Omitted
+		}
+	}
+	return m.mini
+}
+
+// localPass checks the label constraint plus the vertex's local condition
+// disjuncts on a single candidate.
+func (m *matcher) localPass(u int, v graph.VID) bool {
+	pv := m.p.Vertices[u]
+	if pv.Label != core.Wildcard {
+		l := m.g.Symbols.Lookup(pv.Label)
+		if l == symbols.None || !m.g.HasLabel(v, l) {
+			return false
+		}
+	}
+	if m.localDNF[u] == nil {
+		return true
+	}
+	mini := m.scratchMini()
+	mini[u] = v
+	defer func() { mini[u] = core.Omitted }()
+	for _, clause := range m.localDNF[u] {
+		ok := true
+		for _, a := range clause {
+			vars := core.Vars(a)
+			if len(vars) == 1 && vars[u] {
+				if !core.Eval(a, mini, m.g) {
+					ok = false
+					break
+				}
+			}
+			// Atoms referencing other vertices are optimistic here.
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// seedPool returns an initial candidate pool for vertex u, preferring label
+// buckets when every local disjunct pins a label.
+func (m *matcher) seedPool(u int) []graph.VID {
+	pv := m.p.Vertices[u]
+	if pv.Label != core.Wildcard {
+		l := m.g.Symbols.Lookup(pv.Label)
+		if l == symbols.None {
+			return nil
+		}
+		return m.g.VerticesByLabel(l)
+	}
+	if m.localDNF[u] != nil {
+		// Union of the clauses' label buckets via a label bitmap: each
+		// clause must pin a label for the bucket seeding to be sound.
+		bits := bitset.New(m.g.NumVertices())
+		ok := true
+		for _, clause := range m.localDNF[u] {
+			label := ""
+			for _, a := range clause {
+				if li, isLabel := a.(core.LabelIs); isLabel && li.X == u && li.Label != core.Wildcard {
+					label = li.Label
+					break
+				}
+			}
+			if label == "" {
+				ok = false
+				break
+			}
+			m.g.LabelBits(m.g.Symbols.Lookup(label), bits)
+		}
+		if ok {
+			union := make([]graph.VID, 0, bits.Count())
+			bits.ForEach(func(i uint32) bool {
+				union = append(union, graph.VID(i))
+				return true
+			})
+			return union
+		}
+	}
+	all := make([]graph.VID, m.g.NumVertices())
+	for i := range all {
+		all[i] = graph.VID(i)
+	}
+	return all
+}
+
+// buildOMDAG initializes candidates, collects dependency edges and computes
+// a dependency-respecting BFS order.
+func (m *matcher) buildOMDAG() bool {
+	n := len(m.p.Vertices)
+	m.cand = make([][]graph.VID, n)
+	for u := 0; u < n; u++ {
+		var out []graph.VID
+		for _, v := range m.seedPool(u) {
+			if m.localPass(u, v) {
+				out = append(out, v)
+			}
+		}
+		if len(out) == 0 && !m.canOmit[u] {
+			m.stats.EmptyCandSets++
+			return false
+		}
+		m.cand[u] = out
+	}
+
+	// Dependency parents: conditions of u referencing u' (the
+	// DependencyEdges capability; a condition-free CQ never has any).
+	m.depParents = make([][]int, n)
+	if m.opts.Caps.DependencyEdges {
+		depSeen := make([]map[int]bool, n)
+		for u := 0; u < n; u++ {
+			depSeen[u] = map[int]bool{}
+		}
+		addDep := func(u, parent int) {
+			if parent != u && !depSeen[u][parent] {
+				depSeen[u][parent] = true
+				m.depParents[u] = append(m.depParents[u], parent)
+			}
+		}
+		for u, v := range m.p.Vertices {
+			for w := range core.Vars(v.Match) {
+				addDep(u, w)
+			}
+			for w := range core.Vars(v.Omit) {
+				addDep(u, w)
+			}
+		}
+	}
+
+	// Structural adjacency for the BFS.
+	adjV := make([][]int, n)
+	deg := make([]int, n)
+	for _, e := range m.p.Edges {
+		adjV[e.From] = append(adjV[e.From], e.To)
+		adjV[e.To] = append(adjV[e.To], e.From)
+		deg[e.From]++
+		deg[e.To]++
+	}
+	for u := 0; u < n; u++ {
+		for _, w := range m.depParents[u] {
+			adjV[u] = append(adjV[u], w)
+			adjV[w] = append(adjV[w], u)
+		}
+	}
+
+	// Root selection: prefer vertices without dependencies and with small
+	// candidate sets relative to degree (paper BuildOMDAG step 2). With
+	// both capabilities off the penalties are inert and this is exactly
+	// DAF's root rule.
+	root, bestScore := 0, float64(1<<62)
+	for u := 0; u < n; u++ {
+		d := deg[u]
+		if d == 0 {
+			d = 1
+		}
+		score := float64(len(m.cand[u])) / float64(d)
+		if len(m.depParents[u]) > 0 {
+			score *= 1e6
+		}
+		if m.canOmit[u] {
+			score *= 4 // omittable roots enumerate ⊥ early, less selective
+		}
+		if score < bestScore {
+			bestScore = score
+			root = u
+		}
+	}
+
+	// BFS order from the root over structural plus dependency adjacency.
+	// Dependency edges influence the root choice and appear in the BFS
+	// adjacency, but they do NOT gate the order: conditions are evaluated
+	// exactly when their variables are mapped (remaining-variable counters
+	// in the backtracker), which is order-independent. Hard-gating the
+	// order on dependencies can force an omittable hub after its
+	// unconstrained neighbors and destroy the matching order.
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	placed := 0
+	var queue []int
+	place := func(u int) {
+		pos[u] = placed
+		m.order = append(m.order, u)
+		placed++
+		queue = append(queue, u)
+	}
+	place(root)
+	for placed < n {
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range adjV[u] {
+				if pos[w] < 0 {
+					place(w)
+				}
+			}
+		}
+		if placed == n {
+			break
+		}
+		for u := 0; u < n; u++ { // disconnected piece: new BFS root
+			if pos[u] < 0 {
+				place(u)
+				break
+			}
+		}
+	}
+
+	// Orient structural edges along the order.
+	m.parentEdges = make([][]int, n)
+	for ei, e := range m.p.Edges {
+		de := dagEdge{edge: ei}
+		if pos[e.From] <= pos[e.To] {
+			de.parent, de.child = e.From, e.To
+		} else {
+			de.parent, de.child = e.To, e.From
+		}
+		idx := len(m.dagEdges)
+		m.dagEdges = append(m.dagEdges, de)
+		m.parentEdges[de.child] = append(m.parentEdges[de.child], idx)
+	}
+	return true
+}
+
+// appendNeighborsVia appends the partner candidates of v along pattern
+// edge ei (v playing the From side iff fromSide) to dst and returns the
+// extended slice. Partners are deduplicated across probes via the
+// nbrSeen bitmap; the set bits are cleared by re-walking the appended
+// range, so the cost stays proportional to the neighborhood, not |V|.
+func (m *matcher) appendNeighborsVia(dst []graph.VID, ei int, v graph.VID, fromSide bool) []graph.VID {
+	probes := m.edgeProbes[ei]
+	// A single labeled probe yields unique partners already (frozen
+	// adjacency is deduplicated per (label, To)): skip the bitmap.
+	if len(probes) == 1 && probes[0].label != symbols.None {
+		for _, h := range m.probeHalves(probes[0], v, fromSide) {
+			dst = append(dst, h.To)
+		}
+		return dst
+	}
+	if m.nbrSeen == nil {
+		m.nbrSeen = bitset.New(m.g.NumVertices())
+	}
+	base := len(dst)
+	for _, pr := range probes {
+		for _, h := range m.probeHalves(pr, v, fromSide) {
+			if !m.nbrSeen.Has(uint32(h.To)) {
+				m.nbrSeen.Add(uint32(h.To))
+				dst = append(dst, h.To)
+			}
+		}
+	}
+	for _, w := range dst[base:] {
+		m.nbrSeen.Remove(uint32(w))
+	}
+	return dst
+}
+
+// probeHalves resolves one probe to the matching half-edge slice of v in
+// the frozen graph (no copying; callers project h.To as they iterate).
+func (m *matcher) probeHalves(pr probe, v graph.VID, fromSide bool) []graph.Half {
+	// A forward probe runs From→To in the data graph.
+	outgoing := pr.forward == fromSide
+	if outgoing {
+		if pr.label == symbols.None {
+			return m.g.Out(v)
+		}
+		return m.g.OutByLabel(v, pr.label)
+	}
+	if pr.label == symbols.None {
+		return m.g.In(v)
+	}
+	return m.g.InByLabel(v, pr.label)
+}
+
+// pairwiseOK checks the pairwise-local part of edge ei's condition for the
+// candidate pair (atoms referencing third vertices are optimistic).
+func (m *matcher) pairwiseOK(ei int, vFrom, vTo graph.VID) bool {
+	e := m.p.Edges[ei]
+	mini := m.scratchMini()
+	mini[e.From], mini[e.To] = vFrom, vTo
+	ok := false
+	for _, clause := range m.edgePairs[ei] {
+		clauseOK := true
+		for _, a := range clause {
+			local := true
+			for w := range core.Vars(a) {
+				if w != e.From && w != e.To {
+					local = false
+					break
+				}
+			}
+			if local && !core.Eval(a, mini, m.g) {
+				clauseOK = false
+				break
+			}
+		}
+		if clauseOK {
+			ok = true
+			break
+		}
+	}
+	mini[e.From], mini[e.To] = core.Omitted, core.Omitted
+	return ok
+}
+
+// buildOMCS refines candidate sets and materializes per-DAG-edge adjacency.
+// Edges whose far endpoint is omittable never prune (they may be excused),
+// keeping OMCS sound (paper Section V-B). Candidate-set membership lives
+// in word-packed bitmaps (one probe = shift + mask) and the adjacency is
+// CSR over the sorted candidate pools; buildOMCSLegacy (legacy.go) is the
+// map-based reference this must stay answer-identical to.
+func (m *matcher) buildOMCS() bool {
+	n := len(m.p.Vertices)
+	pool := bitset.NewPool(m.g.NumVertices())
+	inCand := make([]*bitset.Set, n)
+	for u := 0; u < n; u++ {
+		s := pool.Get()
+		for _, v := range m.cand[u] {
+			s.Add(uint32(v))
+		}
+		inCand[u] = s
+	}
+
+	refineVertex := func(u int) bool {
+		changed := false
+		out := m.cand[u][:0]
+		for _, v := range m.cand[u] {
+			ok := true
+			for ei, e := range m.p.Edges {
+				if !m.edgeIndexab[ei] {
+					continue
+				}
+				var far int
+				var fromSide bool
+				switch u {
+				case e.From:
+					far, fromSide = e.To, true
+				case e.To:
+					far, fromSide = e.From, false
+				default:
+					continue
+				}
+				if m.canOmit[far] || m.canOmit[u] {
+					continue // edge may be excused; do not prune through it
+				}
+				found := false
+				m.nbrBuf = m.appendNeighborsVia(m.nbrBuf[:0], ei, v, fromSide)
+				for _, w := range m.nbrBuf {
+					if !inCand[far].Has(uint32(w)) {
+						continue
+					}
+					var okPair bool
+					if fromSide {
+						okPair = m.pairwiseOK(ei, v, w)
+					} else {
+						okPair = m.pairwiseOK(ei, w, v)
+					}
+					if okPair {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, v)
+			} else {
+				changed = true
+				inCand[u].Remove(uint32(v))
+			}
+		}
+		m.cand[u] = out
+		return changed
+	}
+
+	for pass := 0; pass < 4; pass++ {
+		m.stats.RefinePasses++
+		changed := false
+		if pass%2 == 0 {
+			for i := len(m.order) - 1; i >= 0; i-- {
+				changed = refineVertex(m.order[i]) || changed
+			}
+		} else {
+			for _, u := range m.order {
+				changed = refineVertex(u) || changed
+			}
+		}
+		for u := 0; u < n; u++ {
+			if len(m.cand[u]) == 0 && !m.canOmit[u] {
+				m.stats.EmptyCandSets++
+				return false
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for u := 0; u < n; u++ {
+		m.stats.CSCandidates += len(m.cand[u])
+	}
+
+	// Materialize CSR adjacency for indexable DAG edges: one offset row
+	// per (sorted) parent candidate into a flat per-edge pool, each row
+	// sorted ascending.
+	m.adjStart = make([][]uint32, len(m.dagEdges))
+	m.adjItems = make([][]graph.VID, len(m.dagEdges))
+	for di, de := range m.dagEdges {
+		if !m.edgeIndexab[de.edge] {
+			continue
+		}
+		e := m.p.Edges[de.edge]
+		fromSide := de.parent == e.From
+		starts := make([]uint32, len(m.cand[de.parent])+1)
+		var items []graph.VID
+		for pi, v := range m.cand[de.parent] {
+			starts[pi] = uint32(len(items))
+			segStart := len(items)
+			m.nbrBuf = m.appendNeighborsVia(m.nbrBuf[:0], de.edge, v, fromSide)
+			for _, w := range m.nbrBuf {
+				if !inCand[de.child].Has(uint32(w)) {
+					continue
+				}
+				var okPair bool
+				if fromSide {
+					okPair = m.pairwiseOK(de.edge, v, w)
+				} else {
+					okPair = m.pairwiseOK(de.edge, w, v)
+				}
+				if okPair {
+					items = append(items, w)
+				}
+			}
+			if seg := items[segStart:]; !vidsSorted(seg) {
+				sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			}
+		}
+		starts[len(m.cand[de.parent])] = uint32(len(items))
+		m.adjStart[di] = starts
+		m.adjItems[di] = items
+		m.stats.AdjPairs += len(items)
+	}
+	for u := 0; u < n; u++ {
+		pool.Put(inCand[u])
+	}
+	return true
+}
+
+// adjRow returns the CSR adjacency row of DAG edge di for parent value
+// pv, located by binary search over the sorted parent candidate pool.
+// Assigned parents always come from that pool, so the search hits; a
+// miss (possible only on foreign input) reads as an empty row.
+func (m *matcher) adjRow(di int, pv graph.VID) []graph.VID {
+	cand := m.cand[m.dagEdges[di].parent]
+	i := searchVID(cand, pv)
+	if i >= len(cand) || cand[i] != pv {
+		return nil
+	}
+	starts := m.adjStart[di]
+	return m.adjItems[di][starts[i]:starts[i+1]]
+}

@@ -1,4 +1,4 @@
-package match
+package engine
 
 import (
 	"sort"
@@ -8,10 +8,12 @@ import (
 )
 
 // This file preserves the pre-bitset, map-based candidate-space build
-// verbatim (Options.UseLegacyCS). It exists as the reference
-// implementation for the bitset-vs-map equivalence property test and as
-// the baseline side of the BuildOMCS/Adjacency benchmarks; it is not
-// used on any serving path.
+// verbatim (Options.UseLegacyCS). It is the engine's test oracle: both
+// front-ends reach it through their options (match.Options.UseLegacyCS,
+// daf.Options.UseLegacyCS), so the bitset-vs-map equivalence property
+// tests on each side exercise this one copy. It also serves as the
+// baseline side of the BuildOMCS/Adjacency benchmarks; it is not used on
+// any serving path.
 
 // legacyNeighborsVia is the allocating neighborsVia the CSR path
 // replaced: partner candidates of v along pattern edge ei, deduplicated
@@ -33,7 +35,7 @@ func (m *matcher) legacyNeighborsVia(ei int, v graph.VID, fromSide bool) []graph
 // buildOMCSLegacy is the map-based buildOMCS: candidate membership in
 // map[graph.VID]bool sets rebuilt wholesale after each refinement pass,
 // and the per-DAG-edge adjacency in map[graph.VID][]graph.VID. Any
-// behavioural change here breaks the equivalence test's baseline.
+// behavioural change here breaks the equivalence tests' baseline.
 func (m *matcher) buildOMCSLegacy() bool {
 	n := len(m.p.Vertices)
 	inCand := make([]map[graph.VID]bool, n)
@@ -118,6 +120,7 @@ func (m *matcher) buildOMCSLegacy() bool {
 		}
 		for u := 0; u < n; u++ {
 			if len(m.cand[u]) == 0 && !m.canOmit[u] {
+				m.stats.EmptyCandSets++
 				return false
 			}
 		}

@@ -1,4 +1,4 @@
-package match
+package engine
 
 import (
 	"errors"
@@ -13,10 +13,10 @@ import (
 
 // errStopped is the internal cancellation sentinel: a worker unwinds with
 // it when another worker has already collected MaxResults distinct
-// answers. It never escapes Match.
-var errStopped = errors.New("match: stopped")
+// answers. It never escapes Run.
+var errStopped = errors.New("engine: stopped")
 
-// budget is the enumeration budget shared by every worker of one Match
+// budget is the enumeration budget shared by every worker of one Run
 // call. It is atomics-only so the per-node hot path (tick) takes no locks.
 type budget struct {
 	maxSteps int64

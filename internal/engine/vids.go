@@ -1,0 +1,67 @@
+package engine
+
+import "ogpa/internal/graph"
+
+// Sorted-VID primitives of the candidate-space hot path. Before the
+// engine extraction, internal/match and internal/daf each carried a
+// private copy of these; this is now the single home for both front-ends.
+
+// vidsSorted reports whether xs is ascending (CSR rows are kept sorted so
+// intersections can run as merges; most adjacency probes already come out
+// sorted and skip the per-row sort).
+func vidsSorted(xs []graph.VID) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// searchVID returns the first index of xs (ascending) not less than v.
+// Hand-rolled so the hot path avoids sort.Search's closure allocation.
+func searchVID(xs []graph.VID, v graph.VID) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// intersectInto writes the intersection of the sorted lists a and b
+// into dst (len 0, possibly aliasing a's backing array) and returns it.
+// When a is much shorter than b the probe gallops: each element of a is
+// a binary search in b; otherwise a linear merge. Writes into dst stay
+// at or behind the read cursor of a, so aliasing dst with a is safe —
+// b must not alias dst.
+func intersectInto(dst, a, b []graph.VID) []graph.VID {
+	if len(a)*16 < len(b) {
+		for _, v := range a {
+			j := searchVID(b, v)
+			if j < len(b) && b[j] == v {
+				dst = append(dst, v)
+			}
+			b = b[j:]
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			dst = append(dst, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ogpa/internal/graph"
+)
+
+func TestVidsSorted(t *testing.T) {
+	cases := []struct {
+		xs   []graph.VID
+		want bool
+	}{
+		{nil, true},
+		{[]graph.VID{7}, true},
+		{[]graph.VID{1, 2, 3}, true},
+		{[]graph.VID{1, 1, 2}, true}, // duplicates are still non-descending
+		{[]graph.VID{2, 1}, false},
+		{[]graph.VID{1, 3, 2, 4}, false},
+	}
+	for _, c := range cases {
+		if got := vidsSorted(c.xs); got != c.want {
+			t.Errorf("vidsSorted(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestSearchVID(t *testing.T) {
+	xs := []graph.VID{2, 4, 4, 8, 16}
+	cases := []struct {
+		v    graph.VID
+		want int
+	}{
+		{0, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {17, 5},
+	}
+	for _, c := range cases {
+		if got := searchVID(xs, c.v); got != c.want {
+			t.Errorf("searchVID(%v, %d) = %d, want %d", xs, c.v, got, c.want)
+		}
+	}
+	if got := searchVID(nil, 3); got != 0 {
+		t.Errorf("searchVID(nil, 3) = %d, want 0", got)
+	}
+}
+
+// refIntersect is the obvious quadratic model intersectInto must agree
+// with (inputs are sorted sets, so containment checks suffice).
+func refIntersect(a, b []graph.VID) []graph.VID {
+	out := []graph.VID{}
+	for _, v := range a {
+		for _, w := range b {
+			if v == w {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func randSortedSet(rng *rand.Rand, n, span int) []graph.VID {
+	seen := map[graph.VID]bool{}
+	for len(seen) < n {
+		seen[graph.VID(rng.Intn(span))] = true
+	}
+	out := make([]graph.VID, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestIntersectInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		// Size skew drives both branches: len(a)*16 < len(b) gallops,
+		// anything else takes the linear merge.
+		a := randSortedSet(rng, rng.Intn(20), 200)
+		b := randSortedSet(rng, rng.Intn(400), 500)
+		want := refIntersect(a, b)
+		got := intersectInto(nil, a, b)
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("iter %d: intersectInto(%v, %v) = %v, want %v", iter, a, b, got, want)
+		}
+	}
+}
+
+func TestIntersectIntoGallopBranch(t *testing.T) {
+	// Explicitly force the galloping branch: len(a)*16 < len(b).
+	a := []graph.VID{3, 64, 500}
+	b := make([]graph.VID, 0, 400)
+	for i := 0; i < 400; i++ {
+		b = append(b, graph.VID(i*2)) // evens up to 798
+	}
+	got := intersectInto(nil, a, b)
+	want := []graph.VID{64, 500}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gallop intersect = %v, want %v", got, want)
+	}
+}
+
+// TestIntersectIntoAliasing pins the write-behind-read contract: dst may
+// share a's backing array (dst = a[:0]), which is exactly how the
+// backtracker narrows a scratch buffer in place.
+func TestIntersectIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 200; iter++ {
+		a := randSortedSet(rng, 1+rng.Intn(50), 300)
+		b := randSortedSet(rng, 1+rng.Intn(50), 300)
+		want := refIntersect(a, b)
+		got := intersectInto(a[:0], a, b)
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("iter %d: aliased intersectInto = %v, want %v", iter, got, want)
+		}
+	}
+}

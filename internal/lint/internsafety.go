@@ -26,6 +26,7 @@ var InternSafety = &Analyzer{
 // hotPathSuffixes names the packages (by import-path suffix) whose inner
 // loops dominate matching time.
 var hotPathSuffixes = []string{
+	"internal/engine",
 	"internal/match",
 	"internal/daf",
 	"internal/graph",

@@ -9,10 +9,12 @@ import (
 
 // planCache is a mutex-guarded LRU of compiled query plans
 // (ogpa.PreparedQuery), keyed by (ontology fingerprint, query kind,
-// query text). A hit skips GenOGP, the OGP's candidate-space build and
-// the BDD compilation; only enumeration runs per request. Plans are
+// query text). A hit skips the rewriter (GenOGP or PerfectRef) and the
+// candidate-space build; only enumeration runs per request. Plans are
 // safe to share: PreparedQuery.Answer is concurrent-safe, so one cached
-// plan may serve overlapping requests.
+// plan may serve overlapping requests. Hits and misses are counted per
+// query kind ("cq", "sparql", "ucq:<baseline>") so /stats can show how
+// the cache splits between the primary pipeline and baselines.
 //
 // Every sibling field is accessed under mu (the locksafety analyzer
 // enforces the discipline).
@@ -23,10 +25,18 @@ type planCache struct {
 	items  map[string]*list.Element
 	hits   uint64
 	misses uint64
+	byKind map[string]*kindCounters
+}
+
+// kindCounters are the per-kind hit/miss tallies behind the cache's mu.
+type kindCounters struct {
+	hits   uint64
+	misses uint64
 }
 
 type planEntry struct {
 	key  string
+	kind string
 	plan *ogpa.PreparedQuery
 }
 
@@ -37,26 +47,35 @@ func newPlanCache(capacity int) *planCache {
 		return nil
 	}
 	return &planCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cap:    capacity,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element, capacity),
+		byKind: make(map[string]*kindCounters),
 	}
 }
 
 // get returns the cached plan for key, promoting it to most recently
-// used, or nil on a miss. Hit/miss counters move here.
-func (c *planCache) get(key string) *ogpa.PreparedQuery {
+// used, or nil on a miss. Hit/miss counters (total and per kind) move
+// here.
+func (c *planCache) get(kind, key string) *ogpa.PreparedQuery {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	kc := c.byKind[kind]
+	if kc == nil {
+		kc = &kindCounters{}
+		c.byKind[kind] = kc
+	}
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		kc.misses++
 		return nil
 	}
 	c.hits++
+	kc.hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*planEntry).plan
 }
@@ -64,7 +83,7 @@ func (c *planCache) get(key string) *ogpa.PreparedQuery {
 // put inserts a plan, evicting the least recently used entry when full.
 // A concurrent duplicate insert (two requests missing on the same key)
 // just refreshes the existing entry.
-func (c *planCache) put(key string, plan *ogpa.PreparedQuery) {
+func (c *planCache) put(kind, key string, plan *ogpa.PreparedQuery) {
 	if c == nil {
 		return
 	}
@@ -75,7 +94,7 @@ func (c *planCache) put(key string, plan *ogpa.PreparedQuery) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&planEntry{key: key, plan: plan})
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, kind: kind, plan: plan})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -91,4 +110,25 @@ func (c *planCache) snapshot() (hits, misses uint64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.ll.Len()
+}
+
+// snapshotByKind reports per-kind hits, misses and resident plan counts.
+// Size is recomputed by walking the (bounded, <= cap) entry list.
+func (c *planCache) snapshotByKind() map[string]PlanCacheKindStats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]PlanCacheKindStats, len(c.byKind))
+	for kind, kc := range c.byKind {
+		out[kind] = PlanCacheKindStats{Hits: kc.hits, Misses: kc.misses}
+	}
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		kind := el.Value.(*planEntry).kind
+		ks := out[kind]
+		ks.Size++
+		out[kind] = ks
+	}
+	return out
 }

@@ -63,6 +63,77 @@ func TestPlanCacheAlternatingQueries(t *testing.T) {
 	}
 }
 
+// TestPlanCacheBaselineKinds: UCQ-baseline requests are cached alongside
+// OGP plans under their own kind. Alternating the same query through the
+// primary pipeline and the perfectref+daf baseline must (a) answer
+// identically, (b) hit the cache on every round after the first for BOTH
+// kinds, and (c) surface the split per kind in /stats, with the datalog
+// baseline still bypassing the cache.
+func TestPlanCacheBaselineKinds(t *testing.T) {
+	h := Handler(testKB(t))
+	requests := []struct {
+		kind string
+		body string
+	}{
+		{"cq", `{"query":"q(x) :- Student(x), takesCourse(x, y)"}`},
+		{"ucq:perfectref+daf", `{"query":"q(x) :- Student(x), takesCourse(x, y)","baseline":"perfectref+daf"}`},
+	}
+	const rounds = 3
+	var want string
+	for round := 0; round < rounds; round++ {
+		for _, rq := range requests {
+			rec := do(t, h, "POST", "/query", rq.body)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("round %d kind %s: status %d: %s", round, rq.kind, rec.Code, rec.Body)
+			}
+			var resp QueryResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			rows := fmt.Sprint(resp.Rows)
+			if want == "" {
+				want = rows
+			} else if rows != want {
+				t.Fatalf("round %d kind %s: rows %s diverge from %s", round, rq.kind, rows, want)
+			}
+		}
+	}
+	// One datalog request: same answers, but no cache traffic.
+	rec := do(t, h, "POST", "/query", `{"query":"q(x) :- Student(x), takesCourse(x, y)","baseline":"datalog"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("datalog status %d: %s", rec.Code, rec.Body)
+	}
+
+	var stats StatsResponse
+	rec = do(t, h, "GET", "/stats", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	wantMisses := uint64(len(requests))
+	wantHits := uint64(len(requests) * (rounds - 1))
+	if stats.PlanCacheMisses != wantMisses || stats.PlanCacheHits != wantHits {
+		t.Fatalf("plan cache hits=%d misses=%d, want hits=%d misses=%d",
+			stats.PlanCacheHits, stats.PlanCacheMisses, wantHits, wantMisses)
+	}
+	if stats.PlanCacheSize != len(requests) {
+		t.Fatalf("plan cache size = %d, want %d", stats.PlanCacheSize, len(requests))
+	}
+	for _, rq := range requests {
+		ks, ok := stats.PlanCacheByKind[rq.kind]
+		if !ok {
+			t.Fatalf("kind %s missing from PlanCacheByKind %v", rq.kind, stats.PlanCacheByKind)
+		}
+		if ks.Hits != rounds-1 || ks.Misses != 1 || ks.Size != 1 {
+			t.Fatalf("kind %s: hits=%d misses=%d size=%d, want %d/1/1",
+				rq.kind, ks.Hits, ks.Misses, ks.Size, rounds-1)
+		}
+	}
+	if len(stats.PlanCacheByKind) != len(requests) {
+		t.Fatalf("PlanCacheByKind has %d kinds (%v), want %d — the datalog baseline must not touch the cache",
+			len(stats.PlanCacheByKind), stats.PlanCacheByKind, len(requests))
+	}
+}
+
 // TestPlanCacheDisabled pins the negative-capacity escape hatch: with
 // caching off every request still answers correctly and the counters
 // stay zero.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/http"
 	stdruntime "runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -64,11 +65,21 @@ type StatsResponse struct {
 	Queries  uint64 `json:"queries"`
 	Rewrites uint64 `json:"rewrites"`
 	Errors   uint64 `json:"errors"`
-	// Plan-cache counters: a hit means the request skipped GenOGP and the
-	// candidate-space build entirely and went straight to enumeration.
-	PlanCacheHits   uint64 `json:"planCacheHits"`
-	PlanCacheMisses uint64 `json:"planCacheMisses"`
-	PlanCacheSize   int    `json:"planCacheSize"`
+	// Plan-cache counters: a hit means the request skipped the rewriter
+	// (GenOGP or PerfectRef) and the candidate-space build entirely and
+	// went straight to enumeration. PlanCacheByKind splits the counters
+	// by query kind ("cq", "sparql", "ucq:<baseline>").
+	PlanCacheHits   uint64                        `json:"planCacheHits"`
+	PlanCacheMisses uint64                        `json:"planCacheMisses"`
+	PlanCacheSize   int                           `json:"planCacheSize"`
+	PlanCacheByKind map[string]PlanCacheKindStats `json:"planCacheByKind,omitempty"`
+}
+
+// PlanCacheKindStats are one query kind's plan-cache counters.
+type PlanCacheKindStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
 }
 
 // metrics counts requests served by one handler. Every field access goes
@@ -164,24 +175,31 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 	fingerprint := kb.Fingerprint() // constant per handler; part of every cache key
 	answerCached := func(kind, query string, opt ogpa.Options) (*ogpa.Answers, error) {
 		if cache == nil {
-			if kind == "sparql" {
+			switch {
+			case kind == "sparql":
 				return kb.AnswerSPARQL(query, opt)
+			case strings.HasPrefix(kind, "ucq:"):
+				return kb.AnswerBaseline(ogpa.Baseline(strings.TrimPrefix(kind, "ucq:")), query, opt)
+			default:
+				return kb.AnswerWithOptions(query, opt)
 			}
-			return kb.AnswerWithOptions(query, opt)
 		}
 		key := fingerprint + "|" + kind + "|" + query
-		pq := cache.get(key)
+		pq := cache.get(kind, key)
 		if pq == nil {
 			var err error
-			if kind == "sparql" {
+			switch {
+			case kind == "sparql":
 				pq, err = kb.PrepareSPARQL(query)
-			} else {
+			case strings.HasPrefix(kind, "ucq:"):
+				pq, err = kb.PrepareBaseline(ogpa.Baseline(strings.TrimPrefix(kind, "ucq:")), query)
+			default:
 				pq, err = kb.Prepare(query)
 			}
 			if err != nil {
 				return nil, err
 			}
-			cache.put(key, pq)
+			cache.put(kind, key, pq)
 		}
 		return pq.Answer(opt)
 	}
@@ -221,10 +239,17 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 			method = "genogp+omatch (sparql)"
 			ans, err = answerCached("sparql", query, opt)
 		case req.Baseline != "":
-			// Baselines bypass the plan cache: they exist for comparison
-			// runs, and UCQ/datalog rewrites have no Prepared form.
 			method = req.Baseline
-			ans, err = kb.AnswerBaseline(ogpa.Baseline(req.Baseline), query, opt)
+			switch b := ogpa.Baseline(req.Baseline); b {
+			case ogpa.BaselineUCQ, ogpa.BaselineUCQOpt:
+				// UCQ baselines have a Prepared form (PerfectRef + per-
+				// disjunct engine plans), so their plans are cached too.
+				ans, err = answerCached("ucq:"+req.Baseline, query, opt)
+			default:
+				// Datalog/saturation (and unknown baselines, which error
+				// inside) have no prepared form and bypass the cache.
+				ans, err = kb.AnswerBaseline(b, query, opt)
+			}
 		default:
 			ans, err = answerCached("cq", query, opt)
 		}
@@ -265,6 +290,7 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 		writeJSON(w, StatsResponse{
 			Stats: kb.Stats(), Queries: q, Rewrites: rw, Errors: e,
 			PlanCacheHits: hits, PlanCacheMisses: misses, PlanCacheSize: size,
+			PlanCacheByKind: cache.snapshotByKind(),
 		})
 	})
 

@@ -251,16 +251,19 @@ func fromMatchStats(st match.Stats) MatchStats {
 	}
 }
 
-// PreparedQuery is a query compiled down to a reusable matching plan:
-// GenOGP has run and the OGP's candidate space, CS adjacency and
-// condition BDD are built. Answer can be called many times —
-// concurrently, with different limits — without repeating that work.
-// The server's plan cache stores these across requests.
+// PreparedQuery is a query compiled down to a reusable matching plan.
+// For the primary pipeline, GenOGP has run and the OGP's candidate
+// space, CS adjacency and condition BDD are built; for the UCQ
+// baselines (PrepareBaseline), PerfectRef has run and every disjunct is
+// compiled into an engine plan. Either way Answer can be called many
+// times — concurrently, with different limits — without repeating that
+// work. The server's plan cache stores these across requests.
 type PreparedQuery struct {
-	kb *KB
-	q  *cq.Query
-	rw *Rewriting
-	pr *match.Prepared
+	kb  *KB
+	q   *cq.Query
+	rw  *Rewriting       // nil for baseline plans
+	pr  *match.Prepared  // OGP plan; nil for baseline plans
+	ucq *daf.PreparedUCQ // UCQ-baseline plan; nil for OGP plans
 }
 
 // Prepare compiles a CQ into a reusable matching plan.
@@ -298,12 +301,48 @@ func (kb *KB) prepare(q *cq.Query) (*PreparedQuery, error) {
 	}, nil
 }
 
-// Rewriting exposes the generated OGP behind the plan.
+// PrepareBaseline compiles a query through one of the UCQ baseline
+// pipelines (BaselineUCQ, BaselineUCQOpt) into a reusable plan:
+// PerfectRef runs once and every disjunct's candidate space is built,
+// so repeated Answer calls — the server's cached-baseline path — only
+// enumerate. The datalog and saturation baselines have no prepared
+// form and return an error.
+func (kb *KB) PrepareBaseline(b Baseline, query string) (*PreparedQuery, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	var u *perfectref.UCQ
+	switch b {
+	case BaselineUCQ:
+		u, err = perfectref.Rewrite(q, kb.tbox, perfectref.Limits{})
+	case BaselineUCQOpt:
+		u, err = perfectref.RewriteOptimized(q, kb.tbox, perfectref.Limits{})
+	default:
+		return nil, fmt.Errorf("ogpa: baseline %q has no prepared form", b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ucq, err := daf.PrepareUCQ(u.Queries, kb.g, daf.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{kb: kb, q: q, ucq: ucq}, nil
+}
+
+// Rewriting exposes the generated OGP behind the plan (nil for baseline
+// plans, which carry a UCQ instead of an OGP).
 func (pq *PreparedQuery) Rewriting() *Rewriting { return pq.rw }
 
 // Stats reports the build-phase statistics of the plan (the
 // enumeration-phase fields are zero; AnswerWithStats fills them per run).
-func (pq *PreparedQuery) Stats() MatchStats { return fromMatchStats(pq.pr.Stats()) }
+func (pq *PreparedQuery) Stats() MatchStats {
+	if pq.ucq != nil {
+		return fromMatchStats(pq.ucq.Stats())
+	}
+	return fromMatchStats(pq.pr.Stats())
+}
 
 // Answer enumerates the query's certain answers under opt.
 func (pq *PreparedQuery) Answer(opt Options) (*Answers, error) {
@@ -313,6 +352,13 @@ func (pq *PreparedQuery) Answer(opt Options) (*Answers, error) {
 
 // AnswerWithStats is Answer plus the matcher's work counters.
 func (pq *PreparedQuery) AnswerWithStats(opt Options) (*Answers, MatchStats, error) {
+	if pq.ucq != nil {
+		res, st, err := pq.ucq.Run(dafLimits(opt))
+		if err != nil {
+			return nil, MatchStats{}, err
+		}
+		return pq.kb.render(pq.q, res), fromMatchStats(st), nil
+	}
 	res, st, err := pq.pr.Run(matchOptions(opt))
 	if err != nil {
 		return nil, MatchStats{}, err
@@ -361,10 +407,7 @@ func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, e
 	if err != nil {
 		return nil, err
 	}
-	lim := daf.Limits{MaxResults: opt.MaxResults, Workers: opt.Workers}
-	if opt.Timeout > 0 {
-		lim.Deadline = time.Now().Add(opt.Timeout)
-	}
+	lim := dafLimits(opt)
 	switch b {
 	case BaselineUCQ, BaselineUCQOpt:
 		prLim := perfectref.Limits{Timeout: opt.Timeout}
@@ -512,4 +555,12 @@ func matchOptions(opt Options) match.Options {
 		lim.Deadline = time.Now().Add(opt.Timeout)
 	}
 	return match.Options{Limits: lim, Workers: opt.Workers}
+}
+
+func dafLimits(opt Options) daf.Limits {
+	lim := daf.Limits{MaxResults: opt.MaxResults, Workers: opt.Workers}
+	if opt.Timeout > 0 {
+		lim.Deadline = time.Now().Add(opt.Timeout)
+	}
+	return lim
 }
