@@ -20,7 +20,7 @@ import (
 )
 
 // benchResult is one row of the machine-readable benchmark report
-// (BENCH_4.json): the same three numbers `go test -bench -benchmem`
+// (BENCH_5.json): the same three numbers `go test -bench -benchmem`
 // prints, in a form CI and plotting scripts can diff across commits.
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -176,6 +176,12 @@ func runBenchJSON(outPath string, seed int64) error {
 		{"BenchmarkFig4cd_Eval/map", w.benchEval(true)},
 		{"BenchmarkDAFEval/csr", w.benchDAFEval(false)},
 		{"BenchmarkDAFEval/map", w.benchDAFEval(true)},
+		{"BenchmarkDeltaInsert/batch64", w.benchDeltaInsert()},
+		{"BenchmarkDeltaEpochSwap", w.benchDeltaEpochSwap()},
+		{"BenchmarkDeltaReadUnderWrite", w.benchDeltaReadUnderWrite()},
+		{"BenchmarkDeltaCompact/ov1024", w.benchDeltaCompact(1024)},
+		{"BenchmarkDeltaCompact/ov4096", w.benchDeltaCompact(4096)},
+		{"BenchmarkDeltaCompact/ov16384", w.benchDeltaCompact(16384)},
 	}
 	results := make([]benchResult, 0, len(suite))
 	for _, bb := range suite {

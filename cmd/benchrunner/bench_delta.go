@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"ogpa/internal/delta"
+	"ogpa/internal/match"
+)
+
+// deltaBatch renders n bare-word N-Triples insertions with fresh
+// individuals starting at id; each individual gets one label and one
+// edge into the base graph's ID space via a shared hub vertex.
+func deltaBatch(id, n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "dx%d a GraduateStudent .\n", id+i)
+		fmt.Fprintf(&sb, "dx%d memberOf dhub .\n", id+i)
+	}
+	return sb.String()
+}
+
+// benchDeltaInsert measures write throughput: one op = parsing and
+// atomically publishing a 64-triple batch (epoch bump included), with
+// automatic compaction disabled so the op stays pure write-path.
+func (w *benchWorkload) benchDeltaInsert() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		s := delta.NewStore(w.g, delta.Config{CompactThreshold: -1})
+		id := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.InsertTriples(strings.NewReader(deltaBatch(id, 32))); err != nil {
+				b.Fatal(err)
+			}
+			id += 32
+		}
+	}
+}
+
+// benchDeltaEpochSwap measures the reader-visible cost of one write: one
+// op = a single-triple batch plus Snapshot().Graph() — the atomic pointer
+// swap and the lazy overlay materialization the next query pays. The
+// default compaction threshold keeps the overlay (and therefore the
+// replay cost) bounded, as in production.
+func (w *benchWorkload) benchDeltaEpochSwap() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		s := delta.NewStore(w.g, delta.Config{})
+		id := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.InsertTriples(strings.NewReader(deltaBatch(id, 1))); err != nil {
+				b.Fatal(err)
+			}
+			id++
+			g := s.Snapshot().Graph()
+			if g.NumVertices() == 0 {
+				b.Fatal("empty snapshot")
+			}
+		}
+		b.StopTimer()
+		s.WaitIdle()
+	}
+}
+
+// benchDeltaReadUnderWrite measures query latency while a writer
+// goroutine continuously lands batches: one op = snapshot + full
+// Prepare+Run of one rewritten pattern against that snapshot.
+func (w *benchWorkload) benchDeltaReadUnderWrite() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		s := delta.NewStore(w.g, delta.Config{})
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.InsertTriples(strings.NewReader(deltaBatch(id, 8))); err != nil {
+					b.Error(err)
+					return
+				}
+				id += 8
+			}
+		}()
+		p := w.patterns[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g := s.Snapshot().Graph()
+			if _, _, err := match.Match(p, g, w.runOpts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		s.WaitIdle()
+	}
+}
+
+// benchDeltaCompact measures Compact() at a given overlay size: one op =
+// folding `size` logged ops into a fresh canonical CSR base. The overlay
+// build is off the clock.
+func (w *benchWorkload) benchDeltaCompact(size int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := delta.NewStore(w.g, delta.Config{CompactThreshold: -1})
+			for j := 0; j < size; j += 256 {
+				n := 256
+				if size-j < n {
+					n = size - j
+				}
+				if _, err := s.InsertTriples(strings.NewReader(deltaBatch(j, n/2))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			s.Compact()
+		}
+	}
+}

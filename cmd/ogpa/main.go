@@ -30,6 +30,8 @@ func main() {
 		minimize     = flag.Bool("minimize", false, "minimize the query (compute its core) before rewriting")
 		consistency  = flag.Bool("check-consistency", false, "check the KB against DisjointWith axioms and exit")
 		matchStats   = flag.Bool("match-stats", false, "print matcher work counters to stderr (GenOGP+OMatch and UCQ baselines; datalog/saturate have no counters)")
+		insertPath   = flag.String("insert", "", "N-Triples file applied as ABox insertions before answering")
+		deletePath   = flag.String("delete", "", "N-Triples file applied as ABox deletions before answering (after -insert)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -53,6 +55,28 @@ func main() {
 	kb, err := ogpa.OpenKB(*ontologyPath, *dataPath)
 	if err != nil {
 		fail(err)
+	}
+	if *insertPath != "" || *deletePath != "" {
+		if err := kb.EnableLiveData(0); err != nil {
+			fail(err)
+		}
+		mutate := func(path string, apply func(*os.File) (int, error), verb string) {
+			if path == "" {
+				return
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			n, err := apply(f)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "%s %d triples (epoch %d)\n", verb, n, kb.Epoch())
+		}
+		mutate(*insertPath, func(f *os.File) (int, error) { return kb.InsertTriples(f) }, "inserted")
+		mutate(*deletePath, func(f *os.File) (int, error) { return kb.DeleteTriples(f) }, "deleted")
 	}
 	if *statsOnly {
 		fmt.Println(kb.Stats())

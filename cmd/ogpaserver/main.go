@@ -30,6 +30,8 @@ func main() {
 		planCacheSize = flag.Int("plan-cache-size", 0, "LRU plan-cache capacity (0 = default 128, negative = disabled)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file (flushed on SIGINT/SIGTERM)")
 		memProfile    = flag.String("memprofile", "", "write a heap profile to this file on shutdown")
+		live          = flag.Bool("live", false, "enable ABox mutations via POST /insert and /delete")
+		compactThresh = flag.Int("compact-threshold", 0, "overlay ops before background compaction (0 = default, negative = never; needs -live)")
 	)
 	flag.Parse()
 	if *ontologyPath == "" || *dataPath == "" {
@@ -44,6 +46,11 @@ func main() {
 	kb, err := ogpa.OpenKB(*ontologyPath, *dataPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *live {
+		if err := kb.EnableLiveData(*compactThresh); err != nil {
+			log.Fatal(err)
+		}
 	}
 	log.Printf("loaded %s", kb.Stats())
 	cfg := server.Config{MaxWorkersPerQuery: *maxWorkers, PlanCacheSize: *planCacheSize}
@@ -69,6 +76,7 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
+	kb.WaitIdle() // let a background compaction finish before exiting
 	profStop(profSession)
 }
 

@@ -19,6 +19,7 @@
 package daf
 
 import (
+	"context"
 	"fmt"
 	stdruntime "runtime"
 	"sync"
@@ -49,6 +50,10 @@ type Limits struct {
 	MaxResults int
 	MaxSteps   int64
 	Deadline   time.Time
+	// Ctx, when non-nil, is polled at the engine's batched step-flush
+	// point; cancellation surfaces as a clean truncation (partial answers,
+	// Stats.Truncated, nil error). See engine.Limits.Ctx.
+	Ctx context.Context
 	// Workers bounds the worker pools: EvalUCQ/PreparedUCQ evaluate
 	// disjuncts concurrently (each disjunct itself running sequentially),
 	// and a single Match fans its first decision level out across the
@@ -88,6 +93,7 @@ func engineOptions(o Options) engine.Options {
 			MaxResults: o.Limits.MaxResults,
 			MaxSteps:   o.Limits.MaxSteps,
 			Deadline:   o.Limits.Deadline,
+			Ctx:        o.Limits.Ctx,
 		},
 		Workers:     o.Limits.Workers,
 		UseLegacyCS: o.UseLegacyCS,
@@ -124,7 +130,7 @@ func (pr *Prepared) Stats() Stats { return pr.pl.Stats() }
 // concurrently on one Prepared.
 func (pr *Prepared) Run(lim Limits) (*core.AnswerSet, Stats, error) {
 	eo := engineOptions(pr.opts)
-	eo.Limits = engine.Limits{MaxResults: lim.MaxResults, MaxSteps: lim.MaxSteps, Deadline: lim.Deadline}
+	eo.Limits = engine.Limits{MaxResults: lim.MaxResults, MaxSteps: lim.MaxSteps, Deadline: lim.Deadline, Ctx: lim.Ctx}
 	eo.Workers = lim.Workers
 	return pr.pl.Run(eo)
 }
@@ -269,6 +275,9 @@ func evalDisjuncts(n int, lim Limits, eval func(int, Limits) (*core.AnswerSet, S
 			total.Steps += st.Steps
 			total.CSCandidates += st.CSCandidates
 			total.AdjPairs += st.AdjPairs
+			if st.Truncated {
+				total.Truncated = true // e.g. Ctx canceled mid-disjunct
+			}
 			if err != nil {
 				total.Truncated = true
 				return out, total, err
@@ -336,6 +345,9 @@ func evalDisjuncts(n int, lim Limits, eval func(int, Limits) (*core.AnswerSet, S
 		total.Steps += r.st.Steps
 		total.CSCandidates += r.st.CSCandidates
 		total.AdjPairs += r.st.AdjPairs
+		if r.st.Truncated {
+			total.Truncated = true // e.g. Ctx canceled mid-disjunct
+		}
 		if r.err != nil {
 			total.Truncated = true
 			return out, total, r.err

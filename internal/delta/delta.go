@@ -1,0 +1,309 @@
+// Package delta implements the live-data layer: an epoch-versioned,
+// copy-on-write graph store over the immutable CSR base built by
+// internal/graph.
+//
+// A Store holds a base *graph.Graph plus an append-only overlay log of
+// inserted/deleted triples (ABox changes only — new vertices, edges,
+// labels, attributes; the TBox stays fixed). Reads and writes meet through
+// an RCU-style epoch pointer:
+//
+//   - Writers serialize on an internal mutex, append a whole parsed batch
+//     to the log and publish a fresh immutable state with epoch+1 via one
+//     atomic pointer swap. A query either sees all of a batch or none of
+//     it — never a torn write.
+//   - Readers call Snapshot, which is one atomic load: lock-free, and the
+//     returned view is immutable forever, no matter how many writes land
+//     afterwards.
+//
+// Snapshot.Graph materializes the merged graph lazily and memoizes it per
+// epoch (sync.Once), so repeated queries against one epoch pay the merge
+// once; the result is a plain *graph.Graph sharing per-vertex storage with
+// the base for untouched vertices (graph.Overlay), which keeps the
+// engine's inner loops monomorphic. A background compactor folds the
+// overlay into a fresh canonical CSR base once the log crosses a size
+// threshold, restoring flat-arena adjacency without changing content (the
+// epoch is preserved — cached plans keyed by epoch stay valid).
+//
+// Triple bodies are routed through internal/rdf's type-aware mapping, so
+// rdf:type triples become label mutations, resource-object triples edge
+// mutations and literal-object triples attribute mutations, exactly as at
+// load time. Vertex deletion does not exist: deleting every triple that
+// mentions a vertex leaves it isolated, so VIDs stay stable across epochs
+// and compactions.
+package delta
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"ogpa/internal/graph"
+	"ogpa/internal/rdf"
+	"ogpa/internal/symbols"
+)
+
+// DefaultCompactThreshold is the overlay size (in ops) that triggers
+// background compaction when Config.CompactThreshold is zero.
+const DefaultCompactThreshold = 4096
+
+// Config tunes a Store.
+type Config struct {
+	// CompactThreshold is the overlay op count that triggers background
+	// compaction; 0 means DefaultCompactThreshold, negative disables
+	// automatic compaction (Compact can still be called explicitly).
+	CompactThreshold int
+	// Name rewrites IRIs before interning (e.g. rdf.LocalName); identity
+	// when nil. It must match the mapping the base graph was loaded with,
+	// or mutations would target differently-spelled vertices.
+	Name func(string) string
+}
+
+// op is one logged mutation: a parsed triple plus its polarity.
+type op struct {
+	del bool
+	t   rdf.Triple
+}
+
+// state is one immutable published version of the store. Everything in it
+// is fixed at publish time except the memoized materialization, which is
+// write-once under the sync.Once.
+type state struct {
+	epoch  uint64
+	base   *graph.Graph
+	ops    []op // immutable view: the writer never mutates ops[:len(ops)]
+	nameFn func(string) string
+
+	once sync.Once
+	g    *graph.Graph
+}
+
+// graphNow materializes base+ops, memoized per state so every reader of
+// this epoch shares one merge.
+func (st *state) graphNow() *graph.Graph {
+	st.once.Do(func() {
+		if len(st.ops) == 0 {
+			st.g = st.base
+			return
+		}
+		ov := graph.NewOverlay(st.base)
+		m := overlayMutator{ov: ov}
+		for _, o := range st.ops {
+			rdf.ApplyTriple(m, o.t, o.del, st.nameFn)
+		}
+		st.g = ov.Freeze()
+	})
+	return st.g
+}
+
+// writerGate serializes mutations and compaction publishes. It is its own
+// struct so the Store's lock-free reader fields stay outside the lock
+// discipline.
+type writerGate struct {
+	mu         sync.Mutex
+	compacting bool // a background compaction goroutine is running
+}
+
+// Store is the mutable graph store. Zero value is not usable; construct
+// with NewStore. All methods are safe for concurrent use.
+type Store struct {
+	cur         atomic.Pointer[state]
+	gate        writerGate
+	threshold   int
+	nameFn      func(string) string
+	compactions atomic.Uint64
+	bg          sync.WaitGroup
+}
+
+// NewStore wraps base in a mutable store. The base's symbol table is
+// thawed so writer goroutines can intern names of new individuals; the
+// base graph itself is never modified.
+func NewStore(base *graph.Graph, cfg Config) *Store {
+	threshold := cfg.CompactThreshold
+	if threshold == 0 {
+		threshold = DefaultCompactThreshold
+	}
+	base.Symbols.Thaw()
+	s := &Store{threshold: threshold, nameFn: cfg.Name}
+	s.cur.Store(&state{epoch: 1, base: base, nameFn: cfg.Name})
+	return s
+}
+
+// Snapshot is an immutable read view of the store at one epoch.
+type Snapshot struct {
+	st *state
+}
+
+// Snapshot returns the current read view: one atomic load, lock-free.
+func (s *Store) Snapshot() Snapshot { return Snapshot{st: s.cur.Load()} }
+
+// Epoch identifies the version; it increments on every applied batch.
+func (sn Snapshot) Epoch() uint64 { return sn.st.epoch }
+
+// OverlayOps reports how many logged ops this view layers over its base.
+func (sn Snapshot) OverlayOps() int { return len(sn.st.ops) }
+
+// Graph materializes the merged graph for this view (memoized per epoch).
+func (sn Snapshot) Graph() *graph.Graph { return sn.st.graphNow() }
+
+// Epoch reports the current epoch.
+func (s *Store) Epoch() uint64 { return s.cur.Load().epoch }
+
+// OverlaySize reports the current overlay length in ops (resets to zero
+// when compaction folds the overlay into the base).
+func (s *Store) OverlaySize() int { return len(s.cur.Load().ops) }
+
+// BaseVertices reports |V| of the current compacted base.
+func (s *Store) BaseVertices() int { return s.cur.Load().base.NumVertices() }
+
+// Compactions reports how many compactions have completed.
+func (s *Store) Compactions() uint64 { return s.compactions.Load() }
+
+// InsertTriples parses an N-Triples body and applies every triple as an
+// insertion, atomically: either the whole batch is published under one new
+// epoch, or (on a parse error) nothing is. Returns the number of triples
+// applied.
+func (s *Store) InsertTriples(r io.Reader) (int, error) { return s.apply(r, false) }
+
+// DeleteTriples parses an N-Triples body and applies every triple as a
+// deletion, with the same atomicity. Deleting an absent triple is a no-op.
+func (s *Store) DeleteTriples(r io.Reader) (int, error) { return s.apply(r, true) }
+
+func (s *Store) apply(r io.Reader, del bool) (int, error) {
+	// Parse the entire body before taking the writer lock: a parse error
+	// must leave the store untouched, and holding the lock across IO would
+	// serialize writers on the slowest client.
+	var batch []op
+	err := rdf.ParseTriples(r, func(t rdf.Triple) error {
+		batch = append(batch, op{del: del, t: t})
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(batch) == 0 {
+		return 0, nil
+	}
+
+	s.gate.mu.Lock()
+	cur := s.cur.Load()
+	ops := append(cur.ops, batch...)
+	// Full slice expression: future appends by later writers must go to a
+	// fresh backing array rather than scribbling past this state's view.
+	ops = ops[:len(ops):len(ops)]
+	s.cur.Store(&state{epoch: cur.epoch + 1, base: cur.base, ops: ops, nameFn: s.nameFn})
+	spawn := s.threshold > 0 && len(ops) >= s.threshold && !s.gate.compacting
+	if spawn {
+		s.gate.compacting = true
+		s.bg.Add(1)
+	}
+	s.gate.mu.Unlock()
+
+	if spawn {
+		go s.compactLoop()
+	}
+	return len(batch), nil
+}
+
+// compactLoop runs in the single background compactor goroutine: it folds
+// until the overlay is back under threshold, then exits.
+func (s *Store) compactLoop() {
+	defer s.bg.Done()
+	for {
+		s.Compact()
+		s.gate.mu.Lock()
+		again := s.threshold > 0 && len(s.cur.Load().ops) >= s.threshold
+		if !again {
+			s.gate.compacting = false
+		}
+		s.gate.mu.Unlock()
+		if !again {
+			return
+		}
+	}
+}
+
+// Compact synchronously folds the current overlay into a fresh canonical
+// CSR base. Content and epoch are unchanged — queries and epoch-keyed
+// cached plans are unaffected — only the representation is flattened. The
+// expensive fold runs outside the writer lock; concurrent writes landing
+// meanwhile are replayed onto the new base at publish time (they stay in
+// the overlay of the published state).
+func (s *Store) Compact() {
+	for {
+		st := s.cur.Load()
+		if len(st.ops) == 0 {
+			return
+		}
+		folded := st.graphNow().Compacted()
+
+		s.gate.mu.Lock()
+		cur := s.cur.Load()
+		if cur.base != st.base {
+			// Another compaction published a new base between our load and
+			// the lock; retry against it.
+			s.gate.mu.Unlock()
+			continue
+		}
+		// cur.ops extends st.ops (same base, append-only log): the suffix
+		// holds exactly the writes that landed during the fold.
+		rest := cur.ops[len(st.ops):]
+		rest = rest[:len(rest):len(rest)]
+		s.cur.Store(&state{epoch: cur.epoch, base: folded, ops: rest, nameFn: s.nameFn})
+		s.compactions.Add(1)
+		s.gate.mu.Unlock()
+		return
+	}
+}
+
+// WaitIdle blocks until any background compaction has finished. Tests and
+// graceful shutdown use it; queries never need to.
+func (s *Store) WaitIdle() { s.bg.Wait() }
+
+// overlayMutator adapts graph.Overlay's ID-based mutation API to the
+// string-based rdf.Mutator sink. Inserts intern names (the table is
+// thawed); deletes only look names up — deleting a triple that mentions an
+// unknown name is a no-op and must not grow the symbol table.
+type overlayMutator struct {
+	ov *graph.Overlay
+}
+
+func (m overlayMutator) AddLabel(vertex, label string) {
+	m.ov.AddLabel(m.ov.Vertex(vertex), m.ov.Base().Symbols.Intern(label))
+}
+
+func (m overlayMutator) RemoveLabel(vertex, label string) {
+	v := m.ov.LookupVertex(vertex)
+	l := m.ov.Base().Symbols.Lookup(label)
+	if v == graph.NoVID || l == symbols.None {
+		return
+	}
+	m.ov.RemoveLabel(v, l)
+}
+
+func (m overlayMutator) AddEdge(from, label, to string) {
+	l := m.ov.Base().Symbols.Intern(label)
+	m.ov.AddEdge(m.ov.Vertex(from), l, m.ov.Vertex(to))
+}
+
+func (m overlayMutator) RemoveEdge(from, label, to string) {
+	f := m.ov.LookupVertex(from)
+	t := m.ov.LookupVertex(to)
+	l := m.ov.Base().Symbols.Lookup(label)
+	if f == graph.NoVID || t == graph.NoVID || l == symbols.None {
+		return
+	}
+	m.ov.RemoveEdge(f, l, t)
+}
+
+func (m overlayMutator) SetAttr(vertex, name string, value graph.Value) {
+	m.ov.SetAttr(m.ov.Vertex(vertex), m.ov.Base().Symbols.Intern(name), value)
+}
+
+func (m overlayMutator) RemoveAttr(vertex, name string, value graph.Value) {
+	v := m.ov.LookupVertex(vertex)
+	a := m.ov.Base().Symbols.Lookup(name)
+	if v == graph.NoVID || a == symbols.None {
+		return
+	}
+	m.ov.RemoveAttr(v, a, value)
+}

@@ -70,6 +70,29 @@ func (a *ABox) Graph(tbl *symbols.Table) *graph.Graph {
 	return b.Freeze()
 }
 
+// ABoxFromGraph inverts Graph: every vertex label becomes a concept
+// assertion, every edge a role assertion, every attribute an attribute
+// assertion. The live-data layer uses it to feed the ABox-based baselines
+// (datalog, saturation) and the consistency checker from a mutable-store
+// snapshot, where the graph — not the ABox — is the source of truth.
+func ABoxFromGraph(g *graph.Graph) *ABox {
+	a := &ABox{}
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := graph.VID(v)
+		ind := g.Name(vid)
+		for _, l := range g.Labels(vid) {
+			a.AddConcept(g.Symbols.Name(l), ind)
+		}
+		for _, h := range g.Out(vid) {
+			a.AddRole(g.Symbols.Name(h.Label), ind, g.Name(h.To))
+		}
+		for _, at := range g.Attributes(vid) {
+			a.AddAttr(ind, g.Symbols.Name(at.Name), at.Value)
+		}
+	}
+	return a
+}
+
 // Triples renders the ABox as rdf.Triples (used by cmd/datagen).
 func (a *ABox) Triples(emit func(rdf.Triple) error) error {
 	for _, ca := range a.Concepts {

@@ -108,6 +108,9 @@ func (rt *runtime) tick() error {
 		if !rt.bud.deadline.IsZero() && time.Now().After(rt.bud.deadline) {
 			return ErrLimit
 		}
+		if rt.bud.ctx != nil && rt.bud.ctx.Err() != nil {
+			return errCanceled
+		}
 		if rt.bud.stop.Load() {
 			return errStopped
 		}

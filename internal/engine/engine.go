@@ -29,6 +29,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"time"
@@ -56,6 +57,14 @@ type Limits struct {
 	MaxResults int
 	MaxSteps   int64
 	Deadline   time.Time
+	// Ctx, when non-nil, is polled at the batched step-flush point (every
+	// stepFlush enumeration ticks). Cancellation or context-deadline
+	// expiry stops the run as a *clean truncation*: Run returns the
+	// answers found so far with Stats.Truncated set and a nil error —
+	// unlike Deadline, which reports ErrLimit. Servers use it to shed
+	// runaway queries when the client disconnects or its request deadline
+	// passes.
+	Ctx context.Context
 }
 
 // ErrLimit reports that the enumeration hit a limit. The front-end

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	stdruntime "runtime"
 	"sync"
@@ -16,11 +17,18 @@ import (
 // answers. It never escapes Run.
 var errStopped = errors.New("engine: stopped")
 
+// errCanceled is the internal sentinel for Limits.Ctx cancellation. It
+// never escapes Run either: context cancellation surfaces as a clean
+// truncation (partial answers, Stats.Truncated, nil error).
+var errCanceled = errors.New("engine: context canceled")
+
 // budget is the enumeration budget shared by every worker of one Run
-// call. It is atomics-only so the per-node hot path (tick) takes no locks.
+// call. It is atomics-only so the per-node hot path (tick) takes no locks;
+// the context is only polled at the batched flush point.
 type budget struct {
 	maxSteps int64
 	deadline time.Time
+	ctx      context.Context // nil unless Limits.Ctx was set
 	steps    atomic.Int64
 	stop     atomic.Bool
 }
@@ -65,7 +73,16 @@ func (rt *runtime) runItem(u int, v graph.VID) error {
 // partitioned across a worker pool; per-item answer sets are merged in
 // candidate order, so the result is identical to the sequential path.
 func (m *matcher) backtrack(out *core.AnswerSet) error {
-	bud := &budget{maxSteps: m.opts.Limits.MaxSteps, deadline: m.opts.Limits.Deadline}
+	bud := &budget{
+		maxSteps: m.opts.Limits.MaxSteps,
+		deadline: m.opts.Limits.Deadline,
+		ctx:      m.opts.Limits.Ctx,
+	}
+	if bud.ctx != nil && bud.ctx.Err() != nil {
+		// Already canceled before the first tick: clean empty truncation.
+		m.stats.Truncated = true
+		return nil
+	}
 	workers := m.opts.Workers
 	if workers <= 0 {
 		workers = stdruntime.GOMAXPROCS(0)
@@ -94,6 +111,11 @@ func (m *matcher) backtrack(out *core.AnswerSet) error {
 		rt.flushSteps()
 		m.stats.Steps = bud.steps.Load()
 		m.stats.AtomEvals += rt.atomEvals
+		if errors.Is(err, errCanceled) {
+			// Limits.Ctx fired: clean truncation, answers so far stand.
+			m.stats.Truncated = true
+			return nil
+		}
 		if errors.Is(err, ErrLimit) {
 			m.stats.Truncated = true
 			if m.opts.Limits.MaxResults > 0 && out.Len() >= m.opts.Limits.MaxResults {
@@ -178,6 +200,9 @@ func (m *matcher) backtrackPar(out *core.AnswerSet, bud *budget, u0 int, items [
 	m.stats.AtomEvals += atomEvals.Load()
 	if firstErr != nil || bud.stop.Load() {
 		m.stats.Truncated = true
+	}
+	if errors.Is(firstErr, errCanceled) {
+		return nil // Limits.Ctx fired: clean truncation, answers so far stand
 	}
 	if errors.Is(firstErr, ErrLimit) && limit > 0 && out.Len() >= limit {
 		return nil // truncation at MaxResults is a successful run

@@ -122,6 +122,11 @@ type Graph struct {
 
 	names  []symbols.ID // external vertex names (IRIs / constants), interned
 	byName map[symbols.ID]VID
+	// extraByName indexes vertices appended by an Overlay derivation; the
+	// shared byName map of the base cannot be grown (readers hold it
+	// lock-free), so derived graphs carry their additions here. Nil on
+	// canonical (Builder- or Compacted-built) graphs.
+	extraByName map[symbols.ID]VID
 
 	labels  [][]symbols.ID // sorted label set per vertex
 	out     [][]Half       // sorted by (Label, To)
@@ -150,7 +155,7 @@ func (g *Graph) VertexByName(name string) VID {
 	if id == symbols.None {
 		return NoVID
 	}
-	if v, ok := g.byName[id]; ok {
+	if v, ok := g.vertexBySym(id); ok {
 		return v
 	}
 	return NoVID

@@ -1,0 +1,344 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"ogpa/internal/symbols"
+)
+
+// dumpGraph renders a graph into a canonical text form covering every
+// channel the matcher reads: vertices with labels and attributes, edges,
+// per-label buckets and frequency tables. Two graphs with equal dumps
+// answer every query identically.
+func dumpGraph(g *Graph) string {
+	var sb strings.Builder
+	var names []string
+	for v := 0; v < g.NumVertices(); v++ {
+		names = append(names, g.Name(VID(v)))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := g.VertexByName(name)
+		fmt.Fprintf(&sb, "v %s:", name)
+		for _, l := range g.Labels(v) {
+			fmt.Fprintf(&sb, " +%s", g.Symbols.Name(l))
+		}
+		for _, a := range g.Attributes(v) {
+			fmt.Fprintf(&sb, " %s=%v", g.Symbols.Name(a.Name), a.Value)
+		}
+		sb.WriteByte('\n')
+		for _, h := range g.Out(v) {
+			fmt.Fprintf(&sb, "e %s -%s-> %s\n", name, g.Symbols.Name(h.Label), g.Name(h.To))
+		}
+		for _, h := range g.In(v) {
+			fmt.Fprintf(&sb, "r %s <-%s- %s\n", name, g.Symbols.Name(h.Label), g.Name(h.To))
+		}
+	}
+	var labels []string
+	for l := symbols.ID(1); int(l) <= g.Symbols.Len(); l++ {
+		if n := g.LabelFrequency(l); n > 0 {
+			bucket := g.VerticesByLabel(l)
+			if len(bucket) != n {
+				fmt.Fprintf(&sb, "BROKEN bucket %s: freq=%d len=%d\n", g.Symbols.Name(l), n, len(bucket))
+			}
+			var bs []string
+			for _, v := range bucket {
+				bs = append(bs, g.Name(v))
+			}
+			labels = append(labels, fmt.Sprintf("l %s: %s", g.Symbols.Name(l), strings.Join(bs, ",")))
+		}
+		if n := g.EdgeLabelFrequency(l); n > 0 {
+			labels = append(labels, fmt.Sprintf("f %s: %d", g.Symbols.Name(l), n))
+		}
+	}
+	sort.Strings(labels)
+	sb.WriteString(strings.Join(labels, "\n"))
+	fmt.Fprintf(&sb, "\nedges=%d\n", g.NumEdges())
+	return sb.String()
+}
+
+func TestOverlayNoChangesReturnsBase(t *testing.T) {
+	base := buildSample(t)
+	ov := NewOverlay(base)
+	if got := ov.Freeze(); got != base {
+		t.Fatal("empty overlay should freeze to the base graph itself")
+	}
+}
+
+func TestOverlayAddAndRemove(t *testing.T) {
+	base := buildSample(t)
+	baseDump := dumpGraph(base)
+	base.Symbols.Thaw()
+
+	ov := NewOverlay(base)
+	// New vertex with a label and an edge to an existing vertex.
+	carl := ov.Vertex("carl")
+	if int(carl) < base.NumVertices() {
+		t.Fatalf("new vertex got base VID %d", carl)
+	}
+	student := base.Symbols.Intern("Student")
+	ov.AddLabel(carl, student)
+	advisorOf := base.Symbols.Intern("advisorOf")
+	bob := base.VertexByName("bob")
+	ov.AddEdge(bob, advisorOf, carl)
+	// Remove an existing label and edge.
+	ann := base.VertexByName("ann")
+	phd := base.Symbols.Lookup("PhD")
+	ov.RemoveLabel(ann, phd)
+	course1 := base.VertexByName("course1")
+	takes := base.Symbols.Lookup("takesCourse")
+	ov.RemoveEdge(ann, takes, course1)
+	// Attribute update and a value-conditional delete that must not fire.
+	year := base.Symbols.Lookup("year")
+	ov.SetAttr(course1, year, Int(2024))
+	nameAttr := base.Symbols.Lookup("name")
+	ov.RemoveAttr(ann, nameAttr, String("NotAnn")) // wrong value: keep
+
+	g := ov.Freeze()
+
+	if got := dumpGraph(base); got != baseDump {
+		t.Fatal("Freeze mutated the base graph")
+	}
+	carl2 := g.VertexByName("carl")
+	if carl2 != carl {
+		t.Fatalf("carl VID = %d, want %d", carl2, carl)
+	}
+	if !g.HasLabel(carl2, student) {
+		t.Fatal("carl should be Student")
+	}
+	if !g.HasEdge(g.VertexByName("bob"), advisorOf, carl2) {
+		t.Fatal("bob -advisorOf-> carl missing")
+	}
+	if g.HasLabel(g.VertexByName("ann"), phd) {
+		t.Fatal("ann should have lost PhD")
+	}
+	if g.HasEdge(g.VertexByName("ann"), takes, g.VertexByName("course1")) {
+		t.Fatal("ann -takesCourse-> course1 should be deleted")
+	}
+	if v, ok := g.Attribute(g.VertexByName("course1"), year); !ok || v != Int(2024) {
+		t.Fatalf("year = %v, %v; want 2024", v, ok)
+	}
+	if _, ok := g.Attribute(g.VertexByName("ann"), nameAttr); !ok {
+		t.Fatal("value-conditional delete with wrong value removed the attribute")
+	}
+	if g.NumEdges() != base.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d (one added, one removed)", g.NumEdges(), base.NumEdges())
+	}
+	// PhD bucket is now empty and must be gone from the frequency table.
+	if g.LabelFrequency(phd) != 0 || len(g.VerticesByLabel(phd)) != 0 {
+		t.Fatal("empty PhD bucket survived")
+	}
+}
+
+func TestOverlayAddThenRemoveCancels(t *testing.T) {
+	base := buildSample(t)
+	base.Symbols.Thaw()
+	ov := NewOverlay(base)
+	ann := base.VertexByName("ann")
+	l := base.Symbols.Intern("Visitor")
+	ov.AddLabel(ann, l)
+	ov.RemoveLabel(ann, l)
+	bob := base.VertexByName("bob")
+	e := base.Symbols.Intern("knows")
+	ov.AddEdge(ann, e, bob)
+	ov.RemoveEdge(ann, e, bob)
+	g := ov.Freeze()
+	if g.HasLabel(g.VertexByName("ann"), l) {
+		t.Fatal("canceled label survived")
+	}
+	if g.HasEdge(g.VertexByName("ann"), e, g.VertexByName("bob")) {
+		t.Fatal("canceled edge survived")
+	}
+	if g.NumEdges() != base.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), base.NumEdges())
+	}
+}
+
+func TestCompactedEquivalence(t *testing.T) {
+	base := buildSample(t)
+	base.Symbols.Thaw()
+	ov := NewOverlay(base)
+	ov.AddLabel(ov.Vertex("carl"), base.Symbols.Intern("Student"))
+	ov.AddEdge(ov.Vertex("carl"), base.Symbols.Intern("takesCourse"), base.VertexByName("course1"))
+	ov.RemoveLabel(base.VertexByName("ann"), base.Symbols.Lookup("PhD"))
+	g := ov.Freeze()
+	c := g.Compacted()
+	if dumpGraph(c) != dumpGraph(g) {
+		t.Fatalf("Compacted changed content:\n-- overlay --\n%s\n-- compacted --\n%s", dumpGraph(g), dumpGraph(c))
+	}
+	if c.extraByName != nil {
+		t.Fatal("Compacted should fold extraByName into byName")
+	}
+}
+
+// shadowModel is the oracle: a plain set-based graph description that a
+// fresh Builder can replay.
+type shadowModel struct {
+	labels map[[2]string]bool  // (vertex, label)
+	edges  map[[3]string]bool  // (from, label, to)
+	attrs  map[[2]string]Value // (vertex, attr) -> value
+	seen   map[string]bool     // every vertex ever mentioned
+	order  []string            // mention order, for VID stability
+}
+
+func newShadow() *shadowModel {
+	return &shadowModel{
+		labels: map[[2]string]bool{},
+		edges:  map[[3]string]bool{},
+		attrs:  map[[2]string]Value{},
+		seen:   map[string]bool{},
+	}
+}
+
+func (s *shadowModel) touch(v string) {
+	if !s.seen[v] {
+		s.seen[v] = true
+		s.order = append(s.order, v)
+	}
+}
+
+// build replays the shadow into a fresh canonical graph. Every vertex
+// ever mentioned is created (the overlay never removes vertices), in
+// first-mention order so VIDs line up with the overlay's.
+func (s *shadowModel) build(tbl *symbols.Table) *Graph {
+	b := NewBuilder(tbl)
+	for _, v := range s.order {
+		b.Vertex(v)
+	}
+	var ls [][2]string
+	for k := range s.labels {
+		ls = append(ls, k)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i][0]+ls[i][1] < ls[j][0]+ls[j][1] })
+	for _, k := range ls {
+		b.AddLabel(k[0], k[1])
+	}
+	var es [][3]string
+	for k := range s.edges {
+		es = append(es, k)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		return es[i][0]+es[i][1]+es[i][2] < es[j][0]+es[j][1]+es[j][2]
+	})
+	for _, k := range es {
+		b.AddEdge(k[0], k[1], k[2])
+	}
+	var as [][2]string
+	for k := range s.attrs {
+		as = append(as, k)
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i][0]+as[i][1] < as[j][0]+as[j][1] })
+	for _, k := range as {
+		b.SetAttr(k[0], k[1], s.attrs[k])
+	}
+	return b.Freeze()
+}
+
+// TestOverlayRandomEquivalence drives random mutation scripts against
+// both the overlay and the shadow model and requires byte-identical
+// canonical dumps after every Freeze, including through Compacted.
+func TestOverlayRandomEquivalence(t *testing.T) {
+	verts := []string{"a", "b", "c", "d", "e", "f", "g2", "h2"}
+	labels := []string{"L1", "L2", "L3"}
+	elabels := []string{"p", "q", "r"}
+	attrs := []string{"x", "y"}
+
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sh := newShadow()
+
+		// Random base from a prefix of the shadow script.
+		b := NewBuilder(nil)
+		for i := 0; i < 12; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				v, l := verts[rng.Intn(4)], labels[rng.Intn(len(labels))]
+				b.AddLabel(v, l)
+				sh.touch(v)
+				sh.labels[[2]string{v, l}] = true
+			case 1:
+				f, e, to := verts[rng.Intn(4)], elabels[rng.Intn(len(elabels))], verts[rng.Intn(4)]
+				b.AddEdge(f, e, to)
+				sh.touch(f)
+				sh.touch(to)
+				sh.edges[[3]string{f, e, to}] = true
+			default:
+				v, a := verts[rng.Intn(4)], attrs[rng.Intn(len(attrs))]
+				val := Int(int64(rng.Intn(5)))
+				sh.touch(v)
+				sh.attrs[[2]string{v, a}] = val
+				b.SetAttr(v, a, val)
+			}
+		}
+		base := b.Freeze()
+		base.Symbols.Thaw()
+
+		// Chain of overlays, each applying a random batch.
+		g := base
+		for round := 0; round < 4; round++ {
+			ov := NewOverlay(g)
+			for i := 0; i < 10; i++ {
+				switch rng.Intn(6) {
+				case 0:
+					v, l := verts[rng.Intn(len(verts))], labels[rng.Intn(len(labels))]
+					ov.AddLabel(ov.Vertex(v), base.Symbols.Intern(l))
+					sh.touch(v)
+					sh.labels[[2]string{v, l}] = true
+				case 1:
+					v, l := verts[rng.Intn(len(verts))], labels[rng.Intn(len(labels))]
+					if vid := ov.LookupVertex(v); vid != NoVID {
+						if id := base.Symbols.Lookup(l); id != symbols.None {
+							ov.RemoveLabel(vid, id)
+							delete(sh.labels, [2]string{v, l})
+						}
+					}
+				case 2:
+					f, e, to := verts[rng.Intn(len(verts))], elabels[rng.Intn(len(elabels))], verts[rng.Intn(len(verts))]
+					ov.AddEdge(ov.Vertex(f), base.Symbols.Intern(e), ov.Vertex(to))
+					sh.touch(f)
+					sh.touch(to)
+					sh.edges[[3]string{f, e, to}] = true
+				case 3:
+					f, e, to := verts[rng.Intn(len(verts))], elabels[rng.Intn(len(elabels))], verts[rng.Intn(len(verts))]
+					fv, tv := ov.LookupVertex(f), ov.LookupVertex(to)
+					if fv != NoVID && tv != NoVID {
+						if id := base.Symbols.Lookup(e); id != symbols.None {
+							ov.RemoveEdge(fv, id, tv)
+							delete(sh.edges, [3]string{f, e, to})
+						}
+					}
+				case 4:
+					v, a := verts[rng.Intn(len(verts))], attrs[rng.Intn(len(attrs))]
+					val := Int(int64(rng.Intn(5)))
+					ov.SetAttr(ov.Vertex(v), base.Symbols.Intern(a), val)
+					sh.touch(v)
+					sh.attrs[[2]string{v, a}] = val
+				default:
+					v, a := verts[rng.Intn(len(verts))], attrs[rng.Intn(len(attrs))]
+					val := Int(int64(rng.Intn(5)))
+					if vid := ov.LookupVertex(v); vid != NoVID {
+						if id := base.Symbols.Lookup(a); id != symbols.None {
+							ov.RemoveAttr(vid, id, val)
+							if sh.attrs[[2]string{v, a}] == val {
+								delete(sh.attrs, [2]string{v, a})
+							}
+						}
+					}
+				}
+			}
+			g = ov.Freeze()
+
+			want := dumpGraph(sh.build(base.Symbols))
+			if got := dumpGraph(g); got != want {
+				t.Fatalf("seed %d round %d: overlay diverged from rebuild\n-- overlay --\n%s\n-- rebuild --\n%s", seed, round, got, want)
+			}
+			if got := dumpGraph(g.Compacted()); got != want {
+				t.Fatalf("seed %d round %d: Compacted diverged from rebuild", seed, round)
+			}
+		}
+	}
+}

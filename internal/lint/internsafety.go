@@ -30,6 +30,7 @@ var hotPathSuffixes = []string{
 	"internal/match",
 	"internal/daf",
 	"internal/graph",
+	"internal/delta",
 }
 
 func runInternSafety(p *Pass) {

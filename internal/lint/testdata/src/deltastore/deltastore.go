@@ -1,0 +1,74 @@
+// Package deltastore is a lint fixture shaped like the live-data layer's
+// delta store: an RCU-style epoch pointer published by writers that
+// serialize on a gate mutex, plus a background-compactor flag guarded by
+// the same mutex. Readers go through the atomic pointer and never lock;
+// the mutex discipline applies only to the gate's own fields.
+package deltastore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// version is one immutable published state.
+type version struct {
+	epoch uint64
+	ops   []int
+}
+
+// gate mirrors delta.writerGate: mu guards compacting (and serializes
+// publishes), and lives in its own struct so the store's lock-free
+// reader fields stay outside the lock discipline.
+type gate struct {
+	mu         sync.Mutex
+	compacting bool
+}
+
+// store mirrors delta.Store: cur is read lock-free, writes go through g.
+type store struct {
+	cur atomic.Pointer[version]
+	g   gate
+}
+
+// snapshot is the reader path: one atomic load, no locks.
+func (s *store) snapshot() *version {
+	return s.cur.Load()
+}
+
+// publish is the correct writer discipline: the epoch bump and the
+// compacting decision happen under g.mu.
+func (s *store) publish(ops []int) bool {
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	cur := s.cur.Load()
+	next := &version{epoch: cur.epoch + 1, ops: ops}
+	s.cur.Store(next)
+	spawn := !s.g.compacting && len(ops) > 4
+	if spawn {
+		s.g.compacting = true
+	}
+	return spawn
+}
+
+// compactDone clears the flag under the lock.
+func (g *gate) compactDone() {
+	g.mu.Lock()
+	g.compacting = false
+	g.mu.Unlock()
+}
+
+// busy reads the flag without the lock: a racy peek at compactor state.
+func (g *gate) busy() bool {
+	return g.compacting // want:locksafety
+}
+
+// busyExcused shows the suppression escape hatch.
+func (g *gate) busyExcused() bool {
+	//lint:ignore locksafety fixture: monitoring-only read, staleness acceptable
+	return g.compacting
+}
+
+// byValue copies the gate — and its mutex — via the receiver.
+func (g gate) byValue() bool { // want:locksafety
+	return false
+}

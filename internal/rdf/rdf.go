@@ -299,6 +299,61 @@ func AddTriple(b *graph.Builder, t Triple, name func(string) string) {
 	}
 }
 
+// Mutator is a sink for live ABox mutations under the same type-aware
+// mapping AddTriple applies at load time: rdf:type triples touch vertex
+// labels, resource-object triples touch edges, literal-object triples
+// touch attributes. internal/delta's overlay store implements it; Builder
+// intentionally does not (loads are insert-only).
+type Mutator interface {
+	AddLabel(vertex, label string)
+	RemoveLabel(vertex, label string)
+	AddEdge(from, label, to string)
+	RemoveEdge(from, label, to string)
+	SetAttr(vertex, name string, value graph.Value)
+	// RemoveAttr deletes the attribute only when its current value equals
+	// value: deleting a triple removes that assertion, not whatever value
+	// happens to be stored now.
+	RemoveAttr(vertex, name string, value graph.Value)
+}
+
+// ApplyTriple routes one triple to m under the type-aware mapping,
+// as an insertion (del=false) or a deletion (del=true). name rewrites
+// IRIs (identity when nil), mirroring AddTriple.
+func ApplyTriple(m Mutator, t Triple, del bool, name func(string) string) {
+	if name == nil {
+		name = func(s string) string { return s }
+	}
+	subj := name(t.Subject)
+	switch {
+	case t.Predicate == TypePredicate && t.Kind == ObjectIRI:
+		if del {
+			m.RemoveLabel(subj, name(t.Object))
+		} else {
+			m.AddLabel(subj, name(t.Object))
+		}
+	case t.Kind == ObjectIRI:
+		if del {
+			m.RemoveEdge(subj, name(t.Predicate), name(t.Object))
+		} else {
+			m.AddEdge(subj, name(t.Predicate), name(t.Object))
+		}
+	case t.Kind == ObjectInt:
+		applyAttr(m, del, subj, name(t.Predicate), graph.Int(t.Int))
+	case t.Kind == ObjectFloat:
+		applyAttr(m, del, subj, name(t.Predicate), graph.Float(t.Float))
+	default:
+		applyAttr(m, del, subj, name(t.Predicate), graph.String(t.Object))
+	}
+}
+
+func applyAttr(m Mutator, del bool, vertex, attr string, v graph.Value) {
+	if del {
+		m.RemoveAttr(vertex, attr, v)
+	} else {
+		m.SetAttr(vertex, attr, v)
+	}
+}
+
 // WriteTriple formats a triple in the same subset accepted by ParseTriples.
 func WriteTriple(w io.Writer, t Triple) error {
 	var err error

@@ -4,8 +4,16 @@
 //
 //	POST /query        answer a CQ (or SPARQL) query
 //	POST /rewrite      return the generated OGP for a query
+//	POST /insert       apply an N-Triples body as ABox insertions (live KB)
+//	POST /delete       apply an N-Triples body as ABox deletions (live KB)
 //	GET  /stats        knowledge-base statistics
 //	GET  /consistency  negative-inclusion check
+//
+// The mutation endpoints require a KB with live data enabled
+// (ogpa.KB.EnableLiveData; `ogpaserver -live`); against a read-only KB
+// they answer 403. Each accepted batch bumps the store epoch, which is
+// part of every plan-cache key, so cached plans never serve answers from
+// a superseded version.
 package server
 
 import (
@@ -41,6 +49,19 @@ type QueryResponse struct {
 	TookMs  float64    `json:"tookMs"`
 	Method  string     `json:"method"`
 	Rewrote string     `json:"rewrote,omitempty"` // set when Minimize changed the query
+	// Truncated reports that enumeration stopped early — at MaxResults,
+	// at the timeout, or because the client disconnected (the request
+	// context is wired into the matcher). The rows returned are still
+	// sound answers, just not necessarily all of them.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// MutationResponse is the body of a successful POST /insert or /delete.
+type MutationResponse struct {
+	Applied     int     `json:"applied"`     // triples in the batch
+	Epoch       uint64  `json:"epoch"`       // store version after the batch
+	OverlaySize int     `json:"overlaySize"` // ops layered over the base
+	TookMs      float64 `json:"tookMs"`
 }
 
 // RewriteResponse is the body of a successful POST /rewrite.
@@ -73,6 +94,13 @@ type StatsResponse struct {
 	PlanCacheMisses uint64                        `json:"planCacheMisses"`
 	PlanCacheSize   int                           `json:"planCacheSize"`
 	PlanCacheByKind map[string]PlanCacheKindStats `json:"planCacheByKind,omitempty"`
+	// Live-data fields: zero/false on a read-only KB.
+	Live        bool   `json:"live"`
+	Epoch       uint64 `json:"epoch,omitempty"`
+	OverlaySize int    `json:"overlaySize,omitempty"`
+	Compactions uint64 `json:"compactions,omitempty"`
+	Inserts     uint64 `json:"inserts,omitempty"`
+	Deletes     uint64 `json:"deletes,omitempty"`
 }
 
 // PlanCacheKindStats are one query kind's plan-cache counters.
@@ -89,6 +117,8 @@ type metrics struct {
 	queries  uint64
 	rewrites uint64
 	errors   uint64
+	inserts  uint64
+	deletes  uint64
 }
 
 func (m *metrics) recordQuery() {
@@ -109,10 +139,20 @@ func (m *metrics) recordError() {
 	m.mu.Unlock()
 }
 
-func (m *metrics) snapshot() (queries, rewrites, errors uint64) {
+func (m *metrics) recordMutation(del bool) {
+	m.mu.Lock()
+	if del {
+		m.deletes++
+	} else {
+		m.inserts++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() (queries, rewrites, errors, inserts, deletes uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.queries, m.rewrites, m.errors
+	return m.queries, m.rewrites, m.errors, m.inserts, m.deletes
 }
 
 // Config tunes one handler.
@@ -167,24 +207,34 @@ func Handler(kb *ogpa.KB) http.Handler { return HandlerWithConfig(kb, Config{}) 
 // The KB's symbol table is frozen here: request handling only ever reads
 // it (unknown query labels resolve through Lookup), so freezing makes the
 // shared table race-free by construction and turns any accidental
-// query-time Intern into a loud panic instead of a data race.
+// query-time Intern into a loud panic instead of a data race. On a live
+// KB the table has been thawed (EnableLiveData) and Freeze is a no-op for
+// writers: mutation batches keep interning through the table's
+// mutex-guarded extension, which queries read lock-free up to their
+// snapshot's vertices.
 func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 	kb.Graph().Symbols.Freeze()
 	m := &metrics{}
 	cache := newPlanCache(cfg.planCacheSize())
 	fingerprint := kb.Fingerprint() // constant per handler; part of every cache key
-	answerCached := func(kind, query string, opt ogpa.Options) (*ogpa.Answers, error) {
+	answerCached := func(kind, query string, opt ogpa.Options) (*ogpa.Answers, ogpa.MatchStats, error) {
 		if cache == nil {
+			var ans *ogpa.Answers
+			var err error
 			switch {
 			case kind == "sparql":
-				return kb.AnswerSPARQL(query, opt)
+				ans, err = kb.AnswerSPARQL(query, opt)
 			case strings.HasPrefix(kind, "ucq:"):
-				return kb.AnswerBaseline(ogpa.Baseline(strings.TrimPrefix(kind, "ucq:")), query, opt)
+				ans, err = kb.AnswerBaseline(ogpa.Baseline(strings.TrimPrefix(kind, "ucq:")), query, opt)
 			default:
-				return kb.AnswerWithOptions(query, opt)
+				return kb.AnswerWithStats(query, opt)
 			}
+			return ans, ogpa.MatchStats{}, err
 		}
-		key := fingerprint + "|" + kind + "|" + query
+		// The epoch is in the key: a mutation bumps it, so every plan built
+		// against the superseded snapshot misses from then on and ages out
+		// of the LRU. On a read-only KB the epoch is constantly 0.
+		key := fmt.Sprintf("%s|%d|%s|%s", fingerprint, kb.Epoch(), kind, query)
 		pq := cache.get(kind, key)
 		if pq == nil {
 			var err error
@@ -197,11 +247,11 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 				pq, err = kb.Prepare(query)
 			}
 			if err != nil {
-				return nil, err
+				return nil, ogpa.MatchStats{}, err
 			}
 			cache.put(kind, key, pq)
 		}
-		return pq.Answer(opt)
+		return pq.AnswerWithStats(opt)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
@@ -215,6 +265,9 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 			MaxResults: req.MaxResults,
 			Timeout:    time.Duration(req.TimeoutMs) * time.Millisecond,
 			Workers:    cfg.workersFor(req.Workers),
+			// A dropped connection cancels enumeration at the matcher's
+			// next step-flush instead of burning cores on a dead request.
+			Context: r.Context(),
 		}
 		method := "genogp+omatch"
 		query := req.Query
@@ -233,25 +286,26 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 		}
 		start := time.Now()
 		var ans *ogpa.Answers
+		var st ogpa.MatchStats
 		var err error
 		switch {
 		case req.SPARQL:
 			method = "genogp+omatch (sparql)"
-			ans, err = answerCached("sparql", query, opt)
+			ans, st, err = answerCached("sparql", query, opt)
 		case req.Baseline != "":
 			method = req.Baseline
 			switch b := ogpa.Baseline(req.Baseline); b {
 			case ogpa.BaselineUCQ, ogpa.BaselineUCQOpt:
 				// UCQ baselines have a Prepared form (PerfectRef + per-
 				// disjunct engine plans), so their plans are cached too.
-				ans, err = answerCached("ucq:"+req.Baseline, query, opt)
+				ans, st, err = answerCached("ucq:"+req.Baseline, query, opt)
 			default:
 				// Datalog/saturation (and unknown baselines, which error
 				// inside) have no prepared form and bypass the cache.
 				ans, err = kb.AnswerBaseline(b, query, opt)
 			}
 		default:
-			ans, err = answerCached("cq", query, opt)
+			ans, st, err = answerCached("cq", query, opt)
 		}
 		if err != nil {
 			m.recordError()
@@ -259,14 +313,46 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 			return
 		}
 		writeJSON(w, QueryResponse{
-			Vars:    ans.Vars,
-			Rows:    ans.Rows,
-			Count:   ans.Len(),
-			TookMs:  float64(time.Since(start).Microseconds()) / 1000,
-			Method:  method,
-			Rewrote: rewrote,
+			Vars:      ans.Vars,
+			Rows:      ans.Rows,
+			Count:     ans.Len(),
+			TookMs:    float64(time.Since(start).Microseconds()) / 1000,
+			Method:    method,
+			Rewrote:   rewrote,
+			Truncated: st.Truncated,
 		})
 	})
+
+	mutate := func(w http.ResponseWriter, r *http.Request, del bool) {
+		if !kb.Live() {
+			m.recordError()
+			writeError(w, http.StatusForbidden,
+				fmt.Errorf("knowledge base is read-only: start the server with live data enabled"))
+			return
+		}
+		start := time.Now()
+		var n int
+		var err error
+		if del {
+			n, err = kb.DeleteTriples(r.Body)
+		} else {
+			n, err = kb.InsertTriples(r.Body)
+		}
+		if err != nil {
+			m.recordError()
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		m.recordMutation(del)
+		writeJSON(w, MutationResponse{
+			Applied:     n,
+			Epoch:       kb.Epoch(),
+			OverlaySize: kb.OverlaySize(),
+			TookMs:      float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, r *http.Request) { mutate(w, r, false) })
+	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) { mutate(w, r, true) })
 
 	mux.HandleFunc("POST /rewrite", func(w http.ResponseWriter, r *http.Request) {
 		m.recordRewrite()
@@ -285,12 +371,18 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		q, rw, e := m.snapshot()
+		q, rw, e, ins, del := m.snapshot()
 		hits, misses, size := cache.snapshot()
 		writeJSON(w, StatsResponse{
 			Stats: kb.Stats(), Queries: q, Rewrites: rw, Errors: e,
 			PlanCacheHits: hits, PlanCacheMisses: misses, PlanCacheSize: size,
 			PlanCacheByKind: cache.snapshotByKind(),
+			Live:            kb.Live(),
+			Epoch:           kb.Epoch(),
+			OverlaySize:     kb.OverlaySize(),
+			Compactions:     kb.Compactions(),
+			Inserts:         ins,
+			Deletes:         del,
 		})
 	})
 

@@ -1,0 +1,139 @@
+package symbols
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestThawBasics(t *testing.T) {
+	tbl := NewTable()
+	a := tbl.Intern("alpha")
+	tbl.Thaw()
+	if !tbl.Frozen() || !tbl.Live() {
+		t.Fatal("Thaw should mark the table frozen and live")
+	}
+	if tbl.Intern("alpha") != a {
+		t.Fatal("base intern changed after Thaw")
+	}
+	b := tbl.Intern("beta") // new string: goes to the extension, no panic
+	if b == a || b == None {
+		t.Fatalf("extension ID %d collides", b)
+	}
+	if tbl.Intern("beta") != b {
+		t.Fatal("re-interning an extension string changed the ID")
+	}
+	if tbl.Lookup("beta") != b || tbl.Lookup("gamma") != None {
+		t.Fatal("Lookup disagrees with extension state")
+	}
+	if tbl.Name(a) != "alpha" || tbl.Name(b) != "beta" {
+		t.Fatal("Name round-trip failed across base/extension")
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tbl.Len())
+	}
+	all := tbl.All()
+	if len(all) != 2 || all[0] != "alpha" || all[1] != "beta" {
+		t.Fatalf("All = %v", all)
+	}
+}
+
+func TestFreezeAfterThawKeepsExtensionOpen(t *testing.T) {
+	tbl := NewTable()
+	tbl.Intern("alpha")
+	tbl.Thaw()
+	tbl.Freeze() // the server handler freezes unconditionally; must stay live
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Intern panicked after Freeze-on-thawed-table: %v", r)
+		}
+	}()
+	if tbl.Intern("beta") == None {
+		t.Fatal("extension intern failed")
+	}
+}
+
+func TestFrozenWithoutThawStillPanics(t *testing.T) {
+	tbl := NewTable()
+	tbl.Intern("alpha")
+	tbl.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intern of a new string on a frozen (non-live) table should panic")
+		}
+	}()
+	tbl.Intern("beta")
+}
+
+// TestThawConcurrentIntern hammers the extension from many writer
+// goroutines while readers resolve base entries lock-free; run under
+// -race this is the data-race proof for the live table.
+func TestThawConcurrentIntern(t *testing.T) {
+	tbl := NewTable()
+	base := make([]ID, 8)
+	for i := range base {
+		base[i] = tbl.Intern(fmt.Sprintf("base%d", i))
+	}
+	tbl.Thaw()
+
+	const writers = 8
+	const perWriter = 200
+	ids := make([][]ID, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]ID, perWriter)
+			for i := 0; i < perWriter; i++ {
+				// Half shared across writers (contended dedupe), half unique.
+				var s string
+				if i%2 == 0 {
+					s = fmt.Sprintf("shared%d", i)
+				} else {
+					s = fmt.Sprintf("w%d-%d", w, i)
+				}
+				ids[w][i] = tbl.Intern(s)
+				// Interleave lock-free base reads.
+				if tbl.Name(base[i%len(base)]) == "" {
+					t.Error("base name lost")
+					return
+				}
+				if tbl.Lookup(s) != ids[w][i] {
+					t.Errorf("Lookup(%q) disagrees with Intern", s)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Same shared string interned from different writers must agree.
+	for i := 0; i < perWriter; i += 2 {
+		want := ids[0][i]
+		for w := 1; w < writers; w++ {
+			if ids[w][i] != want {
+				t.Fatalf("shared%d interned as %d and %d", i, want, ids[w][i])
+			}
+		}
+	}
+	// No duplicate IDs overall.
+	seen := make(map[ID]string)
+	for w := range ids {
+		for i, id := range ids[w] {
+			var s string
+			if i%2 == 0 {
+				s = fmt.Sprintf("shared%d", i)
+			} else {
+				s = fmt.Sprintf("w%d-%d", w, i)
+			}
+			if prev, ok := seen[id]; ok && prev != s {
+				t.Fatalf("ID %d minted for both %q and %q", id, prev, s)
+			}
+			seen[id] = s
+			if tbl.Name(id) != s {
+				t.Fatalf("Name(%d) = %q, want %q", id, tbl.Name(id), s)
+			}
+		}
+	}
+}

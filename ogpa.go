@@ -17,18 +17,21 @@
 package ogpa
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"ogpa/internal/core"
 	"ogpa/internal/cq"
 	"ogpa/internal/daf"
 	"ogpa/internal/datalog"
+	"ogpa/internal/delta"
 	"ogpa/internal/dllite"
 	"ogpa/internal/graph"
 	"ogpa/internal/match"
@@ -49,13 +52,49 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 forces sequential matching. Answers are
 	// identical regardless of the value.
 	Workers int
+	// Context, when non-nil, cancels enumeration cooperatively: the
+	// matcher polls it at its batched step-flush point and, on
+	// cancellation, returns the answers found so far with
+	// MatchStats.Truncated set and a nil error (clean truncation, not a
+	// failure). The server wires each request's context here.
+	Context context.Context
 }
 
 // KB is a loaded knowledge base: a DL-Lite_R TBox plus a data graph.
+//
+// A KB is read-only until EnableLiveData is called; after that, ABox
+// mutations (InsertTriples / DeleteTriples) are accepted and every
+// answering method evaluates against an immutable snapshot of the
+// current epoch, so a query never observes a half-applied batch.
 type KB struct {
 	tbox *dllite.TBox
 	abox *dllite.ABox
-	g    *graph.Graph
+	g    *graph.Graph // load-time graph; the base of store when live
+
+	store *delta.Store // nil while read-only
+	live  aboxMemo     // per-epoch ABox view of the live graph
+}
+
+// aboxMemo caches the ABox reconstruction of a live snapshot per epoch,
+// so the ABox-based baselines (datalog, saturate) and the consistency
+// checker do not rebuild assertion lists on every call at the same
+// version. It is its own struct so KB itself holds no mutex.
+type aboxMemo struct {
+	mu    sync.Mutex
+	epoch uint64
+	abox  *dllite.ABox
+}
+
+// get returns the ABox for sn's epoch, rebuilding it under mu only when
+// the epoch moved.
+func (m *aboxMemo) get(sn delta.Snapshot) *dllite.ABox {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.abox == nil || m.epoch != sn.Epoch() {
+		m.abox = dllite.ABoxFromGraph(sn.Graph())
+		m.epoch = sn.Epoch()
+	}
+	return m.abox
 }
 
 // NewKB builds a KB from an ontology (the SubClassOf/SubPropertyOf text
@@ -128,16 +167,125 @@ func FromParts(t *dllite.TBox, a *dllite.ABox) *KB {
 // TBox exposes the ontology.
 func (kb *KB) TBox() *dllite.TBox { return kb.tbox }
 
-// ABox exposes the dataset.
-func (kb *KB) ABox() *dllite.ABox { return kb.abox }
+// ABox exposes the dataset as loaded; on a live KB it reflects the
+// current epoch (reconstructed from the snapshot graph, memoized).
+func (kb *KB) ABox() *dllite.ABox { return kb.aboxNow() }
 
 // Graph exposes the data graph (type-aware transformation of the ABox).
-func (kb *KB) Graph() *graph.Graph { return kb.g }
+// On a live KB it is the current epoch's immutable snapshot.
+func (kb *KB) Graph() *graph.Graph { return kb.graphNow() }
+
+// graphNow resolves the graph all answering runs against: the current
+// snapshot when live, the load-time graph otherwise. Callers capture it
+// once per operation so rewrite, match and render all see one version.
+func (kb *KB) graphNow() *graph.Graph {
+	if kb.store != nil {
+		return kb.store.Snapshot().Graph()
+	}
+	return kb.g
+}
+
+// aboxNow resolves the ABox the same way (memoized per epoch when live).
+func (kb *KB) aboxNow() *dllite.ABox {
+	if kb.store != nil {
+		return kb.live.get(kb.store.Snapshot())
+	}
+	return kb.abox
+}
+
+// EnableLiveData switches the KB into mutable-store mode: the load-time
+// graph becomes the base of an epoch-versioned delta store
+// (internal/delta), and InsertTriples / DeleteTriples start accepting
+// ABox mutations. compactThreshold is the overlay op count that triggers
+// background compaction (0 uses the store default, negative disables
+// it). The TBox stays fixed. Calling it twice is an error.
+func (kb *KB) EnableLiveData(compactThreshold int) error {
+	if kb.store != nil {
+		return fmt.Errorf("ogpa: live data already enabled")
+	}
+	kb.store = delta.NewStore(kb.g, delta.Config{
+		CompactThreshold: compactThreshold,
+		Name:             rdf.LocalName,
+	})
+	return nil
+}
+
+// Live reports whether the KB accepts mutations.
+func (kb *KB) Live() bool { return kb.store != nil }
+
+// errReadOnly is returned by mutation methods before EnableLiveData.
+var errReadOnly = fmt.Errorf("ogpa: KB is read-only (call EnableLiveData first)")
+
+// InsertTriples applies an N-Triples body as insertions, atomically
+// under one new epoch. Returns the number of triples applied.
+func (kb *KB) InsertTriples(r io.Reader) (int, error) {
+	if kb.store == nil {
+		return 0, errReadOnly
+	}
+	return kb.store.InsertTriples(r)
+}
+
+// DeleteTriples applies an N-Triples body as deletions, atomically
+// under one new epoch. Deleting an absent triple is a no-op.
+func (kb *KB) DeleteTriples(r io.Reader) (int, error) {
+	if kb.store == nil {
+		return 0, errReadOnly
+	}
+	return kb.store.DeleteTriples(r)
+}
+
+// Epoch reports the store's current version (0 on a read-only KB; a
+// live store starts at 1 and increments per applied batch). Cache
+// layers key plans by (Fingerprint, Epoch, query) so a mutation
+// invalidates every cached plan.
+func (kb *KB) Epoch() uint64 {
+	if kb.store == nil {
+		return 0
+	}
+	return kb.store.Epoch()
+}
+
+// OverlaySize reports how many logged ops the current epoch layers over
+// its compacted base (0 on a read-only KB).
+func (kb *KB) OverlaySize() int {
+	if kb.store == nil {
+		return 0
+	}
+	return kb.store.OverlaySize()
+}
+
+// Compactions reports how many overlay compactions have completed.
+func (kb *KB) Compactions() uint64 {
+	if kb.store == nil {
+		return 0
+	}
+	return kb.store.Compactions()
+}
+
+// Compact synchronously folds the live overlay into a fresh canonical
+// base (no-op on a read-only KB or an empty overlay).
+func (kb *KB) Compact() {
+	if kb.store != nil {
+		kb.store.Compact()
+	}
+}
+
+// WaitIdle blocks until any background compaction has finished.
+func (kb *KB) WaitIdle() {
+	if kb.store != nil {
+		kb.store.WaitIdle()
+	}
+}
 
 // Stats summarizes the KB.
 func (kb *KB) Stats() string {
-	return fmt.Sprintf("|D|=%d assertions, |V|=%d, |E|=%d, |O|=%d axioms",
-		kb.abox.Size(), kb.g.NumVertices(), kb.g.NumEdges(), kb.tbox.Size())
+	a, g := kb.aboxNow(), kb.graphNow()
+	s := fmt.Sprintf("|D|=%d assertions, |V|=%d, |E|=%d, |O|=%d axioms",
+		a.Size(), g.NumVertices(), g.NumEdges(), kb.tbox.Size())
+	if kb.store != nil {
+		s += fmt.Sprintf(", live epoch=%d overlay=%d", kb.store.Epoch(), kb.store.OverlaySize())
+	}
+	return s
 }
 
 // Fingerprint returns a stable FNV-1a hash of the ontology's positive
@@ -216,11 +364,12 @@ func (kb *KB) AnswerWithOptions(query string, opt Options) (*Answers, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := match.Match(rw.Pattern, kb.g, matchOptions(opt))
+	g := kb.graphNow() // one snapshot for match and render
+	res, _, err := match.Match(rw.Pattern, g, matchOptions(opt))
 	if err != nil {
 		return nil, err
 	}
-	return kb.render(rw.Query, res), nil
+	return render(rw.Query, res, g), nil
 }
 
 // MatchStats mirrors the matcher's per-query statistics for the public
@@ -261,6 +410,7 @@ func fromMatchStats(st match.Stats) MatchStats {
 type PreparedQuery struct {
 	kb  *KB
 	q   *cq.Query
+	g   *graph.Graph     // the snapshot the plan was built against
 	rw  *Rewriting       // nil for baseline plans
 	pr  *match.Prepared  // OGP plan; nil for baseline plans
 	ucq *daf.PreparedUCQ // UCQ-baseline plan; nil for OGP plans
@@ -289,13 +439,15 @@ func (kb *KB) prepare(q *cq.Query) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr, err := match.Prepare(res.Pattern, kb.g, match.Options{})
+	g := kb.graphNow() // pin: the plan answers against this snapshot forever
+	pr, err := match.Prepare(res.Pattern, g, match.Options{})
 	if err != nil {
 		return nil, err
 	}
 	return &PreparedQuery{
 		kb: kb,
 		q:  q,
+		g:  g,
 		rw: &Rewriting{Query: q, Pattern: res.Pattern, result: res},
 		pr: pr,
 	}, nil
@@ -324,11 +476,12 @@ func (kb *KB) PrepareBaseline(b Baseline, query string) (*PreparedQuery, error) 
 	if err != nil {
 		return nil, err
 	}
-	ucq, err := daf.PrepareUCQ(u.Queries, kb.g, daf.Options{})
+	g := kb.graphNow() // pin: the plan answers against this snapshot forever
+	ucq, err := daf.PrepareUCQ(u.Queries, g, daf.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{kb: kb, q: q, ucq: ucq}, nil
+	return &PreparedQuery{kb: kb, q: q, g: g, ucq: ucq}, nil
 }
 
 // Rewriting exposes the generated OGP behind the plan (nil for baseline
@@ -357,13 +510,13 @@ func (pq *PreparedQuery) AnswerWithStats(opt Options) (*Answers, MatchStats, err
 		if err != nil {
 			return nil, MatchStats{}, err
 		}
-		return pq.kb.render(pq.q, res), fromMatchStats(st), nil
+		return render(pq.q, res, pq.g), fromMatchStats(st), nil
 	}
 	res, st, err := pq.pr.Run(matchOptions(opt))
 	if err != nil {
 		return nil, MatchStats{}, err
 	}
-	return pq.kb.render(pq.q, res), fromMatchStats(st), nil
+	return render(pq.q, res, pq.g), fromMatchStats(st), nil
 }
 
 // AnswerWithStats runs GenOGP + OMatch under the given limits and also
@@ -379,7 +532,8 @@ func (kb *KB) AnswerWithStats(query string, opt Options) (*Answers, MatchStats, 
 // MatchOGP matches a hand-written OGP (built with the Pattern helpers) and
 // returns its answer tuples.
 func (kb *KB) MatchOGP(p *core.Pattern, opt Options) (*Answers, error) {
-	res, _, err := match.Match(p, kb.g, matchOptions(opt))
+	g := kb.graphNow()
+	res, _, err := match.Match(p, g, matchOptions(opt))
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +541,7 @@ func (kb *KB) MatchOGP(p *core.Pattern, opt Options) (*Answers, error) {
 	for _, i := range p.Distinguished() {
 		vars = append(vars, p.Vertices[i].Name)
 	}
-	return &Answers{Vars: vars, Rows: res.Names2D(kb.g)}, nil
+	return &Answers{Vars: vars, Rows: res.Names2D(g)}, nil
 }
 
 // Baseline identifies one comparison pipeline from the paper's evaluation.
@@ -420,11 +574,12 @@ func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, e
 		if err != nil {
 			return nil, err
 		}
-		res, _, err := daf.EvalUCQ(u.Queries, kb.g, lim)
+		g := kb.graphNow()
+		res, _, err := daf.EvalUCQ(u.Queries, g, lim)
 		if err != nil {
 			return nil, err
 		}
-		return kb.render(q, res), nil
+		return render(q, res, g), nil
 	case BaselineDatalog:
 		prog, err := datalog.Rewrite(q, kb.tbox, perfectref.Limits{Timeout: opt.Timeout})
 		if err != nil {
@@ -434,7 +589,7 @@ func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, e
 		if opt.Timeout > 0 {
 			dlim.Deadline = time.Now().Add(opt.Timeout)
 		}
-		tuples, err := datalog.Answer(prog, datalog.LoadABox(kb.abox), dlim)
+		tuples, err := datalog.Answer(prog, datalog.LoadABox(kb.aboxNow()), dlim)
 		if err != nil {
 			return nil, err
 		}
@@ -449,7 +604,7 @@ func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, e
 		if opt.Timeout > 0 {
 			slim.Deadline = time.Now().Add(opt.Timeout)
 		}
-		res, mg, _, err := saturate.AnswerCQ(kb.tbox, kb.abox, q, slim, lim)
+		res, mg, _, err := saturate.AnswerCQ(kb.tbox, kb.aboxNow(), q, slim, lim)
 		if err != nil {
 			return nil, err
 		}
@@ -480,11 +635,12 @@ func (kb *KB) AnswerSPARQL(src string, opt Options) (*Answers, error) {
 	if err != nil {
 		return nil, err
 	}
-	ans, _, err := match.Match(res.Pattern, kb.g, matchOptions(opt))
+	g := kb.graphNow()
+	ans, _, err := match.Match(res.Pattern, g, matchOptions(opt))
 	if err != nil {
 		return nil, err
 	}
-	return kb.render(q, ans), nil
+	return render(q, ans, g), nil
 }
 
 // AnswerBatch evaluates several queries at once with multi-query
@@ -498,13 +654,14 @@ func (kb *KB) AnswerBatch(queries []string, opt Options) ([]*Answers, error) {
 		}
 		qs[i] = q
 	}
-	results, _, err := mqo.Answer(qs, kb.tbox, kb.g, matchOptions(opt))
+	g := kb.graphNow() // one snapshot for the whole batch
+	results, _, err := mqo.Answer(qs, kb.tbox, g, matchOptions(opt))
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Answers, len(results))
 	for i, r := range results {
-		out[i] = kb.render(qs[i], r)
+		out[i] = render(qs[i], r, g)
 	}
 	return out, nil
 }
@@ -513,7 +670,7 @@ func (kb *KB) AnswerBatch(queries []string, opt Options) ([]*Answers, error) {
 // inclusions (DisjointWith / DisjointPropertyWith statements). It returns
 // human-readable violations; an empty slice means consistent.
 func (kb *KB) CheckConsistency() ([]string, error) {
-	vs, err := saturate.CheckConsistency(kb.tbox, kb.abox, saturate.Limits{})
+	vs, err := saturate.CheckConsistency(kb.tbox, kb.aboxNow(), saturate.Limits{})
 	if err != nil {
 		return nil, err
 	}
@@ -543,14 +700,17 @@ func sortRows(rows [][]string) {
 	})
 }
 
-func (kb *KB) render(q *cq.Query, res *core.AnswerSet) *Answers {
+// render resolves VIDs to names against the same graph snapshot the
+// answers were computed on (on a live KB a fresher epoch could have
+// different vertices, so rendering must not re-resolve the graph).
+func render(q *cq.Query, res *core.AnswerSet, g *graph.Graph) *Answers {
 	out := &Answers{Vars: append([]string(nil), q.Head...)}
-	out.Rows = res.Names2D(kb.g)
+	out.Rows = res.Names2D(g)
 	return out
 }
 
 func matchOptions(opt Options) match.Options {
-	lim := match.Limits{MaxResults: opt.MaxResults}
+	lim := match.Limits{MaxResults: opt.MaxResults, Ctx: opt.Context}
 	if opt.Timeout > 0 {
 		lim.Deadline = time.Now().Add(opt.Timeout)
 	}
@@ -558,7 +718,7 @@ func matchOptions(opt Options) match.Options {
 }
 
 func dafLimits(opt Options) daf.Limits {
-	lim := daf.Limits{MaxResults: opt.MaxResults, Workers: opt.Workers}
+	lim := daf.Limits{MaxResults: opt.MaxResults, Workers: opt.Workers, Ctx: opt.Context}
 	if opt.Timeout > 0 {
 		lim.Deadline = time.Now().Add(opt.Timeout)
 	}
