@@ -1,17 +1,23 @@
 // Command ogpalint runs this repository's static-analysis pass: a
 // stdlib-only framework (internal/lint) with repo-specific analyzers that
-// machine-check invariants the paper's correctness argument leans on —
-// exhaustive handling of the I1–I11 inclusion types and the condition AST,
-// lock discipline, no silently dropped errors, and interned comparisons on
-// the hot matching paths.
+// machine-check the invariants the paper's correctness argument and the
+// serving tier's concurrency design lean on — exhaustive handling of the
+// I1–I11 inclusion types and the condition AST, lock discipline, no
+// silently dropped errors, interned comparisons on the hot matching paths,
+// no by-value copies of atomic-holding structs, one snapshot per request
+// flow, epoch-qualified cache keys, and cancellation polling in unbounded
+// engine loops.
 //
 // Usage:
 //
-//	go run ./cmd/ogpalint ./...
+//	go run ./cmd/ogpalint [flags] ./...
 //
 // The package pattern is accepted for familiarity but the pass always
-// analyzes the whole module containing the working directory. The command
-// exits 1 when any diagnostic survives suppression, 2 on load errors.
+// analyzes the whole module containing -C (default: the working
+// directory); use -only to restrict which packages' findings are shown.
+// The command exits 1 when any diagnostic survives suppression, 2 on load
+// or usage errors — including an empty package set, so CI can never
+// silently lint nothing.
 package main
 
 import (
@@ -19,13 +25,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ogpa/internal/lint"
 )
 
 func main() {
+	flag.Usage = usage
 	list := flag.Bool("list", false, "print the analyzer catalogue and exit")
 	dir := flag.String("C", ".", "directory inside the module to analyze")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line instead of text")
+	annotations := flag.Bool("annotations", false, "emit GitHub Actions ::error annotations instead of text")
+	only := flag.String("only", "", "report findings only for packages whose import path contains this substring")
 	flag.Parse()
 
 	if *list {
@@ -34,25 +45,76 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut && *annotations {
+		fatalf("-json and -annotations are mutually exclusive")
+	}
 
+	if _, err := os.Stat(*dir); err != nil {
+		fatalf("%v", err)
+	}
 	root, err := findModuleRoot(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ogpalint:", err)
-		os.Exit(2)
+		fatalf("%v", err)
 	}
 	pkgs, err := lint.LoadModule(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ogpalint:", err)
-		os.Exit(2)
+		fatalf("%v", err)
+	}
+	if *only != "" {
+		var kept []*lint.Package
+		for _, p := range pkgs {
+			if strings.Contains(p.Path, *only) {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			fatalf("no packages match -only %q (loaded %d packages)", *only, len(pkgs))
+		}
+		pkgs = kept
 	}
 	diags := lint.Run(pkgs, lint.All())
 	for _, d := range diags {
-		fmt.Println(d)
+		switch {
+		case *jsonOut:
+			fmt.Println(d.JSON())
+		case *annotations:
+			fmt.Println(d.Annotation())
+		default:
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ogpalint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `usage: ogpalint [flags] [packages]
+
+Runs the repository's stdlib-only static-analysis suite over the whole
+module containing -C. The trailing package pattern is accepted for
+familiarity with go vet but does not restrict analysis; use -only for
+that. Exit status: 0 clean, 1 findings, 2 load/usage error (an empty
+package set is an error, never a silent pass).
+
+Suppress a finding with a reasoned directive on or above the offending
+construct (the directive covers the construct's whole span):
+
+	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+
+Flags:
+`)
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), "\nAnalyzers (see -list):\n")
+	for _, a := range lint.All() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ogpalint: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 func findModuleRoot(dir string) (string, error) {

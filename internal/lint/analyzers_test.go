@@ -47,8 +47,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) < 4 {
-		t.Fatalf("loaded %d fixture packages, want at least 4", len(pkgs))
+	if len(pkgs) < 9 {
+		t.Fatalf("loaded %d fixture packages, want at least 9", len(pkgs))
 	}
 
 	want := make(map[expectation]bool)

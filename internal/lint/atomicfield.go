@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField guards the atomics-only concurrency shapes the serving
+// engine depends on (the engine's enumeration budget, the delta store's
+// RCU epoch pointer, the symbol table's phase flags). Two families of
+// violations are reported:
+//
+//  1. A struct that holds sync/atomic fields — directly, or through a
+//     nested struct/array — must never travel by value: a copy tears the
+//     atomic out of the address every other goroutine is loading from.
+//     Flagged: value receivers, by-value parameters and results, plain
+//     assignment over a live value (x = T{...}, *p = T{...}), and copies
+//     of a live value into a new variable (y := *p, y := x.field).
+//     Building a fresh value (s := T{...}, &T{...}) is fine.
+//  2. A variable that is anywhere accessed through the legacy sync/atomic
+//     package functions (atomic.LoadUint64(&x), atomic.AddInt64(&x, 1),
+//     ...) must be accessed that way everywhere: a plain read or write of
+//     the same variable races with the atomic accesses and can tear on
+//     32-bit targets.
+//
+// Named struct types from package sync (Mutex, Once, WaitGroup, ...) are
+// treated as opaque even though some embed atomics internally — copying
+// those is go vet copylocks / locksafety territory, and recursing into
+// them would re-report every mutex copy under a second name.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "structs holding sync/atomic fields must not be copied by value, and variables accessed via sync/atomic functions must never be read or written plainly",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(p *Pass) {
+	h := &holderCache{memo: make(map[types.Type]bool)}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkAtomicCopies(p, h, n.Recv, "receiver")
+				}
+				checkAtomicSignature(p, h, n.Type)
+			case *ast.FuncLit:
+				checkAtomicSignature(p, h, n.Type)
+			case *ast.AssignStmt:
+				checkAtomicAssign(p, h, n)
+			case *ast.ValueSpec:
+				checkAtomicValueSpec(p, h, n)
+			}
+			return true
+		})
+	}
+	checkMixedAtomicAccess(p)
+}
+
+// checkAtomicSignature flags by-value parameters and results of
+// atomic-holding struct types.
+func checkAtomicSignature(p *Pass, h *holderCache, ft *ast.FuncType) {
+	if ft.Params != nil {
+		checkAtomicCopies(p, h, ft.Params, "parameter")
+	}
+	if ft.Results != nil {
+		checkAtomicCopies(p, h, ft.Results, "result")
+	}
+}
+
+func checkAtomicCopies(p *Pass, h *holderCache, fields *ast.FieldList, role string) {
+	for _, field := range fields.List {
+		t := p.Pkg.Info.TypeOf(field.Type)
+		if h.holds(t) {
+			p.Reportf(field.Pos(), "%s copies %s by value; it holds sync/atomic fields — pass a pointer", role, types.TypeString(t, types.RelativeTo(p.Pkg.Pkg)))
+		}
+	}
+}
+
+// checkAtomicAssign flags assignments that overwrite or copy a live
+// atomic-holding value.
+func checkAtomicAssign(p *Pass, h *holderCache, as *ast.AssignStmt) {
+	info := p.Pkg.Info
+	if as.Tok == token.ASSIGN {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if t := info.TypeOf(lhs); h.holds(t) {
+				p.Reportf(lhs.Pos(), "assignment overwrites a live %s; it holds sync/atomic fields — concurrent loaders see a torn value", types.TypeString(t, types.RelativeTo(p.Pkg.Pkg)))
+			}
+		}
+		return
+	}
+	// := — copying an existing value (deref, field, index) duplicates its
+	// atomics; a fresh composite literal (or a call, whose signature is
+	// flagged at the callee) does not.
+	for _, rhs := range as.Rhs {
+		checkAtomicCopyExpr(p, h, rhs)
+	}
+}
+
+func checkAtomicValueSpec(p *Pass, h *holderCache, vs *ast.ValueSpec) {
+	for _, v := range vs.Values {
+		checkAtomicCopyExpr(p, h, v)
+	}
+}
+
+func checkAtomicCopyExpr(p *Pass, h *holderCache, e ast.Expr) {
+	switch ast.Unparen(e).(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit, *ast.UnaryExpr:
+		return
+	}
+	if t := p.Pkg.Info.TypeOf(e); h.holds(t) {
+		p.Reportf(e.Pos(), "copies a live %s; it holds sync/atomic fields — share it by pointer instead", types.TypeString(t, types.RelativeTo(p.Pkg.Pkg)))
+	}
+}
+
+// holderCache memoizes "does this type transitively hold sync/atomic
+// fields by value" per types.Type.
+type holderCache struct {
+	memo map[types.Type]bool
+}
+
+func (h *holderCache) holds(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := h.memo[t]; ok {
+		return v
+	}
+	h.memo[t] = false // cycle guard: a type reached through itself holds nothing new
+	v := h.compute(t)
+	h.memo[t] = v
+	return v
+}
+
+func (h *holderCache) compute(t types.Type) bool {
+	switch tt := t.(type) {
+	case *types.Named:
+		if isSyncAtomicType(tt) {
+			return true
+		}
+		if obj := tt.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			return false // opaque: copylocks/locksafety territory
+		}
+		return h.holds(tt.Underlying())
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if h.holds(tt.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return h.holds(tt.Elem())
+	}
+	return false
+}
+
+// isSyncAtomicType reports whether t is one of sync/atomic's exported
+// value types (Bool, Int64, Pointer[T], Value, ...).
+func isSyncAtomicType(named *types.Named) bool {
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && ast.IsExported(obj.Name())
+}
+
+// checkMixedAtomicAccess implements check 2: variables pinned as
+// atomically-accessed by a legacy atomic.Xxx(&v) call must not also be
+// accessed plainly.
+func checkMixedAtomicAccess(p *Pass) {
+	info := p.Pkg.Info
+	sanctioned := make(map[*ast.Ident]bool)
+	pinned := make(map[*types.Var]bool)
+	p.inspectFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true // typed-atomic method, not the legacy package API
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return true
+		}
+		var id *ast.Ident
+		switch x := ast.Unparen(un.X).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		}
+		if id == nil {
+			return true
+		}
+		if obj, ok := info.Uses[id].(*types.Var); ok {
+			sanctioned[id] = true
+			pinned[obj] = true
+		}
+		return true
+	})
+	if len(pinned) == 0 {
+		return
+	}
+	p.inspectFiles(func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || sanctioned[id] {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || !pinned[obj] {
+			return true
+		}
+		p.Reportf(id.Pos(), "plain access to %s, which is accessed through sync/atomic elsewhere in this package; every access must go through the atomic API", obj.Name())
+		return true
+	})
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll enforces the cancellation contract threaded through Plan.Run:
+// the engine's backtracking and worker-claim paths run unbounded loops
+// (candidate enumeration, work stealing), and every such loop must reach
+// a cancellation check — a Load on an atomic stop flag, ctx.Err/ctx.Done,
+// or a call to an in-package helper that (transitively) performs one.
+// A `for {}` that cannot observe cancellation pins a worker past its
+// deadline and leaks the whole pool on a hung request.
+//
+// Only condition-less `for` statements are checked — `for !stop.Load()`
+// carries its check in the condition and bounded/range loops drain finite
+// work. Checks inside nested function literals do not count: a closure
+// that is merely constructed in the body never polls for the loop.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "unbounded for-loops in the engine's backtracking/worker paths must reach a stop.Load()/ctx cancellation check",
+	Run:  runCtxPoll,
+}
+
+// ctxPollPkgs are the packages with enumeration/worker loops.
+var ctxPollPkgs = []string{"internal/engine", "internal/daf"}
+
+func runCtxPoll(p *Pass) {
+	if !pkgSuffixMatch(p.Pkg.Path, ctxPollPkgs) {
+		return
+	}
+	info := p.Pkg.Info
+
+	// Fixed point: an in-package function is a poller if its body (nested
+	// function literals excluded) contains a direct cancellation check or a
+	// call to another poller.
+	type declFn struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []declFn
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, declFn{obj, fd.Body})
+			}
+		}
+	}
+	pollers := make(map[*types.Func]bool)
+	isPollCall := func(call *ast.CallExpr) bool {
+		if isDirectCancelCheck(info, call) {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		return fn != nil && pollers[fn]
+	}
+	polls := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(c ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := c.(*ast.FuncLit); ok && c != n {
+				return false
+			}
+			if call, ok := c.(*ast.CallExpr); ok && isPollCall(call) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if !pollers[d.obj] && polls(d.body) {
+				pollers[d.obj] = true
+				changed = true
+			}
+		}
+	}
+
+	p.inspectFiles(func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		if !polls(fs.Body) {
+			p.Reportf(fs.Pos(), "unbounded for-loop never reaches a cancellation check (stop.Load(), ctx.Err/Done, or a helper that polls); a hung request pins this worker forever")
+		}
+		return true
+	})
+}
+
+// isDirectCancelCheck recognizes the primitive cancellation observations:
+// Load on any sync/atomic value, or Err/Done on a context.Context.
+func isDirectCancelCheck(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection := info.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Load":
+		return namedFromPkg(selection.Recv(), "sync/atomic")
+	case "Err", "Done", "Deadline":
+		return namedFromPkg(selection.Recv(), "context", "Context")
+	}
+	return false
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for loader/driver unit tests
+// and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const tmpGoMod = "module tmpmod\n\ngo 1.23\n"
+
+// TestParallelMatchesSerial pins the acceptance criterion for the
+// concurrent driver: on the fixture corpus, Run and RunSerial produce
+// byte-identical (order-normalized) diagnostics.
+func TestParallelMatchesSerial(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := Run(pkgs, All())
+	serial := RunSerial(pkgs, All())
+	if len(parallel) == 0 {
+		t.Fatal("fixture corpus produced no diagnostics; the comparison is vacuous")
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("parallel produced %d diagnostics, serial %d", len(parallel), len(serial))
+	}
+	for i := range parallel {
+		if parallel[i].String() != serial[i].String() {
+			t.Errorf("diagnostic %d differs:\n  parallel: %s\n  serial:   %s", i, parallel[i], serial[i])
+		}
+	}
+}
+
+// TestIgnoreCoversMultilineStatement regression-tests the directive span
+// fix: a directive above a construct wrapped over several lines must
+// suppress findings on every line of the construct's header, and a
+// trailing directive on the first line of a multi-line statement must
+// cover the rest of that statement.
+func TestIgnoreCoversMultilineStatement(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"a.go": `package tmpmod
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+//lint:ignore locksafety test: wrapped signature fully covered
+func wrapped(
+	a int,
+	g guarded,
+) int {
+	return a
+}
+
+func mayFail() error { return nil }
+
+func trailing() {
+	//lint:ignore droppederr test: wrapped call fully covered
+	_ = func() string {
+		mayFail()
+		return ""
+	}
+}
+`,
+	})
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "locksafety":
+			t.Errorf("directive above wrapped signature did not cover its span: %s", d)
+		}
+	}
+}
+
+// TestIgnoreDoesNotLeakPastHeader checks the other side of the span fix:
+// a directive above a function covers the signature, not the body.
+func TestIgnoreDoesNotLeakPastHeader(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"a.go": `package tmpmod
+
+func mayFail() error { return nil }
+
+//lint:ignore droppederr test: covers the signature only
+func body() {
+	mayFail()
+}
+`,
+	})
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDropped bool
+	for _, d := range Run(pkgs, All()) {
+		if d.Analyzer == "droppederr" {
+			sawDropped = true
+		}
+	}
+	if !sawDropped {
+		t.Error("directive above the signature suppressed a finding inside the body")
+	}
+}
+
+// TestMultiAnalyzerIgnore covers the comma-separated directive form.
+func TestMultiAnalyzerIgnore(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"a.go": `package tmpmod
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type shared struct {
+	mu   sync.Mutex
+	n    int
+	flag atomic.Bool
+}
+
+//lint:ignore locksafety,atomicfield test: one directive, two analyzers on one line
+func both(s shared) int {
+	return 0
+}
+`,
+	})
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, All()); len(diags) != 0 {
+		t.Errorf("comma-separated directive left findings: %v", diags)
+	}
+}
+
+// TestLoadModuleParseError pins the loader's parse-failure path.
+func TestLoadModuleParseError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"a.go":   "package tmpmod\n\nfunc broken( {\n",
+	})
+	if _, err := LoadModule(root); err == nil {
+		t.Fatal("LoadModule accepted a file that does not parse")
+	}
+}
+
+// TestLoadModuleTypeError pins the loader's type-check-failure path.
+func TestLoadModuleTypeError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": tmpGoMod,
+		"a.go":   "package tmpmod\n\nvar x undefinedType\n",
+	})
+	_, err := LoadModule(root)
+	if err == nil {
+		t.Fatal("LoadModule accepted a package that does not type-check")
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("type-check failure surfaced as %q, want a type-checking error", err)
+	}
+}
+
+// TestLoadModuleEmptyModule pins the zero-package hard error: a module
+// with a go.mod but no Go files must not load as an empty (silently
+// lintable) package set.
+func TestLoadModuleEmptyModule(t *testing.T) {
+	root := writeModule(t, map[string]string{"go.mod": tmpGoMod})
+	pkgs, err := LoadModule(root)
+	if err == nil {
+		t.Fatalf("LoadModule returned %d packages and no error for an empty module", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "no Go packages") {
+		t.Errorf("empty module surfaced as %q, want a no-Go-packages error", err)
+	}
+}
+
+// TestDiagnosticJSON checks the machine-readable rendering: one valid
+// JSON object per diagnostic, round-tripping every field.
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{Analyzer: "snapshotonce", Message: `two "views" on one path`}
+	d.Pos.Filename = "internal/server/server.go"
+	d.Pos.Line = 42
+	d.Pos.Column = 7
+	var got struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(d.JSON()), &got); err != nil {
+		t.Fatalf("JSON() is not valid JSON: %v", err)
+	}
+	if got.Analyzer != d.Analyzer || got.File != d.Pos.Filename ||
+		got.Line != d.Pos.Line || got.Col != d.Pos.Column || got.Message != d.Message {
+		t.Errorf("JSON() round-trip mismatch: %+v vs %v", got, d)
+	}
+	if strings.Contains(d.JSON(), "\n") {
+		t.Error("JSON() must be a single line")
+	}
+}
+
+// TestDiagnosticAnnotation checks the GitHub Actions rendering, including
+// the runner's escaping rules for messages and property values.
+func TestDiagnosticAnnotation(t *testing.T) {
+	d := Diagnostic{Analyzer: "epochkey", Message: "50% stale,\nsee: docs"}
+	d.Pos.Filename = "a,b.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 1
+	got := d.Annotation()
+	want := "::error file=a%2Cb.go,line=3,col=1,title=ogpalint epochkey::50%25 stale,%0Asee: docs"
+	if got != want {
+		t.Errorf("Annotation()\n got %q\nwant %q", got, want)
+	}
+}

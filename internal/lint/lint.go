@@ -5,15 +5,17 @@
 // so the module keeps its zero-dependency property.
 //
 // An Analyzer inspects one type-checked package at a time through a Pass
-// and reports position-accurate diagnostics. Findings can be suppressed at
-// a specific line with a directive comment:
+// and reports position-accurate diagnostics. Packages are analyzed
+// concurrently (see Run); analyzers must therefore keep any mutable state
+// inside the Pass. Findings can be suppressed with a directive comment:
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// The directive suppresses matching diagnostics on its own line and on the
-// line directly below it, so both the trailing and the preceding comment
-// styles work. A directive without a reason is itself a diagnostic: every
-// suppression must say why.
+// The directive suppresses matching diagnostics on its own line and over
+// the whole span of the statement or declaration that starts on its own
+// or the following line — a directive above a wrapped function signature
+// covers every line of that signature (but not the body). A directive
+// without a reason is itself a diagnostic: every suppression must say why.
 package lint
 
 import (
@@ -22,6 +24,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer is one named check over a type-checked package.
@@ -62,35 +65,79 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// All returns the full analyzer catalogue in stable order.
+// All returns the full analyzer catalogue in stable order: the four
+// semantic-correctness analyzers from the original suite, then the four
+// concurrency-invariant analyzers guarding the serving tier.
 func All() []*Analyzer {
 	return []*Analyzer{
 		ExhaustiveSwitch,
 		LockSafety,
 		DroppedErr,
 		InternSafety,
+		AtomicField,
+		SnapshotOnce,
+		EpochKey,
+		CtxPoll,
 	}
 }
 
 // Run applies every analyzer to every package, applies ignore directives,
-// and returns the surviving diagnostics sorted by position. Malformed
-// directives are reported under the pseudo-analyzer "lint".
+// and returns the surviving diagnostics sorted by position. Packages are
+// analyzed concurrently — each package's analyzer chain runs in its own
+// goroutine over package-local state, and the merged result is identical
+// (order-normalized) to RunSerial's. Malformed directives are reported
+// under the pseudo-analyzer "lint".
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			perPkg[i] = runPackage(pkg, analyzers)
+		}(i, pkg)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// RunSerial is Run without the per-package concurrency. It exists for the
+// equivalence test that pins the parallel driver's output, and as a
+// debugging fallback.
+func RunSerial(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		ign, bad := collectIgnores(pkg)
-		diags = append(diags, bad...)
-		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
-			a.Run(pass)
-		}
-		for _, d := range pkgDiags {
-			if !ign.suppresses(d) {
-				diags = append(diags, d)
-			}
+		diags = append(diags, runPackage(pkg, analyzers)...)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// runPackage runs the analyzer chain over one package and applies its
+// ignore directives. Everything touched here is package-local (the shared
+// FileSet and types.Info are read-only / internally synchronized), which
+// is what makes Run's per-package goroutines safe.
+func runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	ign, diags := collectIgnores(pkg)
+	var pkgDiags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+		a.Run(pass)
+	}
+	for _, d := range pkgDiags {
+		if !ign.suppresses(d) {
+			diags = append(diags, d)
 		}
 	}
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -102,24 +149,28 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
 }
 
 const ignorePrefix = "//lint:ignore"
 
-// ignoreIndex records, per file and line, which analyzers are ignored.
-type ignoreIndex map[string]map[int]map[string]bool
+// ignoreRange is one directive's coverage: the inclusive line range it
+// suppresses, for which analyzers.
+type ignoreRange struct {
+	start, end int
+	names      map[string]bool
+}
+
+// ignoreIndex records each file's directive coverage ranges.
+type ignoreIndex map[string][]ignoreRange
 
 func (ix ignoreIndex) suppresses(d Diagnostic) bool {
-	lines := ix[d.Pos.Filename]
-	if lines == nil {
-		return false
-	}
-	// A directive covers its own line and the next one.
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		if names := lines[line]; names != nil && names[d.Analyzer] {
+	for _, r := range ix[d.Pos.Filename] {
+		if d.Pos.Line >= r.start && d.Pos.Line <= r.end && r.names[d.Analyzer] {
 			return true
 		}
 	}
@@ -127,11 +178,16 @@ func (ix ignoreIndex) suppresses(d Diagnostic) bool {
 }
 
 // collectIgnores parses //lint:ignore directives out of a package's
-// comments. Malformed directives come back as diagnostics.
+// comments. A directive covers its own line and the full span of the
+// statement or declaration starting on its own or the next line, so a
+// comment above a multi-line construct (a wrapped signature, a broken-up
+// call) suppresses every line the construct's header occupies. Malformed
+// directives come back as diagnostics.
 func collectIgnores(pkg *Package) (ignoreIndex, []Diagnostic) {
 	ix := make(ignoreIndex)
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
+		spans := stmtSpans(pkg.Fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, ignorePrefix) {
@@ -148,23 +204,72 @@ func collectIgnores(pkg *Package) (ignoreIndex, []Diagnostic) {
 					})
 					continue
 				}
-				lines := ix[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					ix[pos.Filename] = lines
-				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					lines[pos.Line] = names
-				}
+				names := make(map[string]bool)
 				for _, name := range strings.Split(fields[0], ",") {
 					names[name] = true
 				}
+				end := pos.Line + 1
+				if e, ok := spans[pos.Line]; ok && e > end {
+					end = e // trailing directive on a multi-line construct
+				}
+				if e, ok := spans[pos.Line+1]; ok && e > end {
+					end = e // directive above a multi-line construct
+				}
+				ix[pos.Filename] = append(ix[pos.Filename], ignoreRange{
+					start: pos.Line,
+					end:   end,
+					names: names,
+				})
 			}
 		}
 	}
 	return ix, bad
+}
+
+// stmtSpans maps each line on which a statement or declaration starts to
+// the last line of that construct's header, so ignore directives can cover
+// multi-line constructs. Compound statements deliberately span only up to
+// the opening of their body — a directive above an `if` or `func` should
+// not silence the entire block — and pure containers (blocks, case/comm
+// clauses) are skipped so their children's spans win.
+func stmtSpans(fset *token.FileSet, f *ast.File) map[int]int {
+	spans := make(map[int]int)
+	record := func(from, to token.Pos) {
+		s := fset.Position(from).Line
+		if e := fset.Position(to).Line; e > spans[s] {
+			spans[s] = e
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			record(n.Pos(), n.Type.End())
+		case *ast.FuncLit:
+			record(n.Pos(), n.Type.End())
+		case *ast.GenDecl:
+			record(n.Pos(), n.End())
+		case *ast.Field:
+			record(n.Pos(), n.End())
+		case *ast.IfStmt:
+			record(n.Pos(), n.Body.Pos())
+		case *ast.ForStmt:
+			record(n.Pos(), n.Body.Pos())
+		case *ast.RangeStmt:
+			record(n.Pos(), n.Body.Pos())
+		case *ast.SwitchStmt:
+			record(n.Pos(), n.Body.Pos())
+		case *ast.TypeSwitchStmt:
+			record(n.Pos(), n.Body.Pos())
+		case *ast.SelectStmt:
+			record(n.Pos(), n.Body.Pos())
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause, *ast.LabeledStmt:
+			// containers — children carry their own spans
+		case ast.Stmt:
+			record(n.Pos(), n.End())
+		}
+		return true
+	})
+	return spans
 }
 
 // inspectFiles runs fn over every node of every file of the pass's package.

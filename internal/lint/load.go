@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the module under analysis.
@@ -38,8 +39,15 @@ type loader struct {
 	root    string
 	std     types.Importer
 
-	pkgs    map[string]*Package // by import path, completed packages
-	loading map[string]bool     // cycle detection
+	pkgs    map[string]*Package  // by import path, completed packages
+	loading map[string]bool      // cycle detection
+	parsed  map[string]parsedDir // pre-parsed files, by directory
+}
+
+// parsedDir is the result of parsing one directory's non-test files.
+type parsedDir struct {
+	files []*ast.File
+	err   error
 }
 
 // LoadModule loads and type-checks every package of the module rooted at
@@ -85,6 +93,30 @@ func LoadModule(root string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("lint: no Go packages found under %s", abs)
+	}
+
+	// Parse every package's files up front, concurrently. Parsing dominates
+	// load time and parser.ParseFile is safe to run in parallel against a
+	// shared FileSet (the set serializes file registration internally);
+	// type-checking then proceeds in import order over the parsed ASTs.
+	ld.parsed = make(map[string]parsedDir, len(dirs))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, dir := range dirs {
+		wg.Add(1)
+		go func(dir string) {
+			defer wg.Done()
+			files, err := parseDir(ld.fset, dir)
+			mu.Lock()
+			ld.parsed[dir] = parsedDir{files, err}
+			mu.Unlock()
+		}(dir)
+	}
+	wg.Wait()
 
 	var out []*Package
 	for _, dir := range dirs {
@@ -147,22 +179,14 @@ func (ld *loader) loadDir(dir string) (*Package, error) {
 	ld.loading[path] = true
 	defer delete(ld.loading, path)
 
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
+	pd, ok := ld.parsed[dir]
+	if !ok {
+		pd.files, pd.err = parseDir(ld.fset, dir)
 	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
+	if pd.err != nil {
+		return nil, pd.err
 	}
+	files := pd.files
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
@@ -183,6 +207,27 @@ func (ld *loader) loadDir(dir string) (*Package, error) {
 	p := &Package{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info, Fset: ld.fset}
 	ld.pkgs[path] = p
 	return p, nil
+}
+
+// parseDir parses a directory's non-test Go files, in file-name order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
 }
 
 func hasGoFiles(dir string) bool {

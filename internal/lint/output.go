@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSON renders the diagnostic as a single-line JSON object, one per
+// finding, for machine consumers (editor integrations, CI post-processing).
+func (d Diagnostic) JSON() string {
+	b, err := json.Marshal(struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}{d.Analyzer, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message})
+	if err != nil {
+		// A Diagnostic is strings and ints; Marshal cannot fail on it.
+		return fmt.Sprintf(`{"analyzer":%q,"message":"internal: %s"}`, d.Analyzer, err)
+	}
+	return string(b)
+}
+
+// Annotation renders the diagnostic as a GitHub Actions workflow command
+// (::error file=…,line=…), which the Actions runner turns into an
+// annotation pinned to the offending line of the PR diff.
+func (d Diagnostic) Annotation() string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=ogpalint %s::%s",
+		escapeAnnotationProperty(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+		escapeAnnotationProperty(d.Analyzer), escapeAnnotationData(d.Message))
+}
+
+// escapeAnnotationData escapes a workflow-command message per the Actions
+// runner's rules: % first, then the newline characters.
+func escapeAnnotationData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeAnnotationProperty escapes a workflow-command property value,
+// which additionally reserves ':' and ','.
+func escapeAnnotationProperty(s string) string {
+	s = escapeAnnotationData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}

@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SnapshotOnce enforces the serve tier's one-snapshot-per-request rule.
+// The live-data layer (internal/delta) publishes immutable epoch views
+// through an RCU pointer; a request that materializes the view twice can
+// straddle an epoch bump and compute over two different databases — a
+// torn-epoch read that no lock will ever catch.
+//
+// In the serve-path packages (internal/server and the ogpa facade) every
+// function, method and function literal is checked: along any single
+// control-flow path it may materialize at most one view. A view is
+// materialized by a call to a method named Snapshot, by a Load on an
+// atomic.Pointer/atomic.Value, or by a call to an in-package function
+// that (transitively) does either. Mutually exclusive branches each get
+// their own view; a load whose result is discarded (a bare statement)
+// does not count; a load inside a loop counts as many — each iteration
+// re-materializes.
+//
+// The analysis is per-package and name-directed: cross-package helpers
+// that hide a load behind another method name are not seen. The
+// convention this enforces is therefore also a naming convention — view
+// materialization in serve paths goes through Snapshot/Load or a local
+// wrapper of them.
+var SnapshotOnce = &Analyzer{
+	Name: "snapshotonce",
+	Doc:  "serve-path request flows must materialize at most one delta snapshot / RCU pointer load per control-flow path",
+	Run:  runSnapshotOnce,
+}
+
+// snapshotPathPkgs are the packages whose functions are request flows.
+var snapshotPathPkgs = []string{"internal/server", "ogpa"}
+
+func runSnapshotOnce(p *Pass) {
+	if !pkgSuffixMatch(p.Pkg.Path, snapshotPathPkgs) {
+		return
+	}
+	info := p.Pkg.Info
+
+	// Collect the package's function declarations, then propagate: a
+	// function is a "view source" if its body (nested function literals
+	// excluded — they do not run at call time) reaches a direct load or a
+	// call to another source. Fixed point over the in-package call graph.
+	type declFn struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []declFn
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, declFn{obj, fd.Body})
+			}
+		}
+	}
+	sources := make(map[*types.Func]bool)
+	counted := func(call *ast.CallExpr) bool {
+		if isDirectViewLoad(info, call) {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		return fn != nil && sources[fn]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if sources[d.obj] {
+				continue
+			}
+			w := &pathWalker{counted: counted}
+			if w.stmt(d.body).n >= 1 {
+				sources[d.obj] = true
+				changed = true
+			}
+		}
+	}
+
+	// Report every scope whose worst path materializes two or more views.
+	report := func(body *ast.BlockStmt, what string) {
+		w := &pathWalker{counted: counted}
+		r := w.stmt(body)
+		if r.n >= 2 && len(r.sites) >= 2 {
+			p.Reportf(r.sites[1], "%s materializes %d snapshot views on one path (first at %s); a request must pin exactly one epoch — take one snapshot and thread it through",
+				what, r.n, p.Pkg.Fset.Position(r.sites[0]))
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					report(n.Body, "function "+n.Name.Name)
+				}
+			case *ast.FuncLit:
+				report(n.Body, "function literal")
+			}
+			return true
+		})
+	}
+}
+
+// isDirectViewLoad recognizes the primitive view materializations: a
+// method call named Snapshot, or Load on an atomic.Pointer/atomic.Value.
+func isDirectViewLoad(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection := info.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Snapshot":
+		return true
+	case "Load":
+		return namedFromPkg(selection.Recv(), "sync/atomic", "Pointer", "Value")
+	}
+	return false
+}
+
+// pathCount is the result of walking one subtree: the maximum number of
+// counted calls along any single control-flow path, plus example call
+// sites along that path (in traversal order, capped).
+type pathCount struct {
+	n     int
+	sites []token.Pos
+}
+
+const maxPathSites = 8
+
+func (a pathCount) plus(b pathCount) pathCount {
+	sites := a.sites
+	if len(sites) < maxPathSites {
+		sites = append(sites[:len(sites):len(sites)], b.sites...)
+		if len(sites) > maxPathSites {
+			sites = sites[:maxPathSites]
+		}
+	}
+	return pathCount{n: a.n + b.n, sites: sites}
+}
+
+func maxPath(a, b pathCount) pathCount {
+	if b.n > a.n {
+		return b
+	}
+	return a
+}
+
+// pathWalker computes pathCount over statements and expressions.
+// Sequential statements add; branches take the worst branch; loops double
+// a non-zero body (one load per iteration is already many); nested
+// function literals are skipped (they are their own scopes).
+type pathWalker struct {
+	counted func(*ast.CallExpr) bool
+}
+
+func (w *pathWalker) expr(e ast.Expr) pathCount {
+	var r pathCount
+	if e == nil {
+		return r
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && w.counted(call) {
+			r.n++
+			if len(r.sites) < maxPathSites {
+				r.sites = append(r.sites, call.Pos())
+			}
+		}
+		return true
+	})
+	return r
+}
+
+// node walks a statement-or-expression child generically.
+func (w *pathWalker) node(n ast.Node) pathCount {
+	switch n := n.(type) {
+	case nil:
+		return pathCount{}
+	case ast.Stmt:
+		return w.stmt(n)
+	case ast.Expr:
+		return w.expr(n)
+	}
+	return pathCount{}
+}
+
+func (w *pathWalker) stmt(s ast.Stmt) pathCount {
+	switch s := s.(type) {
+	case nil:
+		return pathCount{}
+	case *ast.BlockStmt:
+		return w.stmtList(s.List)
+	case *ast.IfStmt:
+		r := w.stmt(s.Init).plus(w.expr(s.Cond))
+		return r.plus(maxPath(w.stmt(s.Body), w.node(s.Else)))
+	case *ast.SwitchStmt:
+		r := w.stmt(s.Init).plus(w.expr(s.Tag))
+		var best pathCount
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			var branch pathCount
+			for _, e := range cc.List {
+				branch = branch.plus(w.expr(e))
+			}
+			for _, st := range cc.Body {
+				branch = branch.plus(w.stmt(st))
+			}
+			best = maxPath(best, branch)
+		}
+		return r.plus(best)
+	case *ast.TypeSwitchStmt:
+		r := w.stmt(s.Init).plus(w.stmt(s.Assign))
+		var best pathCount
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			var branch pathCount
+			for _, st := range cc.Body {
+				branch = branch.plus(w.stmt(st))
+			}
+			best = maxPath(best, branch)
+		}
+		return r.plus(best)
+	case *ast.SelectStmt:
+		var best pathCount
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := w.stmt(cc.Comm)
+			for _, st := range cc.Body {
+				branch = branch.plus(w.stmt(st))
+			}
+			best = maxPath(best, branch)
+		}
+		return best
+	case *ast.ForStmt:
+		inner := w.stmt(s.Init).plus(w.expr(s.Cond)).plus(w.stmt(s.Body)).plus(w.stmt(s.Post))
+		return loopCount(inner)
+	case *ast.RangeStmt:
+		inner := w.expr(s.X).plus(w.stmt(s.Body))
+		return loopCount(inner)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt)
+	case *ast.ExprStmt:
+		// A counted call used as a bare statement discards its view: only
+		// loads nested in its receiver chain / arguments count.
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && w.counted(call) {
+			r := w.expr(call.Fun)
+			for _, a := range call.Args {
+				r = r.plus(w.expr(a))
+			}
+			return r
+		}
+		return w.expr(s.X)
+	default:
+		// Remaining statement kinds (assign, return, decl, go, defer,
+		// send, incdec, branch, empty) hold only expressions — walk them
+		// generically; nested statements occur only via function literals,
+		// which expr skips.
+		var r pathCount
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if w.counted(n) {
+					r.n++
+					if len(r.sites) < maxPathSites {
+						r.sites = append(r.sites, n.Pos())
+					}
+				}
+			}
+			return true
+		})
+		return r
+	}
+}
+
+// stmtList walks a statement sequence. An `if` without an else whose body
+// always terminates (guard-and-return) makes the remainder of the list the
+// implicit else branch — the two are alternatives, not a sequence.
+func (w *pathWalker) stmtList(list []ast.Stmt) pathCount {
+	var r pathCount
+	for i, st := range list {
+		if ifs, ok := st.(*ast.IfStmt); ok && ifs.Else == nil && terminates(ifs.Body) {
+			head := w.stmt(ifs.Init).plus(w.expr(ifs.Cond))
+			rest := w.stmtList(list[i+1:])
+			return r.plus(head).plus(maxPath(w.stmt(ifs.Body), rest))
+		}
+		r = r.plus(w.stmt(st))
+	}
+	return r
+}
+
+// terminates reports whether a block always leaves the enclosing statement
+// list: its last statement is a return, an unconditional jump, or a panic.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK || last.Tok == token.CONTINUE || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopCount models "a view per iteration": any load inside a loop body is
+// reported as at least two materializations.
+func loopCount(inner pathCount) pathCount {
+	if inner.n == 0 {
+		return inner
+	}
+	sites := inner.sites
+	if len(sites) > 0 && len(sites) < maxPathSites {
+		sites = append(sites[:len(sites):len(sites)], sites[0])
+	}
+	return pathCount{n: inner.n * 2, sites: sites}
+}

@@ -1,0 +1,104 @@
+// Package atomics is a lint fixture for the atomicfield analyzer: structs
+// holding sync/atomic fields must never travel by value, and a variable
+// accessed through the legacy atomic.Xxx functions must be accessed that
+// way everywhere.
+package atomics
+
+import "sync/atomic"
+
+// budget mirrors the engine's enumeration budget: atomics shared across
+// every worker of a matching run.
+type budget struct {
+	steps atomic.Int64
+	stop  atomic.Bool
+}
+
+// nested holds a budget by value — copying it copies the atomics too.
+type nested struct {
+	name string
+	bud  budget
+}
+
+// trip is the correct shape: pointer receiver, atomic stores.
+func (b *budget) trip() {
+	b.stop.Store(true)
+}
+
+// tripByValue copies the budget via its receiver.
+func (b budget) tripByValue() { // want:atomicfield
+	b.stop.Store(true)
+}
+
+func spendByValue(b budget) bool { // want:atomicfield
+	return b.stop.Load()
+}
+
+func spendByPointer(b *budget) bool {
+	return b.stop.Load()
+}
+
+func makeBudget() budget { // want:atomicfield
+	return budget{}
+}
+
+func makeNested(n nested) { // want:atomicfield
+	_ = n
+}
+
+// fresh values are fine: a just-built budget has no other readers yet.
+func freshIsFine() *budget {
+	b := budget{}
+	p := &budget{}
+	_ = b
+	return p
+}
+
+// overwrite clobbers a live value other goroutines may be loading from.
+func overwrite(b *budget) {
+	*b = budget{} // want:atomicfield
+}
+
+// duplicate copies a live value into a new variable.
+func duplicate(b *budget) {
+	c := *b // want:atomicfield
+	_ = c
+}
+
+func duplicateNested(n *nested) {
+	b := n.bud // want:atomicfield
+	_ = b
+}
+
+// excused shows the suppression escape hatch.
+func excused(b *budget) {
+	//lint:ignore atomicfield fixture: b is quiesced — all workers joined before reset
+	*b = budget{}
+}
+
+// plain has no atomics: copying it is fine.
+type plain struct {
+	n int
+}
+
+func plainCopies(p plain) plain {
+	q := p
+	return q
+}
+
+// legacy is accessed through the pre-Go-1.19 atomic functions; every
+// access must stay atomic.
+type legacy struct {
+	hits uint64
+}
+
+func (l *legacy) bump() {
+	atomic.AddUint64(&l.hits, 1)
+}
+
+func (l *legacy) read() uint64 {
+	return atomic.LoadUint64(&l.hits)
+}
+
+func (l *legacy) torn() uint64 {
+	return l.hits // want:atomicfield
+}

@@ -1,0 +1,109 @@
+// ctxpoll fixtures: this package's import path ends in internal/engine,
+// so every condition-less for-loop must reach a cancellation check.
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// loopBudget mirrors the engine's shared stop flag.
+type loopBudget struct {
+	stop atomic.Bool
+}
+
+// tick mirrors engine/runtime.tick: the in-package polling helper.
+func tick(ctx context.Context, b *loopBudget) bool {
+	if b.stop.Load() {
+		return false
+	}
+	return ctx.Err() == nil
+}
+
+// spinForever never observes cancellation — a hung request pins the
+// worker.
+func spinForever(work chan int) int {
+	total := 0
+	for { // want:ctxpoll
+		v, ok := <-work
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// spinPolling checks the stop flag inside the body: clean.
+func spinPolling(b *loopBudget, work chan int) int {
+	total := 0
+	for {
+		if b.stop.Load() {
+			return total
+		}
+		total += <-work
+	}
+}
+
+// spinConditional carries its check in the loop condition — not a
+// condition-less loop, so it is out of scope by construction.
+func spinConditional(b *loopBudget, work chan int) int {
+	total := 0
+	for !b.stop.Load() {
+		total += <-work
+	}
+	return total
+}
+
+// spinThroughHelper polls via the in-package helper, transitively.
+func spinThroughHelper(ctx context.Context, b *loopBudget, work chan int) int {
+	total := 0
+	for {
+		if !tick(ctx, b) {
+			return total
+		}
+		total += <-work
+	}
+}
+
+// spinSelect observes ctx.Done through a select: clean.
+func spinSelect(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-work:
+			total += v
+		}
+	}
+}
+
+// spinClosureDoesNotCount constructs a closure that would poll, but never
+// runs it in the loop — a check inside a nested function literal is not a
+// check for this loop.
+func spinClosureDoesNotCount(b *loopBudget, work chan int) int {
+	total := 0
+	for { // want:ctxpoll
+		probe := func() bool { return b.stop.Load() }
+		_ = probe
+		v, ok := <-work
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// spinExcused shows the suppression escape hatch for a loop whose bound
+// is structural.
+func spinExcused(work chan int) int {
+	total := 0
+	//lint:ignore ctxpoll fixture: drains a channel the producer closes after at most one batch
+	for {
+		v, ok := <-work
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}

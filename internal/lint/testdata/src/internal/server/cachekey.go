@@ -1,0 +1,67 @@
+package server
+
+import "fmt"
+
+// planCache mirrors the server's LRU: entries are only valid for the
+// epoch their plan was compiled against.
+type planCache struct {
+	items map[string]int
+}
+
+// Get looks an entry up by its composed key.
+func (c *planCache) Get(key string) (int, bool) {
+	v, ok := c.items[key]
+	return v, ok
+}
+
+// Put inserts under the composed key.
+func (c *planCache) Put(key string, plan int) {
+	c.items[key] = plan
+}
+
+// keyWithEpoch is the discipline PR 5 established by hand: the epoch is a
+// key component, so a delta commit strands stale entries.
+func keyWithEpoch(fingerprint string, epoch uint64, kind string) string {
+	return fmt.Sprintf("%s|%d|%s", fingerprint, epoch, kind)
+}
+
+// keyWithoutEpoch omits the epoch — a cached plan survives commits.
+func keyWithoutEpoch(fingerprint, kind string) string {
+	key := fmt.Sprintf("%s|%s", fingerprint, kind) // want:epochkey
+	return key
+}
+
+// lookupStale indexes the cache map directly by fingerprint.
+func lookupStale(c *planCache, fingerprint string) int {
+	return c.items[fingerprint] // want:epochkey
+}
+
+// lookupFresh mixes the epoch into the composed key expression.
+func lookupFresh(c *planCache, fingerprint string, epoch uint64) int {
+	return c.items[fmt.Sprintf("%s|%d", fingerprint, epoch)]
+}
+
+// getStale hands a bare fingerprint to a cache accessor.
+func getStale(c *planCache, fingerprint string) (int, bool) {
+	return c.Get(fingerprint) // want:epochkey
+}
+
+// getFresh composes the key through the sanctioned helper — the epoch
+// identifier appears in the argument expression.
+func getFresh(c *planCache, fingerprint string, epoch uint64) (int, bool) {
+	return c.Get(keyWithEpoch(fingerprint, epoch, "omatch"))
+}
+
+// getExcused shows the suppression escape hatch for a cache that is
+// rebuilt wholesale on every commit.
+func getExcused(c *planCache, fingerprint string) (int, bool) {
+	//lint:ignore epochkey fixture: this cache is swapped atomically with the snapshot, entries never cross epochs
+	return c.Get(fingerprint)
+}
+
+// logLine mentions a fingerprint outside any key position: the analyzer
+// is name-directed and only audits keys, not messages.
+func logLine(fingerprint string) string {
+	msg := fmt.Sprintf("compiled plan for %s", fingerprint)
+	return msg
+}

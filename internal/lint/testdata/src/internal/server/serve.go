@@ -1,0 +1,98 @@
+// Package server is a lint fixture shaped like the serving tier. Its
+// import path ends in internal/server, which puts it on the snapshotonce
+// and epochkey serve-path lists: a request flow here may materialize at
+// most one RCU view, and cache keys must mix in the epoch.
+package server
+
+import "sync/atomic"
+
+// view is one immutable published database state.
+type view struct {
+	epoch uint64
+	size  int
+}
+
+// store publishes views through an RCU pointer.
+type store struct {
+	cur atomic.Pointer[view]
+}
+
+// Snapshot is the sanctioned materialization point: one load.
+func (s *store) Snapshot() *view {
+	return s.cur.Load()
+}
+
+// currentEpoch wraps Snapshot — callers inherit its view load.
+func currentEpoch(s *store) uint64 {
+	return s.Snapshot().epoch
+}
+
+// handleOne pins exactly one epoch and threads it through: clean.
+func handleOne(s *store) uint64 {
+	v := s.Snapshot()
+	return v.epoch + uint64(v.size)
+}
+
+// handleTorn materializes two views and uses both — the reads can
+// straddle an epoch bump.
+func handleTorn(s *store) uint64 {
+	a := s.Snapshot()
+	b := s.Snapshot() // want:snapshotonce
+	return a.epoch + b.epoch
+}
+
+// handleTornRaw does the same through the pointer directly.
+func handleTornRaw(s *store) int {
+	a := s.cur.Load()
+	b := s.cur.Load() // want:snapshotonce
+	return a.size + b.size
+}
+
+// handleTornWrapped hides the second load behind an in-package helper.
+func handleTornWrapped(s *store) uint64 {
+	v := s.Snapshot()
+	return v.epoch + currentEpoch(s) // want:snapshotonce
+}
+
+// handleBranches takes one snapshot per mutually exclusive branch: clean.
+func handleBranches(s *store, fast bool) uint64 {
+	if fast {
+		return s.Snapshot().epoch
+	}
+	return currentEpoch(s)
+}
+
+// handleLoop re-materializes on every iteration — each pass may see a
+// different epoch.
+func handleLoop(s *store, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += s.Snapshot().size // want:snapshotonce
+	}
+	return total
+}
+
+// handleDiscarded's first load is a bare statement whose view is thrown
+// away — only the second, used one counts: clean.
+func handleDiscarded(s *store) uint64 {
+	s.Snapshot()
+	return s.Snapshot().epoch
+}
+
+// handleExcused shows the suppression escape hatch for a deliberate
+// cross-epoch comparison.
+func handleExcused(s *store) bool {
+	before := s.Snapshot()
+	//lint:ignore snapshotonce fixture: epoch-advance probe compares two views on purpose
+	after := s.Snapshot()
+	return before.epoch != after.epoch
+}
+
+// handleClosures gives each request goroutine its own single snapshot:
+// function literals are separate scopes, so two one-load closures in one
+// function are clean.
+func handleClosures(s *store) (uint64, uint64) {
+	first := func() uint64 { return s.Snapshot().epoch }
+	second := func() uint64 { return s.Snapshot().epoch }
+	return first(), second()
+}

@@ -127,3 +127,16 @@ func (g *gate) size() int {
 func drain(g gate) int { // want:locksafety
 	return 0
 }
+
+// spanSuppressed regression-tests directive spans: the ignore sits above a
+// signature wrapped across several lines, and must cover the by-value
+// parameter on the signature's *third* line — not just the line below the
+// comment, which is where the old line-based suppression stopped.
+//
+//lint:ignore locksafety fixture: wrapped signature, caller serializes access for the whole call
+func spanSuppressed(
+	label string,
+	c Counter,
+) int {
+	return len(label)
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pkgSuffixMatch reports whether an import path ends with one of the given
+// suffixes, aligned on path segments: "internal/server" matches
+// "ogpa/internal/server" and "fixture/internal/server" but not
+// "x/notinternal/server". A bare suffix also matches the path exactly, so
+// module-root packages ("ogpa") can be scoped too.
+func pkgSuffixMatch(path string, suffixes []string) bool {
+	for _, suf := range suffixes {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// namedFromPkg reports whether t — after peeling one pointer — is a named
+// type declared in package pkgPath with one of the given names (any name
+// when names is empty). Generic instantiations (atomic.Pointer[T]) resolve
+// to their origin's object, so they match by base name.
+func namedFromPkg(t types.Type, pkgPath string, names ...string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call's static target to a *types.Func. Indirect
+// calls through function values (and conversions) come back nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -9,9 +9,14 @@ import (
 // TestRepoLintClean runs the repository's own static-analysis pass (the
 // same one `go run ./cmd/ogpalint ./...` runs) as part of tier-1 tests, so
 // the invariants it checks — exhaustive I1–I11 and condition-AST switches,
-// lock discipline, no dropped errors, interned hot-path comparisons — are
-// enforced on every change forever.
+// lock discipline, no dropped errors, interned hot-path comparisons, no
+// by-value copies of atomic-holding structs, one snapshot per request
+// flow, epoch-qualified cache keys, cancellation polling in unbounded
+// engine loops — are enforced on every change forever.
 func TestRepoLintClean(t *testing.T) {
+	if n := len(lint.All()); n != 8 {
+		t.Fatalf("analyzer catalogue has %d entries, want 8; keep DESIGN.md §7 and this test in sync", n)
+	}
 	pkgs, err := lint.LoadModule(".")
 	if err != nil {
 		t.Fatal(err)

@@ -277,15 +277,22 @@ func (kb *KB) WaitIdle() {
 	}
 }
 
-// Stats summarizes the KB.
+// Stats summarizes the KB. On a live KB everything reported comes from
+// one snapshot, so the assertion, graph and epoch figures are mutually
+// consistent even while writers commit (aboxNow+graphNow would each take
+// their own view and could straddle an epoch bump — the torn read the
+// snapshotonce analyzer exists to reject).
 func (kb *KB) Stats() string {
-	a, g := kb.aboxNow(), kb.graphNow()
-	s := fmt.Sprintf("|D|=%d assertions, |V|=%d, |E|=%d, |O|=%d axioms",
-		a.Size(), g.NumVertices(), g.NumEdges(), kb.tbox.Size())
-	if kb.store != nil {
-		s += fmt.Sprintf(", live epoch=%d overlay=%d", kb.store.Epoch(), kb.store.OverlaySize())
+	describe := func(a *dllite.ABox, g *graph.Graph) string {
+		return fmt.Sprintf("|D|=%d assertions, |V|=%d, |E|=%d, |O|=%d axioms",
+			a.Size(), g.NumVertices(), g.NumEdges(), kb.tbox.Size())
 	}
-	return s
+	if kb.store != nil {
+		sn := kb.store.Snapshot()
+		return describe(kb.live.get(sn), sn.Graph()) +
+			fmt.Sprintf(", live epoch=%d overlay=%d", sn.Epoch(), sn.OverlayOps())
+	}
+	return describe(kb.abox, kb.g)
 }
 
 // Fingerprint returns a stable FNV-1a hash of the ontology's positive
