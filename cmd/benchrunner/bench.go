@@ -20,7 +20,7 @@ import (
 )
 
 // benchResult is one row of the machine-readable benchmark report
-// (BENCH_5.json): the same three numbers `go test -bench -benchmem`
+// (BENCH_6.json): the same three numbers `go test -bench -benchmem`
 // prints, in a form CI and plotting scripts can diff across commits.
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -37,6 +37,7 @@ type benchResult struct {
 // engine is measured on the same workload.
 type benchWorkload struct {
 	g        *graph.Graph
+	abox     *dllite.ABox
 	tbox     *dllite.TBox
 	queries  []*cq.Query
 	patterns []*core.Pattern
@@ -48,7 +49,7 @@ func buildBenchWorkload(seed int64) (*benchWorkload, error) {
 	cfg := qgen.DefaultConfig(8, 8*101+1) // same query seeds as bench_test.go
 	cfg.Count = 4
 	qs := qgen.RandomWalk(g, d.TBox, cfg)
-	w := &benchWorkload{g: g, tbox: d.TBox, queries: qs}
+	w := &benchWorkload{g: g, abox: d.ABox, tbox: d.TBox, queries: qs}
 	for _, q := range qs {
 		res, err := rewrite.Generate(q, d.TBox)
 		if err != nil {
@@ -156,18 +157,28 @@ func (w *benchWorkload) benchDAFEval(legacy bool) func(*testing.B) {
 	}
 }
 
+// namedBench is one entry of the JSON benchmark suite.
+type namedBench struct {
+	name string
+	fn   func(*testing.B)
+}
+
 // runBenchJSON runs the benchmark suite via testing.Benchmark and writes
 // the results to outPath. Each CSR-path benchmark has a /map twin on the
-// legacy candidate-space build, so one file shows the delta.
+// legacy candidate-space build, so one file shows the delta; the
+// persistence rows end with the cold-start vs snapshot-load comparison,
+// which must come out in the snapshot's favor or the run fails.
 func runBenchJSON(outPath string, seed int64) error {
 	w, err := buildBenchWorkload(seed)
 	if err != nil {
 		return err
 	}
-	suite := []struct {
-		name string
-		fn   func(*testing.B)
-	}{
+	dir, err := os.MkdirTemp("", "ogpa-bench-persist-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	suite := []namedBench{
 		{"BenchmarkBuildOMCS/csr", w.benchBuildOMCS(false)},
 		{"BenchmarkBuildOMCS/map", w.benchBuildOMCS(true)},
 		{"BenchmarkAdjacency/csr", w.benchAdjacency(false)},
@@ -183,6 +194,7 @@ func runBenchJSON(outPath string, seed int64) error {
 		{"BenchmarkDeltaCompact/ov4096", w.benchDeltaCompact(4096)},
 		{"BenchmarkDeltaCompact/ov16384", w.benchDeltaCompact(16384)},
 	}
+	suite = append(suite, persistSuite(w, dir)...)
 	results := make([]benchResult, 0, len(suite))
 	for _, bb := range suite {
 		r := testing.Benchmark(bb.fn)
@@ -199,6 +211,9 @@ func runBenchJSON(outPath string, seed int64) error {
 		results = append(results, row)
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %12d B/op %9d allocs/op\n",
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+	if err := checkStartupRows(results); err != nil {
+		return err
 	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

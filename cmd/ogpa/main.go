@@ -34,6 +34,8 @@ func main() {
 		deletePath   = flag.String("delete", "", "N-Triples file applied as ABox deletions before answering (after -insert)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		snapshotPath = flag.String("snapshot", "", "load the data graph from a binary snapshot instead of -data (skips parsing and interning)")
+		saveSnapshot = flag.String("save-snapshot", "", "write the data graph (after -insert/-delete) as a binary snapshot to this file; exits if no query follows")
 	)
 	flag.Parse()
 
@@ -47,12 +49,17 @@ func main() {
 		}
 	}()
 
-	if *ontologyPath == "" || *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: ogpa -ontology FILE -data FILE [flags] 'q(x) :- ...'")
+	if *ontologyPath == "" || (*dataPath == "") == (*snapshotPath == "") {
+		fmt.Fprintln(os.Stderr, "usage: ogpa -ontology FILE (-data FILE | -snapshot FILE) [flags] 'q(x) :- ...'")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	kb, err := ogpa.OpenKB(*ontologyPath, *dataPath)
+	var kb *ogpa.KB
+	if *snapshotPath != "" {
+		kb, err = ogpa.OpenKBSnapshot(*ontologyPath, *snapshotPath)
+	} else {
+		kb, err = ogpa.OpenKB(*ontologyPath, *dataPath)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -77,6 +84,15 @@ func main() {
 		}
 		mutate(*insertPath, func(f *os.File) (int, error) { return kb.InsertTriples(f) }, "inserted")
 		mutate(*deletePath, func(f *os.File) (int, error) { return kb.DeleteTriples(f) }, "deleted")
+	}
+	if *saveSnapshot != "" {
+		if err := kb.SaveSnapshot(*saveSnapshot); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *saveSnapshot)
+		if flag.NArg() == 0 && !*statsOnly && !*consistency {
+			return
+		}
 	}
 	if *statsOnly {
 		fmt.Println(kb.Stats())

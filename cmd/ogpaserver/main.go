@@ -32,6 +32,7 @@ func main() {
 		memProfile    = flag.String("memprofile", "", "write a heap profile to this file on shutdown")
 		live          = flag.Bool("live", false, "enable ABox mutations via POST /insert and /delete")
 		compactThresh = flag.Int("compact-threshold", 0, "overlay ops before background compaction (0 = default, negative = never; needs -live)")
+		dataDir       = flag.String("data-dir", "", "durable live data: snapshot + WAL directory (implies -live; recovers existing state, -data only seeds the first run)")
 	)
 	flag.Parse()
 	if *ontologyPath == "" || *dataPath == "" {
@@ -47,7 +48,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *live {
+	switch {
+	case *dataDir != "":
+		if err := kb.EnableDurableLiveData(*dataDir, *compactThresh); err != nil {
+			log.Fatal(err)
+		}
+		ps := kb.PersistenceStats()
+		log.Printf("durable data dir %s: snapshot epoch %d (%d bytes), WAL %d bytes, recovered epoch %d",
+			*dataDir, ps.LastCheckpointEpoch, ps.SnapshotBytes, ps.WALBytes, kb.Epoch())
+	case *live:
 		if err := kb.EnableLiveData(*compactThresh); err != nil {
 			log.Fatal(err)
 		}
@@ -66,6 +75,7 @@ func main() {
 
 	select {
 	case err := <-serveErr:
+		closeKB(kb)
 		profStop(profSession)
 		log.Fatal(err)
 	case <-ctx.Done():
@@ -73,11 +83,31 @@ func main() {
 	log.Printf("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	// Ordering matters here. Drain HTTP first, so no request (including an
+	// in-flight POST /checkpoint) runs past this point. Then the final
+	// checkpoint — it serializes with a still-running background compactor
+	// on the store's writer gate, so the two can't interleave snapshot
+	// writes. Then Close, which waits that compactor out and closes the
+	// WAL. Only then flush profiles: nothing is still executing store code
+	// that the profile session might sample mid-teardown.
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
-	kb.WaitIdle() // let a background compaction finish before exiting
+	if kb.Durable() {
+		if epoch, err := kb.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		} else {
+			log.Printf("final checkpoint at epoch %d", epoch)
+		}
+	}
+	closeKB(kb)
 	profStop(profSession)
+}
+
+func closeKB(kb *ogpa.KB) {
+	if err := kb.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
 }
 
 func profStop(s *prof.Session) {

@@ -30,15 +30,30 @@
 // load time. Vertex deletion does not exist: deleting every triple that
 // mentions a vertex leaves it isolated, so VIDs stay stable across epochs
 // and compactions.
+//
+// # Durability
+//
+// A Store is optionally durable (Config.WAL + Config.SnapshotPath): every
+// committed batch is appended to the write-ahead log and fsync'd while
+// the writer gate is held, BEFORE the atomic pointer swap publishes the
+// batch's epoch — so an epoch a client has observed can never be lost to
+// a crash, and a batch whose WAL record is torn was never acknowledged.
+// The background compactor then doubles as a checkpointer: fold the
+// overlay, write a fresh snapshot at the same epoch, truncate the WAL.
+// NewStoreRecovered rebuilds the exact pre-crash state from snapshot +
+// replayed WAL records.
 package delta
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
 
 	"ogpa/internal/graph"
 	"ogpa/internal/rdf"
+	"ogpa/internal/snap"
 	"ogpa/internal/symbols"
 )
 
@@ -56,7 +71,17 @@ type Config struct {
 	// when nil. It must match the mapping the base graph was loaded with,
 	// or mutations would target differently-spelled vertices.
 	Name func(string) string
+	// WAL, when non-nil, makes the store durable: every committed batch
+	// is appended and fsync'd before its epoch is published. The store
+	// takes ownership of the log (Close closes it).
+	WAL *snap.WAL
+	// SnapshotPath is where the checkpointer writes folded snapshots.
+	// Required when WAL is set.
+	SnapshotPath string
 }
+
+// ErrClosed is returned by mutations on a store after Close.
+var ErrClosed = errors.New("delta: store is closed")
 
 // op is one logged mutation: a parsed triple plus its polarity.
 type op struct {
@@ -100,7 +125,9 @@ func (st *state) graphNow() *graph.Graph {
 // discipline.
 type writerGate struct {
 	mu         sync.Mutex
-	compacting bool // a background compaction goroutine is running
+	compacting bool  // a background compaction goroutine is running
+	closed     bool  // Close has run; mutations return ErrClosed
+	walErr     error // sticky: a WAL append failed, durability is gone
 }
 
 // Store is the mutable graph store. Zero value is not usable; construct
@@ -112,20 +139,67 @@ type Store struct {
 	nameFn      func(string) string
 	compactions atomic.Uint64
 	bg          sync.WaitGroup
+
+	wal            *snap.WAL // nil for a purely in-memory store
+	snapPath       string
+	lastCheckpoint atomic.Uint64 // epoch of the newest on-disk snapshot
+	checkpointErr  atomic.Pointer[error]
 }
 
 // NewStore wraps base in a mutable store. The base's symbol table is
 // thawed so writer goroutines can intern names of new individuals; the
-// base graph itself is never modified.
+// base graph itself is never modified. With a durable Config the caller
+// must already have written a snapshot of base at epoch 1 (ogpa's
+// EnableDurableLiveData does), so that crash recovery has a base to
+// replay the fresh WAL onto.
 func NewStore(base *graph.Graph, cfg Config) *Store {
+	s, _ := newStore(base, 1, nil, cfg)
+	return s
+}
+
+// NewStoreRecovered rebuilds a durable store from a loaded snapshot and
+// the committed WAL records that survived it: each record is replayed as
+// one batch, reproducing the exact pre-crash epoch sequence (records at
+// or below the snapshot's epoch are skipped — they are already folded
+// in). The replayed log stays in the overlay; the next checkpoint folds
+// it down.
+func NewStoreRecovered(base *graph.Graph, baseEpoch uint64, records []snap.Record, cfg Config) (*Store, error) {
+	return newStore(base, baseEpoch, records, cfg)
+}
+
+func newStore(base *graph.Graph, baseEpoch uint64, records []snap.Record, cfg Config) (*Store, error) {
 	threshold := cfg.CompactThreshold
 	if threshold == 0 {
 		threshold = DefaultCompactThreshold
 	}
 	base.Symbols.Thaw()
-	s := &Store{threshold: threshold, nameFn: cfg.Name}
-	s.cur.Store(&state{epoch: 1, base: base, nameFn: cfg.Name})
-	return s
+	s := &Store{
+		threshold: threshold,
+		nameFn:    cfg.Name,
+		wal:       cfg.WAL,
+		snapPath:  cfg.SnapshotPath,
+	}
+	s.lastCheckpoint.Store(baseEpoch)
+	epoch := baseEpoch
+	var ops []op
+	for _, rec := range records {
+		if rec.Epoch <= baseEpoch {
+			// Folded into the snapshot already: a checkpoint whose WAL
+			// truncation did not land before a crash. Replaying it would
+			// double-apply, so skip.
+			continue
+		}
+		if rec.Epoch != epoch+1 {
+			return nil, fmt.Errorf("delta: WAL epoch gap: snapshot at %d, then record epochs jump %d -> %d", baseEpoch, epoch, rec.Epoch)
+		}
+		epoch = rec.Epoch
+		for _, t := range rec.Triples {
+			ops = append(ops, op{del: rec.Del, t: t})
+		}
+	}
+	ops = ops[:len(ops):len(ops)]
+	s.cur.Store(&state{epoch: epoch, base: base, ops: ops, nameFn: cfg.Name})
+	return s, nil
 }
 
 // Snapshot is an immutable read view of the store at one epoch.
@@ -185,7 +259,38 @@ func (s *Store) apply(r io.Reader, del bool) (int, error) {
 	}
 
 	s.gate.mu.Lock()
+	if s.gate.closed {
+		s.gate.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if s.gate.walErr != nil {
+		err := s.gate.walErr
+		s.gate.mu.Unlock()
+		return 0, fmt.Errorf("delta: store lost durability: %w", err)
+	}
 	cur := s.cur.Load()
+	if s.wal != nil {
+		// Durability point: the record must be on stable storage before
+		// the swap below makes epoch+1 observable — a crash after a
+		// client sees the new epoch must never lose the batch. The fsync
+		// runs under the writer gate, which serializes writers on disk
+		// latency; that is the price of the ordering and why reads stay
+		// entirely outside this lock.
+		triples := make([]rdf.Triple, len(batch))
+		for i, o := range batch {
+			triples[i] = o.t
+		}
+		if err := s.wal.Append(snap.Record{Epoch: cur.epoch + 1, Del: del, Triples: triples}); err != nil {
+			// The log may now hold a torn record; appending more behind
+			// it would be unrecoverable. Poison the store: the batch is
+			// NOT published (all-or-nothing holds), and every later
+			// mutation fails fast until the operator restarts — recovery
+			// discards the torn tail.
+			s.gate.walErr = err
+			s.gate.mu.Unlock()
+			return 0, fmt.Errorf("delta: store lost durability: %w", err)
+		}
+	}
 	ops := append(cur.ops, batch...)
 	// Full slice expression: future appends by later writers must go to a
 	// fresh backing array rather than scribbling past this state's view.
@@ -205,13 +310,26 @@ func (s *Store) apply(r io.Reader, del bool) (int, error) {
 }
 
 // compactLoop runs in the single background compactor goroutine: it folds
-// until the overlay is back under threshold, then exits.
+// until the overlay is back under threshold, then exits. On a durable
+// store it checkpoints instead of plain-compacting, so WAL growth is
+// bounded by the same threshold that bounds overlay growth. A checkpoint
+// failure (full disk, say) degrades to a plain in-memory compaction —
+// recovery-neutral, since the WAL is only ever truncated after a newer
+// snapshot is durably published — and parks the error for Stats.
 func (s *Store) compactLoop() {
 	defer s.bg.Done()
 	for {
-		s.Compact()
+		if s.wal != nil {
+			if _, err := s.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+				e := err
+				s.checkpointErr.Store(&e)
+				s.Compact()
+			}
+		} else {
+			s.Compact()
+		}
 		s.gate.mu.Lock()
-		again := s.threshold > 0 && len(s.cur.Load().ops) >= s.threshold
+		again := s.threshold > 0 && len(s.cur.Load().ops) >= s.threshold && !s.gate.closed
 		if !again {
 			s.gate.compacting = false
 		}
@@ -258,6 +376,134 @@ func (s *Store) Compact() {
 // WaitIdle blocks until any background compaction has finished. Tests and
 // graceful shutdown use it; queries never need to.
 func (s *Store) WaitIdle() { s.bg.Wait() }
+
+// Checkpoint folds the current overlay into a canonical base, writes it
+// as a snapshot at the current epoch (atomic tmp+rename), and truncates
+// the WAL whose batches the snapshot now subsumes. Epoch and content are
+// unchanged. Crash-safe at every step: before the rename, recovery uses
+// old snapshot + full WAL; after the rename but before the truncate,
+// recovery skips replayed records at or below the new snapshot's epoch.
+// Returns the checkpointed epoch.
+func (s *Store) Checkpoint() (uint64, error) {
+	if s.wal == nil {
+		return 0, errors.New("delta: store is not durable (no WAL configured)")
+	}
+	// Bulk fold outside the lock so writers aren't blocked for the O(|G|)
+	// part; only the residual ops that landed meanwhile fold under the
+	// gate.
+	s.Compact()
+
+	s.gate.mu.Lock()
+	defer s.gate.mu.Unlock()
+	if s.gate.closed {
+		return 0, ErrClosed
+	}
+	if s.gate.walErr != nil {
+		return 0, fmt.Errorf("delta: store lost durability: %w", s.gate.walErr)
+	}
+	cur := s.cur.Load()
+	base := cur.base
+	if len(cur.ops) > 0 {
+		base = cur.graphNow().Compacted()
+	}
+	// No writer can intern while we hold the gate, and readers
+	// materializing older epochs only re-intern names this state already
+	// interned — so the symbol table is stable under SaveSnapshot.
+	if err := snap.SaveSnapshot(s.snapPath, base, cur.epoch); err != nil {
+		return 0, err // WAL untouched: recovery still replays everything
+	}
+	if err := s.wal.Reset(); err != nil {
+		// The snapshot is already live; stale records below its epoch are
+		// skipped on recovery, so correctness holds. Appends continue at
+		// the file's current end.
+		return 0, err
+	}
+	s.cur.Store(&state{epoch: cur.epoch, base: base, nameFn: s.nameFn})
+	s.compactions.Add(1)
+	s.lastCheckpoint.Store(cur.epoch)
+	s.checkpointErr.Store(nil)
+	return cur.epoch, nil
+}
+
+// SaveTo folds the current state and writes it as a snapshot at the
+// current epoch to an arbitrary path, leaving the WAL and the recovery
+// chain untouched (an export, not a checkpoint). Works on non-durable
+// stores too. Returns the epoch the snapshot captures.
+func (s *Store) SaveTo(path string) (uint64, error) {
+	s.Compact()
+	s.gate.mu.Lock()
+	defer s.gate.mu.Unlock()
+	if s.gate.closed {
+		return 0, ErrClosed
+	}
+	cur := s.cur.Load()
+	base := cur.base
+	if len(cur.ops) > 0 {
+		base = cur.graphNow().Compacted()
+	}
+	if err := snap.SaveSnapshot(path, base, cur.epoch); err != nil {
+		return 0, err
+	}
+	return cur.epoch, nil
+}
+
+// Close stops the store deterministically: new mutations fail with
+// ErrClosed, the background compactor (if running) finishes its current
+// fold and exits, and the WAL handle is closed (records are already
+// fsync'd by Append, so nothing is lost). Idempotent. Reads against
+// existing snapshots remain valid forever.
+func (s *Store) Close() error {
+	s.gate.mu.Lock()
+	if s.gate.closed {
+		s.gate.mu.Unlock()
+		return nil
+	}
+	// Under the same lock apply/compactLoop use for spawn decisions, so
+	// either a mutation commits (and any compactor it spawned is in the
+	// WaitGroup) strictly before this, or it observes closed and bails.
+	s.gate.closed = true
+	s.gate.mu.Unlock()
+
+	s.bg.Wait()
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}
+
+// LastCheckpointEpoch reports the epoch of the newest on-disk snapshot
+// (the recovery floor: everything after it lives in the WAL). Zero for a
+// non-durable store.
+func (s *Store) LastCheckpointEpoch() uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.lastCheckpoint.Load()
+}
+
+// WALSize reports the committed write-ahead log length in bytes (header
+// included); 0 for a non-durable store.
+func (s *Store) WALSize() int64 {
+	if s.wal == nil {
+		return 0
+	}
+	s.gate.mu.Lock()
+	defer s.gate.mu.Unlock()
+	return s.wal.Size()
+}
+
+// SnapshotPath reports where checkpoints are written ("" when not
+// durable).
+func (s *Store) SnapshotPath() string { return s.snapPath }
+
+// CheckpointErr reports the most recent background checkpoint failure,
+// or nil. A successful checkpoint clears it.
+func (s *Store) CheckpointErr() error {
+	if p := s.checkpointErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // overlayMutator adapts graph.Overlay's ID-based mutation API to the
 // string-based rdf.Mutator sink. Inserts intern names (the table is

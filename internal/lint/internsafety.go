@@ -31,6 +31,7 @@ var hotPathSuffixes = []string{
 	"internal/daf",
 	"internal/graph",
 	"internal/delta",
+	"internal/snap",
 }
 
 func runInternSafety(p *Pass) {

@@ -1,0 +1,37 @@
+// Package snap is a lint fixture for the internsafety analyzer. The
+// persistence layer is on the hot-path list because recovery replay and
+// snapshot decoding run over every stored triple: raw string
+// comparisons and map[string] indexes are findings here, while
+// comparisons against compile-time constants (the magic strings at the
+// head of each format) stay allowed.
+package snap
+
+// magic mirrors the real package's format magics: validating a header
+// against a constant is a one-time guard, not a per-record probe.
+const magic = "OGPASNP1"
+
+func validHeader(h string) bool {
+	return h == magic
+}
+
+func sameSubject(a, b string) bool {
+	return a == b // want:internsafety
+}
+
+func differentPredicate(a, b string) bool {
+	return a != b // want:internsafety
+}
+
+type replayIndex struct {
+	seen map[string]uint64 // want:internsafety
+	byID map[uint32]uint64
+}
+
+func dedupe(names []string) map[string]bool { // want:internsafety
+	return nil
+}
+
+func suppressedCompare(a, b string) bool {
+	//lint:ignore internsafety fixture: one-time format validation outside replay
+	return a == b
+}

@@ -65,29 +65,49 @@ func TestOmissionGateOnOmittedVertex(t *testing.T) {
 	}
 }
 
-// TestKnownBugResidualGenOGPSeeds pins four pre-existing GenOGP
-// incompleteness/unsoundness instances surfaced by a 30k-seed sweep (see
-// ROADMAP "Open items"). All three predate the omission-gate fix (they
-// reproduce on the unpatched tree) and involve derivation orders the
-// current justification calculus does not cover:
-//
-//   - seed 2392402369435569976 over-answers (OGP ⊋ UCQ): an omission
-//     justification fires for a mapping PerfectRef cannot derive;
-//   - seeds 3913136004195287598, 1644683122221037022 and
-//     6913217735738182772 under-answer (OGP ⊊ UCQ): a hub unbound by
-//     LazyReduction never receives its own existentially-justified
-//     omission conditions, so fringe-dropping derivations through the
-//     hub are lost.
+// TestGatedExistentialRootStaysOutOfEdgeConds is the regression test for
+// a fixed GenOGP unsoundness (formerly the over-answering residual seed):
+// an existential subsumee of a LazyReduction root reached through a
+// concept-inclusion hop (∃P1 ⊑ ∃P2) witnesses the dropped endpoint only
+// as a fresh anonymous null, yet condDeduction also registered it as a
+// real-edge C^l alternative — silently discarding the reduction's z=kept
+// equality gate, which a bare edge disjunct cannot degrade to. On the
+// seed instance (query q(x) :- q(x, y), q(z, y), r(w, z); TBox
+// ∃q⁻ ⊑ ∃p⁻, ∃r ⊑ ∃p, p⁻ ⊑ q) the leaked alternative r(x,y) let x=d
+// match via the real edge r(d,e) with z unconstrained, while the sound
+// derivation q(x) :- r(x,_), r(w,x) needs z=x and hence r(w,d). The fix:
+// gated roots contribute omission justifications only (where the gate
+// survives as a SameAs conjunct); ungated roots keep the edge
+// alternative, which is sound because every merged sibling endpoint is
+// existential and can follow the anonymous witness.
+func TestGatedExistentialRootStaysOutOfEdgeConds(t *testing.T) {
+	want, got, q := ucqVsOGP(t, 2392402369435569976)
+	if !equalRows(want, got) {
+		t.Fatalf("regression: UCQ answers %v, OGP answers %v (query %s)", want, got, q)
+	}
+}
+
+// TestKnownBugResidualGenOGPSeeds pins the remaining pre-existing GenOGP
+// incompleteness instances surfaced by 30k- and 8k-seed sweeps (see
+// ROADMAP "Open items" and DESIGN.md "Residual GenOGP incompleteness").
+// All of them under-answer (OGP ⊊ UCQ) with the same shape: a hub
+// unbound by LazyReduction never receives its own existentially-
+// justified omission conditions, so fringe-dropping derivations through
+// the hub are lost; the fix is an existential-root extension of the
+// justification calculus that deserves its own PR. The formerly listed
+// over-answering seed 2392402369435569976 is fixed and now enforced by
+// TestGatedExistentialRootStaysOutOfEdgeConds plus the equivalence
+// test's fixed preamble.
 //
 // While the bugs stand these SKIP (documentation, not a gate); once a
 // fix lands the skip paths go dead — then convert to hard failures and
 // fold the seeds into the equivalence property test's fixed preamble.
 func TestKnownBugResidualGenOGPSeeds(t *testing.T) {
 	for _, seed := range []int64{
-		2392402369435569976,
 		3913136004195287598,
 		1644683122221037022,
 		6913217735738182772,
+		4271,
 	} {
 		want, got, q := ucqVsOGP(t, seed)
 		if !equalRows(want, got) {

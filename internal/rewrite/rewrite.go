@@ -436,10 +436,27 @@ func (s *state) condDeduction() bool {
 			for root := range roots {
 				for _, sub := range s.subsumees(edgeAltConcept(root, side.onFrom)) {
 					if sub.Exists {
-						na := conceptToEdgeAlt(sub, side.onFrom)
-						if !alts[na] {
-							alts[na] = true
-							changed = true
+						// A subsumee reached through a concept-inclusion hop
+						// (∃P1 ⊑ ∃P2) witnesses the dropped endpoint only as a
+						// fresh anonymous null, so as a *real-edge* alternative
+						// it would bind the endpoint to a concrete vertex the
+						// derivation says nothing about. That is harmless when
+						// the endpoint is otherwise unconstrained (ungated:
+						// every merged sibling is existential and can follow
+						// the null), but unsound when LazyReduction unified a
+						// bound vertex with the kept one: the PerfectRef
+						// derivation carries the equality z = kept, and a bare
+						// C^l disjunct cannot degrade to it (over-answering
+						// seed 2392402369435569976). Gated roots therefore
+						// contribute omission justifications only — the gate
+						// survives there as a SameAs conjunct. Pure subrole
+						// chains stay covered by the r3/r4 closure above.
+						if len(gate) == 0 {
+							na := conceptToEdgeAlt(sub, side.onFrom)
+							if !alts[na] {
+								alts[na] = true
+								changed = true
+							}
 						}
 						// The subsumee also justifies dropping the unbound
 						// endpoint outright: a matching incident edge at the

@@ -264,3 +264,63 @@ func TestConcurrentWritersAndQueries(t *testing.T) {
 		t.Fatalf("final count = %d, want %d", qr.Count, want)
 	}
 }
+
+// TestCheckpointEndpoint drives POST /checkpoint on a durable KB and
+// checks both the trigger (WAL truncated, stats updated) and the 403 on
+// a live-but-in-memory KB.
+func TestCheckpointEndpoint(t *testing.T) {
+	// In-memory live KB: checkpointing has nowhere to write.
+	h := Handler(liveTestKB(t))
+	if rec := do(t, h, "POST", "/checkpoint", ""); rec.Code != http.StatusForbidden {
+		t.Fatalf("checkpoint on in-memory KB: status %d, want 403", rec.Code)
+	}
+
+	kb, err := ogpa.NewKB(strings.NewReader(`
+Student SubClassOf some takesCourse
+PhD SubClassOf Student
+`), strings.NewReader(`
+PhD(Ann)
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.EnableDurableLiveData(t.TempDir(), -1); err != nil {
+		t.Fatal(err)
+	}
+	defer kb.Close()
+	h = Handler(kb)
+
+	rec := do(t, h, "POST", "/insert", "Carl a Student .")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("insert status %d: %s", rec.Code, rec.Body)
+	}
+	var before StatsResponse
+	if err := json.Unmarshal(do(t, h, "GET", "/stats", "").Body.Bytes(), &before); err != nil {
+		t.Fatal(err)
+	}
+	if !before.Durable || before.SnapshotBytes == 0 || before.WALBytes == 0 {
+		t.Fatalf("durable stats incomplete before checkpoint: %+v", before)
+	}
+
+	rec = do(t, h, "POST", "/checkpoint", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("checkpoint status %d: %s", rec.Code, rec.Body)
+	}
+	var cr CheckpointResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Epoch != kb.Epoch() {
+		t.Fatalf("checkpoint epoch %d, KB epoch %d", cr.Epoch, kb.Epoch())
+	}
+	if cr.WALBytes >= before.WALBytes {
+		t.Fatalf("WAL not truncated: %d -> %d bytes", before.WALBytes, cr.WALBytes)
+	}
+	var after StatsResponse
+	if err := json.Unmarshal(do(t, h, "GET", "/stats", "").Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.LastCheckpointEpoch != cr.Epoch {
+		t.Fatalf("stats lastCheckpointEpoch = %d, want %d", after.LastCheckpointEpoch, cr.Epoch)
+	}
+}

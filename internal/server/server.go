@@ -6,6 +6,7 @@
 //	POST /rewrite      return the generated OGP for a query
 //	POST /insert       apply an N-Triples body as ABox insertions (live KB)
 //	POST /delete       apply an N-Triples body as ABox deletions (live KB)
+//	POST /checkpoint   fold the overlay into the base snapshot (durable KB)
 //	GET  /stats        knowledge-base statistics
 //	GET  /consistency  negative-inclusion check
 //
@@ -101,6 +102,20 @@ type StatsResponse struct {
 	Compactions uint64 `json:"compactions,omitempty"`
 	Inserts     uint64 `json:"inserts,omitempty"`
 	Deletes     uint64 `json:"deletes,omitempty"`
+	// Durability fields: zero/false unless the KB runs with a data
+	// directory (`ogpaserver -data-dir`).
+	Durable             bool   `json:"durable,omitempty"`
+	SnapshotBytes       int64  `json:"snapshotBytes,omitempty"`
+	WALBytes            int64  `json:"walBytes,omitempty"`
+	LastCheckpointEpoch uint64 `json:"lastCheckpointEpoch,omitempty"`
+	CheckpointError     string `json:"checkpointError,omitempty"`
+}
+
+// CheckpointResponse is the body of a successful POST /checkpoint.
+type CheckpointResponse struct {
+	Epoch    uint64  `json:"epoch"`    // epoch the new snapshot captures
+	WALBytes int64   `json:"walBytes"` // log size after truncation (header only)
+	TookMs   float64 `json:"tookMs"`
 }
 
 // PlanCacheKindStats are one query kind's plan-cache counters.
@@ -354,6 +369,27 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, r *http.Request) { mutate(w, r, false) })
 	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) { mutate(w, r, true) })
 
+	mux.HandleFunc("POST /checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if !kb.Durable() {
+			m.recordError()
+			writeError(w, http.StatusForbidden,
+				fmt.Errorf("knowledge base is not durable: start the server with -data-dir"))
+			return
+		}
+		start := time.Now()
+		epoch, err := kb.Checkpoint()
+		if err != nil {
+			m.recordError()
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, CheckpointResponse{
+			Epoch:    epoch,
+			WALBytes: kb.PersistenceStats().WALBytes,
+			TookMs:   float64(time.Since(start).Microseconds()) / 1000,
+		})
+	})
+
 	mux.HandleFunc("POST /rewrite", func(w http.ResponseWriter, r *http.Request) {
 		m.recordRewrite()
 		req, ok := decode(w, r)
@@ -373,6 +409,7 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		q, rw, e, ins, del := m.snapshot()
 		hits, misses, size := cache.snapshot()
+		ps := kb.PersistenceStats()
 		writeJSON(w, StatsResponse{
 			Stats: kb.Stats(), Queries: q, Rewrites: rw, Errors: e,
 			PlanCacheHits: hits, PlanCacheMisses: misses, PlanCacheSize: size,
@@ -383,6 +420,11 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 			Compactions:     kb.Compactions(),
 			Inserts:         ins,
 			Deletes:         del,
+			Durable:         ps.Durable,
+			SnapshotBytes:   ps.SnapshotBytes,
+			WALBytes:        ps.WALBytes,
+			LastCheckpointEpoch: ps.LastCheckpointEpoch,
+			CheckpointError:     ps.CheckpointErr,
 		})
 	})
 

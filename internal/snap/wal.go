@@ -1,0 +1,289 @@
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"ogpa/internal/rdf"
+)
+
+// WAL format: a 16-byte header (magic "OGPAWAL1", version u32, reserved
+// u32) followed by records. Each record is
+//
+//	payload length u32 | CRC-32C of payload u32 | payload
+//
+// with payload = epoch u64, delete flag u8, triple count u32, then each
+// triple as uvarint-length-prefixed subject and predicate strings, a
+// kind byte, and the object (uvarint-length-prefixed string for IRIs and
+// literals, 8 fixed bytes for int/float values).
+//
+// One record is one committed mutation batch: internal/delta appends and
+// fsyncs the record before its RCU swap publishes the batch's epoch, so
+// every published epoch is on disk and a crash at any byte boundary
+// loses at most the batch that was never acknowledged. Open truncates a
+// torn tail (short prefix, short payload, or checksum mismatch) so the
+// next append never interleaves with garbage.
+const (
+	walMagic      = "OGPAWAL1"
+	walVersion    = 1
+	walHeaderSize = 16
+	recPrefixSize = 8
+)
+
+// Record is one committed mutation batch.
+type Record struct {
+	Epoch   uint64 // epoch the batch produced (base snapshot epoch + record index + 1)
+	Del     bool   // true for a delete batch, false for an insert batch
+	Triples []rdf.Triple
+}
+
+// WAL is an open write-ahead log positioned for appends. Not safe for
+// concurrent use; internal/delta serializes access through its writer
+// gate.
+type WAL struct {
+	f    *os.File
+	size int64 // committed length, including header
+}
+
+// OpenWAL opens (creating if absent) the log at path, verifies the
+// header, replays every committed record, and truncates any torn tail.
+// The returned records are in append order; the WAL is positioned so the
+// next Append goes right after the last committed record.
+func OpenWAL(path string) (*WAL, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: open WAL: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			//lint:ignore droppederr best-effort handle cleanup when open fails partway; the open error is the one to report
+			_ = f.Close()
+		}
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("snap: stat WAL: %w", err)
+	}
+	if st.Size() == 0 {
+		header := make([]byte, walHeaderSize)
+		copy(header, walMagic)
+		le.PutUint32(header[8:], walVersion)
+		if _, err := f.Write(header); err != nil {
+			return nil, nil, fmt.Errorf("snap: init WAL header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, nil, fmt.Errorf("snap: sync WAL header: %w", err)
+		}
+		ok = true
+		return &WAL{f: f, size: walHeaderSize}, nil, nil
+	}
+	if st.Size() < walHeaderSize {
+		return nil, nil, fmt.Errorf("snap: WAL shorter than its header (%d bytes)", st.Size())
+	}
+	header := make([]byte, walHeaderSize)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		return nil, nil, fmt.Errorf("snap: read WAL header: %w", err)
+	}
+	if string(header[:8]) != walMagic {
+		return nil, nil, fmt.Errorf("snap: bad WAL magic %q (not a WAL file?)", header[:8])
+	}
+	if v := le.Uint32(header[8:]); v != walVersion {
+		return nil, nil, fmt.Errorf("snap: unsupported WAL version %d (want %d)", v, walVersion)
+	}
+
+	// Replay. A record that cannot be read in full and verified is the
+	// torn tail: a crash mid-append, never acknowledged to any client.
+	// Everything before it is committed (the fsync ordering guarantees
+	// it); everything from it on is discarded.
+	var records []Record
+	pos := int64(walHeaderSize)
+	end := st.Size()
+	prefix := make([]byte, recPrefixSize)
+	for pos+recPrefixSize <= end {
+		if _, err := f.ReadAt(prefix, pos); err != nil {
+			return nil, nil, fmt.Errorf("snap: read WAL record prefix: %w", err)
+		}
+		plen := int64(le.Uint32(prefix))
+		sum := le.Uint32(prefix[4:])
+		if pos+recPrefixSize+plen > end {
+			break // torn: payload extends past EOF
+		}
+		payload := make([]byte, plen)
+		if _, err := f.ReadAt(payload, pos+recPrefixSize); err != nil {
+			return nil, nil, fmt.Errorf("snap: read WAL record payload: %w", err)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // torn: prefix landed but payload didn't (or bit rot)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break // torn: checksum collided with a partial write; treat as tail
+		}
+		records = append(records, rec)
+		pos += recPrefixSize + plen
+	}
+	if pos < end {
+		if err := f.Truncate(pos); err != nil {
+			return nil, nil, fmt.Errorf("snap: truncate torn WAL tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, nil, fmt.Errorf("snap: sync truncated WAL: %w", err)
+		}
+	}
+	if _, err := f.Seek(pos, io.SeekStart); err != nil {
+		return nil, nil, fmt.Errorf("snap: seek WAL append position: %w", err)
+	}
+	ok = true
+	return &WAL{f: f, size: pos}, records, nil
+}
+
+// Append writes one record and forces it to stable storage. When Append
+// returns nil the record survives any subsequent crash; internal/delta
+// only publishes the batch's epoch after that point. On error the WAL
+// may hold a partial record — the caller must stop using the log (the
+// delta store poisons itself), and the tail is discarded on next open.
+func (w *WAL) Append(rec Record) error {
+	payload := encodeRecord(rec)
+	buf := make([]byte, recPrefixSize, recPrefixSize+len(payload))
+	le.PutUint32(buf, uint32(len(payload)))
+	le.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("snap: append WAL record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("snap: sync WAL record: %w", err)
+	}
+	w.size += int64(len(buf))
+	return nil
+}
+
+// Reset discards every record, leaving just the header. The checkpointer
+// calls it after a new snapshot (which subsumes the logged batches) has
+// been durably published.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(walHeaderSize); err != nil {
+		return fmt.Errorf("snap: reset WAL: %w", err)
+	}
+	if _, err := w.f.Seek(walHeaderSize, io.SeekStart); err != nil {
+		return fmt.Errorf("snap: seek reset WAL: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("snap: sync reset WAL: %w", err)
+	}
+	w.size = walHeaderSize
+	return nil
+}
+
+// Size returns the committed on-disk length in bytes, header included.
+func (w *WAL) Size() int64 { return w.size }
+
+// Close releases the file handle. Records are already durable (Append
+// fsyncs), so Close has nothing to flush.
+func (w *WAL) Close() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("snap: close WAL: %w", err)
+	}
+	return nil
+}
+
+func encodeRecord(rec Record) []byte {
+	buf := make([]byte, 0, 16+32*len(rec.Triples))
+	buf = le.AppendUint64(buf, rec.Epoch)
+	if rec.Del {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = le.AppendUint32(buf, uint32(len(rec.Triples)))
+	for _, t := range rec.Triples {
+		buf = appendString(buf, t.Subject)
+		buf = appendString(buf, t.Predicate)
+		buf = append(buf, byte(t.Kind))
+		switch t.Kind {
+		case rdf.ObjectInt:
+			buf = le.AppendUint64(buf, uint64(t.Int))
+		case rdf.ObjectFloat:
+			buf = le.AppendUint64(buf, math.Float64bits(t.Float))
+		default: // ObjectIRI, ObjectString
+			buf = appendString(buf, t.Object)
+		}
+	}
+	return buf
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	var rec Record
+	if len(payload) < 13 {
+		return rec, fmt.Errorf("snap: WAL record too short")
+	}
+	rec.Epoch = le.Uint64(payload)
+	switch payload[8] {
+	case 0:
+	case 1:
+		rec.Del = true
+	default:
+		return rec, fmt.Errorf("snap: WAL record has bad delete flag %d", payload[8])
+	}
+	count := le.Uint32(payload[9:])
+	rest := payload[13:]
+	rec.Triples = make([]rdf.Triple, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var t rdf.Triple
+		var err error
+		if t.Subject, rest, err = takeString(rest); err != nil {
+			return rec, err
+		}
+		if t.Predicate, rest, err = takeString(rest); err != nil {
+			return rec, err
+		}
+		if len(rest) < 1 {
+			return rec, fmt.Errorf("snap: WAL triple truncated at kind byte")
+		}
+		t.Kind = rdf.ObjectKind(rest[0])
+		rest = rest[1:]
+		switch t.Kind {
+		case rdf.ObjectInt:
+			if len(rest) < 8 {
+				return rec, fmt.Errorf("snap: WAL triple truncated at int value")
+			}
+			t.Int = int64(le.Uint64(rest))
+			rest = rest[8:]
+		case rdf.ObjectFloat:
+			if len(rest) < 8 {
+				return rec, fmt.Errorf("snap: WAL triple truncated at float value")
+			}
+			t.Float = math.Float64frombits(le.Uint64(rest))
+			rest = rest[8:]
+		case rdf.ObjectIRI, rdf.ObjectString:
+			if t.Object, rest, err = takeString(rest); err != nil {
+				return rec, err
+			}
+		default:
+			return rec, fmt.Errorf("snap: WAL triple has unknown object kind %d", t.Kind)
+		}
+		rec.Triples = append(rec.Triples, t)
+	}
+	if len(rest) != 0 {
+		return rec, fmt.Errorf("snap: WAL record has %d trailing bytes", len(rest))
+	}
+	return rec, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func takeString(buf []byte) (string, []byte, error) {
+	n, used := binary.Uvarint(buf)
+	if used <= 0 || n > uint64(len(buf)-used) {
+		return "", nil, fmt.Errorf("snap: WAL string truncated")
+	}
+	return string(buf[used : used+int(n)]), buf[used+int(n):], nil
+}

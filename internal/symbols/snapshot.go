@@ -1,0 +1,45 @@
+package symbols
+
+import "fmt"
+
+// Strings returns every interned string in ID order: index i holds the
+// string with ID i+1 (the reserved empty slot 0 is skipped). On a thawed
+// table the live extension's entries follow the base entries, which keeps
+// the mapping dense — extension IDs start exactly at the base length. The
+// snapshot layer (internal/snap) persists this slice so a reloaded table
+// assigns byte-identical IDs, which the graph's CSR arrays depend on.
+//
+// Strings must not run concurrently with writers that intern new names;
+// the snapshot layer calls it under the delta store's writer gate.
+func (t *Table) Strings() []string {
+	out := make([]string, 0, t.Len())
+	out = append(out, t.names[1:]...)
+	if t.live.Load() {
+		out = t.ext.all(out)
+	}
+	return out
+}
+
+// FromStrings rebuilds a table from a Strings() slice: names[i] receives
+// ID i+1, reproducing the table the slice was taken from exactly. The
+// returned table is unfrozen (the loader freezes or thaws it once the
+// graph is wired up). Duplicate or empty entries indicate a corrupted
+// snapshot and return an error rather than silently remapping IDs.
+func FromStrings(names []string) (*Table, error) {
+	t := &Table{
+		byName: make(map[string]ID, len(names)+1),
+		names:  make([]string, 1, len(names)+1),
+	}
+	for i, s := range names {
+		if s == "" {
+			return nil, fmt.Errorf("symbols: snapshot entry %d is empty", i)
+		}
+		if _, dup := t.byName[s]; dup {
+			return nil, fmt.Errorf("symbols: snapshot entry %d duplicates %q", i, s)
+		}
+		id := ID(i + 1)
+		t.names = append(t.names, s)
+		t.byName[s] = id
+	}
+	return t, nil
+}

@@ -1,0 +1,168 @@
+package ogpa
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func answerRows(t *testing.T, kb *KB, query string) [][]string {
+	t.Helper()
+	ans, err := kb.Answer(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans.Rows
+}
+
+// TestSaveOpenSnapshot round-trips a read-only KB through the binary
+// snapshot and requires identical answers on both pipelines.
+func TestSaveOpenSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ontoPath := filepath.Join(dir, "onto.tbox")
+	if err := os.WriteFile(ontoPath, []byte(exampleOntology), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kb := exampleKB(t)
+	snapPath := filepath.Join(dir, "kb.snap")
+	if err := kb.SaveSnapshot(snapPath); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	kb2, err := OpenKBSnapshot(ontoPath, snapPath)
+	if err != nil {
+		t.Fatalf("OpenKBSnapshot: %v", err)
+	}
+	const q = `q(x) :- Student(x), takesCourse(x, y)`
+	want := answerRows(t, kb, q)
+	if got := answerRows(t, kb2, q); !reflect.DeepEqual(want, got) {
+		t.Fatalf("snapshot KB answers %v, original %v", got, want)
+	}
+	// The reconstructed ABox serves the baseline pipelines too.
+	bAns, err := kb2.AnswerBaseline(BaselineUCQ, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, bAns.Rows) {
+		t.Fatalf("snapshot KB baseline answers %v, want %v", bAns.Rows, want)
+	}
+}
+
+// TestDurableLiveDataLifecycle drives the full durable loop: enable,
+// mutate, query, close, reopen the same directory, and require the
+// recovered KB to answer from the exact pre-close epoch — then checks
+// that the seed data file is ignored once the directory holds state.
+func TestDurableLiveDataLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+
+	kb := exampleKB(t)
+	if err := kb.EnableDurableLiveData(dataDir, -1); err != nil {
+		t.Fatalf("EnableDurableLiveData: %v", err)
+	}
+	if !kb.Durable() || !kb.Live() {
+		t.Fatal("KB not durable+live after enable")
+	}
+	if _, err := kb.InsertTriples(strings.NewReader("Carl a PhD .\nCarl takesCourse DB101 .")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kb.DeleteTriples(strings.NewReader("Prof advisorOf Bob .")); err != nil {
+		t.Fatal(err)
+	}
+	const q = `q(x) :- Student(x)`
+	want := answerRows(t, kb, q)
+	wantEpoch := kb.Epoch()
+	ps := kb.PersistenceStats()
+	if !ps.Durable || ps.SnapshotBytes == 0 || ps.WALBytes == 0 {
+		t.Fatalf("PersistenceStats incomplete: %+v", ps)
+	}
+	if err := kb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := kb.InsertTriples(strings.NewReader("Late a PhD .")); err == nil {
+		t.Fatal("insert after Close succeeded")
+	}
+
+	// Reopen: the seed data is an empty unrelated KB — the directory must
+	// win, proving recovery does not depend on the original -data file.
+	kb2, err := NewKB(strings.NewReader(exampleOntology), strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kb2.EnableDurableLiveData(dataDir, -1); err != nil {
+		t.Fatalf("EnableDurableLiveData (reopen): %v", err)
+	}
+	defer kb2.Close()
+	if kb2.Epoch() != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", kb2.Epoch(), wantEpoch)
+	}
+	if got := answerRows(t, kb2, q); !reflect.DeepEqual(want, got) {
+		t.Fatalf("recovered KB answers %v, want %v", got, want)
+	}
+
+	// Checkpoint folds everything into the snapshot; a third open then
+	// starts from an empty WAL at the same epoch.
+	epoch, err := kb2.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if epoch != wantEpoch {
+		t.Fatalf("checkpoint epoch %d, want %d", epoch, wantEpoch)
+	}
+	ps2 := kb2.PersistenceStats()
+	if ps2.LastCheckpointEpoch != wantEpoch {
+		t.Fatalf("LastCheckpointEpoch = %d, want %d", ps2.LastCheckpointEpoch, wantEpoch)
+	}
+	if err := kb2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kb3, err := NewKB(strings.NewReader(exampleOntology), strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kb3.EnableDurableLiveData(dataDir, -1); err != nil {
+		t.Fatal(err)
+	}
+	defer kb3.Close()
+	if kb3.Epoch() != wantEpoch || kb3.OverlaySize() != 0 {
+		t.Fatalf("post-checkpoint reopen: epoch %d overlay %d, want %d and 0", kb3.Epoch(), kb3.OverlaySize(), wantEpoch)
+	}
+	if got := answerRows(t, kb3, q); !reflect.DeepEqual(want, got) {
+		t.Fatalf("post-checkpoint KB answers %v, want %v", got, want)
+	}
+}
+
+// TestEnableDurableTwiceRejected: the two live modes are exclusive and
+// single-shot.
+func TestEnableDurableTwiceRejected(t *testing.T) {
+	dir := t.TempDir()
+	kb := exampleKB(t)
+	if err := kb.EnableDurableLiveData(filepath.Join(dir, "d1"), -1); err != nil {
+		t.Fatal(err)
+	}
+	defer kb.Close()
+	if err := kb.EnableDurableLiveData(filepath.Join(dir, "d2"), -1); err == nil {
+		t.Fatal("second EnableDurableLiveData succeeded")
+	}
+	if err := kb.EnableLiveData(-1); err == nil {
+		t.Fatal("EnableLiveData after EnableDurableLiveData succeeded")
+	}
+
+	kb2 := exampleKB(t)
+	if err := kb2.EnableLiveData(-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := kb2.EnableDurableLiveData(filepath.Join(dir, "d3"), -1); err == nil {
+		t.Fatal("EnableDurableLiveData after EnableLiveData succeeded")
+	}
+	if kb2.Durable() {
+		t.Fatal("in-memory live KB claims to be durable")
+	}
+	if _, err := kb2.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on a non-durable store succeeded")
+	}
+	if err := kb2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
