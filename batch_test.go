@@ -1,0 +1,212 @@
+package ogpa
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ogpa/internal/testkb"
+)
+
+// memBatchCache is a minimal BatchCache for tests: plain maps, no
+// eviction, counts plan builds it absorbed.
+type memBatchCache struct {
+	plans   map[string]any
+	answers map[string][][]string
+}
+
+func newMemBatchCache() *memBatchCache {
+	return &memBatchCache{plans: map[string]any{}, answers: map[string][][]string{}}
+}
+
+func (c *memBatchCache) GetPlan(key string) any { return c.plans[key] }
+
+func (c *memBatchCache) PutPlan(key string, plan any) { c.plans[key] = plan }
+
+func (c *memBatchCache) GetAnswers(key string) ([][]string, bool) {
+	rows, ok := c.answers[key]
+	return rows, ok
+}
+
+func (c *memBatchCache) PutAnswers(key string, rows [][]string) { c.answers[key] = rows }
+
+func rowsString(a *Answers) string {
+	var sb strings.Builder
+	for _, r := range a.Rows {
+		sb.WriteString(strings.Join(r, "\x00"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestBatchedVsSequentialSweep is the PR's correctness gate: across 100
+// random KBs, batching four queries (shape-sharing, condition replay,
+// omission handling, the gated-existential-root classes — whatever the
+// seeds throw up) returns byte-identical answers to answering each query
+// alone. A second batched pass through the same cache must then be
+// answered entirely from the memo, again byte-identical.
+func TestBatchedVsSequentialSweep(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb, abox, q := testkb.RandomKB(rng)
+		onto, data := testkb.Render(tb, abox)
+		kb, err := NewKB(strings.NewReader(onto), strings.NewReader(data))
+		if err != nil {
+			t.Fatalf("seed %d: NewKB: %v", seed, err)
+		}
+		queries := []string{q.String()}
+		for k := 0; k < 3; k++ {
+			queries = append(queries, testkb.RandomQuery(rng).String())
+		}
+
+		want := make([]string, len(queries))
+		for i, src := range queries {
+			ans, err := kb.AnswerWithOptions(src, Options{})
+			if err != nil {
+				t.Fatalf("seed %d query %d (%s): sequential: %v", seed, i, src, err)
+			}
+			want[i] = rowsString(ans)
+		}
+
+		cache := newMemBatchCache()
+		results, st := kb.AnswerBatchCached(queries, Options{}, cache)
+		if st.Queries != len(queries) {
+			t.Fatalf("seed %d: stats queries = %d", seed, st.Queries)
+		}
+		for i, res := range results {
+			if res.Err != nil {
+				t.Fatalf("seed %d query %d (%s): batched: %v", seed, i, queries[i], res.Err)
+			}
+			if got := rowsString(res.Answers); got != want[i] {
+				t.Fatalf("seed %d query %d (%s): batched answers diverge\nsequential:\n%sbatched:\n%s",
+					seed, i, queries[i], want[i], got)
+			}
+		}
+
+		// Second pass: every member must come straight from the memo.
+		results2, st2 := kb.AnswerBatchCached(queries, Options{}, cache)
+		if st2.MemoHits != len(queries) {
+			t.Fatalf("seed %d: second pass memo hits = %d, want %d (stats %+v)",
+				seed, st2.MemoHits, len(queries), st2)
+		}
+		for i, res := range results2 {
+			if res.Err != nil {
+				t.Fatalf("seed %d query %d: memoized pass: %v", seed, i, res.Err)
+			}
+			if got := rowsString(res.Answers); got != want[i] {
+				t.Fatalf("seed %d query %d: memoized answers diverge", seed, i)
+			}
+		}
+	}
+}
+
+// TestBatchSharingOnSharedShapes pins the sharing machinery on a
+// workload built to group: predicate variants of one shape must compile
+// to a single merged group, and repeated members must ride the memo.
+func TestBatchSharingOnSharedShapes(t *testing.T) {
+	kb := exampleKB(t)
+	queries := []string{
+		`q(x) :- advisorOf(y, x), takesCourse(x, z)`,
+		`q(x) :- takesCourse(y, x), takesCourse(x, z)`,
+		`q(x) :- advisorOf(y, x), advisorOf(x, z)`,
+	}
+	cache := newMemBatchCache()
+	results, st := kb.AnswerBatchCached(queries, Options{}, cache)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("query %d: %v", i, res.Err)
+		}
+	}
+	if st.Groups != 1 {
+		t.Fatalf("stats = %+v, want one shape group", st)
+	}
+	if st.PlansBuilt != 1 || st.SharedBuilds != 2 {
+		t.Fatalf("stats = %+v, want 1 plan built and 2 shared members", st)
+	}
+	// Equivalence against the sequential path, per member.
+	for i, src := range queries {
+		want, err := kb.AnswerWithOptions(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsString(want) != rowsString(results[i].Answers) {
+			t.Fatalf("query %d (%s): %v vs %v", i, src, want.Rows, results[i].Answers.Rows)
+		}
+	}
+}
+
+// TestBatchPerMemberErrors: a parse failure in one member must not take
+// down its batch siblings.
+func TestBatchPerMemberErrors(t *testing.T) {
+	kb := exampleKB(t)
+	results, st := kb.AnswerBatchCached([]string{
+		`q(x) :- Student(x)`,
+		`not a query`,
+	}, Options{}, nil)
+	if results[0].Err != nil || results[0].Answers.Len() != 2 {
+		t.Fatalf("healthy member: %+v", results[0])
+	}
+	if results[1].Err == nil {
+		t.Fatal("bad member did not error")
+	}
+	if st.Queries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBatchMemoNotPoisonedByCaps: a member answered under MaxResults is
+// truncated and must not be memoized; a later uncapped run has to see
+// the full answer set.
+func TestBatchMemoNotPoisonedByCaps(t *testing.T) {
+	kb := exampleKB(t)
+	query := `q(x) :- takesCourse(x, y)`
+	cache := newMemBatchCache()
+	capped, _ := kb.AnswerBatchCached([]string{query}, Options{MaxResults: 0}, cache)
+	if capped[0].Err != nil {
+		t.Fatal(capped[0].Err)
+	}
+	full := capped[0].Answers.Len()
+	if full < 2 {
+		t.Fatalf("want at least 2 answers to exercise the cap, got %d", full)
+	}
+	// The uncapped run memoized; a capped run must re-slice the memo rows
+	// without shrinking the cached entry.
+	capped2, st := kb.AnswerBatchCached([]string{query}, Options{MaxResults: 1}, cache)
+	if st.MemoHits != 1 {
+		t.Fatalf("stats = %+v, want a memo hit", st)
+	}
+	if capped2[0].Answers.Len() != 1 || !capped2[0].Truncated {
+		t.Fatalf("capped result = %d rows, truncated %v", capped2[0].Answers.Len(), capped2[0].Truncated)
+	}
+	again, st2 := kb.AnswerBatchCached([]string{query}, Options{}, cache)
+	if st2.MemoHits != 1 || again[0].Answers.Len() != full {
+		t.Fatalf("memo poisoned: %d rows (want %d), stats %+v", again[0].Answers.Len(), full, st2)
+	}
+}
+
+// TestBatchEpochInvalidation: after a live write bumps the epoch, cached
+// plans and memoized answers from the old epoch must not be served.
+func TestBatchEpochInvalidation(t *testing.T) {
+	kb := exampleKB(t)
+	if err := kb.EnableLiveData(-1); err != nil {
+		t.Fatal(err)
+	}
+	query := `q(x) :- Student(x)`
+	cache := newMemBatchCache()
+	before, _ := kb.AnswerBatchCached([]string{query}, Options{}, cache)
+	if before[0].Err != nil || before[0].Answers.Len() != 2 {
+		t.Fatalf("before = %+v", before[0])
+	}
+	if _, err := kb.InsertTriples(strings.NewReader("Eve a Student .")); err != nil {
+		t.Fatal(err)
+	}
+	after, st := kb.AnswerBatchCached([]string{query}, Options{}, cache)
+	if st.MemoHits != 0 {
+		t.Fatalf("stale memo served across epochs: %+v", st)
+	}
+	if after[0].Err != nil || after[0].Answers.Len() != 3 {
+		rows := fmt.Sprint(after[0].Answers)
+		t.Fatalf("post-insert answers = %s (err %v), want 3 rows", rows, after[0].Err)
+	}
+}

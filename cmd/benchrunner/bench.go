@@ -20,7 +20,7 @@ import (
 )
 
 // benchResult is one row of the machine-readable benchmark report
-// (BENCH_6.json): the same three numbers `go test -bench -benchmem`
+// (BENCH_7.json): the same three numbers `go test -bench -benchmem`
 // prints, in a form CI and plotting scripts can diff across commits.
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -195,6 +195,11 @@ func runBenchJSON(outPath string, seed int64) error {
 		{"BenchmarkDeltaCompact/ov16384", w.benchDeltaCompact(16384)},
 	}
 	suite = append(suite, persistSuite(w, dir)...)
+	f, err := buildBatchFixture(w)
+	if err != nil {
+		return err
+	}
+	suite = append(suite, batchSuite(f, w, dir)...)
 	results := make([]benchResult, 0, len(suite))
 	for _, bb := range suite {
 		r := testing.Benchmark(bb.fn)
@@ -213,6 +218,9 @@ func runBenchJSON(outPath string, seed int64) error {
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
 	}
 	if err := checkStartupRows(results); err != nil {
+		return err
+	}
+	if err := checkBatchRows(results); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(results, "", "  ")

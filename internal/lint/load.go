@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -210,6 +212,9 @@ func (ld *loader) loadDir(dir string) (*Package, error) {
 }
 
 // parseDir parses a directory's non-test Go files, in file-name order.
+// Files whose //go:build constraint excludes the host platform are
+// skipped, the way the compiler would — otherwise platform twins (a
+// `unix` file and its `!unix` stub) would collide in the type-checker.
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -221,13 +226,57 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !buildConstraintSatisfied(src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), src, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// buildConstraintSatisfied evaluates a file's //go:build directive (the
+// legacy // +build form is not used in this module) against the host
+// platform. Files without a directive always build.
+func buildConstraintSatisfied(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break // directives must precede the package clause
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return true // malformed: let the type-checker report it
+		}
+		return expr.Eval(hostBuildTag)
+	}
+	return true
+}
+
+// hostBuildTag reports whether one build tag holds on the host.
+func hostBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "aix", "android", "darwin", "dragonfly", "freebsd", "hurd",
+			"illumos", "ios", "linux", "netbsd", "openbsd", "solaris":
+			return true
+		}
+	}
+	// Release tags: this toolchain satisfies every go1.x it can parse.
+	return strings.HasPrefix(tag, "go1.")
 }
 
 func hasGoFiles(dir string) bool {

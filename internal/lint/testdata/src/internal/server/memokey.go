@@ -1,0 +1,60 @@
+package server
+
+import "fmt"
+
+// answerMemoFixture mirrors the batching tier's answer memo: rendered
+// rows are only valid for the (TBox fingerprint, epoch) they were
+// enumerated under — a delta commit must strand every entry.
+type answerMemoFixture struct {
+	rows map[string][][]string
+}
+
+// Get looks a member's rows up by its composed memo key.
+func (m *answerMemoFixture) Get(key string) ([][]string, bool) {
+	rows, ok := m.rows[key]
+	return rows, ok
+}
+
+// Put memoizes rows under the composed key.
+func (m *answerMemoFixture) Put(key string, rows [][]string) {
+	m.rows[key] = rows
+}
+
+// memoKeyFresh is the PR 8 memo-key discipline: fingerprint AND epoch
+// are key components, alongside the member pattern's canonical form.
+func memoKeyFresh(fingerprint string, epoch uint64, canonical string) string {
+	return fmt.Sprintf("%s|%d|ans|%s", fingerprint, epoch, canonical)
+}
+
+// memoKeyStale omits the epoch: memoized answers would survive delta
+// commits and serve rows from a graph that no longer exists.
+func memoKeyStale(fingerprint, canonical string) string {
+	key := fmt.Sprintf("%s|ans|%s", fingerprint, canonical) // want:epochkey
+	return key
+}
+
+// memoGetStale hands a fingerprint-only key to the memo accessor.
+func memoGetStale(m *answerMemoFixture, fingerprint string) ([][]string, bool) {
+	return m.Get(fingerprint) // want:epochkey
+}
+
+// memoPutStale memoizes under a fingerprint-only key.
+func memoPutStale(m *answerMemoFixture, fingerprint string, rows [][]string) {
+	m.Put(fingerprint, rows) // want:epochkey
+}
+
+// memoPutFresh composes the key through the sanctioned helper — the
+// epoch identifier appears in the argument expression.
+func memoPutFresh(m *answerMemoFixture, fingerprint string, epoch uint64, rows [][]string) {
+	m.Put(memoKeyFresh(fingerprint, epoch, "v0:*!;"), rows)
+}
+
+// memoIndexStale indexes the memo map directly by fingerprint.
+func memoIndexStale(m *answerMemoFixture, fingerprint string) [][]string {
+	return m.rows[fingerprint] // want:epochkey
+}
+
+// memoIndexFresh mixes the epoch into the inline key expression.
+func memoIndexFresh(m *answerMemoFixture, fingerprint string, epoch uint64) [][]string {
+	return m.rows[fmt.Sprintf("%s|%d|ans", fingerprint, epoch)]
+}

@@ -17,6 +17,7 @@ import (
 	"ogpa/internal/graph"
 	"ogpa/internal/perfectref"
 	"ogpa/internal/rewrite"
+	"ogpa/internal/testkb"
 )
 
 // fig2Graph and q5Prime mirror the fixtures of the core package tests
@@ -280,58 +281,10 @@ func TestAgainstNaiveRandomOGPs(t *testing.T) {
 
 // randomKB mirrors the rewrite package's generator (kept in sync manually;
 // both are small).
+// randomKB delegates to the shared testkb generator so seeds recorded
+// here replay identically in the other suites (and vice versa).
 func randomKB(rng *rand.Rand) (*dllite.TBox, *dllite.ABox, *cq.Query) {
-	concepts := []string{"A", "B", "C", "D"}
-	roles := []string{"p", "q", "r"}
-	pick := func(xs []string) string { return xs[rng.Intn(len(xs))] }
-	randConcept := func() dllite.Concept {
-		switch rng.Intn(3) {
-		case 0:
-			return dllite.Atomic(pick(concepts))
-		case 1:
-			return dllite.Exists(dllite.Role{Name: pick(roles)})
-		default:
-			return dllite.Exists(dllite.Role{Name: pick(roles), Inv: true})
-		}
-	}
-	var cis []dllite.ConceptInclusion
-	for i := 0; i < 3+rng.Intn(4); i++ {
-		cis = append(cis, dllite.ConceptInclusion{Sub: randConcept(), Sup: randConcept()})
-	}
-	var ris []dllite.RoleInclusion
-	for i := 0; i < rng.Intn(3); i++ {
-		ris = append(ris, dllite.RoleInclusion{
-			Sub: dllite.Role{Name: pick(roles), Inv: rng.Intn(2) == 0},
-			Sup: dllite.Role{Name: pick(roles)},
-		})
-	}
-	tb := dllite.NewTBox(cis, ris)
-
-	abox := &dllite.ABox{}
-	inds := []string{"a", "b", "c", "d", "e"}
-	for i := 0; i < 3+rng.Intn(5); i++ {
-		if rng.Intn(2) == 0 {
-			abox.AddConcept(pick(concepts), pick(inds))
-		} else {
-			abox.AddRole(pick(roles), pick(inds), pick(inds))
-		}
-	}
-
-	vars := []string{"x", "y", "z", "w"}
-	var atoms []string
-	ne := 1 + rng.Intn(3)
-	for i := 0; i < ne; i++ {
-		a, b := vars[rng.Intn(i+1)], vars[i+1]
-		if rng.Intn(2) == 0 {
-			a, b = b, a
-		}
-		atoms = append(atoms, fmt.Sprintf("%s(%s, %s)", pick(roles), a, b))
-	}
-	if rng.Intn(2) == 0 {
-		atoms = append(atoms, fmt.Sprintf("%s(x)", pick(concepts)))
-	}
-	q := cq.MustParse("q(x) :- " + strings.Join(atoms, ", "))
-	return tb, abox, q
+	return testkb.RandomKB(rng)
 }
 
 // testWorkers reads the OGPA_WORKERS environment variable, letting CI

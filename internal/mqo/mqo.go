@@ -13,13 +13,23 @@
 //  3. each group is merged: wildcard labels, conditions OR-ed per aligned
 //     vertex/edge, omission conditions OR-ed — the merged pattern's
 //     matches are a superset of every member's matches;
-//  4. the merged pattern is matched once with all vertices distinguished
+//  4. the group's pattern (merged, or the member's own for singletons) is
+//     compiled through the unified engine path (match.Prepare → Run) —
+//     optionally resolving the plan from a PlanSource so the serving tier
+//     can cache group plans — with all merged vertices distinguished
 //     (full mappings), and each mapping is replayed against each member's
 //     own conditions to assign it to the right answer sets.
+//
+// Compile and Run are split so the serving tier can check an answer memo
+// between them: CanonicalKey gives every member pattern (and every group's
+// run pattern) a name-erased identity usable as a cache key, and Run takes
+// a need mask so members already satisfied from a memo are neither
+// enumerated nor replayed.
 package mqo
 
 import (
 	"fmt"
+	"strings"
 
 	"ogpa/internal/core"
 	"ogpa/internal/cq"
@@ -31,62 +41,277 @@ import (
 
 // Stats reports the sharing achieved by a batch.
 type Stats struct {
-	Queries      int
-	Groups       int
-	SharedRuns   int // group matches executed (== Groups)
-	MergedMatchs int // total matches enumerated across merged patterns
+	Queries       int // members compiled into the batch
+	Groups        int // shape groups executed by Run
+	SharedRuns    int // group matches executed (== Groups)
+	MergedMatches int // total matches enumerated across merged patterns
+	PlanCacheHits int // group plans resolved from the PlanSource
+	PlansBuilt    int // group plans built by match.Prepare
+}
+
+// PlanSource lets the caller cache compiled group plans across batches.
+// Get returns a previously stored plan for a canonical pattern key (nil on
+// a miss); Put stores a freshly built plan. Either hook may be nil. The
+// caller owns key scoping: a plan is only valid for the graph snapshot it
+// was prepared against, so serving-tier keys must mix in the epoch (and
+// the TBox fingerprint) alongside the canonical key Run supplies.
+type PlanSource struct {
+	Get func(key string) *match.Prepared
+	Put func(key string, pr *match.Prepared)
+}
+
+// Batch is a compiled multi-query batch: every member query rewritten by
+// GenOGP and bucketed into shape groups. Slices are aligned with the input
+// queries; a member with a non-nil Errs entry failed rewriting and has nil
+// Patterns/empty Keys entries.
+type Batch struct {
+	Queries  []*cq.Query
+	Patterns []*core.Pattern
+	// Keys holds each member pattern's canonical (name-erased) identity;
+	// structurally identical queries — even with renamed variables — get
+	// equal keys, which is what makes an answer memo keyed by
+	// (fingerprint, epoch, key) hit across textually different requests.
+	Keys   []string
+	Errs   []error
+	groups []*group
+}
+
+// Compile rewrites every query through GenOGP and groups the resulting
+// patterns by shape. Rewriting failures are per-member (recorded in Errs),
+// not batch-fatal: the serving tier batches independent requests and one
+// bad query must not poison its neighbors.
+func Compile(queries []*cq.Query, t *dllite.TBox) *Batch {
+	b := &Batch{
+		Queries:  queries,
+		Patterns: make([]*core.Pattern, len(queries)),
+		Keys:     make([]string, len(queries)),
+		Errs:     make([]error, len(queries)),
+	}
+	for i, q := range queries {
+		if q == nil {
+			b.Errs[i] = fmt.Errorf("mqo: query %d is nil", i)
+			continue
+		}
+		res, err := rewrite.Generate(q, t)
+		if err != nil {
+			b.Errs[i] = fmt.Errorf("mqo: rewriting query %d: %w", i, err)
+			continue
+		}
+		b.Patterns[i] = res.Pattern
+		b.Keys[i] = CanonicalKey(res.Pattern)
+	}
+	b.groups = groupByShape(b.Patterns)
+	for _, grp := range b.groups {
+		// Partition the group into canonical-key classes: key-equal
+		// members are the same pattern (identical structure, conditions
+		// and projections), so they share one answer set outright.
+		classOf := map[string]int{}
+		for pos, qi := range grp.members {
+			key := b.Keys[qi]
+			ci, ok := classOf[key]
+			if !ok {
+				ci = len(grp.classes)
+				classOf[key] = ci
+				grp.classes = append(grp.classes, nil)
+			}
+			grp.classes[ci] = append(grp.classes[ci], pos)
+		}
+		if len(grp.classes) > 1 {
+			grp.run = buildMerged(grp, b.Patterns)
+			grp.key = CanonicalKey(grp.run)
+		} else {
+			// One class — duplicates of a single pattern. Run it as-is:
+			// the merged form would only re-derive the same answers with
+			// wildcard-label, all-distinguished overhead.
+			grp.run = b.Patterns[grp.members[0]]
+			grp.key = b.Keys[grp.members[0]]
+		}
+	}
+	return b
+}
+
+// Groups reports how many shape groups the batch compiled into.
+func (b *Batch) Groups() int { return len(b.groups) }
+
+// Run executes the batch against g: one engine run per shape group, then
+// per-member condition replay. need, when non-nil, masks which members
+// still require answers (false entries are skipped; a group whose members
+// are all satisfied is not run at all). Plans are resolved through src
+// when provided, otherwise built fresh via match.Prepare.
+//
+// Returns per-member answer sets (nil where need was false or the member
+// erred), per-member truncation flags (a group that hit a limit marks all
+// its replayed members), and per-member errors (compile errors from the
+// batch plus any group build/run error, fanned out to the group's
+// members). Merged multi-member runs clear Limits.MaxResults: the replay
+// needs the full merged enumeration to recover exact member answer sets,
+// so callers wanting a cap apply it per member afterwards.
+func (b *Batch) Run(g *graph.Graph, opts match.Options, src PlanSource, need []bool) ([]*core.AnswerSet, []bool, []error, Stats) {
+	st := Stats{Queries: len(b.Queries)}
+	out := make([]*core.AnswerSet, len(b.Queries))
+	truncated := make([]bool, len(b.Queries))
+	errs := make([]error, len(b.Queries))
+	copy(errs, b.Errs)
+
+	needed := func(qi int) bool {
+		return errs[qi] == nil && (need == nil || need[qi])
+	}
+
+	for _, grp := range b.groups {
+		anyNeeded := false
+		for _, qi := range grp.members {
+			if needed(qi) {
+				anyNeeded = true
+				break
+			}
+		}
+		if !anyNeeded {
+			continue
+		}
+		st.Groups++
+		st.SharedRuns++
+
+		runOpts := opts
+		merged := len(grp.classes) > 1
+		if merged {
+			// Full mappings are required for exact replay; a partial
+			// merged enumeration would silently under-answer members.
+			runOpts.Limits.MaxResults = 0
+		}
+		var pr *match.Prepared
+		if src.Get != nil {
+			pr = src.Get(grp.key)
+		}
+		if pr == nil {
+			var err error
+			pr, err = match.Prepare(grp.run, g, runOpts)
+			if err != nil {
+				for _, qi := range grp.members {
+					if errs[qi] == nil {
+						errs[qi] = err
+					}
+				}
+				continue
+			}
+			st.PlansBuilt++
+			if src.Put != nil {
+				src.Put(grp.key, pr)
+			}
+		} else {
+			st.PlanCacheHits++
+		}
+		res, mst, err := pr.Run(runOpts)
+		if err != nil {
+			for _, qi := range grp.members {
+				if errs[qi] == nil {
+					errs[qi] = err
+				}
+			}
+			continue
+		}
+
+		if !merged {
+			// Single class: every member is the executed pattern; the run's
+			// answer set is each member's answer set, no replay needed.
+			for _, qi := range grp.members {
+				if needed(qi) {
+					out[qi] = res
+					truncated[qi] = mst.Truncated
+				}
+			}
+			continue
+		}
+		st.MergedMatches += res.Len()
+		replayGroup(grp, b.Patterns, g, res, out, needed)
+		for _, qi := range grp.members {
+			if needed(qi) {
+				truncated[qi] = mst.Truncated
+			}
+		}
+	}
+	return out, truncated, errs, st
 }
 
 // Answer evaluates a batch of conjunctive queries under the ontology,
 // returning one answer set per query (aligned with the input), sharing
-// matching work across structurally identical queries.
+// matching work across structurally identical queries. Any per-member
+// failure fails the whole batch (the serving tier uses Compile/Run
+// directly for per-member error handling).
 func Answer(queries []*cq.Query, t *dllite.TBox, g *graph.Graph, opts match.Options) ([]*core.AnswerSet, Stats, error) {
-	st := Stats{Queries: len(queries)}
-	patterns := make([]*core.Pattern, len(queries))
-	for i, q := range queries {
-		res, err := rewrite.Generate(q, t)
+	b := Compile(queries, t)
+	out, _, errs, st := b.Run(g, opts, PlanSource{}, nil)
+	for _, err := range errs {
 		if err != nil {
-			return nil, st, fmt.Errorf("mqo: rewriting query %d: %w", i, err)
-		}
-		patterns[i] = res.Pattern
-	}
-
-	out := make([]*core.AnswerSet, len(queries))
-	groups := groupByShape(patterns)
-	st.Groups = len(groups)
-	for _, grp := range groups {
-		if len(grp.members) == 1 {
-			i := grp.members[0]
-			res, _, err := match.Match(patterns[i], g, opts)
-			if err != nil {
-				return nil, st, err
-			}
-			st.SharedRuns++
-			out[i] = res
-			continue
-		}
-		if err := answerGroup(grp, patterns, g, opts, out, &st); err != nil {
 			return nil, st, err
 		}
-		st.SharedRuns++
 	}
 	return out, st, nil
 }
 
+// CanonicalKey renders a pattern's structure with vertex names erased:
+// labels, distinguishedness, match/omit conditions (whose String forms
+// reference vertices by index, never by name) and the edge topology.
+// Alpha-equivalent patterns — same structure, renamed variables — map to
+// the same key, so it is the right identity for plan caches and answer
+// memos. Vertex order is NOT canonicalized (that would be graph
+// isomorphism); queries writing the same atoms in a different order get
+// different keys and merely miss the cache.
+func CanonicalKey(p *core.Pattern) string {
+	var sb strings.Builder
+	for i, v := range p.Vertices {
+		fmt.Fprintf(&sb, "v%d:%s", i, v.Label)
+		if v.Distinguished {
+			sb.WriteByte('!')
+		}
+		if v.Match != nil {
+			sb.WriteString("|m=")
+			sb.WriteString(v.Match.String())
+		}
+		if v.Omit != nil {
+			sb.WriteString("|o=")
+			sb.WriteString(v.Omit.String())
+		}
+		sb.WriteByte(';')
+	}
+	for _, e := range p.Edges {
+		fmt.Fprintf(&sb, "e%d>%d:%s", e.From, e.To, e.Label)
+		if e.Match != nil {
+			sb.WriteString("|m=")
+			sb.WriteString(e.Match.String())
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
 // group is one set of shape-identical patterns: members holds query
 // indexes; align[i] maps the representative's vertex indexes to member
-// i's vertex indexes.
+// i's vertex indexes. run is the pattern actually executed (the merged
+// pattern for multi-member groups, the member's own pattern otherwise)
+// and key its canonical identity.
 type group struct {
 	members []int
 	align   [][]int
+	inv     [][]int // member→representative vertex maps (inverse of align)
+	// classes partitions member positions by canonical key: positions in
+	// one class hold identical patterns and share a single answer set
+	// (replayed once for multi-class groups, copied straight from the
+	// run for single-class ones).
+	classes [][]int
+	run     *core.Pattern
+	key     string
 }
 
 // groupByShape buckets patterns by a cheap shape key, verifying real
-// alignments inside each bucket.
+// alignments inside each bucket. nil patterns (failed rewrites) are
+// skipped.
 func groupByShape(ps []*core.Pattern) []*group {
 	var groups []*group
 	buckets := map[string][]*group{}
 	for i, p := range ps {
+		if p == nil {
+			continue
+		}
 		key := shapeKey(p)
 		placed := false
 		for _, grp := range buckets[key] {
@@ -106,6 +331,16 @@ func groupByShape(ps []*core.Pattern) []*group {
 			grp := &group{members: []int{i}, align: [][]int{identity}}
 			buckets[key] = append(buckets[key], grp)
 			groups = append(groups, grp)
+		}
+	}
+	for _, grp := range groups {
+		n := len(ps[grp.members[0]].Vertices)
+		grp.inv = make([][]int, len(grp.members))
+		for mi, a := range grp.align {
+			grp.inv[mi] = make([]int, n)
+			for repV, memV := range a {
+				grp.inv[mi][memV] = repV
+			}
 		}
 	}
 	return groups
@@ -195,22 +430,15 @@ func alignPatterns(a, b *core.Pattern) []int {
 	return nil
 }
 
-// answerGroup merges the group's patterns, matches once and replays each
-// mapping against the members.
-func answerGroup(grp *group, ps []*core.Pattern, g *graph.Graph, opts match.Options, out []*core.AnswerSet, st *Stats) error {
+// buildMerged constructs the group's single shared OGP: per aligned
+// vertex, the disjunction of member match conditions (with concrete labels
+// lowered into conditions) and of member omission conditions; per aligned
+// edge, the disjunction of member edge conditions. Every vertex is
+// distinguished so the engine enumerates full mappings for replay.
+func buildMerged(grp *group, ps []*core.Pattern) *core.Pattern {
 	rep := ps[grp.members[0]]
 	n := len(rep.Vertices)
-
-	// remap rewrites a member condition into the representative's vertex
-	// numbering (align maps rep→member, so invert).
 	merged := &core.Pattern{}
-	inv := make([][]int, len(grp.members))
-	for mi, a := range grp.align {
-		inv[mi] = make([]int, n)
-		for repV, memV := range a {
-			inv[mi][memV] = repV
-		}
-	}
 
 	for v := 0; v < n; v++ {
 		var matchDisj, omitDisj []core.Cond
@@ -218,13 +446,13 @@ func answerGroup(grp *group, ps []*core.Pattern, g *graph.Graph, opts match.Opti
 			p := ps[qi]
 			memV := grp.align[mi][v]
 			mv := p.Vertices[memV]
-			c := core.AndAll(remapCond(mv.Match, inv[mi]), labelAsCond(mv.Label, v))
+			c := core.AndAll(remapCond(mv.Match, grp.inv[mi]), labelAsCond(mv.Label, v))
 			if c == nil {
 				c = core.True{}
 			}
 			matchDisj = append(matchDisj, c)
 			if mv.Omit != nil {
-				omitDisj = append(omitDisj, remapCond(mv.Omit, inv[mi]))
+				omitDisj = append(omitDisj, remapCond(mv.Omit, grp.inv[mi]))
 			}
 		}
 		merged.Vertices = append(merged.Vertices, core.Vertex{
@@ -244,7 +472,7 @@ func answerGroup(grp *group, ps []*core.Pattern, g *graph.Graph, opts match.Opti
 	for mi, qi := range grp.members {
 		m := map[key][]core.Edge{}
 		for _, e := range ps[qi].Edges {
-			k := key{inv[mi][e.From], inv[mi][e.To]}
+			k := key{grp.inv[mi][e.From], grp.inv[mi][e.To]}
 			m[k] = append(m[k], e)
 		}
 		memberEdges[mi] = m
@@ -261,7 +489,7 @@ func answerGroup(grp *group, ps []*core.Pattern, g *graph.Graph, opts match.Opti
 			if c == nil {
 				c = core.EdgeIs{X: k[0], Y: k[1], Label: me.Label}
 			} else {
-				c = remapCond(c, inv[mi])
+				c = remapCond(c, grp.inv[mi])
 			}
 			disj = append(disj, c)
 		}
@@ -270,30 +498,41 @@ func answerGroup(grp *group, ps []*core.Pattern, g *graph.Graph, opts match.Opti
 			Match: core.OrAll(disj...),
 		})
 	}
+	return merged
+}
 
-	res, _, err := match.Match(merged, g, opts)
-	if err != nil {
-		return err
-	}
-	st.MergedMatchs += res.Len()
-
-	// Replay every shared match against each member.
-	for mi, qi := range grp.members {
-		p := ps[qi]
-		ans := core.NewAnswerSet()
-		memberMapping := make(core.Mapping, n)
-		for _, full := range res.Answers() {
-			// full is aligned with merged's vertices (all distinguished).
-			for memV := 0; memV < n; memV++ {
-				memberMapping[memV] = full[inv[mi][memV]]
+// replayGroup replays every shared match of the merged pattern against
+// each needed member's own conditions (the paper's per-query condition
+// check over the shared match set). Replay runs once per key class —
+// class members hold identical patterns, so the first needed member's
+// answer set is every classmate's answer set.
+func replayGroup(grp *group, ps []*core.Pattern, g *graph.Graph, res *core.AnswerSet, out []*core.AnswerSet, needed func(int) bool) {
+	n := len(ps[grp.members[0]].Vertices)
+	memberMapping := make(core.Mapping, n)
+	for _, class := range grp.classes {
+		var ans *core.AnswerSet
+		for _, mi := range class {
+			qi := grp.members[mi]
+			if !needed(qi) {
+				continue
 			}
-			if core.IsMatch(p, memberMapping, g) {
-				ans.Add(core.Project(p, memberMapping))
+			if ans == nil {
+				p := ps[qi]
+				ans = core.NewAnswerSet()
+				for _, full := range res.Answers() {
+					// full is aligned with merged's vertices (all
+					// distinguished).
+					for memV := 0; memV < n; memV++ {
+						memberMapping[memV] = full[grp.inv[mi][memV]]
+					}
+					if core.IsMatch(p, memberMapping, g) {
+						ans.Add(core.Project(p, memberMapping))
+					}
+				}
 			}
+			out[qi] = ans
 		}
-		out[qi] = ans
 	}
-	return nil
 }
 
 // remapCond rewrites vertex references through memToRep.

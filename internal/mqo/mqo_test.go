@@ -12,6 +12,7 @@ import (
 	"ogpa/internal/graph"
 	"ogpa/internal/match"
 	"ogpa/internal/rewrite"
+	"ogpa/internal/testkb"
 )
 
 func paperGraph() *graph.Graph {
@@ -152,6 +153,117 @@ func TestDistinguishedMismatchSeparates(t *testing.T) {
 	}
 	if res[0].Len() == 0 || res[1].Len() == 0 {
 		t.Fatal("answers missing")
+	}
+}
+
+// TestOmissionConditionMixing: grouping a query whose rewrite carries
+// omission conditions (Student ⊑ ∃takesCourse lets the course drop to ⊥)
+// with a shape-identical query that has none must not leak either way:
+// the merged pattern ORs the members' conditions, and replay must hand
+// the ⊥-row only to the member that owns the omission.
+func TestOmissionConditionMixing(t *testing.T) {
+	tb := dllite.NewTBox([]dllite.ConceptInclusion{
+		{Sub: dllite.Atomic("Student"), Sup: dllite.Exists(dllite.Role{Name: "takesCourse"})},
+	}, nil)
+	b := graph.NewBuilder(nil)
+	b.AddLabel("s1", "Student") // no takesCourse edge: answer via omission only
+	b.AddEdge("a1", "takesCourse", "c2")
+	b.AddEdge("t1", "teaches", "c1")
+	g := b.Freeze()
+
+	queries := []*cq.Query{
+		cq.MustParse(`q(x) :- takesCourse(x, z)`),
+		cq.MustParse(`q(x) :- teaches(x, z)`),
+	}
+	res, st, err := Answer(queries, tb, g, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups != 1 || st.SharedRuns != 1 {
+		t.Fatalf("stats = %+v, want one shared group", st)
+	}
+	for i, q := range queries {
+		rw, err := rewrite.Generate(q, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := match.Match(rw.Pattern, g, match.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, got := want.Names(g), res[i].Names(g)
+		if fmt.Sprint(w) != fmt.Sprint(got) {
+			t.Fatalf("query %d (%s): individual %v vs batch %v", i, q, w, got)
+		}
+	}
+	// Sanity on the expected content: the omission member sees s1 (course
+	// dropped) and a1 (real edge); the plain member sees only t1.
+	if got := fmt.Sprint(res[0].Names(g)); got != "[a1 s1]" {
+		t.Fatalf("omission member answers = %s, want [a1 s1]", got)
+	}
+	if got := fmt.Sprint(res[1].Names(g)); got != "[t1]" {
+		t.Fatalf("plain member answers = %s, want [t1]", got)
+	}
+}
+
+// TestDistinguishedPositionMismatchSeparates: same atom count, same
+// arity, but the distinguished flag sits on a different vertex — the
+// alignment must reject the bijection and keep the queries apart, or
+// the merged pattern would project the wrong endpoint for one member.
+func TestDistinguishedPositionMismatchSeparates(t *testing.T) {
+	g := paperGraph()
+	tb := dllite.NewTBox(nil, nil)
+	queries := []*cq.Query{
+		cq.MustParse(`q(x) :- teaches(x, y)`),
+		cq.MustParse(`q(y) :- teaches(x, y)`),
+	}
+	res, st, err := Answer(queries, tb, g, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups != 2 {
+		t.Fatalf("stats = %+v, want separate groups (distinguished endpoints differ)", st)
+	}
+	if got := fmt.Sprint(res[0].Names(g)); got != "[y1 y2]" {
+		t.Fatalf("teachers = %s, want [y1 y2]", got)
+	}
+	if got := fmt.Sprint(res[1].Names(g)); got != "[y3 y4]" {
+		t.Fatalf("students taught = %s, want [y3 y4]", got)
+	}
+}
+
+// TestGatedExistentialRootGrouping replays the seed-2392402369435569976
+// class (the PR 7 over-answering fix: gated existential roots contribute
+// omission justifications only) through the batch path. Grouping two
+// copies of the seed query ORs its gate-bearing conditions with
+// themselves; replay must still enforce the z=kept equality gate, so the
+// batched answers stay exactly the individual (and, per the knownbugs
+// suite, UCQ-certified) answers.
+func TestGatedExistentialRootGrouping(t *testing.T) {
+	rng := rand.New(rand.NewSource(2392402369435569976))
+	tb, abox, q := testkb.RandomKB(rng)
+	g := abox.Graph(nil)
+
+	queries := []*cq.Query{q, cq.MustParse(q.String())}
+	res, st, err := Answer(queries, tb, g, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups != 1 {
+		t.Fatalf("identical queries split into %d groups", st.Groups)
+	}
+	rw, err := rewrite.Generate(q, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := match.Match(rw.Pattern, g, match.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if w, got := fmt.Sprint(want.Names(g)), fmt.Sprint(res[i].Names(g)); w != got {
+			t.Fatalf("member %d: individual %s vs batch %s", i, w, got)
+		}
 	}
 }
 

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// answerMemo is a mutex-guarded LRU of fully rendered answer rows, keyed
+// by (TBox fingerprint, epoch, canonical member pattern) — the batch
+// tier's epoch-keyed memo. A hit answers a member query without touching
+// the engine at all; a delta commit bumps the epoch in every new key, so
+// entries for a superseded version simply stop being referenced and age
+// out of the LRU. Rows are stored and served by reference and must never
+// be mutated (the batcher caps per-member MaxResults by re-slicing, not
+// truncating in place).
+//
+// Every sibling field is accessed under mu (the locksafety analyzer
+// enforces the discipline).
+type answerMemo struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type memoEntry struct {
+	key  string
+	rows [][]string
+}
+
+// newAnswerMemo builds a memo holding up to capacity answer sets;
+// capacity <= 0 returns nil (memoization disabled — a nil *answerMemo is
+// inert).
+func newAnswerMemo(capacity int) *answerMemo {
+	if capacity <= 0 {
+		return nil
+	}
+	return &answerMemo{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the memoized rows for key (promoting the entry) and whether
+// the key was present.
+func (m *answerMemo) get(key string) ([][]string, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	m.ll.MoveToFront(el)
+	return el.Value.(*memoEntry).rows, true
+}
+
+// put inserts rows, evicting the least recently used entry when full.
+func (m *answerMemo) put(key string, rows [][]string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		el.Value.(*memoEntry).rows = rows
+		m.ll.MoveToFront(el)
+		return
+	}
+	m.items[key] = m.ll.PushFront(&memoEntry{key: key, rows: rows})
+	for m.ll.Len() > m.cap {
+		oldest := m.ll.Back()
+		m.ll.Remove(oldest)
+		delete(m.items, oldest.Value.(*memoEntry).key)
+	}
+}
+
+// snapshot reports the counters and current size.
+func (m *answerMemo) snapshot() (hits, misses uint64, size int) {
+	if m == nil {
+		return 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, m.ll.Len()
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ogpa"
+)
+
+// batchedHandler builds a handler with the batching tier enabled and a
+// window long enough that concurrently fired requests reliably share a
+// batch on a loaded CI machine.
+func batchedHandler(t *testing.T, kb *ogpa.KB) http.Handler {
+	t.Helper()
+	h := HandlerWithConfig(kb, Config{BatchWindow: 20 * time.Millisecond})
+	t.Cleanup(func() {
+		if c, ok := h.(io.Closer); ok {
+			if err := c.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}
+	})
+	return h
+}
+
+func postQuery(t *testing.T, h http.Handler, query string) QueryResponse {
+	t.Helper()
+	rec := do(t, h, "POST", "/query", fmt.Sprintf(`{"query":%q}`, query))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func statsOf(t *testing.T, h http.Handler) StatsResponse {
+	t.Helper()
+	rec := do(t, h, "GET", "/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d: %s", rec.Code, rec.Body)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestBatchedEndpointEquivalence fires a mixed workload concurrently at
+// a batching handler and sequentially at a plain one: every response
+// must carry identical rows, and the batched handler must actually have
+// batched (method string + /stats counters).
+func TestBatchedEndpointEquivalence(t *testing.T) {
+	queries := []string{
+		`q(x) :- Student(x), takesCourse(x, y)`,
+		`q(x) :- PhD(x), advisorOf(y, x)`,
+		`q(x, y) :- takesCourse(x, y)`,
+		`q(x) :- Student(x), takesCourse(x, y)`, // repeat: memo fodder
+	}
+	plain := Handler(testKB(t))
+	want := make([]QueryResponse, len(queries))
+	for i, q := range queries {
+		want[i] = postQuery(t, plain, q)
+	}
+
+	batched := batchedHandler(t, testKB(t))
+	got := make([]QueryResponse, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = postQuery(t, batched, q)
+		}()
+	}
+	wg.Wait()
+
+	for i := range queries {
+		if fmt.Sprint(got[i].Rows) != fmt.Sprint(want[i].Rows) {
+			t.Errorf("query %d (%s): batched rows %v, sequential rows %v",
+				i, queries[i], got[i].Rows, want[i].Rows)
+		}
+		if got[i].Method != "genogp+omatch (batched)" {
+			t.Errorf("query %d: method = %q", i, got[i].Method)
+		}
+	}
+	st := statsOf(t, batched)
+	if !st.Batching {
+		t.Fatal("/stats batching = false on a batching handler")
+	}
+	if st.BatchedQueries != uint64(len(queries)) || st.Batches == 0 || st.BatchGroups == 0 {
+		t.Fatalf("stats = %+v, want %d batched queries across >0 batches/groups", st, len(queries))
+	}
+}
+
+// TestBatcherMemoAndSharing: a second wave of an already-answered query
+// must be served from the answer memo, and shape-sharing members must
+// show up in sharedBuilds.
+func TestBatcherMemoAndSharing(t *testing.T) {
+	h := batchedHandler(t, testKB(t))
+	// Wave 1: two shapemates (same pattern shape, different predicates)
+	// fired together — one plan build, one shared member.
+	shapemates := []string{
+		`q(x) :- takesCourse(x, y)`,
+		`q(x) :- advisorOf(x, y)`,
+	}
+	var wg sync.WaitGroup
+	for _, q := range shapemates {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postQuery(t, h, q)
+		}()
+	}
+	wg.Wait()
+	st := statsOf(t, h)
+	if st.SharedBuilds == 0 && st.MemoHits == 0 {
+		t.Fatalf("stats = %+v, want sharing between shapemates", st)
+	}
+	if st.MemoSize == 0 {
+		t.Fatalf("stats = %+v, want memoized answers", st)
+	}
+
+	// Wave 2: same query again — a memo hit, no new plan.
+	before := st.MemoHits
+	resp := postQuery(t, h, shapemates[0])
+	if resp.Method != "genogp+omatch (batched)" {
+		t.Fatalf("method = %q", resp.Method)
+	}
+	st = statsOf(t, h)
+	if st.MemoHits <= before {
+		t.Fatalf("memo hits did not grow: %d -> %d", before, st.MemoHits)
+	}
+}
+
+// TestBatcherMaxResultsPerMember: per-member caps apply after the shared
+// run, and a capped response reports truncation.
+func TestBatcherMaxResultsPerMember(t *testing.T) {
+	h := batchedHandler(t, testKB(t))
+	rec := do(t, h, "POST", "/query", `{"query":"q(x) :- takesCourse(x, y)","maxResults":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 || !resp.Truncated {
+		t.Fatalf("resp = %+v, want 1 truncated row", resp)
+	}
+}
+
+// TestBatcherClosedFallsBack: after Close the endpoint keeps answering
+// through the sequential cached path.
+func TestBatcherClosedFallsBack(t *testing.T) {
+	h := HandlerWithConfig(testKB(t), Config{BatchWindow: time.Millisecond})
+	if err := h.(io.Closer).Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp := postQuery(t, h, `q(x) :- Student(x)`)
+	if resp.Count != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Method != "genogp+omatch" {
+		t.Fatalf("method = %q, want the sequential fallback", resp.Method)
+	}
+	// Close is idempotent.
+	if err := h.(io.Closer).Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherStressLiveWrites hammers a batching handler with concurrent
+// queries while a writer commits ABox deltas — the -race CI step's
+// target. Every response must be well-formed; every batch pins one
+// snapshot, so member answers can only reflect a whole epoch, never a
+// torn write.
+func TestBatcherStressLiveWrites(t *testing.T) {
+	kb := testKB(t)
+	if err := kb.EnableLiveData(8); err != nil {
+		t.Fatal(err)
+	}
+	h := batchedHandler(t, kb)
+
+	const (
+		readers = 8
+		rounds  = 30
+	)
+	queries := []string{
+		`q(x) :- Student(x)`,
+		`q(x) :- Student(x), takesCourse(x, y)`,
+		`q(x, y) :- takesCourse(x, y)`,
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp := postQuery(t, h, queries[(r+i)%len(queries)])
+				if resp.Count != len(resp.Rows) {
+					t.Errorf("inconsistent response: count %d, %d rows", resp.Count, len(resp.Rows))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			body := fmt.Sprintf("S%d a Student .\nS%d takesCourse C%d .", i, i, i)
+			rec := do(t, h, "POST", "/insert", body)
+			if rec.Code != http.StatusOK {
+				t.Errorf("insert %d: status %d: %s", i, rec.Code, rec.Body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the dust settles every inserted student must be visible to a
+	// fresh batched query.
+	resp := postQuery(t, h, `q(x) :- Student(x)`)
+	if resp.Count != 2+rounds {
+		t.Fatalf("final student count = %d, want %d", resp.Count, 2+rounds)
+	}
+	for _, row := range resp.Rows {
+		if strings.HasPrefix(row[0], "S") || row[0] == "Ann" || row[0] == "Bob" {
+			continue
+		}
+		t.Fatalf("unexpected answer %q", row[0])
+	}
+}

@@ -3,18 +3,21 @@ package server
 import (
 	"container/list"
 	"sync"
-
-	"ogpa"
 )
 
-// planCache is a mutex-guarded LRU of compiled query plans
-// (ogpa.PreparedQuery), keyed by (ontology fingerprint, query kind,
-// query text). A hit skips the rewriter (GenOGP or PerfectRef) and the
-// candidate-space build; only enumeration runs per request. Plans are
-// safe to share: PreparedQuery.Answer is concurrent-safe, so one cached
-// plan may serve overlapping requests. Hits and misses are counted per
-// query kind ("cq", "sparql", "ucq:<baseline>") so /stats can show how
-// the cache splits between the primary pipeline and baselines.
+// planCache is a mutex-guarded LRU of compiled query plans, keyed by
+// (ontology fingerprint, query kind, query text) — or, for the batching
+// tier's shape-group plans (kind "mqo"), by (fingerprint, epoch,
+// canonical pattern). A hit skips the rewriter (GenOGP or PerfectRef)
+// and the candidate-space build; only enumeration runs per request.
+// Plans are safe to share: both ogpa.PreparedQuery.Answer and the
+// engine's Plan.Run are concurrent-safe, so one cached plan may serve
+// overlapping requests. Entries are opaque (any): each kind stores
+// exactly one concrete type (*ogpa.PreparedQuery for request kinds, the
+// batch tier's opaque plan handle for "mqo"), and the kind is part of
+// every key, so a get can never observe a foreign type. Hits and misses
+// are counted per kind so /stats can show how the cache splits between
+// the primary pipeline, baselines and batch groups.
 //
 // Every sibling field is accessed under mu (the locksafety analyzer
 // enforces the discipline).
@@ -37,7 +40,7 @@ type kindCounters struct {
 type planEntry struct {
 	key  string
 	kind string
-	plan *ogpa.PreparedQuery
+	plan any
 }
 
 // newPlanCache builds a cache holding up to capacity plans; capacity
@@ -57,7 +60,7 @@ func newPlanCache(capacity int) *planCache {
 // get returns the cached plan for key, promoting it to most recently
 // used, or nil on a miss. Hit/miss counters (total and per kind) move
 // here.
-func (c *planCache) get(kind, key string) *ogpa.PreparedQuery {
+func (c *planCache) get(kind, key string) any {
 	if c == nil {
 		return nil
 	}
@@ -83,7 +86,7 @@ func (c *planCache) get(kind, key string) *ogpa.PreparedQuery {
 // put inserts a plan, evicting the least recently used entry when full.
 // A concurrent duplicate insert (two requests missing on the same key)
 // just refreshes the existing entry.
-func (c *planCache) put(kind, key string, plan *ogpa.PreparedQuery) {
+func (c *planCache) put(kind, key string, plan any) {
 	if c == nil {
 		return
 	}

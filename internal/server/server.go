@@ -109,6 +109,18 @@ type StatsResponse struct {
 	WALBytes            int64  `json:"walBytes,omitempty"`
 	LastCheckpointEpoch uint64 `json:"lastCheckpointEpoch,omitempty"`
 	CheckpointError     string `json:"checkpointError,omitempty"`
+	// Batching-tier fields: zero unless the server runs with a batch
+	// window (`ogpaserver -batch-window`). SharedBuilds counts member
+	// queries answered without a dedicated plan build (shape sharing or
+	// a plan-cache hit); MemoHits counts members answered straight from
+	// the epoch-keyed answer memo without touching the engine.
+	Batching       bool   `json:"batching,omitempty"`
+	Batches        uint64 `json:"batches,omitempty"`
+	BatchedQueries uint64 `json:"batchedQueries,omitempty"`
+	BatchGroups    uint64 `json:"batchGroups,omitempty"`
+	SharedBuilds   uint64 `json:"sharedBuilds,omitempty"`
+	MemoHits       uint64 `json:"memoHits,omitempty"`
+	MemoSize       int    `json:"memoSize,omitempty"`
 }
 
 // CheckpointResponse is the body of a successful POST /checkpoint.
@@ -184,11 +196,38 @@ type Config struct {
 	// requests. 0 means the default (128 plans); negative disables
 	// caching.
 	PlanCacheSize int
+
+	// BatchWindow enables the batching/MQO tier for primary-pipeline CQ
+	// requests: an in-flight query waits up to this long for shapemates
+	// before its batch fires, so concurrent requests share one snapshot,
+	// one engine run per query shape and an epoch-keyed answer memo.
+	// 0 disables batching (every request answers sequentially).
+	BatchWindow time.Duration
+
+	// BatchMax caps how many queries one batch gathers; a full batch
+	// fires before its window elapses. 0 means the default (32).
+	BatchMax int
 }
 
 // defaultPlanCacheSize is the plan-cache capacity when Config leaves
 // PlanCacheSize at zero.
 const defaultPlanCacheSize = 128
+
+// defaultBatchMax is the batch-size cap when Config leaves BatchMax at
+// zero, and defaultAnswerMemoSize bounds the batching tier's rendered-
+// answer memo (entries are re-slices of canonical rows; the LRU bound is
+// on answer sets, not bytes).
+const (
+	defaultBatchMax       = 32
+	defaultAnswerMemoSize = 256
+)
+
+func (c Config) batchMax() int {
+	if c.BatchMax <= 0 {
+		return defaultBatchMax
+	}
+	return c.BatchMax
+}
 
 func (c Config) planCacheSize() int {
 	switch {
@@ -216,6 +255,23 @@ func (c Config) workersFor(requested int) int {
 // Handler builds the HTTP handler for one knowledge base with the default
 // configuration.
 func Handler(kb *ogpa.KB) http.Handler { return HandlerWithConfig(kb, Config{}) }
+
+// handler is the concrete http.Handler HandlerWithConfig returns; Close
+// stops the batching tier's gather goroutine (a no-op when batching is
+// disabled). Callers that care about clean shutdown type-assert to
+// io.Closer.
+type handler struct {
+	http.Handler
+	batcher *batcher
+}
+
+// Close stops the batching tier. Idempotent; never fails.
+func (h *handler) Close() error {
+	if h.batcher != nil {
+		h.batcher.close()
+	}
+	return nil
+}
 
 // HandlerWithConfig builds the HTTP handler for one knowledge base.
 //
@@ -250,7 +306,7 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 		// against the superseded snapshot misses from then on and ages out
 		// of the LRU. On a read-only KB the epoch is constantly 0.
 		key := fmt.Sprintf("%s|%d|%s|%s", fingerprint, kb.Epoch(), kind, query)
-		pq := cache.get(kind, key)
+		pq, _ := cache.get(kind, key).(*ogpa.PreparedQuery)
 		if pq == nil {
 			var err error
 			switch {
@@ -267,6 +323,10 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 			cache.put(kind, key, pq)
 		}
 		return pq.AnswerWithStats(opt)
+	}
+	var bat *batcher
+	if cfg.BatchWindow > 0 {
+		bat = newBatcher(kb, cfg, cache)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
@@ -320,6 +380,18 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 				ans, err = kb.AnswerBaseline(b, query, opt)
 			}
 		default:
+			if bat != nil {
+				// Primary-pipeline CQs go through the batching tier:
+				// gathered with concurrent shapemates, answered via one
+				// shared snapshot + engine run per shape, memo-checked.
+				if rep, ok := bat.do(r.Context(), query, req.MaxResults, opt.Timeout); ok {
+					method = "genogp+omatch (batched)"
+					ans, err = rep.ans, rep.err
+					st.Truncated = rep.truncated
+					break
+				}
+				// Batcher shut down: fall back to the sequential path.
+			}
 			ans, st, err = answerCached("cq", query, opt)
 		}
 		if err != nil {
@@ -410,7 +482,7 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 		q, rw, e, ins, del := m.snapshot()
 		hits, misses, size := cache.snapshot()
 		ps := kb.PersistenceStats()
-		writeJSON(w, StatsResponse{
+		resp := StatsResponse{
 			Stats: kb.Stats(), Queries: q, Rewrites: rw, Errors: e,
 			PlanCacheHits: hits, PlanCacheMisses: misses, PlanCacheSize: size,
 			PlanCacheByKind: cache.snapshotByKind(),
@@ -425,7 +497,18 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 			WALBytes:        ps.WALBytes,
 			LastCheckpointEpoch: ps.LastCheckpointEpoch,
 			CheckpointError:     ps.CheckpointErr,
-		})
+		}
+		if bat != nil {
+			bs := bat.snapshot()
+			resp.Batching = true
+			resp.Batches = bs.Batches
+			resp.BatchedQueries = bs.BatchedQueries
+			resp.BatchGroups = bs.BatchGroups
+			resp.SharedBuilds = bs.SharedBuilds
+			resp.MemoHits = bs.MemoHits
+			resp.MemoSize = bs.MemoSize
+		}
+		writeJSON(w, resp)
 	})
 
 	mux.HandleFunc("GET /consistency", func(w http.ResponseWriter, r *http.Request) {
@@ -437,7 +520,7 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 		writeJSON(w, ConsistencyResponse{Consistent: len(vs) == 0, Violations: vs})
 	})
 
-	return mux
+	return &handler{Handler: mux, batcher: bat}
 }
 
 func decode(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {

@@ -1,0 +1,228 @@
+package snap
+
+import (
+	"fmt"
+	"unsafe"
+
+	"ogpa/internal/graph"
+	"ogpa/internal/symbols"
+)
+
+// MappedSnapshot is a snapshot opened for read-only serving with its CSR
+// sections memory-mapped straight from disk: the vertex-name, label and
+// adjacency arenas are views over the page cache, so opening a multi-GB
+// base costs page-table setup plus one validation pass instead of a full
+// copy. The symbol strings and attribute records are still materialized
+// (Go strings can't alias a mapping that may be unmapped), and derived
+// indexes are rebuilt as in LoadSnapshot.
+//
+// Validation is identical to the copying loader and runs once at open:
+// header and per-section CRC-32C plus the exact-file-length check. On
+// platforms without mmap support (and on big-endian hosts, where the
+// fixed little-endian on-disk layout can't be viewed in place) MapSnapshot
+// transparently falls back to LoadSnapshot; Mapped reports which path was
+// taken.
+//
+// The mapping is read-only: writing through the returned graph faults,
+// and graph.FromArrays never mutates the arrays it is given. Close
+// unmaps; the Graph (and everything sliced from it) must not be used
+// afterwards.
+type MappedSnapshot struct {
+	g     *graph.Graph
+	epoch uint64
+	data  []byte // nil when the copying fallback was used
+}
+
+// Graph returns the reassembled graph. Valid until Close.
+func (ms *MappedSnapshot) Graph() *graph.Graph { return ms.g }
+
+// Epoch reports the epoch the snapshot captured.
+func (ms *MappedSnapshot) Epoch() uint64 { return ms.epoch }
+
+// Mapped reports whether the CSR sections are served from an mmap (false
+// when the platform fallback copied through LoadSnapshot).
+func (ms *MappedSnapshot) Mapped() bool { return ms.data != nil }
+
+// Close releases the mapping. Idempotent; a fallback-loaded snapshot has
+// nothing to release. The graph must not be used after Close.
+func (ms *MappedSnapshot) Close() error {
+	if ms.data == nil {
+		return nil
+	}
+	data := ms.data
+	ms.data = nil
+	if err := munmapBuf(data); err != nil {
+		return fmt.Errorf("snap: unmap snapshot: %w", err)
+	}
+	return nil
+}
+
+// nativeLittleEndian reports whether the host byte order matches the
+// snapshot format's fixed little-endian layout (a prerequisite for
+// viewing the arenas in place).
+var nativeLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// MapSnapshot opens path with the CSR sections memory-mapped read-only.
+// The whole file is validated (CRCs + exact length) before any view is
+// built. Falls back to the copying loader on platforms without mmap and
+// on big-endian hosts.
+func MapSnapshot(path string) (*MappedSnapshot, error) {
+	if !mmapSupported || !nativeLittleEndian {
+		return mapFallback(path)
+	}
+	data, err := mmapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := mapFromBuf(data)
+	if err != nil {
+		//lint:ignore droppederr the parse error is the one to report; the unmap of a never-published mapping is best-effort
+		_ = munmapBuf(data)
+		return nil, err
+	}
+	return ms, nil
+}
+
+// mapFallback is the copying path for hosts that can't serve views.
+func mapFallback(path string) (*MappedSnapshot, error) {
+	g, epoch, err := LoadSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MappedSnapshot{g: g, epoch: epoch}, nil
+}
+
+// mapFromBuf validates a mapped snapshot buffer and assembles a graph
+// whose big arenas are views into it.
+func mapFromBuf(data []byte) (*MappedSnapshot, error) {
+	p, err := parseSections(data)
+	if err != nil {
+		return nil, err
+	}
+	// Strings are materialized: a Go string aliasing the mapping would
+	// dangle after Close.
+	strs, err := decodeStrings(p.payload[secSymbols])
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := symbols.FromStrings(strs)
+	if err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	var a graph.Arrays
+	a.NumEdges = int(p.numEdges)
+	if a.Names, err = viewIDs(p.payload[secNames]); err != nil {
+		return nil, err
+	}
+	if a.Labels, err = viewIDRows(p.payload[secLabels]); err != nil {
+		return nil, err
+	}
+	if a.Out, err = viewHalfRows(p.payload[secOut], "out adjacency"); err != nil {
+		return nil, err
+	}
+	if a.In, err = viewHalfRows(p.payload[secIn], "in adjacency"); err != nil {
+		return nil, err
+	}
+	// Attribute records interleave value kinds with a string blob; they
+	// are decoded (copied) like the symbol strings.
+	if a.Attrs, err = decodeAttrRows(p.payload[secAttrs]); err != nil {
+		return nil, err
+	}
+	g, err := graph.FromArrays(tbl, a)
+	if err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	return &MappedSnapshot{g: g, epoch: p.epoch, data: data}, nil
+}
+
+// viewIDs views a names section ([count]u32 after the count prefix) as a
+// []symbols.ID without copying. Sections start on page boundaries, so
+// data[4:] is 4-byte aligned — the alignment of symbols.ID.
+func viewIDs(data []byte) ([]symbols.ID, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("snap: names section truncated")
+	}
+	count := int(le.Uint32(data))
+	if uint64(len(data)-4) < 4*uint64(count) {
+		return nil, fmt.Errorf("snap: names section truncated")
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*symbols.ID)(unsafe.Pointer(&data[4])), count), nil
+}
+
+// viewIDRows views a CSR section of u32 elements as [][]symbols.ID: the
+// per-row slice headers are allocated (O(|V|)), the element arena is a
+// view.
+func viewIDRows(data []byte) ([][]symbols.ID, error) {
+	count, offsets, rest, err := decodeOffsets(data, "labels")
+	if err != nil {
+		return nil, err
+	}
+	totalElems := uint64(offsets[count])
+	if uint64(len(rest)) < 4*totalElems {
+		return nil, fmt.Errorf("snap: labels section data truncated")
+	}
+	var arena []symbols.ID
+	if totalElems > 0 {
+		arena = unsafe.Slice((*symbols.ID)(unsafe.Pointer(&rest[0])), totalElems)
+	}
+	out := make([][]symbols.ID, count)
+	for i := 0; i < count; i++ {
+		lo, hi := offsets[i], offsets[i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("snap: labels section offsets not monotonic")
+		}
+		if lo < hi {
+			out[i] = arena[lo:hi:hi]
+		}
+	}
+	return out, nil
+}
+
+// viewHalfRows views a CSR section of 8-byte (label, to) elements as
+// [][]graph.Half. graph.Half is two uint32s — size 8, alignment 4 — and
+// the element arena starts 4-byte aligned after the offset table, so the
+// in-place view is exactly the encoded layout on little-endian hosts
+// (asserted by halfLayoutOK at init).
+func viewHalfRows(data []byte, what string) ([][]graph.Half, error) {
+	count, offsets, rest, err := decodeOffsets(data, "adjacency")
+	if err != nil {
+		return nil, err
+	}
+	totalElems := uint64(offsets[count])
+	if uint64(len(rest)) < 8*totalElems {
+		return nil, fmt.Errorf("snap: %s section data truncated", what)
+	}
+	var arena []graph.Half
+	if totalElems > 0 {
+		arena = unsafe.Slice((*graph.Half)(unsafe.Pointer(&rest[0])), totalElems)
+	}
+	out := make([][]graph.Half, count)
+	for i := 0; i < count; i++ {
+		lo, hi := offsets[i], offsets[i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("snap: %s section offsets not monotonic", what)
+		}
+		if lo < hi {
+			out[i] = arena[lo:hi:hi]
+		}
+	}
+	return out, nil
+}
+
+// halfLayoutOK pins the memory layout the half-row view depends on; if a
+// future refactor widens graph.Half or reorders its fields, this fails
+// loudly at package init instead of silently misreading snapshots.
+var _ = func() bool {
+	if unsafe.Sizeof(graph.Half{}) != 8 ||
+		unsafe.Offsetof(graph.Half{}.Label) != 0 ||
+		unsafe.Offsetof(graph.Half{}.To) != 4 {
+		panic("snap: graph.Half layout changed; the mmap half-row view assumes {Label u32, To u32}")
+	}
+	return true
+}()

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package snap
+
+import "errors"
+
+// mmapSupported gates MapSnapshot's zero-copy path; on platforms without
+// a portable mmap, MapSnapshot falls back to the copying loader before
+// these stubs are ever reached.
+const mmapSupported = false
+
+var errNoMmap = errors.New("snap: mmap not supported on this platform")
+
+func mmapFile(path string) ([]byte, error) { return nil, errNoMmap }
+
+func munmapBuf(data []byte) error { return errNoMmap }

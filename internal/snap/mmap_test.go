@@ -1,0 +1,142 @@
+package snap
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"ogpa/internal/graph"
+)
+
+func TestMapSnapshotMatchesLoad(t *testing.T) {
+	g := testGraph()
+	path := filepath.Join(t.TempDir(), "base.snap")
+	if err := SaveSnapshot(path, g, 42); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	ms, err := MapSnapshot(path)
+	if err != nil {
+		t.Fatalf("MapSnapshot: %v", err)
+	}
+	defer ms.Close()
+	if ms.Epoch() != 42 {
+		t.Fatalf("epoch = %d, want 42", ms.Epoch())
+	}
+	if runtime.GOOS == "linux" && !ms.Mapped() {
+		t.Fatal("MapSnapshot fell back to copying on linux")
+	}
+	got := ms.Graph()
+	if want, have := dump(g), dump(got); want != have {
+		t.Fatalf("mapped snapshot changed content:\nwant:\n%s\ngot:\n%s", want, have)
+	}
+	// The mapped graph must behave exactly like a loaded one, derived
+	// indexes included.
+	if got.VertexByName("ann") == graph.NoVID {
+		t.Fatal("byName index missing ann")
+	}
+	student := got.Symbols.Lookup("Student")
+	if got.LabelFrequency(student) != 1 || len(got.VerticesByLabel(student)) != 1 {
+		t.Fatal("byLabel/labelFreq indexes not rebuilt")
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("|E| = %d, want %d", got.NumEdges(), g.NumEdges())
+	}
+	if got.Symbols.Lookup("advisorOf") != g.Symbols.Lookup("advisorOf") {
+		t.Fatal("symbol IDs shifted across save/map")
+	}
+}
+
+func TestMapSnapshotEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(nil).Freeze()
+	path := filepath.Join(t.TempDir(), "empty.snap")
+	if err := SaveSnapshot(path, g, 1); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	ms, err := MapSnapshot(path)
+	if err != nil {
+		t.Fatalf("MapSnapshot: %v", err)
+	}
+	defer ms.Close()
+	if ms.Graph().NumVertices() != 0 || ms.Graph().NumEdges() != 0 {
+		t.Fatalf("empty graph mapped with |V|=%d |E|=%d", ms.Graph().NumVertices(), ms.Graph().NumEdges())
+	}
+}
+
+// TestMapSnapshotCorruptionRejected mirrors the copying loader's sweep:
+// the mmap path runs the same validation, so every corrupted file must
+// fail loudly or load identical content (padding flips).
+func TestMapSnapshotCorruptionRejected(t *testing.T) {
+	g := testGraph()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.snap")
+	if err := SaveSnapshot(path, g, 7); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dump(g)
+	for off := 0; off < len(orig); off += 37 {
+		corrupt := append([]byte(nil), orig...)
+		corrupt[off] ^= 0xFF
+		cpath := filepath.Join(dir, "corrupt.snap")
+		if err := os.WriteFile(cpath, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ms, err := MapSnapshot(cpath)
+		if err != nil {
+			continue
+		}
+		if dump(ms.Graph()) != want {
+			t.Fatalf("byte flip at offset %d mapped silently as different content", off)
+		}
+		if err := ms.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+}
+
+func TestMapSnapshotTruncationRejected(t *testing.T) {
+	g := testGraph()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.snap")
+	if err := SaveSnapshot(path, g, 7); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 10, headerSize - 1, headerSize, len(orig) - 1} {
+		tpath := filepath.Join(dir, "trunc.snap")
+		if err := os.WriteFile(tpath, orig[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MapSnapshot(tpath); err == nil {
+			t.Fatalf("snapshot truncated to %d bytes mapped without error", n)
+		}
+	}
+}
+
+func TestMapSnapshotCloseIdempotent(t *testing.T) {
+	g := testGraph()
+	path := filepath.Join(t.TempDir(), "base.snap")
+	if err := SaveSnapshot(path, g, 3); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	ms, err := MapSnapshot(path)
+	if err != nil {
+		t.Fatalf("MapSnapshot: %v", err)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if ms.Mapped() {
+		t.Fatal("Mapped() true after Close")
+	}
+}

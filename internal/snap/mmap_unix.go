@@ -1,0 +1,43 @@
+//go:build unix
+
+package snap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates MapSnapshot's zero-copy path.
+const mmapSupported = true
+
+// mmapFile maps path read-only and private. The returned buffer spans the
+// whole file; callers validate it before building any view.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snap: open snapshot: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("snap: stat snapshot: %w", err)
+	}
+	size := info.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("snap: snapshot size %d not mappable", size)
+	}
+	// MAP_PRIVATE: a concurrent writer truncating or rewriting the file
+	// can still fault the mapping (inherent to mmap), but snapshots are
+	// written to a temp file and renamed into place, so the mapped inode
+	// is never modified after it becomes visible.
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("snap: mmap snapshot: %w", err)
+	}
+	return data, nil
+}
+
+func munmapBuf(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -167,38 +167,47 @@ func SaveSnapshot(path string, g *graph.Graph, epoch uint64) error {
 	return syncDir(dir)
 }
 
-// LoadSnapshot reads a snapshot file and reassembles the graph and its
-// symbol table. The returned table is unfrozen; callers freeze or thaw it
-// (ogpa.KB does) before sharing the graph across goroutines.
-func LoadSnapshot(path string) (*graph.Graph, uint64, error) {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return nil, 0, fmt.Errorf("snap: read snapshot: %w", err)
-	}
+// parsedSnapshot is a validated snapshot buffer: every section located,
+// CRC-checked and sliced out of the underlying bytes (payload slices
+// alias the buffer — callers decide whether to copy or view).
+type parsedSnapshot struct {
+	epoch    uint64
+	numEdges uint64
+	payload  map[uint32][]byte
+}
+
+// parseSections validates a whole snapshot buffer — magic, version,
+// header CRC, per-section CRCs and the exact-length check — and returns
+// the located section payloads. Both the copying loader (LoadSnapshot)
+// and the mmap loader (MapSnapshot) run exactly this validation once at
+// open.
+func parseSections(buf []byte) (*parsedSnapshot, error) {
 	if len(buf) < headerSize {
-		return nil, 0, fmt.Errorf("snap: snapshot truncated: %d bytes, header needs %d", len(buf), headerSize)
+		return nil, fmt.Errorf("snap: snapshot truncated: %d bytes, header needs %d", len(buf), headerSize)
 	}
 	header := buf[:headerSize]
 	if string(header[:8]) != snapMagic {
-		return nil, 0, fmt.Errorf("snap: bad magic %q (not a snapshot file?)", header[:8])
+		return nil, fmt.Errorf("snap: bad magic %q (not a snapshot file?)", header[:8])
 	}
 	if got := le.Uint32(header[headerSize-4:]); got != crc32.Checksum(header[:headerSize-4], castagnoli) {
-		return nil, 0, fmt.Errorf("snap: snapshot header checksum mismatch")
+		return nil, fmt.Errorf("snap: snapshot header checksum mismatch")
 	}
 	if v := le.Uint32(header[8:]); v != snapVersion {
-		return nil, 0, fmt.Errorf("snap: unsupported snapshot version %d (want %d)", v, snapVersion)
+		return nil, fmt.Errorf("snap: unsupported snapshot version %d (want %d)", v, snapVersion)
 	}
 	if ps := le.Uint32(header[12:]); ps != pageSize {
-		return nil, 0, fmt.Errorf("snap: unsupported page size %d (want %d)", ps, pageSize)
+		return nil, fmt.Errorf("snap: unsupported page size %d (want %d)", ps, pageSize)
 	}
-	epoch := le.Uint64(header[16:])
-	numEdges := le.Uint64(header[24:])
+	p := &parsedSnapshot{
+		epoch:    le.Uint64(header[16:]),
+		numEdges: le.Uint64(header[24:]),
+	}
 	count := le.Uint32(header[32:])
 	if count != numSections {
-		return nil, 0, fmt.Errorf("snap: snapshot has %d sections (want %d)", count, numSections)
+		return nil, fmt.Errorf("snap: snapshot has %d sections (want %d)", count, numSections)
 	}
 
-	payload := make(map[uint32][]byte, count)
+	p.payload = make(map[uint32][]byte, count)
 	expectEnd := uint64(headerSize)
 	for i := 0; i < int(count); i++ {
 		ent := header[40+i*sectionHdr:]
@@ -207,16 +216,16 @@ func LoadSnapshot(path string) (*graph.Graph, uint64, error) {
 		length := le.Uint64(ent[16:])
 		sum := le.Uint32(ent[24:])
 		if off > uint64(len(buf)) || length > uint64(len(buf))-off {
-			return nil, 0, fmt.Errorf("snap: section %d extends past end of file", kind)
+			return nil, fmt.Errorf("snap: section %d extends past end of file", kind)
 		}
 		data := buf[off : off+length]
 		if crc32.Checksum(data, castagnoli) != sum {
-			return nil, 0, fmt.Errorf("snap: section %d checksum mismatch", kind)
+			return nil, fmt.Errorf("snap: section %d checksum mismatch", kind)
 		}
-		if _, dup := payload[kind]; dup {
-			return nil, 0, fmt.Errorf("snap: duplicate section %d", kind)
+		if _, dup := p.payload[kind]; dup {
+			return nil, fmt.Errorf("snap: duplicate section %d", kind)
 		}
-		payload[kind] = data
+		p.payload[kind] = data
 		if end := pageAlign(off + length); end > expectEnd {
 			expectEnd = end
 		}
@@ -225,13 +234,33 @@ func LoadSnapshot(path string) (*graph.Graph, uint64, error) {
 	// the trailing page padding (or garbage appended after it), so the
 	// file length itself is part of the format.
 	if uint64(len(buf)) != expectEnd {
-		return nil, 0, fmt.Errorf("snap: snapshot is %d bytes, layout expects %d", len(buf), expectEnd)
+		return nil, fmt.Errorf("snap: snapshot is %d bytes, layout expects %d", len(buf), expectEnd)
 	}
 	for kind := secSymbols; kind <= secAttrs; kind++ {
-		if _, ok := payload[kind]; !ok {
-			return nil, 0, fmt.Errorf("snap: snapshot missing section %d", kind)
+		if _, ok := p.payload[kind]; !ok {
+			return nil, fmt.Errorf("snap: snapshot missing section %d", kind)
 		}
 	}
+	return p, nil
+}
+
+// LoadSnapshot reads a snapshot file and reassembles the graph and its
+// symbol table, copying every array out of the file buffer. The returned
+// table is unfrozen; callers freeze or thaw it (ogpa.KB does) before
+// sharing the graph across goroutines. MapSnapshot is the zero-copy
+// alternative for read-only serving.
+func LoadSnapshot(path string) (*graph.Graph, uint64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("snap: read snapshot: %w", err)
+	}
+	p, err := parseSections(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	epoch := p.epoch
+	numEdges := p.numEdges
+	payload := p.payload
 
 	strs, err := decodeStrings(payload[secSymbols])
 	if err != nil {

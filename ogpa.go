@@ -650,25 +650,165 @@ func (kb *KB) AnswerSPARQL(src string, opt Options) (*Answers, error) {
 	return render(q, ans, g), nil
 }
 
+// BatchCache is the cache surface a serving tier hands to
+// AnswerBatchCached. Both hooks receive fully scoped keys (the TBox
+// fingerprint, the store epoch and a canonical pattern identity are
+// already mixed in), so implementations are plain key/value stores.
+// Plans are opaque (*match.Prepared under the hood; internal types can't
+// appear in the public API) — store and return them as-is.
+type BatchCache interface {
+	// GetPlan / PutPlan cache compiled shape-group plans.
+	GetPlan(key string) any
+	PutPlan(key string, plan any)
+	// GetAnswers / PutAnswers cache fully rendered answer rows for one
+	// member pattern. Rows are canonical (sorted) and must be treated as
+	// immutable by callers and implementations alike.
+	GetAnswers(key string) ([][]string, bool)
+	PutAnswers(key string, rows [][]string)
+}
+
+// BatchResult is one member query's outcome within a batch.
+type BatchResult struct {
+	Answers   *Answers
+	Truncated bool // enumeration stopped at a limit; rows are sound but possibly incomplete
+	Err       error
+}
+
+// BatchStats reports the sharing a batch achieved.
+type BatchStats struct {
+	Queries       int    // member queries in the batch
+	Groups        int    // shape groups executed
+	MergedMatches int    // matches enumerated across merged patterns
+	MemoHits      int    // members answered straight from the answer memo
+	PlanCacheHits int    // group plans resolved from the cache
+	PlansBuilt    int    // group plans built fresh this batch
+	SharedBuilds  int    // members answered without a dedicated plan build
+	Epoch         uint64 // store epoch the whole batch was pinned to
+}
+
+// AnswerBatchCached evaluates a batch of queries with multi-query
+// optimization against ONE snapshot of the knowledge base: structurally
+// identical queries share a single compiled plan and matching run, and —
+// when cache is non-nil — answers and group plans are memoized under keys
+// scoped by (TBox fingerprint, epoch, canonical pattern), so the next
+// delta commit invalidates every entry for free.
+//
+// Limits semantics differ from the sequential path in one way:
+// opt.MaxResults is applied per member AFTER the shared enumeration
+// (merged runs need full mappings for exact replay), and capped or
+// truncated results are never memoized. Failures are per member
+// (BatchResult.Err); the batch itself always returns.
+func (kb *KB) AnswerBatchCached(queries []string, opt Options, cache BatchCache) ([]BatchResult, BatchStats) {
+	qs := make([]*cq.Query, len(queries))
+	parseErrs := make([]error, len(queries))
+	for i, src := range queries {
+		qs[i], parseErrs[i] = cq.Parse(src)
+	}
+	b := mqo.Compile(qs, kb.tbox)
+
+	// Pin one snapshot for the whole batch: compile, match, replay and
+	// render all see a single (graph, epoch) pair, so no member can
+	// straddle a concurrent delta commit.
+	g, epoch := kb.g, uint64(0)
+	if kb.store != nil {
+		sn := kb.store.Snapshot()
+		g, epoch = sn.Graph(), sn.Epoch()
+	}
+	fingerprint := kb.Fingerprint()
+	st := BatchStats{Queries: len(queries), Epoch: epoch}
+	results := make([]BatchResult, len(queries))
+
+	// Answer memo: a member whose canonical pattern was fully enumerated
+	// at this (fingerprint, epoch) is answered without touching the
+	// engine; only its own head variables are re-attached.
+	need := make([]bool, len(queries))
+	for i := range queries {
+		if parseErrs[i] != nil || b.Errs[i] != nil {
+			continue
+		}
+		if cache != nil {
+			memoKey := fmt.Sprintf("%s|%d|ans|%s", fingerprint, epoch, b.Keys[i])
+			if rows, ok := cache.GetAnswers(memoKey); ok {
+				st.MemoHits++
+				results[i] = capRows(&Answers{Vars: append([]string(nil), qs[i].Head...), Rows: rows}, opt.MaxResults)
+				continue
+			}
+		}
+		need[i] = true
+	}
+
+	var src mqo.PlanSource
+	if cache != nil {
+		src = mqo.PlanSource{
+			Get: func(key string) *match.Prepared {
+				planKey := fmt.Sprintf("%s|%d|plan|%s", fingerprint, epoch, key)
+				pr, _ := cache.GetPlan(planKey).(*match.Prepared)
+				return pr
+			},
+			Put: func(key string, pr *match.Prepared) {
+				planKey := fmt.Sprintf("%s|%d|plan|%s", fingerprint, epoch, key)
+				cache.PutPlan(planKey, pr)
+			},
+		}
+	}
+	runOpts := matchOptions(opt)
+	runOpts.Limits.MaxResults = 0 // per-member caps are applied below
+	sets, truncated, errs, mst := b.Run(g, runOpts, src, need)
+	st.Groups = mst.Groups
+	st.MergedMatches = mst.MergedMatches
+	st.PlanCacheHits = mst.PlanCacheHits
+	st.PlansBuilt = mst.PlansBuilt
+
+	answered := 0
+	for i := range queries {
+		switch {
+		case parseErrs[i] != nil:
+			results[i] = BatchResult{Err: parseErrs[i]}
+		case errs[i] != nil:
+			results[i] = BatchResult{Err: errs[i]}
+		case !need[i]:
+			answered++ // memo hit, already rendered
+		default:
+			answered++
+			ans := render(qs[i], sets[i], g)
+			if cache != nil && !truncated[i] {
+				memoKey := fmt.Sprintf("%s|%d|ans|%s", fingerprint, epoch, b.Keys[i])
+				cache.PutAnswers(memoKey, ans.Rows)
+			}
+			results[i] = capRows(ans, opt.MaxResults)
+			results[i].Truncated = results[i].Truncated || truncated[i]
+		}
+	}
+	if shared := answered - st.MemoHits - st.PlansBuilt; shared > 0 {
+		st.SharedBuilds = shared
+	}
+	return results, st
+}
+
+// capRows applies a per-member row cap without mutating the (possibly
+// memo-shared) input rows.
+func capRows(ans *Answers, max int) BatchResult {
+	if max > 0 && len(ans.Rows) > max {
+		return BatchResult{
+			Answers:   &Answers{Vars: ans.Vars, Rows: ans.Rows[:max:max]},
+			Truncated: true,
+		}
+	}
+	return BatchResult{Answers: ans}
+}
+
 // AnswerBatch evaluates several queries at once with multi-query
 // optimization: structurally identical queries share one matching run.
+// Any member failure fails the batch (AnswerBatchCached reports failures
+// per member instead).
 func (kb *KB) AnswerBatch(queries []string, opt Options) ([]*Answers, error) {
-	qs := make([]*cq.Query, len(queries))
-	for i, src := range queries {
-		q, err := cq.Parse(src)
-		if err != nil {
-			return nil, err
-		}
-		qs[i] = q
-	}
-	g := kb.graphNow() // one snapshot for the whole batch
-	results, _, err := mqo.Answer(qs, kb.tbox, g, matchOptions(opt))
-	if err != nil {
-		return nil, err
-	}
+	results, _ := kb.AnswerBatchCached(queries, opt, nil)
 	out := make([]*Answers, len(results))
 	for i, r := range results {
-		out[i] = render(qs[i], r, g)
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out[i] = r.Answers
 	}
 	return out, nil
 }
