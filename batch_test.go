@@ -121,8 +121,14 @@ func TestBatchSharingOnSharedShapes(t *testing.T) {
 	if st.Groups != 1 {
 		t.Fatalf("stats = %+v, want one shape group", st)
 	}
-	if st.PlansBuilt != 1 || st.SharedBuilds != 2 {
-		t.Fatalf("stats = %+v, want 1 plan built and 2 shared members", st)
+	// The cost model merges this group (the predicate variants' candidate
+	// pools overlap on the example KB): three per-class plans feed the
+	// model and the split path, plus the merged plan actually run.
+	if st.MergedGroups != 1 || st.SplitGroups != 0 {
+		t.Fatalf("stats = %+v, want one merged group", st)
+	}
+	if st.PlansBuilt != 4 || st.MergedMatches == 0 {
+		t.Fatalf("stats = %+v, want 3 class plans + 1 merged plan and a shared enumeration", st)
 	}
 	// Equivalence against the sequential path, per member.
 	for i, src := range queries {

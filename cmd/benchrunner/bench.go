@@ -20,7 +20,7 @@ import (
 )
 
 // benchResult is one row of the machine-readable benchmark report
-// (BENCH_7.json): the same three numbers `go test -bench -benchmem`
+// (BENCH_8.json): the same three numbers `go test -bench -benchmem`
 // prints, in a form CI and plotting scripts can diff across commits.
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -200,6 +200,11 @@ func runBenchJSON(outPath string, seed int64) error {
 		return err
 	}
 	suite = append(suite, batchSuite(f, w, dir)...)
+	sf, err := buildShardFixture(w)
+	if err != nil {
+		return err
+	}
+	suite = append(suite, shardSuite(sf)...)
 	results := make([]benchResult, 0, len(suite))
 	for _, bb := range suite {
 		r := testing.Benchmark(bb.fn)
@@ -221,6 +226,9 @@ func runBenchJSON(outPath string, seed int64) error {
 		return err
 	}
 	if err := checkBatchRows(results); err != nil {
+		return err
+	}
+	if err := checkShardRows(results); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(results, "", "  ")

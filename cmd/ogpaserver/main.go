@@ -36,6 +36,7 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable live data: snapshot + WAL directory (implies -live; recovers existing state, -data only seeds the first run)")
 		batchWindow   = flag.Duration("batch-window", 0, "gather window for the batching/MQO tier (0 = disabled); concurrent CQ requests within a window share one snapshot, merged shape-group plans and an epoch-keyed answer memo")
 		batchMax      = flag.Int("batch-max", 0, "max queries per batch (0 = default 32; a full batch fires before its window elapses)")
+		shards        = flag.Int("shards", 0, "scatter-gather execution over this many VID-range graph shards (0 = monolithic); /stats grows per-shard rows")
 	)
 	flag.Parse()
 	if *ontologyPath == "" || *dataPath == "" {
@@ -70,8 +71,12 @@ func main() {
 		PlanCacheSize:      *planCacheSize,
 		BatchWindow:        *batchWindow,
 		BatchMax:           *batchMax,
+		Shards:             *shards,
 	}
 	h := server.HandlerWithConfig(kb, cfg)
+	if *shards > 0 {
+		log.Printf("scatter-gather execution over %d shards", *shards)
+	}
 	srv := &http.Server{Addr: *addr, Handler: h}
 	if *batchWindow > 0 {
 		max := *batchMax

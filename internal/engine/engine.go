@@ -104,6 +104,17 @@ type Options struct {
 	// merged in candidate order, so results are identical to sequential.
 	Workers int
 
+	// Sharder, when non-nil, switches Run to the scatter-gather path:
+	// the first decision level's candidate pool is bucketed by shard
+	// ownership (the ⊥ candidate rides with the last shard), one
+	// goroutine per non-empty shard enumerates its bucket sequentially,
+	// and the per-item answer sets are merged in global candidate order
+	// through the same dedup gate as the worker pool — byte-identical to
+	// the monolithic run. Takes precedence over Workers (the shards are
+	// the workers). A one-shard Sharder still exercises the scatter path,
+	// degenerating to a single bucket.
+	Sharder Sharder
+
 	// Caps select the plan capabilities; consulted by Prepare only.
 	Caps Caps
 
@@ -143,6 +154,54 @@ type Stats struct {
 	// search space (MaxResults reached, MaxSteps exceeded, or the
 	// deadline passed).
 	Truncated bool
+	// ShardRuns holds one entry per shard when the run took the
+	// scatter-gather path (Options.Sharder); nil otherwise.
+	ShardRuns []ShardRunStats
+}
+
+// Sharder assigns data vertices to shards for scatter-gather runs. The
+// engine only needs ownership of the first decision level's candidates;
+// traversal below that level runs over the shared graph, so cross-shard
+// edges need no engine-side handling. Implementations must be safe for
+// concurrent use (internal/shard's Set is immutable after Partition).
+type Sharder interface {
+	// Shards reports the shard count (>= 1).
+	Shards() int
+	// Owner maps a data vertex to its owning shard in [0, Shards()).
+	Owner(v graph.VID) int
+}
+
+// ShardRunStats is one shard's share of a scatter-gather run.
+type ShardRunStats struct {
+	Shard     int   // shard index
+	Items     int   // first-level candidates owned by the shard
+	Answers   int   // answers banked before the global-dedup merge
+	Steps     int64 // search-tree nodes expanded by the shard goroutine
+	EnumNanos int64 // wall-clock time of the shard goroutine
+}
+
+// MergeShardRuns accumulates per-shard counters from one run into an
+// aggregate keyed by shard index (used by the UCQ path, which runs one
+// scatter per disjunct and reports the union). Either argument may be
+// nil; the result is sorted by shard.
+func MergeShardRuns(dst, src []ShardRunStats) []ShardRunStats {
+	for _, s := range src {
+		for i := range dst {
+			if dst[i].Shard == s.Shard {
+				dst[i].Items += s.Items
+				dst[i].Answers += s.Answers
+				dst[i].Steps += s.Steps
+				dst[i].EnumNanos += s.EnumNanos
+				s.Shard = -1
+				break
+			}
+		}
+		if s.Shard >= 0 {
+			dst = append(dst, s)
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Shard < dst[j].Shard })
+	return dst
 }
 
 type condKind uint8
@@ -302,6 +361,42 @@ func (pl *Plan) Run(opts Options) (*core.AnswerSet, Stats, error) {
 	err := mc.backtrack(out)
 	mc.stats.EnumNanos = time.Since(start).Nanoseconds()
 	return out, mc.stats, err
+}
+
+// RunSharded is Run with a Sharder installed: the compiled plan is
+// broadcast unchanged (it was prepared against the global symbol table
+// and graph), each shard enumerates the first-level candidates it owns,
+// and the gather merges per-item answer sets in global candidate order
+// so the result is byte-identical to Run without a Sharder. Stats gains
+// one ShardRuns entry per shard.
+func (pl *Plan) RunSharded(opts Options, sh Sharder) (*core.AnswerSet, Stats, error) {
+	opts.Sharder = sh
+	return pl.Run(opts)
+}
+
+// CandidatePool returns the refined candidate pool for pattern vertex u,
+// computed at Prepare time (sorted ascending; nil for provably-empty
+// plans). Shared slice — read only. Callers use pool sizes and overlap
+// to cost alternative execution strategies (the MQO tier's
+// merge-vs-separate decision) without re-running the build phase.
+func (pl *Plan) CandidatePool(u int) []graph.VID {
+	if pl.empty || pl.m.cand == nil || u < 0 || u >= len(pl.m.cand) {
+		return nil
+	}
+	return pl.m.cand[u]
+}
+
+// CandidatePoolSizes returns the per-vertex candidate-pool sizes (nil
+// for provably-empty plans).
+func (pl *Plan) CandidatePoolSizes() []int {
+	if pl.empty || pl.m.cand == nil {
+		return nil
+	}
+	sizes := make([]int, len(pl.m.cand))
+	for u, pool := range pl.m.cand {
+		sizes[u] = len(pool)
+	}
+	return sizes
 }
 
 // atomID interns an atomic condition as a BDD variable and compiles it to

@@ -87,6 +87,7 @@ func (m *matcher) backtrack(out *core.AnswerSet) error {
 	if workers <= 0 {
 		workers = stdruntime.GOMAXPROCS(0)
 	}
+	sharded := m.opts.Sharder != nil && m.opts.Sharder.Shards() >= 1
 
 	// The probe runtime decides the first vertex exactly as the sequential
 	// recursion would (over the same frozen candidate sets), then doubles
@@ -94,7 +95,7 @@ func (m *matcher) backtrack(out *core.AnswerSet) error {
 	rt := m.newRuntime(out, bud, nil)
 	var items []graph.VID
 	u0 := -1
-	if workers > 1 && len(m.p.Vertices) > 0 {
+	if (workers > 1 || sharded) && len(m.p.Vertices) > 0 {
 		u0 = rt.pickNext()
 		if u0 >= 0 {
 			cands := rt.candidates(u0)
@@ -106,6 +107,12 @@ func (m *matcher) backtrack(out *core.AnswerSet) error {
 		}
 	}
 
+	if sharded && u0 >= 0 && len(items) > 0 {
+		// Scatter-gather takes precedence over the worker pool: the shards
+		// are the workers, each owning its contiguous slice of the first
+		// decision level.
+		return m.backtrackSharded(out, bud, u0, items, m.opts.Sharder)
+	}
 	if workers <= 1 || u0 < 0 || len(items) < 2 {
 		err := rt.rec(0)
 		rt.flushSteps()

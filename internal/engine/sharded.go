@@ -1,0 +1,132 @@
+// Scatter-gather execution over a sharded candidate space. The plan was
+// compiled once against the global symbol table and graph; what is
+// partitioned is the first decision level's candidate pool, bucketed by
+// Sharder ownership into goroutine-owned segments. Each shard enumerates
+// its bucket sequentially over the shared frozen graph — matches whose
+// edges cross shard boundaries need no special handling intra-process,
+// because traversal below the first level reads the whole adjacency (the
+// cross-shard edge index in internal/shard exists for diagnostics and
+// the future multi-process lift). The gather merges per-item answer sets
+// in GLOBAL candidate order through the same dedup gate as the worker
+// pool, so answers are byte-identical to the monolithic run.
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ogpa/internal/core"
+	"ogpa/internal/graph"
+)
+
+// backtrackSharded fans the first-level items out one bucket per shard.
+// Unlike backtrackPar's work-stealing claim loop, every item has a fixed
+// owner — the deterministic placement is what a multi-process tier would
+// ship over the wire — and the ⊥ item (always last, never a data vertex)
+// rides with the last shard. Budget (MaxSteps/deadline/ctx) and the
+// MaxResults gate are shared across shards exactly as across workers.
+func (m *matcher) backtrackSharded(out *core.AnswerSet, bud *budget, u0 int, items []graph.VID, sh Sharder) error {
+	n := sh.Shards()
+	var gate *resultGate
+	if m.opts.Limits.MaxResults > 0 {
+		//lint:ignore internsafety keys are canonical Answer.Key() strings (mirrors core.AnswerSet); touched once per distinct answer, not per node
+		gate = &resultGate{seen: make(map[string]bool), max: m.opts.Limits.MaxResults, bud: bud}
+	}
+
+	// Bucket the global item list by owner, preserving global order inside
+	// each bucket. Candidate pools are sorted by VID and shard ranges are
+	// contiguous, so data-vertex buckets are contiguous segments of the
+	// global order — but the merge below never relies on that: it walks
+	// results[] in global index order regardless of placement.
+	perShard := make([][]int, n)
+	for gi, v := range items {
+		si := n - 1
+		if v != core.Omitted {
+			if si = sh.Owner(v); si < 0 || si >= n {
+				si = n - 1 // defensive: a misbehaving Sharder must not drop items
+			}
+		}
+		perShard[si] = append(perShard[si], gi)
+	}
+
+	results := make([]*core.AnswerSet, len(items))
+	errs := make([]error, len(items))
+	shardRuns := make([]ShardRunStats, n)
+	var atomEvals atomic.Int64
+	var wg sync.WaitGroup
+	for si := 0; si < n; si++ {
+		shardRuns[si].Shard = si
+		shardRuns[si].Items = len(perShard[si])
+		if len(perShard[si]) == 0 {
+			continue // empty shard: nothing to seed, no goroutine
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			start := time.Now()
+			wrt := m.newRuntime(nil, bud, gate)
+			answers := 0
+			for _, gi := range perShard[si] {
+				if bud.stop.Load() {
+					break
+				}
+				sub := core.NewAnswerSet()
+				results[gi] = sub
+				wrt.out = sub
+				if errs[gi] = wrt.runItem(u0, items[gi]); errs[gi] != nil {
+					// Real limit errors cancel every shard; errStopped means
+					// another shard's gate already did.
+					bud.stop.Store(true)
+					break
+				}
+				answers += sub.Len()
+			}
+			wrt.flushSteps()
+			atomEvals.Add(wrt.atomEvals)
+			shardRuns[si].Answers = answers
+			shardRuns[si].Steps = wrt.flushed
+			shardRuns[si].EnumNanos = time.Since(start).Nanoseconds()
+		}(si)
+	}
+	wg.Wait()
+
+	// Gather: merge in global candidate order with global deduplication —
+	// identical to the sequential insertion order. Under MaxResults the
+	// merge truncates to exactly the limit (shards may bank a few extra
+	// answers between the gate tripping and the unwind).
+	limit := m.opts.Limits.MaxResults
+	for _, sub := range results {
+		if sub == nil {
+			continue
+		}
+		for _, a := range sub.Answers() {
+			if limit > 0 && out.Len() >= limit {
+				break
+			}
+			out.Add(a)
+		}
+	}
+
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errStopped) {
+			firstErr = err
+			break
+		}
+	}
+	m.stats.Steps = bud.steps.Load()
+	m.stats.AtomEvals += atomEvals.Load()
+	m.stats.ShardRuns = shardRuns
+	if firstErr != nil || bud.stop.Load() {
+		m.stats.Truncated = true
+	}
+	if errors.Is(firstErr, errCanceled) {
+		return nil // Limits.Ctx fired: clean truncation, answers so far stand
+	}
+	if errors.Is(firstErr, ErrLimit) && limit > 0 && out.Len() >= limit {
+		return nil // truncation at MaxResults is a successful run
+	}
+	return firstErr
+}

@@ -32,6 +32,7 @@ var hotPathSuffixes = []string{
 	"internal/graph",
 	"internal/delta",
 	"internal/snap",
+	"internal/shard",
 }
 
 func runInternSafety(p *Pass) {

@@ -96,3 +96,34 @@ func handleClosures(s *store) (uint64, uint64) {
 	second := func() uint64 { return s.Snapshot().epoch }
 	return first(), second()
 }
+
+// shardSet mirrors the scatter-gather tier's per-epoch partition: it is
+// derived FROM a view, not loaded independently.
+type shardSet struct {
+	epoch uint64
+	n     int
+}
+
+// partitionOf derives the shard set for one already-pinned view; no
+// store access of its own.
+func partitionOf(v *view) *shardSet {
+	return &shardSet{epoch: v.epoch, n: v.size/4 + 1}
+}
+
+// handleShardedPinned is the sanctioned shard-set pin (ogpa.KB.view):
+// ONE Snapshot resolves graph, epoch and shard set together, so every
+// shard of the query runs against a single version.
+func handleShardedPinned(s *store) uint64 {
+	v := s.Snapshot()
+	set := partitionOf(v)
+	return v.epoch + uint64(set.n)
+}
+
+// handleShardedTorn re-materializes to build the shard set: the query
+// view and the partition can straddle an epoch bump, and the shards
+// would enumerate a graph the partition was not derived from.
+func handleShardedTorn(s *store) uint64 {
+	v := s.Snapshot()
+	set := partitionOf(s.Snapshot()) // want:snapshotonce
+	return v.epoch + uint64(set.n)
+}

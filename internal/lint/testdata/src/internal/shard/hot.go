@@ -1,0 +1,44 @@
+// Package shard is a lint fixture for the internsafety analyzer. Its
+// import path ends in internal/shard, which the scatter-gather PR added
+// to the analyzer's hot-path list: Partition walks the whole adjacency
+// and Owner runs per first-level candidate, so label text must stay
+// interned here too.
+package shard
+
+// ownerByName routes by vertex label text — a per-candidate raw string
+// probe.
+func ownerByName(name, boundary string) bool {
+	return name == boundary // want:internsafety
+}
+
+// haloIndex keys replicated boundary vertices by label text instead of
+// VID.
+type haloIndex struct {
+	byLabel map[string]int // want:internsafety
+	byVID   map[uint32]int
+}
+
+// ownerOfEmpty compares against a constant: a cheap guard, allowed.
+func ownerOfEmpty(name string) bool {
+	return name == ""
+}
+
+// ownerByVID is the intended shape: pure integer arithmetic.
+func ownerByVID(v uint32, bounds []uint32) int {
+	lo, hi := 0, len(bounds)-2
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if bounds[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// ownerSuppressed keeps the escape hatch working in this package.
+func ownerSuppressed(a, b string) bool {
+	//lint:ignore internsafety fixture: one-time diagnostics outside the partition walk
+	return a == b
+}

@@ -43,10 +43,15 @@ import (
 type Stats struct {
 	Queries       int // members compiled into the batch
 	Groups        int // shape groups executed by Run
-	SharedRuns    int // group matches executed (== Groups)
+	SharedRuns    int // engine runs executed (one per merged/single group, one per class of split groups)
 	MergedMatches int // total matches enumerated across merged patterns
 	PlanCacheHits int // group plans resolved from the PlanSource
 	PlansBuilt    int // group plans built by match.Prepare
+	// MergedGroups / SplitGroups split the multi-class groups by the cost
+	// model's verdict: merged ones ran the shared all-distinguished
+	// pattern with replay, split ones ran each class's own plan.
+	MergedGroups int
+	SplitGroups  int
 }
 
 // PlanSource lets the caller cache compiled group plans across batches.
@@ -74,6 +79,10 @@ type Batch struct {
 	Keys   []string
 	Errs   []error
 	groups []*group
+	// forceMerge, when non-nil, overrides the cost model's merge-vs-split
+	// verdict for every multi-class group (test escape: the merged-replay
+	// machinery must stay pinned even on workloads the model would split).
+	forceMerge *bool
 }
 
 // Compile rewrites every query through GenOGP and groups the resulting
@@ -156,6 +165,32 @@ func (b *Batch) Run(g *graph.Graph, opts match.Options, src PlanSource, need []b
 	needed := func(qi int) bool {
 		return errs[qi] == nil && (need == nil || need[qi])
 	}
+	// resolve fetches a plan from the PlanSource or builds it fresh,
+	// maintaining the cache counters.
+	resolve := func(key string, p *core.Pattern, popts match.Options) (*match.Prepared, error) {
+		if src.Get != nil {
+			if pr := src.Get(key); pr != nil {
+				st.PlanCacheHits++
+				return pr, nil
+			}
+		}
+		pr, err := match.Prepare(p, g, popts)
+		if err != nil {
+			return nil, err
+		}
+		st.PlansBuilt++
+		if src.Put != nil {
+			src.Put(key, pr)
+		}
+		return pr, nil
+	}
+	fail := func(qis []int, err error) {
+		for _, qi := range qis {
+			if errs[qi] == nil {
+				errs[qi] = err
+			}
+		}
+	}
 
 	for _, grp := range b.groups {
 		anyNeeded := false
@@ -169,50 +204,21 @@ func (b *Batch) Run(g *graph.Graph, opts match.Options, src PlanSource, need []b
 			continue
 		}
 		st.Groups++
-		st.SharedRuns++
 
-		runOpts := opts
-		merged := len(grp.classes) > 1
-		if merged {
-			// Full mappings are required for exact replay; a partial
-			// merged enumeration would silently under-answer members.
-			runOpts.Limits.MaxResults = 0
-		}
-		var pr *match.Prepared
-		if src.Get != nil {
-			pr = src.Get(grp.key)
-		}
-		if pr == nil {
-			var err error
-			pr, err = match.Prepare(grp.run, g, runOpts)
+		if len(grp.classes) == 1 {
+			// Single class: duplicates of one pattern. The run's answer set
+			// is every member's answer set, no replay needed.
+			st.SharedRuns++
+			pr, err := resolve(grp.key, grp.run, opts)
 			if err != nil {
-				for _, qi := range grp.members {
-					if errs[qi] == nil {
-						errs[qi] = err
-					}
-				}
+				fail(grp.members, err)
 				continue
 			}
-			st.PlansBuilt++
-			if src.Put != nil {
-				src.Put(grp.key, pr)
+			res, mst, err := pr.Run(opts)
+			if err != nil {
+				fail(grp.members, err)
+				continue
 			}
-		} else {
-			st.PlanCacheHits++
-		}
-		res, mst, err := pr.Run(runOpts)
-		if err != nil {
-			for _, qi := range grp.members {
-				if errs[qi] == nil {
-					errs[qi] = err
-				}
-			}
-			continue
-		}
-
-		if !merged {
-			// Single class: every member is the executed pattern; the run's
-			// answer set is each member's answer set, no replay needed.
 			for _, qi := range grp.members {
 				if needed(qi) {
 					out[qi] = res
@@ -221,15 +227,132 @@ func (b *Batch) Run(g *graph.Graph, opts match.Options, src PlanSource, need []b
 			}
 			continue
 		}
-		st.MergedMatches += res.Len()
-		replayGroup(grp, b.Patterns, g, res, out, needed)
-		for _, qi := range grp.members {
-			if needed(qi) {
-				truncated[qi] = mst.Truncated
+
+		// Multi-class group: resolve one plan per class first — they are
+		// both the split path's executables and the cost model's input
+		// (their post-Prepare candidate pools), and under a PlanSource
+		// they are shared with identical singleton queries across batches.
+		classPlans := make([]*match.Prepared, len(grp.classes))
+		var classErr error
+		for ci, class := range grp.classes {
+			qi := grp.members[class[0]]
+			classPlans[ci], classErr = resolve(b.Keys[qi], b.Patterns[qi], opts)
+			if classErr != nil {
+				break
+			}
+		}
+		if classErr != nil {
+			fail(grp.members, classErr)
+			continue
+		}
+		neededClasses := 0
+		for _, class := range grp.classes {
+			for _, mi := range class {
+				if needed(grp.members[mi]) {
+					neededClasses++
+					break
+				}
+			}
+		}
+
+		// Merge only when the cost model says the shared all-distinguished
+		// enumeration is cheaper than the classes' own runs (a single
+		// needed class trivially isn't worth a merged superset run).
+		merge := neededClasses >= 2 && shouldMerge(grp, b.Patterns, classPlans)
+		if b.forceMerge != nil {
+			merge = *b.forceMerge
+		}
+		if merge {
+			st.MergedGroups++
+			st.SharedRuns++
+			// Full mappings are required for exact replay; a partial
+			// merged enumeration would silently under-answer members.
+			runOpts := opts
+			runOpts.Limits.MaxResults = 0
+			pr, err := resolve(grp.key, grp.run, runOpts)
+			if err != nil {
+				fail(grp.members, err)
+				continue
+			}
+			res, mst, err := pr.Run(runOpts)
+			if err != nil {
+				fail(grp.members, err)
+				continue
+			}
+			st.MergedMatches += res.Len()
+			replayGroup(grp, b.Patterns, g, res, out, needed)
+			for _, qi := range grp.members {
+				if needed(qi) {
+					truncated[qi] = mst.Truncated
+				}
+			}
+			continue
+		}
+
+		// Split: run each needed class's own projection-aware plan once
+		// (byte-identical to that member's sequential run — limits and
+		// existential completion apply as usual); classmates share the
+		// class answer set outright.
+		st.SplitGroups++
+		for ci, class := range grp.classes {
+			classNeeded := false
+			for _, mi := range class {
+				if needed(grp.members[mi]) {
+					classNeeded = true
+					break
+				}
+			}
+			if !classNeeded {
+				continue
+			}
+			st.SharedRuns++
+			res, mst, err := classPlans[ci].Run(opts)
+			if err != nil {
+				for _, mi := range class {
+					fail([]int{grp.members[mi]}, err)
+				}
+				continue
+			}
+			for _, mi := range class {
+				qi := grp.members[mi]
+				if needed(qi) {
+					out[qi] = res
+					truncated[qi] = mst.Truncated
+				}
 			}
 		}
 	}
 	return out, truncated, errs, st
+}
+
+// shouldMerge is the merge-vs-split cost model for a multi-class group,
+// fed by the classes' post-Prepare candidate pools. The merged pattern's
+// enumeration frontier is approximated by the per-vertex UNION of class
+// pools (a lower bound: wildcard labels and OR-ed conditions refine more
+// weakly), doubled because the merged run is all-distinguished — no
+// projection, no existential completion — and every merged match is
+// replayed against each class's conditions. The split cost is the SUM of
+// the class pools: each class's own projection-aware run. High-overlap
+// classes (union ≪ sum) merge; near-disjoint ones (union ≈ sum) run
+// separately — replacing the former ≥2-distinct-class structural rule
+// that merged unconditionally.
+func shouldMerge(grp *group, ps []*core.Pattern, classPlans []*match.Prepared) bool {
+	n := len(ps[grp.members[0]].Vertices)
+	separate, mergedFrontier := 0, 0
+	union := map[graph.VID]struct{}{}
+	for repV := 0; repV < n; repV++ {
+		clear(union)
+		for ci, class := range grp.classes {
+			mi := class[0]
+			pool := classPlans[ci].CandidatePool(grp.align[mi][repV])
+			separate += len(pool)
+			for _, dv := range pool {
+				union[dv] = struct{}{}
+			}
+		}
+		mergedFrontier += len(union)
+	}
+	return 2*mergedFrontier <= separate
 }
 
 // Answer evaluates a batch of conjunctive queries under the ontology,

@@ -41,22 +41,40 @@ func TestGroupingOfSimilarQueries(t *testing.T) {
 		cq.MustParse(`q(x1, x2, x3) :- Professor(x1), teaches(x1, x2), Student(x2), publishes(x2, x3), Article(x3)`),
 		cq.MustParse(`q(x1, x2, x3) :- Teacher(x1), teaches(x1, x2), Student(x2), takes(x2, x3), Course(x3)`),
 	}
-	res, st, err := Answer(queries, tb, g, match.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Groups != 1 || st.SharedRuns != 1 {
-		t.Fatalf("stats = %+v, want one shared group", st)
-	}
-	q5 := res[0].Names(g)
-	q6 := res[1].Names(g)
-	if len(q5) != 1 || q5[0] != "y2,y3,y5" {
-		t.Fatalf("Q5 answers = %v", q5)
-	}
-	if len(q6) != 2 || q6[0] != "y1,y3,y6" || q6[1] != "y1,y4,y6" {
-		t.Fatalf("Q6 answers = %v", q6)
+	// Both merge-vs-split verdicts must produce identical answers; on this
+	// tiny graph the cost model splits (the classes' candidate pools are
+	// near-disjoint), and forcing the merged path pins the replay
+	// machinery.
+	for _, force := range []*bool{nil, boolPtr(true)} {
+		b := Compile(queries, tb)
+		b.forceMerge = force
+		out, _, errs, st := b.Run(g, match.Options{}, PlanSource{}, nil)
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("force=%v member %d: %v", force, i, err)
+			}
+		}
+		if st.Groups != 1 {
+			t.Fatalf("stats = %+v, want one shape group", st)
+		}
+		if force == nil && (st.SplitGroups != 1 || st.MergedGroups != 0) {
+			t.Fatalf("stats = %+v, want the cost model to split this group", st)
+		}
+		if force != nil && (st.MergedGroups != 1 || st.SplitGroups != 0) {
+			t.Fatalf("stats = %+v, want a forced merged group", st)
+		}
+		q5 := out[0].Names(g)
+		q6 := out[1].Names(g)
+		if len(q5) != 1 || q5[0] != "y2,y3,y5" {
+			t.Fatalf("force=%v Q5 answers = %v", force, q5)
+		}
+		if len(q6) != 2 || q6[0] != "y1,y3,y6" || q6[1] != "y1,y4,y6" {
+			t.Fatalf("force=%v Q6 answers = %v", force, q6)
+		}
 	}
 }
+
+func boolPtr(b bool) *bool { return &b }
 
 // TestBatchMatchesIndividual: batched answers equal per-query answers on
 // random workloads (the MQO invariant).
@@ -175,12 +193,20 @@ func TestOmissionConditionMixing(t *testing.T) {
 		cq.MustParse(`q(x) :- takesCourse(x, z)`),
 		cq.MustParse(`q(x) :- teaches(x, z)`),
 	}
-	res, st, err := Answer(queries, tb, g, match.Options{})
-	if err != nil {
-		t.Fatal(err)
+	// Force the merged path: this test pins the replay's ⊥ handling, which
+	// only exists on merged runs (the cost model would split this tiny
+	// group and bypass replay entirely).
+	bt := Compile(queries, tb)
+	force := true
+	bt.forceMerge = &force
+	res, _, errs, st := bt.Run(g, match.Options{}, PlanSource{}, nil)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
 	}
-	if st.Groups != 1 || st.SharedRuns != 1 {
-		t.Fatalf("stats = %+v, want one shared group", st)
+	if st.Groups != 1 || st.MergedGroups != 1 {
+		t.Fatalf("stats = %+v, want one merged group", st)
 	}
 	for i, q := range queries {
 		rw, err := rewrite.Generate(q, tb)
@@ -263,6 +289,139 @@ func TestGatedExistentialRootGrouping(t *testing.T) {
 	for i := range queries {
 		if w, got := fmt.Sprint(want.Names(g)), fmt.Sprint(res[i].Names(g)); w != got {
 			t.Fatalf("member %d: individual %s vs batch %s", i, w, got)
+		}
+	}
+}
+
+// TestCostModelMergesOverlappingClasses: when every class's candidate
+// pools coincide, the union is half the sum and the cost model chooses
+// the shared merged run — with answers identical to the split verdict.
+func TestCostModelMergesOverlappingClasses(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	for i := 0; i < 10; i++ {
+		src, dst := fmt.Sprintf("v%d", i), fmt.Sprintf("w%d", i)
+		b.AddLabel(src, "A")
+		b.AddLabel(src, "B")
+		b.AddEdge(src, "p", dst)
+	}
+	g := b.Freeze()
+	tb := dllite.NewTBox(nil, nil)
+	queries := []*cq.Query{
+		cq.MustParse(`q(x) :- A(x), p(x, y)`),
+		cq.MustParse(`q(x) :- B(x), p(x, y)`),
+	}
+	bt := Compile(queries, tb)
+	out, _, errs, st := bt.Run(g, match.Options{}, PlanSource{}, nil)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+	if st.Groups != 1 || st.MergedGroups != 1 || st.SplitGroups != 0 {
+		t.Fatalf("stats = %+v, want the cost model to merge fully-overlapping classes", st)
+	}
+	for i, q := range queries {
+		rw, err := rewrite.Generate(q, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := match.Match(rw.Pattern, g, match.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, got := fmt.Sprint(want.Names(g)), fmt.Sprint(out[i].Names(g)); w != got {
+			t.Fatalf("member %d: individual %s vs merged batch %s", i, w, got)
+		}
+	}
+
+	// With only one class needed, the superset run is never worth it: the
+	// model short-circuits to split and runs just that class.
+	bt2 := Compile(queries, tb)
+	out2, _, errs2, st2 := bt2.Run(g, match.Options{}, PlanSource{}, []bool{true, false})
+	if errs2[0] != nil {
+		t.Fatal(errs2[0])
+	}
+	if st2.MergedGroups != 0 || st2.SplitGroups != 1 || st2.SharedRuns != 1 {
+		t.Fatalf("stats = %+v, want a single-class split run under the need mask", st2)
+	}
+	if out2[1] != nil {
+		t.Fatalf("unneeded member got an answer set")
+	}
+	if w, got := fmt.Sprint(out[0].Names(g)), fmt.Sprint(out2[0].Names(g)); w != got {
+		t.Fatalf("need-masked run: %s vs %s", w, got)
+	}
+}
+
+// TestCostModelSplitsDisjointClasses: classes touching disjoint regions
+// of the graph gain nothing from a merged superset enumeration — the
+// union equals the sum and the model runs each class's own plan.
+func TestCostModelSplitsDisjointClasses(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	for i := 0; i < 10; i++ {
+		b.AddEdge(fmt.Sprintf("p%d", i), "p", fmt.Sprintf("pw%d", i))
+		b.AddEdge(fmt.Sprintf("r%d", i), "r", fmt.Sprintf("rw%d", i))
+	}
+	g := b.Freeze()
+	tb := dllite.NewTBox(nil, nil)
+	queries := []*cq.Query{
+		cq.MustParse(`q(x) :- p(x, y)`),
+		cq.MustParse(`q(x) :- r(x, y)`),
+	}
+	bt := Compile(queries, tb)
+	out, _, errs, st := bt.Run(g, match.Options{}, PlanSource{}, nil)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+	if st.Groups != 1 || st.SplitGroups != 1 || st.MergedGroups != 0 {
+		t.Fatalf("stats = %+v, want the cost model to split disjoint classes", st)
+	}
+	if st.SharedRuns != 2 || st.MergedMatches != 0 {
+		t.Fatalf("stats = %+v, want one run per class and no merged enumeration", st)
+	}
+	for i, q := range queries {
+		rw, err := rewrite.Generate(q, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := match.Match(rw.Pattern, g, match.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, got := fmt.Sprint(want.Names(g)), fmt.Sprint(out[i].Names(g)); w != got {
+			t.Fatalf("member %d: individual %s vs split batch %s", i, w, got)
+		}
+	}
+}
+
+// TestCostModelVerdictsAgree: on random workloads, forcing merge and
+// forcing split must yield byte-identical per-member answers (the cost
+// model only ever picks between two equivalent strategies).
+func TestCostModelVerdictsAgree(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb, abox, q1 := testkb.RandomKB(rng)
+		g := abox.Graph(nil)
+		q2 := cq.MustParse(q1.String())
+		queries := []*cq.Query{q1, q2}
+
+		var rows [2][]string
+		for vi, force := range []bool{true, false} {
+			b := Compile(queries, tb)
+			b.forceMerge = &force
+			out, _, errs, _ := b.Run(g, match.Options{}, PlanSource{}, nil)
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("seed %d force=%v member %d: %v", seed, force, i, err)
+				}
+			}
+			for i := range out {
+				rows[vi] = append(rows[vi], fmt.Sprint(out[i].Names(g)))
+			}
+		}
+		if fmt.Sprint(rows[0]) != fmt.Sprint(rows[1]) {
+			t.Fatalf("seed %d: merged %v vs split %v", seed, rows[0], rows[1])
 		}
 	}
 }

@@ -107,11 +107,13 @@ func TestBatchedEndpointEquivalence(t *testing.T) {
 // show up in sharedBuilds.
 func TestBatcherMemoAndSharing(t *testing.T) {
 	h := batchedHandler(t, testKB(t))
-	// Wave 1: two shapemates (same pattern shape, different predicates)
-	// fired together — one plan build, one shared member.
+	// Wave 1: two shapemates (same canonical pattern, renamed variables)
+	// fired together — one engine run answers both. (Cross-predicate
+	// variants of one shape are merge-or-split per the MQO cost model
+	// now, so variable renaming is the deterministic sharing workload.)
 	shapemates := []string{
 		`q(x) :- takesCourse(x, y)`,
-		`q(x) :- advisorOf(x, y)`,
+		`q(z) :- takesCourse(z, w)`,
 	}
 	var wg sync.WaitGroup
 	for _, q := range shapemates {

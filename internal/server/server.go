@@ -111,9 +111,10 @@ type StatsResponse struct {
 	CheckpointError     string `json:"checkpointError,omitempty"`
 	// Batching-tier fields: zero unless the server runs with a batch
 	// window (`ogpaserver -batch-window`). SharedBuilds counts member
-	// queries answered without a dedicated plan build (shape sharing or
-	// a plan-cache hit); MemoHits counts members answered straight from
-	// the epoch-keyed answer memo without touching the engine.
+	// queries answered by riding a shapemate's engine run (a merged group
+	// enumerates once for all members); MemoHits counts members answered
+	// straight from the epoch-keyed answer memo without touching the
+	// engine.
 	Batching       bool   `json:"batching,omitempty"`
 	Batches        uint64 `json:"batches,omitempty"`
 	BatchedQueries uint64 `json:"batchedQueries,omitempty"`
@@ -121,6 +122,22 @@ type StatsResponse struct {
 	SharedBuilds   uint64 `json:"sharedBuilds,omitempty"`
 	MemoHits       uint64 `json:"memoHits,omitempty"`
 	MemoSize       int    `json:"memoSize,omitempty"`
+	// Sharding fields: empty unless the server runs with scatter-gather
+	// execution (`ogpaserver -shards`). Every topology row comes from one
+	// pinned KB view, so the per-shard epochs are always equal within one
+	// response — never a torn mix across a concurrent mutation.
+	Shards     int             `json:"shards,omitempty"`
+	ShardStats []ShardStatsRow `json:"shardStats,omitempty"`
+}
+
+// ShardStatsRow is one shard's row in GET /stats: the current epoch's
+// partition topology plus the handler's cumulative execution counters
+// (first-level candidates routed to the shard and pre-dedup answers it
+// enumerated, summed over every non-batched query served).
+type ShardStatsRow struct {
+	ogpa.ShardInfo
+	Items   int64 `json:"items"`
+	Answers int64 `json:"answers"`
 }
 
 // CheckpointResponse is the body of a successful POST /checkpoint.
@@ -146,6 +163,10 @@ type metrics struct {
 	errors   uint64
 	inserts  uint64
 	deletes  uint64
+	// Cumulative per-shard execution counters, indexed by shard; sized on
+	// first use from the run's stats (the shard count is fixed per KB).
+	shardItems   []int64
+	shardAnswers []int64
 }
 
 func (m *metrics) recordQuery() {
@@ -174,6 +195,28 @@ func (m *metrics) recordMutation(del bool) {
 		m.inserts++
 	}
 	m.mu.Unlock()
+}
+
+func (m *metrics) recordShards(runs []ogpa.ShardRunStats) {
+	if len(runs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, sr := range runs {
+		for sr.Shard >= len(m.shardItems) {
+			m.shardItems = append(m.shardItems, 0)
+			m.shardAnswers = append(m.shardAnswers, 0)
+		}
+		m.shardItems[sr.Shard] += int64(sr.Items)
+		m.shardAnswers[sr.Shard] += int64(sr.Answers)
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshotShards() (items, answers []int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]int64(nil), m.shardItems...), append([]int64(nil), m.shardAnswers...)
 }
 
 func (m *metrics) snapshot() (queries, rewrites, errors, inserts, deletes uint64) {
@@ -207,6 +250,12 @@ type Config struct {
 	// BatchMax caps how many queries one batch gathers; a full batch
 	// fires before its window elapses. 0 means the default (32).
 	BatchMax int
+
+	// Shards routes every enumeration through the engine's scatter-gather
+	// path over this many VID-range shards (ogpa.KB.EnableSharding).
+	// Answers are byte-identical to monolithic execution; GET /stats
+	// grows per-shard topology and counter rows. 0 disables sharding.
+	Shards int
 }
 
 // defaultPlanCacheSize is the plan-cache capacity when Config leaves
@@ -285,6 +334,14 @@ func (h *handler) Close() error {
 // snapshot's vertices.
 func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 	kb.Graph().Symbols.Freeze()
+	if cfg.Shards > 0 {
+		// A conflicting shard count is a construction-time misconfiguration
+		// (the KB was already sharded differently); serving anyway would
+		// silently report counters against the wrong partition.
+		if err := kb.EnableSharding(cfg.Shards); err != nil {
+			panic(fmt.Sprintf("server: %v", err))
+		}
+	}
 	m := &metrics{}
 	cache := newPlanCache(cfg.planCacheSize())
 	fingerprint := kb.Fingerprint() // constant per handler; part of every cache key
@@ -399,6 +456,7 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		m.recordShards(st.Shards)
 		writeJSON(w, QueryResponse{
 			Vars:      ans.Vars,
 			Rows:      ans.Rows,
@@ -507,6 +565,18 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 			resp.SharedBuilds = bs.SharedBuilds
 			resp.MemoHits = bs.MemoHits
 			resp.MemoSize = bs.MemoSize
+		}
+		if infos := kb.ShardStats(); len(infos) > 0 {
+			items, answers := m.snapshotShards()
+			resp.Shards = len(infos)
+			resp.ShardStats = make([]ShardStatsRow, len(infos))
+			for i, info := range infos {
+				row := ShardStatsRow{ShardInfo: info}
+				if i < len(items) {
+					row.Items, row.Answers = items[i], answers[i]
+				}
+				resp.ShardStats[i] = row
+			}
 		}
 		writeJSON(w, resp)
 	})

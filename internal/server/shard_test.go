@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ogpa"
+)
+
+// shardedHandler builds a live KB served with scatter-gather execution.
+func shardedHandler(t *testing.T, shards int) (*ogpa.KB, http.Handler) {
+	t.Helper()
+	kb := testKB(t)
+	if err := kb.EnableLiveData(-1); err != nil {
+		t.Fatal(err)
+	}
+	h := HandlerWithConfig(kb, Config{Shards: shards})
+	t.Cleanup(func() {
+		if c, ok := h.(io.Closer); ok {
+			//lint:ignore droppederr handler Close never fails
+			_ = c.Close()
+		}
+	})
+	return kb, h
+}
+
+// TestShardedStatsSurface: a sharded handler serves identical answers
+// and reports per-shard topology plus cumulative execution counters in
+// GET /stats.
+func TestShardedStatsSurface(t *testing.T) {
+	_, h := shardedHandler(t, 4)
+	query := `{"query":"q(x) :- Student(x), takesCourse(x, y)"}`
+	plain := Handler(testKB(t))
+	want := do(t, plain, "POST", "/query", query)
+	got := do(t, h, "POST", "/query", query)
+	if got.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", got.Code, got.Body)
+	}
+	var wantResp, gotResp QueryResponse
+	if err := json.Unmarshal(want.Body.Bytes(), &wantResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(got.Body.Bytes(), &gotResp); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(gotResp.Rows) != fmt.Sprint(wantResp.Rows) {
+		t.Fatalf("sharded rows %v, monolithic rows %v", gotResp.Rows, wantResp.Rows)
+	}
+
+	st := statsOf(t, h)
+	if st.Shards != 4 || len(st.ShardStats) != 4 {
+		t.Fatalf("stats sharding = %d shards, %d rows", st.Shards, len(st.ShardStats))
+	}
+	vertices, items := 0, int64(0)
+	for i, row := range st.ShardStats {
+		if row.Shard != i {
+			t.Fatalf("row %d reports shard %d", i, row.Shard)
+		}
+		vertices += row.Vertices
+		items += row.Items
+	}
+	if vertices == 0 || items == 0 {
+		t.Fatalf("counters not accumulating: %+v", st.ShardStats)
+	}
+}
+
+// TestShardedStatsEpochConsistency is satellite work for the /stats
+// surface: after live writes, every per-shard row must carry the SAME
+// epoch (the whole topology comes from one pinned view) and that epoch
+// must be the store's current one — no torn multi-shard reads.
+func TestShardedStatsEpochConsistency(t *testing.T) {
+	kb, h := shardedHandler(t, 4)
+	for i := 0; i < 3; i++ {
+		nt := fmt.Sprintf("S%d a Student .\nS%d takesCourse DB101 .", i, i)
+		rec := do(t, h, "POST", "/insert", nt)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("insert %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+		st := statsOf(t, h)
+		if len(st.ShardStats) != 4 {
+			t.Fatalf("after insert %d: %d shard rows", i, len(st.ShardStats))
+		}
+		for _, row := range st.ShardStats {
+			if row.Epoch != st.ShardStats[0].Epoch {
+				t.Fatalf("after insert %d: torn shard epochs %+v", i, st.ShardStats)
+			}
+		}
+		if st.ShardStats[0].Epoch != kb.Epoch() {
+			t.Fatalf("after insert %d: shard epoch %d, store epoch %d",
+				i, st.ShardStats[0].Epoch, kb.Epoch())
+		}
+	}
+	// The partition must have grown with the writes: the rows cover the
+	// post-insert vertex count, not the boot-time one.
+	st := statsOf(t, h)
+	total := 0
+	for _, row := range st.ShardStats {
+		total += row.Vertices
+	}
+	if total != kb.Graph().NumVertices() {
+		t.Fatalf("topology covers %d vertices, graph has %d", total, kb.Graph().NumVertices())
+	}
+}
+
+// TestShardedConfigConflict: constructing a handler whose shard count
+// conflicts with the KB's existing sharding must fail loudly, not serve
+// counters against the wrong partition.
+func TestShardedConfigConflict(t *testing.T) {
+	kb := testKB(t)
+	if err := kb.EnableSharding(2); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting shard count did not panic")
+		}
+	}()
+	HandlerWithConfig(kb, Config{Shards: 8})
+}
+
+// TestUnshardedStatsOmitSharding: without -shards the response carries
+// no sharding fields at all.
+func TestUnshardedStatsOmitSharding(t *testing.T) {
+	h := Handler(testKB(t))
+	rec := do(t, h, "GET", "/stats", "")
+	if strings.Contains(rec.Body.String(), "shardStats") {
+		t.Fatalf("unsharded /stats leaks shard rows: %s", rec.Body)
+	}
+	st := statsOf(t, h)
+	if st.Shards != 0 || st.ShardStats != nil {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,256 @@
+// Package shard partitions the frozen data graph into N contiguous
+// VID-range sub-graphs for scatter-gather plan execution. A Set is
+// derived from one epoch's graph: shard i owns the half-open VID range
+// [bounds[i], bounds[i+1]), and the build pass walks the adjacency once
+// to index the cross-shard structure — per-shard internal/cross edge
+// counts, the frontier (owned vertices with at least one edge crossing a
+// shard boundary, in either direction) and the halo (distinct foreign
+// vertices adjacent to owned ones).
+//
+// In the intra-process tier the shards share the whole immutable graph,
+// so a shard goroutine traverses cross-boundary edges directly and the
+// frontier/halo index serves partition diagnostics, the /stats surface
+// and the invariant checks that gate a future multi-process lift (where
+// halo vertices become the replicated boundary set). A Set retains no
+// reference to the graph it was built from: ownership is pure VID
+// arithmetic, so a Set built at epoch E stays valid for any graph with
+// the same vertex content (delta compaction folds the overlay without
+// bumping the epoch or changing content).
+//
+// Set implements the engine's Sharder seam (Shards/Owner), which is how
+// the scatter-gather path buckets the first decision level's candidate
+// pool into goroutine-owned segments.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"ogpa/internal/graph"
+)
+
+// Info describes one shard of a Set.
+type Info struct {
+	Shard    int
+	Lo, Hi   graph.VID // owned VID range [Lo, Hi)
+	Vertices int
+	// InternalEdges counts edges with both endpoints owned by this shard;
+	// CrossEdges counts edges from an owned source to a foreign target.
+	// Every edge is counted exactly once, at its source's owner, so the
+	// two sum to the graph's edge count across the Set.
+	InternalEdges int
+	CrossEdges    int
+	// Frontier is the number of owned vertices incident (in either
+	// direction) to at least one cross-shard edge; Halo the number of
+	// distinct foreign vertices adjacent to owned ones.
+	Frontier int
+	Halo     int
+}
+
+// Set is one partition of a graph's VID space into n contiguous ranges,
+// plus the cross-shard edge index built from one epoch's adjacency.
+type Set struct {
+	n      int
+	numV   int
+	bounds []graph.VID // len n+1 ascending; shard i owns [bounds[i], bounds[i+1])
+	infos  []Info
+	// frontier[i] and halo[i] are sorted VID lists (owned boundary
+	// vertices and their distinct foreign neighbors respectively).
+	frontier [][]graph.VID
+	halo     [][]graph.VID
+}
+
+// Partition splits g into n contiguous VID ranges of near-equal vertex
+// count and indexes the cross-shard structure. n < 1 is clamped to 1;
+// n larger than the vertex count yields trailing empty shards.
+func Partition(g *graph.Graph, n int) *Set {
+	if n < 1 {
+		n = 1
+	}
+	numV := g.NumVertices()
+	s := &Set{n: n, numV: numV, bounds: make([]graph.VID, n+1)}
+	for i := 0; i <= n; i++ {
+		s.bounds[i] = graph.VID(i * numV / n)
+	}
+	s.infos = make([]Info, n)
+	s.frontier = make([][]graph.VID, n)
+	s.halo = make([][]graph.VID, n)
+	for i := 0; i < n; i++ {
+		info := &s.infos[i]
+		info.Shard = i
+		info.Lo, info.Hi = s.bounds[i], s.bounds[i+1]
+		info.Vertices = int(info.Hi - info.Lo)
+		var haloSeen map[graph.VID]bool
+		for v := info.Lo; v < info.Hi; v++ {
+			crossing := false
+			for _, h := range g.Out(v) {
+				if s.Owner(h.To) == i {
+					info.InternalEdges++
+					continue
+				}
+				info.CrossEdges++
+				crossing = true
+				if haloSeen == nil {
+					haloSeen = make(map[graph.VID]bool)
+				}
+				if !haloSeen[h.To] {
+					haloSeen[h.To] = true
+					s.halo[i] = append(s.halo[i], h.To)
+				}
+			}
+			for _, h := range g.In(v) {
+				if s.Owner(h.To) == i {
+					continue
+				}
+				crossing = true
+				if haloSeen == nil {
+					haloSeen = make(map[graph.VID]bool)
+				}
+				if !haloSeen[h.To] {
+					haloSeen[h.To] = true
+					s.halo[i] = append(s.halo[i], h.To)
+				}
+			}
+			if crossing {
+				s.frontier[i] = append(s.frontier[i], v)
+			}
+		}
+		sortVIDs(s.halo[i])
+		info.Frontier = len(s.frontier[i])
+		info.Halo = len(s.halo[i])
+	}
+	return s
+}
+
+// Shards reports the number of shards (engine.Sharder).
+func (s *Set) Shards() int { return s.n }
+
+// Owner reports which shard owns VID v (engine.Sharder). VIDs beyond the
+// partitioned vertex count (inserted after the Set was built against an
+// older view — never reachable from a query pinned to the Set's epoch)
+// fall to the last shard.
+func (s *Set) Owner(v graph.VID) int {
+	lo, hi := 0, s.n-1
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if s.bounds[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// NumVertices reports the vertex count the Set partitioned.
+func (s *Set) NumVertices() int { return s.numV }
+
+// Info returns shard i's descriptor.
+func (s *Set) Info(i int) Info { return s.infos[i] }
+
+// Infos returns all shard descriptors, in shard order. The slice is
+// shared — callers must not mutate it.
+func (s *Set) Infos() []Info { return s.infos }
+
+// Frontier returns shard i's sorted owned boundary vertices (incident to
+// at least one cross-shard edge). Shared slice — read only.
+func (s *Set) Frontier(i int) []graph.VID { return s.frontier[i] }
+
+// Halo returns shard i's sorted distinct foreign neighbors. Shared
+// slice — read only.
+func (s *Set) Halo(i int) []graph.VID { return s.halo[i] }
+
+// CrossEdges reports the total number of shard-crossing edges.
+func (s *Set) CrossEdges() int {
+	total := 0
+	for i := range s.infos {
+		total += s.infos[i].CrossEdges
+	}
+	return total
+}
+
+// Verify checks the Set's invariants against g: the ranges cover g's VID
+// space disjointly, every edge is counted exactly once (internal + cross
+// sums to the edge count), Owner agrees with the bounds, and the
+// frontier/halo lists are sorted, deduplicated and correctly classified.
+// It is the test-suite oracle; Partition never produces a failing Set.
+func (s *Set) Verify(g *graph.Graph) error {
+	if s.bounds[0] != 0 || int(s.bounds[s.n]) != g.NumVertices() {
+		return fmt.Errorf("shard: bounds [%d, %d) do not cover %d vertices", s.bounds[0], s.bounds[s.n], g.NumVertices())
+	}
+	vertices, internal, cross := 0, 0, 0
+	for i := 0; i < s.n; i++ {
+		info := s.infos[i]
+		if s.bounds[i] > s.bounds[i+1] {
+			return fmt.Errorf("shard %d: descending bounds [%d, %d)", i, s.bounds[i], s.bounds[i+1])
+		}
+		if info.Lo != s.bounds[i] || info.Hi != s.bounds[i+1] {
+			return fmt.Errorf("shard %d: info range [%d, %d) disagrees with bounds [%d, %d)", i, info.Lo, info.Hi, s.bounds[i], s.bounds[i+1])
+		}
+		for v := info.Lo; v < info.Hi; v++ {
+			if own := s.Owner(v); own != i {
+				return fmt.Errorf("shard %d: Owner(%d) = %d", i, v, own)
+			}
+		}
+		if err := s.verifyBoundary(g, i); err != nil {
+			return err
+		}
+		vertices += info.Vertices
+		internal += info.InternalEdges
+		cross += info.CrossEdges
+	}
+	if vertices != g.NumVertices() {
+		return fmt.Errorf("shard: %d vertices across shards, graph has %d", vertices, g.NumVertices())
+	}
+	if internal+cross != g.NumEdges() {
+		return fmt.Errorf("shard: %d internal + %d cross edges, graph has %d", internal, cross, g.NumEdges())
+	}
+	return nil
+}
+
+// verifyBoundary recomputes shard i's frontier/halo membership from the
+// adjacency and compares with the indexed lists.
+func (s *Set) verifyBoundary(g *graph.Graph, i int) error {
+	wantFrontier := map[graph.VID]bool{}
+	wantHalo := map[graph.VID]bool{}
+	for v := s.bounds[i]; v < s.bounds[i+1]; v++ {
+		for _, h := range g.Out(v) {
+			if s.Owner(h.To) != i {
+				wantFrontier[v] = true
+				wantHalo[h.To] = true
+			}
+		}
+		for _, h := range g.In(v) {
+			if s.Owner(h.To) != i {
+				wantFrontier[v] = true
+				wantHalo[h.To] = true
+			}
+		}
+	}
+	if err := matchSortedSet(s.frontier[i], wantFrontier); err != nil {
+		return fmt.Errorf("shard %d frontier: %w", i, err)
+	}
+	if err := matchSortedSet(s.halo[i], wantHalo); err != nil {
+		return fmt.Errorf("shard %d halo: %w", i, err)
+	}
+	return nil
+}
+
+func matchSortedSet(got []graph.VID, want map[graph.VID]bool) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d indexed, %d recomputed", len(got), len(want))
+	}
+	for k, v := range got {
+		if k > 0 && got[k-1] >= v {
+			return fmt.Errorf("not sorted/deduped at index %d", k)
+		}
+		if !want[v] {
+			return fmt.Errorf("VID %d indexed but not recomputed", v)
+		}
+	}
+	return nil
+}
+
+func sortVIDs(vs []graph.VID) {
+	sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+}

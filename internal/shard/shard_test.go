@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ogpa/internal/graph"
+	"ogpa/internal/symbols"
+)
+
+// buildGraph freezes a graph with numV vertices and the given edges, all
+// carrying one edge label.
+func buildGraph(numV int, edges [][2]int) *graph.Graph {
+	b := graph.NewBuilder(symbols.NewTable())
+	for i := 0; i < numV; i++ {
+		b.Vertex(fmt.Sprintf("v%d", i))
+	}
+	for _, e := range edges {
+		b.AddEdge(fmt.Sprintf("v%d", e[0]), "p", fmt.Sprintf("v%d", e[1]))
+	}
+	return b.Freeze()
+}
+
+// randomGraph builds a graph with numV vertices and roughly numE random
+// edges (duplicates collapse inside the builder).
+func randomGraph(rng *rand.Rand, numV, numE int) *graph.Graph {
+	edges := make([][2]int, 0, numE)
+	for i := 0; i < numE; i++ {
+		edges = append(edges, [2]int{rng.Intn(numV), rng.Intn(numV)})
+	}
+	return buildGraph(numV, edges)
+}
+
+// TestPartitionVerifyRandom runs the Verify oracle over random graphs at
+// a spread of shard counts, including counts above the vertex count.
+func TestPartitionVerifyRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		numV := 1 + rng.Intn(60)
+		g := randomGraph(rng, numV, rng.Intn(4*numV))
+		for _, n := range []int{1, 2, 3, 4, 7, 8, numV, numV + 3} {
+			s := Partition(g, n)
+			if s.Shards() != n {
+				t.Fatalf("seed %d n %d: Shards() = %d", seed, n, s.Shards())
+			}
+			if s.NumVertices() != numV {
+				t.Fatalf("seed %d n %d: NumVertices() = %d, want %d", seed, n, s.NumVertices(), numV)
+			}
+			if err := s.Verify(g); err != nil {
+				t.Fatalf("seed %d n %d: %v", seed, n, err)
+			}
+		}
+	}
+}
+
+// TestOwnerBounds pins Owner against a brute-force range scan, including
+// the clamp-to-last-shard behavior for VIDs beyond the partitioned count
+// (post-Set live inserts, unreachable from a pinned query but routed
+// defensively).
+func TestOwnerBounds(t *testing.T) {
+	g := buildGraph(10, nil)
+	for _, n := range []int{1, 2, 3, 4, 10} {
+		s := Partition(g, n)
+		for v := graph.VID(0); v < 10; v++ {
+			want := -1
+			for i := 0; i < n; i++ {
+				if s.Info(i).Lo <= v && v < s.Info(i).Hi {
+					want = i
+					break
+				}
+			}
+			if got := s.Owner(v); got != want {
+				t.Fatalf("n %d: Owner(%d) = %d, want %d", n, v, got, want)
+			}
+		}
+		if got := s.Owner(graph.VID(999)); got != n-1 {
+			t.Fatalf("n %d: Owner beyond range = %d, want last shard %d", n, got, n-1)
+		}
+	}
+}
+
+// TestClampAndEmptyShards: n < 1 clamps to one shard; n above the vertex
+// count leaves trailing empty shards that still verify and own nothing.
+func TestClampAndEmptyShards(t *testing.T) {
+	g := buildGraph(3, [][2]int{{0, 1}, {1, 2}})
+	if s := Partition(g, 0); s.Shards() != 1 {
+		t.Fatalf("n=0 not clamped: %d shards", s.Shards())
+	}
+	s := Partition(g, 8)
+	if err := s.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	empty := 0
+	for i := 0; i < s.Shards(); i++ {
+		info := s.Info(i)
+		if info.Vertices == 0 {
+			empty++
+			if info.InternalEdges != 0 || info.CrossEdges != 0 || info.Frontier != 0 || info.Halo != 0 {
+				t.Fatalf("empty shard %d has structure: %+v", i, info)
+			}
+		}
+	}
+	if empty < 5 {
+		t.Fatalf("want at least 5 empty shards of 8 over 3 vertices, got %d", empty)
+	}
+}
+
+// TestAllEdgesCross builds a bipartite graph whose every edge crosses the
+// 2-shard boundary: internal edge counts must be zero, the cross count
+// must equal the edge count, and every endpoint is frontier on its side
+// and halo on the other.
+func TestAllEdgesCross(t *testing.T) {
+	const half = 4
+	var edges [][2]int
+	for i := 0; i < half; i++ {
+		for j := 0; j < half; j++ {
+			edges = append(edges, [2]int{i, half + j})
+		}
+	}
+	g := buildGraph(2*half, edges)
+	s := Partition(g, 2)
+	if err := s.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		info := s.Info(i)
+		if info.InternalEdges != 0 {
+			t.Fatalf("shard %d: %d internal edges, want 0", i, info.InternalEdges)
+		}
+		if info.Frontier != half || info.Halo != half {
+			t.Fatalf("shard %d: frontier %d halo %d, want %d/%d", i, info.Frontier, info.Halo, half, half)
+		}
+	}
+	if s.CrossEdges() != g.NumEdges() {
+		t.Fatalf("cross edges = %d, want all %d", s.CrossEdges(), g.NumEdges())
+	}
+	// Only the source's owner counts a cross edge.
+	if s.Info(0).CrossEdges != g.NumEdges() || s.Info(1).CrossEdges != 0 {
+		t.Fatalf("cross edges miscounted: %d + %d", s.Info(0).CrossEdges, s.Info(1).CrossEdges)
+	}
+}
+
+// TestSingletonShards: one shard per vertex on a path graph makes every
+// edge cross; frontier and halo reduce to path adjacency.
+func TestSingletonShards(t *testing.T) {
+	const numV = 6
+	var edges [][2]int
+	for i := 0; i < numV-1; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	g := buildGraph(numV, edges)
+	s := Partition(g, numV)
+	if err := s.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.CrossEdges() != numV-1 {
+		t.Fatalf("cross edges = %d, want %d", s.CrossEdges(), numV-1)
+	}
+	for i := 0; i < numV; i++ {
+		info := s.Info(i)
+		if info.Vertices != 1 || info.InternalEdges != 0 {
+			t.Fatalf("shard %d: %+v", i, info)
+		}
+		wantHalo := 2
+		if i == 0 || i == numV-1 {
+			wantHalo = 1
+		}
+		if info.Halo != wantHalo || info.Frontier != 1 {
+			t.Fatalf("shard %d: frontier %d halo %d, want 1/%d", i, info.Frontier, info.Halo, wantHalo)
+		}
+	}
+}
+
+// TestInternalEdgesStayInternal: a graph of two disjoint cliques split at
+// the clique boundary has no cross edges at all.
+func TestInternalEdgesStayInternal(t *testing.T) {
+	const half = 4
+	var edges [][2]int
+	for _, base := range []int{0, half} {
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				if i != j {
+					edges = append(edges, [2]int{base + i, base + j})
+				}
+			}
+		}
+	}
+	g := buildGraph(2*half, edges)
+	s := Partition(g, 2)
+	if err := s.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.CrossEdges() != 0 {
+		t.Fatalf("cross edges = %d, want 0", s.CrossEdges())
+	}
+	for i := 0; i < 2; i++ {
+		if info := s.Info(i); info.Frontier != 0 || info.Halo != 0 {
+			t.Fatalf("shard %d boundary not empty: %+v", i, info)
+		}
+	}
+}

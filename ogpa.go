@@ -40,6 +40,7 @@ import (
 	"ogpa/internal/rdf"
 	"ogpa/internal/rewrite"
 	"ogpa/internal/saturate"
+	"ogpa/internal/shard"
 	"ogpa/internal/sparql"
 )
 
@@ -73,6 +74,104 @@ type KB struct {
 
 	store *delta.Store // nil while read-only
 	live  aboxMemo     // per-epoch ABox view of the live graph
+	shcfg shardMemo    // sharded execution config + per-epoch shard set
+}
+
+// shardMemo holds the sharding configuration and caches the shard set of
+// the current epoch's graph, rebuilding it only when the epoch moves —
+// the same per-epoch pattern as aboxMemo. It is its own struct so KB
+// itself holds no mutex.
+type shardMemo struct {
+	mu    sync.Mutex
+	n     int // 0 = sharding disabled
+	epoch uint64
+	set   *shard.Set
+}
+
+// forGraph returns the shard set for (epoch, g), rebuilding under mu
+// when the epoch moved. Compaction folds the overlay without changing
+// vertex content or epoch, so a memoized set stays valid across it (the
+// set holds no reference to the graph it was built from). Returns nil
+// when sharding is disabled.
+func (m *shardMemo) forGraph(epoch uint64, g *graph.Graph) *shard.Set {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.n == 0 {
+		return nil
+	}
+	if m.set == nil || m.epoch != epoch {
+		m.set = shard.Partition(g, m.n)
+		m.epoch = epoch
+	}
+	return m.set
+}
+
+// EnableSharding routes every enumeration through the engine's
+// scatter-gather path over n contiguous VID-range shards. Answers are
+// byte-identical to monolithic runs; on a live KB the shard set is
+// re-derived per epoch, and each query pins exactly one (graph, epoch,
+// shard set) view so all shards of one run see the same version.
+// Calling it again with the same n is a no-op; changing n is an error
+// (per-shard counters would silently mix partitions).
+func (kb *KB) EnableSharding(n int) error {
+	if n < 1 {
+		return fmt.Errorf("ogpa: shard count %d < 1", n)
+	}
+	kb.shcfg.mu.Lock()
+	defer kb.shcfg.mu.Unlock()
+	if kb.shcfg.n != 0 && kb.shcfg.n != n {
+		return fmt.Errorf("ogpa: sharding already enabled with n=%d", kb.shcfg.n)
+	}
+	kb.shcfg.n = n
+	return nil
+}
+
+// Sharding reports the configured shard count (0 when disabled).
+func (kb *KB) Sharding() int {
+	kb.shcfg.mu.Lock()
+	defer kb.shcfg.mu.Unlock()
+	return kb.shcfg.n
+}
+
+// queryView is the one pinned read view a query runs against: the graph
+// snapshot, its epoch, and (when sharding is enabled) that epoch's shard
+// set. Resolving all three from a single Snapshot call is what keeps
+// sharded runs torn-read-free — every shard of one query sees one
+// version, never a mix across a concurrent delta commit.
+type queryView struct {
+	g      *graph.Graph
+	epoch  uint64
+	shards *shard.Set // nil when sharding is disabled
+}
+
+// view resolves the KB's current query view (the load-time graph at
+// epoch 0 when read-only). Callers capture it once per operation.
+func (kb *KB) view() queryView {
+	if kb.store == nil {
+		return queryView{g: kb.g, shards: kb.shcfg.forGraph(0, kb.g)}
+	}
+	sn := kb.store.Snapshot()
+	g := sn.Graph()
+	return queryView{g: g, epoch: sn.Epoch(), shards: kb.shcfg.forGraph(sn.Epoch(), g)}
+}
+
+// matchOpts converts public options and installs the view's shard set.
+func (v queryView) matchOpts(opt Options) match.Options {
+	mo := matchOptions(opt)
+	if v.shards != nil {
+		mo.Sharder = v.shards
+	}
+	return mo
+}
+
+// dafLims converts public options for the UCQ pipeline, with the view's
+// shard set installed (each disjunct then scatters over the shards).
+func (v queryView) dafLims(opt Options) daf.Limits {
+	lim := dafLimits(opt)
+	if v.shards != nil {
+		lim.Sharder = v.shards
+	}
+	return lim
 }
 
 // aboxMemo caches the ABox reconstruction of a live snapshot per epoch,
@@ -295,6 +394,48 @@ func (kb *KB) Stats() string {
 	return describe(kb.abox, kb.g)
 }
 
+// ShardInfo describes one shard of the current epoch's partition, for
+// the serving tier's /stats surface.
+type ShardInfo struct {
+	Shard         int    `json:"shard"`
+	Epoch         uint64 `json:"epoch"` // the epoch this shard's view is pinned to
+	LoVID         uint32 `json:"lo_vid"`
+	HiVID         uint32 `json:"hi_vid"` // owned VID range [lo, hi)
+	Vertices      int    `json:"vertices"`
+	InternalEdges int    `json:"internal_edges"`
+	CrossEdges    int    `json:"cross_edges"`
+	Frontier      int    `json:"frontier"`
+	Halo          int    `json:"halo"`
+}
+
+// ShardStats reports the current epoch's shard partition, every row
+// derived from ONE pinned view — the per-shard epochs are equal by
+// construction, never a torn mix across a concurrent delta commit (the
+// single-pinned-view rule KB.Stats follows, extended to the multi-shard
+// read). Returns nil when sharding is disabled.
+func (kb *KB) ShardStats() []ShardInfo {
+	v := kb.view()
+	if v.shards == nil {
+		return nil
+	}
+	infos := v.shards.Infos()
+	out := make([]ShardInfo, len(infos))
+	for i, info := range infos {
+		out[i] = ShardInfo{
+			Shard:         info.Shard,
+			Epoch:         v.epoch,
+			LoVID:         uint32(info.Lo),
+			HiVID:         uint32(info.Hi),
+			Vertices:      info.Vertices,
+			InternalEdges: info.InternalEdges,
+			CrossEdges:    info.CrossEdges,
+			Frontier:      info.Frontier,
+			Halo:          info.Halo,
+		}
+	}
+	return out
+}
+
 // Fingerprint returns a stable FNV-1a hash of the ontology's positive
 // inclusion axioms — the part of the KB that GenOGP output depends on.
 // Cache layers (the server's plan cache) key rewrites by
@@ -371,12 +512,12 @@ func (kb *KB) AnswerWithOptions(query string, opt Options) (*Answers, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := kb.graphNow() // one snapshot for match and render
-	res, _, err := match.Match(rw.Pattern, g, matchOptions(opt))
+	v := kb.view() // one pinned view for match, shard set and render
+	res, _, err := match.Match(rw.Pattern, v.g, v.matchOpts(opt))
 	if err != nil {
 		return nil, err
 	}
-	return render(rw.Query, res, g), nil
+	return render(rw.Query, res, v.g), nil
 }
 
 // MatchStats mirrors the matcher's per-query statistics for the public
@@ -392,10 +533,22 @@ type MatchStats struct {
 	AtomEvals int64 // atomic condition evaluations
 	EnumNanos int64 // wall-clock of OMBacktrack
 	Truncated bool  // enumeration stopped at a limit
+	// Shards holds one entry per shard when the run took the
+	// scatter-gather path (EnableSharding); nil otherwise.
+	Shards []ShardRunStats
+}
+
+// ShardRunStats is one shard's share of a scatter-gather run.
+type ShardRunStats struct {
+	Shard     int   // shard index
+	Items     int   // first-level candidates owned by the shard
+	Answers   int   // answers banked before the global-dedup merge
+	Steps     int64 // search-tree nodes expanded by the shard goroutine
+	EnumNanos int64 // wall-clock time of the shard goroutine
 }
 
 func fromMatchStats(st match.Stats) MatchStats {
-	return MatchStats{
+	out := MatchStats{
 		CSCandidates: st.CSCandidates,
 		AdjPairs:     st.AdjPairs,
 		BDDNodes:     st.BDDNodes,
@@ -405,6 +558,13 @@ func fromMatchStats(st match.Stats) MatchStats {
 		EnumNanos:    st.EnumNanos,
 		Truncated:    st.Truncated,
 	}
+	for _, sr := range st.ShardRuns {
+		out.Shards = append(out.Shards, ShardRunStats{
+			Shard: sr.Shard, Items: sr.Items, Answers: sr.Answers,
+			Steps: sr.Steps, EnumNanos: sr.EnumNanos,
+		})
+	}
+	return out
 }
 
 // PreparedQuery is a query compiled down to a reusable matching plan.
@@ -418,6 +578,7 @@ type PreparedQuery struct {
 	kb  *KB
 	q   *cq.Query
 	g   *graph.Graph     // the snapshot the plan was built against
+	sh  *shard.Set       // the snapshot's shard set; nil unless sharding
 	rw  *Rewriting       // nil for baseline plans
 	pr  *match.Prepared  // OGP plan; nil for baseline plans
 	ucq *daf.PreparedUCQ // UCQ-baseline plan; nil for OGP plans
@@ -446,15 +607,16 @@ func (kb *KB) prepare(q *cq.Query) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := kb.graphNow() // pin: the plan answers against this snapshot forever
-	pr, err := match.Prepare(res.Pattern, g, match.Options{})
+	v := kb.view() // pin: the plan answers against this view forever
+	pr, err := match.Prepare(res.Pattern, v.g, match.Options{})
 	if err != nil {
 		return nil, err
 	}
 	return &PreparedQuery{
 		kb: kb,
 		q:  q,
-		g:  g,
+		g:  v.g,
+		sh: v.shards,
 		rw: &Rewriting{Query: q, Pattern: res.Pattern, result: res},
 		pr: pr,
 	}, nil
@@ -483,12 +645,12 @@ func (kb *KB) PrepareBaseline(b Baseline, query string) (*PreparedQuery, error) 
 	if err != nil {
 		return nil, err
 	}
-	g := kb.graphNow() // pin: the plan answers against this snapshot forever
-	ucq, err := daf.PrepareUCQ(u.Queries, g, daf.Options{})
+	v := kb.view() // pin: the plan answers against this view forever
+	ucq, err := daf.PrepareUCQ(u.Queries, v.g, daf.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{kb: kb, q: q, g: g, ucq: ucq}, nil
+	return &PreparedQuery{kb: kb, q: q, g: v.g, sh: v.shards, ucq: ucq}, nil
 }
 
 // Rewriting exposes the generated OGP behind the plan (nil for baseline
@@ -512,14 +674,17 @@ func (pq *PreparedQuery) Answer(opt Options) (*Answers, error) {
 
 // AnswerWithStats is Answer plus the matcher's work counters.
 func (pq *PreparedQuery) AnswerWithStats(opt Options) (*Answers, MatchStats, error) {
+	// The plan was pinned to one view at Prepare time; its shard set rides
+	// along so every run scatters over the same partition.
+	pv := queryView{g: pq.g, shards: pq.sh}
 	if pq.ucq != nil {
-		res, st, err := pq.ucq.Run(dafLimits(opt))
+		res, st, err := pq.ucq.Run(pv.dafLims(opt))
 		if err != nil {
 			return nil, MatchStats{}, err
 		}
 		return render(pq.q, res, pq.g), fromMatchStats(st), nil
 	}
-	res, st, err := pq.pr.Run(matchOptions(opt))
+	res, st, err := pq.pr.Run(pv.matchOpts(opt))
 	if err != nil {
 		return nil, MatchStats{}, err
 	}
@@ -539,8 +704,8 @@ func (kb *KB) AnswerWithStats(query string, opt Options) (*Answers, MatchStats, 
 // MatchOGP matches a hand-written OGP (built with the Pattern helpers) and
 // returns its answer tuples.
 func (kb *KB) MatchOGP(p *core.Pattern, opt Options) (*Answers, error) {
-	g := kb.graphNow()
-	res, _, err := match.Match(p, g, matchOptions(opt))
+	v := kb.view()
+	res, _, err := match.Match(p, v.g, v.matchOpts(opt))
 	if err != nil {
 		return nil, err
 	}
@@ -548,7 +713,7 @@ func (kb *KB) MatchOGP(p *core.Pattern, opt Options) (*Answers, error) {
 	for _, i := range p.Distinguished() {
 		vars = append(vars, p.Vertices[i].Name)
 	}
-	return &Answers{Vars: vars, Rows: res.Names2D(g)}, nil
+	return &Answers{Vars: vars, Rows: res.Names2D(v.g)}, nil
 }
 
 // Baseline identifies one comparison pipeline from the paper's evaluation.
@@ -581,12 +746,12 @@ func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, e
 		if err != nil {
 			return nil, err
 		}
-		g := kb.graphNow()
-		res, _, err := daf.EvalUCQ(u.Queries, g, lim)
+		v := kb.view()
+		res, _, err := daf.EvalUCQ(u.Queries, v.g, v.dafLims(opt))
 		if err != nil {
 			return nil, err
 		}
-		return render(q, res, g), nil
+		return render(q, res, v.g), nil
 	case BaselineDatalog:
 		prog, err := datalog.Rewrite(q, kb.tbox, perfectref.Limits{Timeout: opt.Timeout})
 		if err != nil {
@@ -642,12 +807,12 @@ func (kb *KB) AnswerSPARQL(src string, opt Options) (*Answers, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := kb.graphNow()
-	ans, _, err := match.Match(res.Pattern, g, matchOptions(opt))
+	v := kb.view()
+	ans, _, err := match.Match(res.Pattern, v.g, v.matchOpts(opt))
 	if err != nil {
 		return nil, err
 	}
-	return render(q, ans, g), nil
+	return render(q, ans, v.g), nil
 }
 
 // BatchCache is the cache surface a serving tier hands to
@@ -682,7 +847,9 @@ type BatchStats struct {
 	MemoHits      int    // members answered straight from the answer memo
 	PlanCacheHits int    // group plans resolved from the cache
 	PlansBuilt    int    // group plans built fresh this batch
-	SharedBuilds  int    // members answered without a dedicated plan build
+	SharedBuilds  int    // members answered by riding another member's engine run
+	MergedGroups  int    // multi-class groups the cost model ran merged
+	SplitGroups   int    // multi-class groups the cost model ran per class
 	Epoch         uint64 // store epoch the whole batch was pinned to
 }
 
@@ -706,14 +873,12 @@ func (kb *KB) AnswerBatchCached(queries []string, opt Options, cache BatchCache)
 	}
 	b := mqo.Compile(qs, kb.tbox)
 
-	// Pin one snapshot for the whole batch: compile, match, replay and
-	// render all see a single (graph, epoch) pair, so no member can
-	// straddle a concurrent delta commit.
-	g, epoch := kb.g, uint64(0)
-	if kb.store != nil {
-		sn := kb.store.Snapshot()
-		g, epoch = sn.Graph(), sn.Epoch()
-	}
+	// Pin one view for the whole batch: compile, match, replay and render
+	// all see a single (graph, epoch, shard set) triple, so no member can
+	// straddle a concurrent delta commit — and every group run of the
+	// batch scatters over the same shard partition.
+	v := kb.view()
+	g, epoch := v.g, v.epoch
 	fingerprint := kb.Fingerprint()
 	st := BatchStats{Queries: len(queries), Epoch: epoch}
 	results := make([]BatchResult, len(queries))
@@ -751,13 +916,15 @@ func (kb *KB) AnswerBatchCached(queries []string, opt Options, cache BatchCache)
 			},
 		}
 	}
-	runOpts := matchOptions(opt)
+	runOpts := v.matchOpts(opt)
 	runOpts.Limits.MaxResults = 0 // per-member caps are applied below
 	sets, truncated, errs, mst := b.Run(g, runOpts, src, need)
 	st.Groups = mst.Groups
 	st.MergedMatches = mst.MergedMatches
 	st.PlanCacheHits = mst.PlanCacheHits
 	st.PlansBuilt = mst.PlansBuilt
+	st.MergedGroups = mst.MergedGroups
+	st.SplitGroups = mst.SplitGroups
 
 	answered := 0
 	for i := range queries {
@@ -779,7 +946,12 @@ func (kb *KB) AnswerBatchCached(queries []string, opt Options, cache BatchCache)
 			results[i].Truncated = results[i].Truncated || truncated[i]
 		}
 	}
-	if shared := answered - st.MemoHits - st.PlansBuilt; shared > 0 {
+	// Members minus memo hits minus engine runs = members that rode a
+	// shapemate's run (a merged group answers all its members from one
+	// enumeration; a split group one run per class). Plan builds are the
+	// wrong baseline since the cost model builds per-class plans even for
+	// groups it then runs merged.
+	if shared := answered - st.MemoHits - mst.SharedRuns; shared > 0 {
 		st.SharedBuilds = shared
 	}
 	return results, st

@@ -1,0 +1,345 @@
+package ogpa
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"ogpa/internal/testkb"
+)
+
+// shardedPair builds two KBs from the same (ontology, data) text: a
+// monolithic one and one with scatter-gather execution over n shards.
+// Both are live, so identical mutation scripts keep their VID spaces
+// aligned and answers comparable byte-for-byte.
+func shardedPair(t *testing.T, onto, data string, n int) (mono, sharded *KB) {
+	t.Helper()
+	for i, kb := range []**KB{&mono, &sharded} {
+		k, err := NewKB(strings.NewReader(onto), strings.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.EnableLiveData(-1); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			if err := k.EnableSharding(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		*kb = k
+	}
+	return mono, sharded
+}
+
+// TestShardedVsMonolithicSweep is the PR's correctness gate: across 100
+// random KBs, every query answered through the scatter-gather path at
+// N ∈ {2, 4, 8} must be byte-identical to the monolithic run — on both
+// the primary GenOGP+OMatch pipeline and the PerfectRef+DAF UCQ
+// baseline, before and after live write batches (which bump the epoch
+// and force a fresh shard partition).
+func TestShardedVsMonolithicSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-seed property test")
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb, abox, q := testkb.RandomKB(rng)
+		onto, data := testkb.Render(tb, abox)
+		queries := []string{q.String(), testkb.RandomQuery(rng).String()}
+
+		// Write batches over the testkb vocabulary: existing individuals
+		// a..e plus fresh ones (fresh vertices append at high VIDs, so a
+		// batch routinely lands in several shards at once).
+		concepts := []string{"A", "B", "C", "D"}
+		roles := []string{"p", "q", "r"}
+		inds := []string{"a", "b", "c", "d", "e", "f0", "f1"}
+		randomBatch := func() string {
+			var lines []string
+			for i := 0; i < 2+rng.Intn(3); i++ {
+				if rng.Intn(2) == 0 {
+					lines = append(lines, fmt.Sprintf("%s a %s .",
+						inds[rng.Intn(len(inds))], concepts[rng.Intn(len(concepts))]))
+				} else {
+					lines = append(lines, fmt.Sprintf("%s %s %s .",
+						inds[rng.Intn(len(inds))], roles[rng.Intn(len(roles))], inds[rng.Intn(len(inds))]))
+				}
+			}
+			return strings.Join(lines, "\n")
+		}
+		batch := randomBatch()
+
+		for _, n := range []int{2, 4, 8} {
+			mono, sharded := shardedPair(t, onto, data, n)
+			check := func(round string) {
+				for qi, src := range queries {
+					wantAns, wantErr := mono.AnswerWithOptions(src, Options{})
+					gotAns, gotErr := sharded.AnswerWithOptions(src, Options{})
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("seed %d n %d %s query %d (%s): errors diverge: mono %v, sharded %v",
+							seed, n, round, qi, src, wantErr, gotErr)
+					}
+					if wantErr == nil && rowsString(wantAns) != rowsString(gotAns) {
+						t.Fatalf("seed %d n %d %s query %d (%s): OGP answers diverge\nmono:\n%ssharded:\n%s",
+							seed, n, round, qi, src, rowsString(wantAns), rowsString(gotAns))
+					}
+					wantAns, wantErr = mono.AnswerBaseline(BaselineUCQ, src, Options{})
+					gotAns, gotErr = sharded.AnswerBaseline(BaselineUCQ, src, Options{})
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("seed %d n %d %s query %d (%s): UCQ errors diverge: mono %v, sharded %v",
+							seed, n, round, qi, src, wantErr, gotErr)
+					}
+					if wantErr == nil && rowsString(wantAns) != rowsString(gotAns) {
+						t.Fatalf("seed %d n %d %s query %d (%s): UCQ answers diverge\nmono:\n%ssharded:\n%s",
+							seed, n, round, qi, src, rowsString(wantAns), rowsString(gotAns))
+					}
+				}
+			}
+			check("pre-write")
+			for _, kb := range []*KB{mono, sharded} {
+				if _, err := kb.InsertTriples(strings.NewReader(batch)); err != nil {
+					t.Fatalf("seed %d n %d: insert: %v", seed, n, err)
+				}
+			}
+			check("post-write")
+		}
+	}
+}
+
+// TestShardedN1Degenerate: a single shard still takes the scatter path
+// (one goroutine, one bucket) and must be byte-identical to monolithic,
+// with exactly one per-shard stats row accounting for the run.
+func TestShardedN1Degenerate(t *testing.T) {
+	mono, sharded := shardedPair(t, exampleOntology, exampleData, 1)
+	for _, src := range []string{
+		`q(x) :- Student(x)`,
+		`q(x) :- PhD(x), takesCourse(x, y)`,
+		`q(x, y) :- advisorOf(y, x), takesCourse(x, z)`,
+	} {
+		want, err := mono.AnswerWithOptions(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := sharded.AnswerWithStats(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsString(want) != rowsString(got) {
+			t.Fatalf("%s: mono %v vs sharded %v", src, want.Rows, got.Rows)
+		}
+		if len(st.Shards) != 1 || st.Shards[0].Shard != 0 {
+			t.Fatalf("%s: shard stats = %+v, want one row for shard 0", src, st.Shards)
+		}
+		if st.Shards[0].Items == 0 {
+			t.Fatalf("%s: shard 0 saw no items", src)
+		}
+	}
+}
+
+// TestShardedEmptyAndSingletonShards drives more shards than the graph
+// has vertices: most shards are empty, every populated shard owns one
+// vertex, so every edge crosses a shard boundary. Answers must not
+// change, and the topology must account for every vertex and edge.
+func TestShardedEmptyAndSingletonShards(t *testing.T) {
+	const n = 256
+	mono, sharded := shardedPair(t, exampleOntology, exampleData, n)
+	for _, src := range []string{
+		`q(x) :- Student(x)`,
+		`q(x, y) :- advisorOf(y, x), takesCourse(x, z)`,
+	} {
+		want, err := mono.AnswerWithOptions(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.AnswerWithOptions(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsString(want) != rowsString(got) {
+			t.Fatalf("%s: mono %v vs sharded %v", src, want.Rows, got.Rows)
+		}
+	}
+	infos := sharded.ShardStats()
+	if len(infos) != n {
+		t.Fatalf("ShardStats rows = %d, want %d", len(infos), n)
+	}
+	g := sharded.Graph()
+	vertices, internal, cross, empty := 0, 0, 0, 0
+	for _, info := range infos {
+		vertices += info.Vertices
+		internal += info.InternalEdges
+		cross += info.CrossEdges
+		if info.Vertices == 0 {
+			empty++
+		}
+		if info.Vertices > 1 {
+			t.Fatalf("shard %d owns %d vertices; %d shards over %d vertices must be singletons",
+				info.Shard, info.Vertices, n, g.NumVertices())
+		}
+	}
+	if vertices != g.NumVertices() || internal+cross != g.NumEdges() {
+		t.Fatalf("topology accounts for %d vertices / %d+%d edges, graph has %d / %d",
+			vertices, internal, cross, g.NumVertices(), g.NumEdges())
+	}
+	if empty == 0 || cross == 0 {
+		t.Fatalf("want empty shards and crossing edges (empty=%d cross=%d)", empty, cross)
+	}
+}
+
+// shardOwner resolves a VID's owner from the /stats topology rows.
+func shardOwner(t *testing.T, infos []ShardInfo, v uint32) int {
+	t.Helper()
+	for _, info := range infos {
+		if info.LoVID <= v && v < info.HiVID {
+			return info.Shard
+		}
+	}
+	t.Fatalf("VID %d owned by no shard", v)
+	return -1
+}
+
+// TestShardedLiveWritesAcrossShards: one insert batch touches an
+// existing low-VID vertex and mints a fresh high-VID one, so its effects
+// land in different shards of the re-derived partition. Answers must
+// track the monolithic KB through the write.
+func TestShardedLiveWritesAcrossShards(t *testing.T) {
+	mono, sharded := shardedPair(t, exampleOntology, exampleData, 2)
+	batch := "Ann advisorOf Newbie .\nNewbie a Student .\nNewbie takesCourse DB101 ."
+	for _, kb := range []*KB{mono, sharded} {
+		if _, err := kb.InsertTriples(strings.NewReader(batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := sharded.ShardStats()
+	g := sharded.Graph()
+	oldV, newV := g.VertexByName("Ann"), g.VertexByName("Newbie")
+	if shardOwner(t, infos, uint32(oldV)) == shardOwner(t, infos, uint32(newV)) {
+		t.Fatalf("batch landed in one shard (Ann VID %d, Newbie VID %d, topology %+v); widen the base data",
+			oldV, newV, infos)
+	}
+	for _, src := range []string{
+		`q(x) :- Student(x)`,
+		`q(x, y) :- advisorOf(y, x), takesCourse(x, z)`,
+	} {
+		want, err := mono.AnswerWithOptions(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.AnswerWithOptions(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsString(want) != rowsString(got) {
+			t.Fatalf("%s: mono %v vs sharded %v", src, want.Rows, got.Rows)
+		}
+	}
+}
+
+// TestShardStatsSingleEpoch is the torn-read gate for the multi-shard
+// stats surface: while a writer commits batches, every ShardStats call
+// must return rows pinned to ONE epoch covering the full VID space —
+// never a mix of partitions from different store versions.
+func TestShardStatsSingleEpoch(t *testing.T) {
+	_, kb := shardedPair(t, exampleOntology, exampleData, 4)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nt := fmt.Sprintf("w%d a Student .\nw%d takesCourse DB101 .", i, i)
+			if _, err := kb.InsertTriples(strings.NewReader(nt)); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		infos := kb.ShardStats()
+		if len(infos) != 4 {
+			t.Fatalf("iteration %d: %d rows", i, len(infos))
+		}
+		epoch := infos[0].Epoch
+		vertices := 0
+		for _, info := range infos {
+			if info.Epoch != epoch {
+				t.Fatalf("iteration %d: torn epochs %d vs %d in %+v", i, epoch, info.Epoch, infos)
+			}
+			vertices += info.Vertices
+		}
+		if infos[0].LoVID != 0 || int(infos[3].HiVID) != vertices {
+			t.Fatalf("iteration %d: ranges do not cover [0, %d): %+v", i, vertices, infos)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestShardedBatchPinsOneShardSet: the batching/MQO tier pins one
+// (graph, epoch, shard set) view per batch, so batched answers on a
+// sharded KB stay byte-identical to sequential sharded answers.
+func TestShardedBatchPinsOneShardSet(t *testing.T) {
+	_, kb := shardedPair(t, exampleOntology, exampleData, 4)
+	queries := []string{
+		`q(x) :- advisorOf(y, x), takesCourse(x, z)`,
+		`q(x) :- takesCourse(y, x), takesCourse(x, z)`,
+		`q(x) :- Student(x)`,
+	}
+	results, st := kb.AnswerBatchCached(queries, Options{}, newMemBatchCache())
+	if st.Queries != len(queries) {
+		t.Fatalf("stats = %+v", st)
+	}
+	for i, src := range queries {
+		if results[i].Err != nil {
+			t.Fatalf("query %d: %v", i, results[i].Err)
+		}
+		want, err := kb.AnswerWithOptions(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsString(want) != rowsString(results[i].Answers) {
+			t.Fatalf("query %d (%s): sequential %v vs batched %v",
+				i, src, want.Rows, results[i].Answers.Rows)
+		}
+	}
+}
+
+// TestEnableShardingContract pins the configuration API: shard counts
+// below one and mid-flight re-partitioning are rejected, re-enabling the
+// same count is a no-op, and a read-only KB reports epoch-0 topology.
+func TestEnableShardingContract(t *testing.T) {
+	kb := exampleKB(t)
+	if err := kb.EnableSharding(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if kb.Sharding() != 0 || kb.ShardStats() != nil {
+		t.Fatalf("failed enable left config behind: n=%d", kb.Sharding())
+	}
+	if err := kb.EnableSharding(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.EnableSharding(3); err != nil {
+		t.Fatalf("same-n re-enable: %v", err)
+	}
+	if err := kb.EnableSharding(5); err == nil {
+		t.Fatal("changing n mid-flight accepted")
+	}
+	infos := kb.ShardStats()
+	if len(infos) != 3 || infos[0].Epoch != 0 {
+		t.Fatalf("read-only topology = %+v", infos)
+	}
+	ans, st, err := kb.AnswerWithStats(`q(x) :- Student(x)`, Options{})
+	if err != nil || ans.Len() != 2 {
+		t.Fatalf("sharded read-only answer: %v, %v", ans, err)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("shard stats rows = %+v, want 3", st.Shards)
+	}
+}
