@@ -20,7 +20,7 @@ import (
 )
 
 // benchResult is one row of the machine-readable benchmark report
-// (BENCH_8.json): the same three numbers `go test -bench -benchmem`
+// (BENCH_9.json): the same three numbers `go test -bench -benchmem`
 // prints, in a form CI and plotting scripts can diff across commits.
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -167,7 +167,9 @@ type namedBench struct {
 // the results to outPath. Each CSR-path benchmark has a /map twin on the
 // legacy candidate-space build, so one file shows the delta; the
 // persistence rows end with the cold-start vs snapshot-load comparison,
-// which must come out in the snapshot's favor or the run fails.
+// which must come out in the snapshot's favor or the run fails, and the
+// incremental rows likewise fail the run unless maintaining a standing
+// query through a batch beats recomputing it from scratch.
 func runBenchJSON(outPath string, seed int64) error {
 	w, err := buildBenchWorkload(seed)
 	if err != nil {
@@ -205,6 +207,11 @@ func runBenchJSON(outPath string, seed int64) error {
 		return err
 	}
 	suite = append(suite, shardSuite(sf)...)
+	inf, err := buildIncFixture(w)
+	if err != nil {
+		return err
+	}
+	suite = append(suite, incSuite(inf, w)...)
 	results := make([]benchResult, 0, len(suite))
 	for _, bb := range suite {
 		r := testing.Benchmark(bb.fn)
@@ -229,6 +236,9 @@ func runBenchJSON(outPath string, seed int64) error {
 		return err
 	}
 	if err := checkShardRows(results); err != nil {
+		return err
+	}
+	if err := checkIncRows(results); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(results, "", "  ")

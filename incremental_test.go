@@ -1,0 +1,458 @@
+package ogpa
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ogpa/internal/dllite"
+	"ogpa/internal/testkb"
+)
+
+// incKB wraps a KB in live + incremental mode over the given ABox.
+func incKB(t testing.TB, tb *dllite.TBox, abox *dllite.ABox) *KB {
+	t.Helper()
+	kb := FromParts(tb, abox)
+	if err := kb.EnableLiveData(-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.EnableIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+// tripleLines renders assertion deltas as an N-Triples body.
+func tripleLines(cs []dllite.ConceptAssertion, rs []dllite.RoleAssertion) string {
+	var lines []string
+	for _, c := range cs {
+		lines = append(lines, fmt.Sprintf("%s a %s .", c.Ind, c.Concept))
+	}
+	for _, r := range rs {
+		lines = append(lines, fmt.Sprintf("%s %s %s .", r.Sub, r.Role, r.Obj))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestIncrementalMatchesColdSweep is the KB-level 100-seed
+// incremental-vs-recompute equivalence sweep: after every live batch
+// (including deletion-heavy ones) the maintained BaselineDatalog and
+// BaselineSaturate paths must return byte-identical rows to a fresh KB
+// built from the live store's current ABox view.
+func TestIncrementalMatchesColdSweep(t *testing.T) {
+	for seed := 0; seed < 100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			tb, abox, q := testkb.RandomKB(rng)
+			query := q.String()
+
+			kb := incKB(t, tb, abox)
+			defer kb.Close()
+
+			check := func(step string) {
+				t.Helper()
+				cold := FromParts(tb, kb.ABox())
+				for _, b := range []Baseline{BaselineDatalog, BaselineSaturate} {
+					got, err := kb.AnswerBaseline(b, query, Options{})
+					if err != nil {
+						t.Fatalf("%s: incremental %s: %v", step, b, err)
+					}
+					want, err := cold.AnswerBaseline(b, query, Options{})
+					if err != nil {
+						t.Fatalf("%s: cold %s: %v", step, b, err)
+					}
+					g, w := fmt.Sprint(got.Rows), fmt.Sprint(want.Rows)
+					if g != w {
+						t.Fatalf("%s: %s on %s\nincremental: %s\ncold:        %s", step, b, query, g, w)
+					}
+				}
+			}
+			check("initial")
+
+			for bi := 0; bi < 5; bi++ {
+				cur := kb.ABox()
+				var body string
+				var del bool
+				if bi%3 == 2 && (len(cur.Concepts) > 0 || len(cur.Roles) > 0) {
+					var cs []dllite.ConceptAssertion
+					var rs []dllite.RoleAssertion
+					for i := 0; i < 3+rng.Intn(6); i++ {
+						if n := len(cur.Concepts); n > 0 && (rng.Intn(2) == 0 || len(cur.Roles) == 0) {
+							cs = append(cs, cur.Concepts[rng.Intn(n)])
+						} else if n := len(cur.Roles); n > 0 {
+							rs = append(rs, cur.Roles[rng.Intn(n)])
+						}
+					}
+					body, del = tripleLines(cs, rs), true
+				} else {
+					add := testkb.RandomABox(rng)
+					n := 1 + rng.Intn(4)
+					var cs []dllite.ConceptAssertion
+					var rs []dllite.RoleAssertion
+					for i := 0; i < n && i < len(add.Concepts); i++ {
+						cs = append(cs, add.Concepts[i])
+					}
+					for i := 0; i < n && i < len(add.Roles); i++ {
+						rs = append(rs, add.Roles[i])
+					}
+					body = tripleLines(cs, rs)
+				}
+				if body == "" {
+					continue
+				}
+				var err error
+				if del {
+					_, err = kb.DeleteTriples(strings.NewReader(body))
+				} else {
+					_, err = kb.InsertTriples(strings.NewReader(body))
+				}
+				if err != nil {
+					t.Fatalf("batch %d: %v", bi, err)
+				}
+				check(fmt.Sprintf("batch %d (del=%v)", bi, del))
+			}
+		})
+	}
+}
+
+// TestEnableIncrementalPreconditions: read-only KBs reject it, double
+// enabling rejects, and stats report the enabled state.
+func TestEnableIncrementalPreconditions(t *testing.T) {
+	kb := exampleKB(t)
+	if err := kb.EnableIncremental(); err == nil {
+		t.Fatal("EnableIncremental on a read-only KB should error")
+	}
+	if kb.Incremental() {
+		t.Fatal("Incremental() true before enabling")
+	}
+	if err := kb.EnableLiveData(-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.EnableIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	defer kb.Close()
+	if err := kb.EnableIncremental(); err == nil {
+		t.Fatal("double EnableIncremental should error")
+	}
+	if !kb.Incremental() {
+		t.Fatal("Incremental() false after enabling")
+	}
+	st := kb.IncrementalStats()
+	if !st.Enabled || st.Epoch != kb.Epoch() {
+		t.Fatalf("stats = %+v, epoch %d", st, kb.Epoch())
+	}
+	if _, err := kb.Subscribe(BaselineUCQ, "q(x) :- Student(x)", SubscribeOptions{}); err == nil {
+		t.Fatal("Subscribe on a non-maintained baseline should error")
+	}
+}
+
+// TestIncrementalConsistencyLive: the maintained violation index follows
+// live mutations through the public CheckConsistency surface.
+func TestIncrementalConsistencyLive(t *testing.T) {
+	ontology := exampleOntology + "PhD DisjointWith Course\n"
+	kb, err := NewKB(strings.NewReader(ontology), strings.NewReader(exampleData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.EnableLiveData(-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.EnableIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	defer kb.Close()
+
+	vs, err := kb.CheckConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("consistent KB reports %v", vs)
+	}
+	if _, err := kb.InsertTriples(strings.NewReader("Ann a Course .")); err != nil {
+		t.Fatal(err)
+	}
+	vs, err = kb.CheckConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("PhD ⊓ Course individual not reported inconsistent")
+	}
+	if _, err := kb.DeleteTriples(strings.NewReader("Ann a Course .")); err != nil {
+		t.Fatal(err)
+	}
+	vs, err = kb.CheckConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("violation survived the retraction: %v", vs)
+	}
+}
+
+// applyDelta folds one answer delta into a row set keyed by joined row.
+func applyDelta(set map[string]bool, d AnswerDelta) {
+	for _, r := range d.Removed {
+		delete(set, strings.Join(r, ","))
+	}
+	for _, r := range d.Added {
+		set[strings.Join(r, ",")] = true
+	}
+}
+
+// TestSubscribeDeltas covers the standing-query lifecycle on both
+// maintained pipelines: initial full set, per-write added/removed
+// deltas, coalescing across missed epochs, unsubscribe semantics.
+func TestSubscribeDeltas(t *testing.T) {
+	for _, b := range []Baseline{BaselineDatalog, BaselineSaturate} {
+		t.Run(string(b), func(t *testing.T) {
+			kb, err := NewKB(strings.NewReader(exampleOntology), strings.NewReader(exampleData))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := kb.EnableLiveData(-1); err != nil {
+				t.Fatal(err)
+			}
+			if err := kb.EnableIncremental(); err != nil {
+				t.Fatal(err)
+			}
+			defer kb.Close()
+
+			sub, err := kb.Subscribe(b, "q(x) :- Student(x)", SubscribeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sub.Vars(); len(got) != 1 || got[0] != "x" {
+				t.Fatalf("Vars = %v", got)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+
+			// Initial delta: the full current answer set (Ann via PhD ⊑
+			// Student, plus Bob).
+			d, err := sub.Next(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := map[string]bool{}
+			applyDelta(set, d)
+			if len(d.Removed) != 0 || !set["Ann"] || !set["Bob"] || len(set) != 2 {
+				t.Fatalf("initial delta = %+v", d)
+			}
+
+			// One insertion: exactly one Added row at the new epoch.
+			if _, err := kb.InsertTriples(strings.NewReader("Carl a Student .")); err != nil {
+				t.Fatal(err)
+			}
+			d, err = sub.Next(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Added) != 1 || d.Added[0][0] != "Carl" || len(d.Removed) != 0 {
+				t.Fatalf("post-insert delta = %+v", d)
+			}
+			if d.Epoch != kb.Epoch() {
+				t.Fatalf("delta at epoch %d, store at %d", d.Epoch, kb.Epoch())
+			}
+			applyDelta(set, d)
+
+			// An insert and a delete land back to back; folding the stream
+			// must converge on the post-both answer set (the hub may hand
+			// them out as one coalesced delta or two, depending on when it
+			// wakes relative to the writes).
+			if _, err := kb.InsertTriples(strings.NewReader("Dana a Student .")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := kb.DeleteTriples(strings.NewReader("Carl a Student .")); err != nil {
+				t.Fatal(err)
+			}
+			for set["Carl"] || !set["Dana"] {
+				d, err = sub.Next(ctx)
+				if err != nil {
+					t.Fatalf("draining insert+delete pair: %v (set %v)", err, set)
+				}
+				applyDelta(set, d)
+			}
+			if len(set) != 3 {
+				t.Fatalf("set after insert+delete pair = %v", set)
+			}
+
+			// A write that does not change the answers publishes nothing;
+			// the following relevant write is delivered normally.
+			if _, err := kb.InsertTriples(strings.NewReader("Lab1 a Room .")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := kb.InsertTriples(strings.NewReader("Eve a PhD .")); err != nil {
+				t.Fatal(err)
+			}
+			d, err = sub.Next(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Added) != 1 || d.Added[0][0] != "Eve" {
+				t.Fatalf("delta after irrelevant write = %+v", d)
+			}
+
+			// Unsubscribe: Next reports closure; the hub forgets the id.
+			sub.Close()
+			if _, err := sub.Next(ctx); err != ErrSubscriptionClosed {
+				t.Fatalf("Next after Close = %v, want ErrSubscriptionClosed", err)
+			}
+			if _, ok := kb.SubscriptionByID(sub.ID()); ok {
+				t.Fatal("closed subscription still resolvable")
+			}
+		})
+	}
+}
+
+// TestSubscribeMaxRows: blowing the per-subscription row cap fails the
+// subscription closed without touching its sibling.
+func TestSubscribeMaxRows(t *testing.T) {
+	kb, err := NewKB(strings.NewReader(exampleOntology), strings.NewReader(exampleData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.EnableLiveData(-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.EnableIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	defer kb.Close()
+
+	capped, err := kb.Subscribe(BaselineDatalog, "q(x) :- Student(x)", SubscribeOptions{MaxRows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := kb.Subscribe(BaselineDatalog, "q(x) :- Student(x)", SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := capped.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := open.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := kb.InsertTriples(strings.NewReader("S1 a Student .\nS2 a Student .")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capped.Next(ctx); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("capped Next = %v, want row-limit failure", err)
+	}
+	d, err := open.Next(ctx)
+	if err != nil {
+		t.Fatalf("sibling subscription failed: %v", err)
+	}
+	if len(d.Added) != 2 {
+		t.Fatalf("sibling delta = %+v", d)
+	}
+	st := kb.IncrementalStats()
+	if st.EvalErrors == 0 || st.Subscriptions != 1 {
+		t.Fatalf("stats after cap failure = %+v", st)
+	}
+}
+
+// TestSubscribeConcurrentWrites replays a subscription's delta stream
+// against concurrent writers (run under -race): folding every delta in
+// order must reproduce exactly the final answer set.
+func TestSubscribeConcurrentWrites(t *testing.T) {
+	kb, err := NewKB(strings.NewReader(exampleOntology), strings.NewReader(exampleData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.EnableLiveData(-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := kb.EnableIncremental(); err != nil {
+		t.Fatal(err)
+	}
+	defer kb.Close()
+
+	sub, err := kb.Subscribe(BaselineDatalog, "q(x) :- Student(x)", SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	const writers, perWriter = 4, 15
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				line := fmt.Sprintf("s%d_%d a Student .", i, j)
+				if _, err := kb.InsertTriples(strings.NewReader(line)); err != nil {
+					t.Error(err)
+					return
+				}
+				if j%4 == 3 { // retract some to exercise Removed rows
+					if _, err := kb.DeleteTriples(strings.NewReader(line)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	set := map[string]bool{}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	// matches reports whether the replayed set equals the live answer set.
+	matches := func() bool {
+		want, err := kb.AnswerBaseline(BaselineDatalog, "q(x) :- Student(x)", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != want.Len() {
+			return false
+		}
+		for _, row := range want.Rows {
+			if !set[strings.Join(row, ",")] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		pollCtx, pollCancel := context.WithTimeout(ctx, 250*time.Millisecond)
+		d, err := sub.Next(pollCtx)
+		pollCancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				t.Fatalf("delta stream never converged: replayed %d rows", len(set))
+			}
+			if err != context.DeadlineExceeded {
+				t.Fatal(err)
+			}
+			// No delta pending right now. Once the writers are done and the
+			// replay matches the live answer set, the stream has converged.
+			select {
+			case <-done:
+				if matches() {
+					return
+				}
+			default:
+			}
+			continue
+		}
+		applyDelta(set, d)
+	}
+}

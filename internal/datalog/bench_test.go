@@ -1,0 +1,67 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchProgram builds a hierarchy-closure style workload: a 12-level
+// concept chain plus two role levels over n individuals, the shape
+// Evaluate runs for every datalog-baseline query. It exercises the
+// Relation.Add dedup path (the fixpoint hot loop the hash-key change
+// targets): every fact is re-derived once per chain level and rejected
+// as a duplicate on all but the first.
+func benchProgram(n int) ([]Rule, func() *Database) {
+	const levels = 12
+	var rules []Rule
+	rules = append(rules, Rule{
+		Head: Atom{Pred: "c·L0", Args: []Term{V("x")}},
+		Body: []Atom{{Pred: "L0", Args: []Term{V("x")}}},
+	})
+	for i := 1; i < levels; i++ {
+		rules = append(rules, Rule{
+			Head: Atom{Pred: fmt.Sprintf("c·L%d", i), Args: []Term{V("x")}},
+			Body: []Atom{{Pred: fmt.Sprintf("c·L%d", i-1), Args: []Term{V("x")}}},
+		})
+	}
+	rules = append(rules,
+		Rule{
+			Head: Atom{Pred: "r·p", Args: []Term{V("x"), V("y")}},
+			Body: []Atom{{Pred: "p", Args: []Term{V("x"), V("y")}}},
+		},
+		Rule{
+			Head: Atom{Pred: "r·q", Args: []Term{V("x"), V("y")}},
+			Body: []Atom{{Pred: "r·p", Args: []Term{V("y"), V("x")}}},
+		},
+		Rule{
+			Head: Atom{Pred: "c·L0", Args: []Term{V("x")}},
+			Body: []Atom{{Pred: "r·q", Args: []Term{V("x"), V("y")}}},
+		},
+	)
+	build := func() *Database {
+		db := NewDatabase()
+		for i := 0; i < n; i++ {
+			db.AddFact("L0", fmt.Sprintf("ind%d", i))
+			db.AddFact("p", fmt.Sprintf("ind%d", i), fmt.Sprintf("ind%d", (i+1)%n))
+		}
+		return db
+	}
+	return rules, build
+}
+
+// BenchmarkFixpoint measures the semi-naive fixpoint (Evaluate) end to
+// end, dominated by Relation.Add dedup — the loop the "\x00"-join key
+// used to allocate one string per derived fact in.
+func BenchmarkFixpoint(b *testing.B) {
+	rules, build := benchProgram(2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := build()
+		if err := Evaluate(rules, db, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+		if db.Size() == 0 {
+			b.Fatal("empty fixpoint")
+		}
+	}
+}

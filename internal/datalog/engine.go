@@ -91,20 +91,119 @@ func (r Rule) Validate() error {
 // Tuple is a fact's argument list.
 type Tuple []string
 
-func (t Tuple) key() string { return strings.Join(t, "\x00") }
-
-// Relation stores the extension of one predicate with simple hash indexes
-// per argument position.
-type Relation struct {
-	arity  int
-	tuples []Tuple
-	seen   map[string]bool
-	index  []map[string][]int // position → value → tuple indexes
+// hash is the dedup key of tupleSet (query-answer dedup): a 64-bit
+// FNV-1a over the elements with a length prefix per element (so
+// ("ab","c") and ("a","bc") differ). Relations use interned-ID keys
+// instead; collisions here are resolved by tupleSet's equality chains.
+func (t Tuple) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range t {
+		n := uint64(len(v))
+		for n > 0 {
+			h = (h ^ (n & 0xff)) * prime64
+			n >>= 8
+		}
+		h = (h ^ 0xff) * prime64 // length terminator
+		for i := 0; i < len(v); i++ {
+			h = (h ^ uint64(v[i])) * prime64
+		}
+	}
+	return h
 }
 
-// NewRelation creates an empty relation of the given arity.
-func NewRelation(arity int) *Relation {
-	r := &Relation{arity: arity, seen: map[string]bool{}}
+// equal reports elementwise equality.
+func (t Tuple) equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// less is the canonical tuple order (elementwise, shorter-prefix first) —
+// the same order the old "\x00"-joined keys sorted in.
+func (t Tuple) less(u Tuple) bool {
+	for i := 0; i < len(t) && i < len(u); i++ {
+		if t[i] != u[i] {
+			return t[i] < u[i]
+		}
+	}
+	return len(t) < len(u)
+}
+
+// tupleSet is an allocation-light tuple dedup set: hash buckets with
+// equality chains, no per-probe key strings.
+type tupleSet struct {
+	m map[uint64][]Tuple
+}
+
+func newTupleSet() *tupleSet { return &tupleSet{m: map[uint64][]Tuple{}} }
+
+// add inserts t, reporting whether it was new.
+func (s *tupleSet) add(t Tuple) bool {
+	h := t.hash()
+	for _, u := range s.m[h] {
+		if u.equal(t) {
+			return false
+		}
+	}
+	s.m[h] = append(s.m[h], t)
+	return true
+}
+
+// interner assigns small dense IDs to constant strings, so tuple dedup
+// keys are integers instead of allocated joined strings. IDs start at 1;
+// 0 is "never seen".
+type interner struct {
+	ids map[string]uint32
+}
+
+func newInterner() *interner { return &interner{ids: map[string]uint32{}} }
+
+// id interns s, assigning a fresh ID on first sight.
+func (in *interner) id(s string) uint32 {
+	if v, ok := in.ids[s]; ok {
+		return v
+	}
+	v := uint32(len(in.ids) + 1)
+	in.ids[s] = v
+	return v
+}
+
+// peek looks s up without interning (membership probes on Remove and
+// Contains must not grow the table).
+func (in *interner) peek(s string) uint32 { return in.ids[s] }
+
+// Relation stores the extension of one predicate with simple hash indexes
+// per argument position. Dedup runs over interned-ID keys: for arity ≤ 2
+// (every DL-Lite predicate) the key is the exact packed ID pair, for
+// wider tuples an FNV mix of the IDs. Same-key tuples (possible only for
+// arity > 2) are chained through the chain array, so inserting a fact
+// costs one map entry and zero slice allocations.
+type Relation struct {
+	arity  int
+	in     *interner // shared across the Database's relations
+	tuples []Tuple
+	keys   []uint64       // parallel to tuples: the interned dedup key
+	chain  []int          // parallel to tuples: previous index with same key, or -1
+	seen   map[uint64]int // key → last tuple index with that key, +1 (0 = absent)
+	index  []map[string][]int
+}
+
+// NewRelation creates an empty stand-alone relation of the given arity.
+// Relations inside a Database share the database's interner instead.
+func NewRelation(arity int) *Relation { return newRelation(arity, newInterner()) }
+
+func newRelation(arity int, in *interner) *Relation {
+	r := &Relation{arity: arity, in: in, seen: map[uint64]int{}}
 	r.index = make([]map[string][]int, arity)
 	for i := range r.index {
 		r.index[i] = map[string][]int{}
@@ -112,21 +211,164 @@ func NewRelation(arity int) *Relation {
 	return r
 }
 
+// key computes t's dedup key. With intern=false, unseen constants make
+// the key unresolvable and ok=false (the tuple cannot be present).
+func (r *Relation) key(t Tuple, intern bool) (uint64, bool) {
+	ids := r.in.ids
+	if len(t) <= 2 {
+		var key uint64
+		for _, v := range t {
+			id, ok := ids[v]
+			if !ok {
+				if !intern {
+					return 0, false
+				}
+				id = uint32(len(ids) + 1)
+				ids[v] = id
+			}
+			key = key<<32 | uint64(id)
+		}
+		return key, true
+	}
+	const prime64 = 1099511628211
+	key := uint64(14695981039346656037)
+	for _, v := range t {
+		id, ok := ids[v]
+		if !ok {
+			if !intern {
+				return 0, false
+			}
+			id = uint32(len(ids) + 1)
+			ids[v] = id
+		}
+		for s := 0; s < 32; s += 8 {
+			key = (key ^ uint64(id>>s&0xff)) * prime64
+		}
+	}
+	return key, true
+}
+
+// find returns the index of t in tuples, or -1.
+func (r *Relation) find(t Tuple) int {
+	k, ok := r.key(t, false)
+	if !ok {
+		return -1
+	}
+	for i := r.seen[k] - 1; i >= 0; i = r.chain[i] {
+		if r.arity <= 2 || r.tuples[i].equal(t) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports membership.
+func (r *Relation) Contains(t Tuple) bool { return len(t) == r.arity && r.find(t) >= 0 }
+
 // Add inserts a tuple, reporting whether it was new.
 func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("datalog: arity mismatch: %v into arity-%d relation", t, r.arity))
 	}
-	k := t.key()
-	if r.seen[k] {
-		return false
+	k, _ := r.key(t, true)
+	head := r.seen[k] - 1
+	for i := head; i >= 0; i = r.chain[i] {
+		if r.arity <= 2 || r.tuples[i].equal(t) {
+			return false
+		}
 	}
-	r.seen[k] = true
 	idx := len(r.tuples)
+	r.seen[k] = idx + 1
 	r.tuples = append(r.tuples, t)
+	r.keys = append(r.keys, k)
+	r.chain = append(r.chain, head)
 	for i, v := range t {
 		r.index[i][v] = append(r.index[i][v], idx)
 	}
+	return true
+}
+
+// unlink removes idx from its key's chain in seen/chain.
+func (r *Relation) unlink(idx int) {
+	k := r.keys[idx]
+	if r.seen[k]-1 == idx {
+		if next := r.chain[idx]; next < 0 {
+			delete(r.seen, k)
+		} else {
+			r.seen[k] = next + 1
+		}
+		return
+	}
+	for i := r.seen[k] - 1; i >= 0; i = r.chain[i] {
+		if r.chain[i] == idx {
+			r.chain[i] = r.chain[idx]
+			return
+		}
+	}
+}
+
+// relink repoints references to index from (after the swap in Remove) to
+// index to, in the chain for the moved tuple's key.
+func (r *Relation) relink(from, to int) {
+	k := r.keys[to]
+	if r.seen[k]-1 == from {
+		r.seen[k] = to + 1
+		return
+	}
+	for i := r.seen[k] - 1; i >= 0; i = r.chain[i] {
+		if r.chain[i] == from {
+			r.chain[i] = to
+			return
+		}
+	}
+}
+
+// Remove deletes a tuple, reporting whether it was present. The last
+// tuple is swapped into the vacated slot, so removal is O(arity ×
+// index-bucket length) and the key/positional indexes stay exact.
+func (r *Relation) Remove(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	idx := r.find(t)
+	if idx < 0 {
+		return false
+	}
+	removeFrom := func(list []int, v int) []int {
+		for i, x := range list {
+			if x == v {
+				list[i] = list[len(list)-1]
+				return list[:len(list)-1]
+			}
+		}
+		return list
+	}
+	r.unlink(idx)
+	for i, v := range t {
+		if l := removeFrom(r.index[i][v], idx); len(l) == 0 {
+			delete(r.index[i], v)
+		} else {
+			r.index[i][v] = l
+		}
+	}
+	last := len(r.tuples) - 1
+	if idx != last {
+		moved := r.tuples[last]
+		r.tuples[idx] = moved
+		r.keys[idx] = r.keys[last]
+		r.chain[idx] = r.chain[last]
+		r.relink(last, idx)
+		for i, v := range moved {
+			for j, ti := range r.index[i][v] {
+				if ti == last {
+					r.index[i][v][j] = idx
+				}
+			}
+		}
+	}
+	r.tuples = r.tuples[:last]
+	r.keys = r.keys[:last]
+	r.chain = r.chain[:last]
 	return true
 }
 
@@ -136,20 +378,25 @@ func (r *Relation) Len() int { return len(r.tuples) }
 // Tuples exposes the stored tuples (not to be mutated).
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
-// Database maps predicate names to relations.
+// Database maps predicate names to relations. All relations share one
+// constant interner, so a constant is interned once no matter how many
+// predicates mention it.
 type Database struct {
 	rels map[string]*Relation
+	in   *interner
 }
 
 // NewDatabase returns an empty database.
-func NewDatabase() *Database { return &Database{rels: map[string]*Relation{}} }
+func NewDatabase() *Database {
+	return &Database{rels: map[string]*Relation{}, in: newInterner()}
+}
 
 // Relation returns the relation for pred, creating it with the given arity.
 func (db *Database) Relation(pred string, arity int) *Relation {
 	if r, ok := db.rels[pred]; ok {
 		return r
 	}
-	r := NewRelation(arity)
+	r := newRelation(arity, db.in)
 	db.rels[pred] = r
 	return r
 }
@@ -160,6 +407,37 @@ func (db *Database) Lookup(pred string) *Relation { return db.rels[pred] }
 // AddFact inserts pred(args...).
 func (db *Database) AddFact(pred string, args ...string) bool {
 	return db.Relation(pred, len(args)).Add(Tuple(args))
+}
+
+// Add inserts a tuple into pred's relation, reporting whether it was new.
+func (db *Database) Add(pred string, t Tuple) bool {
+	return db.Relation(pred, len(t)).Add(t)
+}
+
+// Remove deletes a tuple from pred's relation, reporting whether it was
+// present.
+func (db *Database) Remove(pred string, t Tuple) bool {
+	r := db.rels[pred]
+	return r != nil && r.Remove(t)
+}
+
+// Contains reports whether pred(t) is a fact.
+func (db *Database) Contains(pred string, t Tuple) bool {
+	r := db.rels[pred]
+	return r != nil && r.Contains(t)
+}
+
+// Clone deep-copies the database (tuples are shared; they are immutable
+// by convention).
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for pred, r := range db.rels {
+		nr := out.Relation(pred, r.arity)
+		for _, t := range r.tuples {
+			nr.Add(t)
+		}
+	}
+	return out
 }
 
 // Size reports the total number of facts.
@@ -188,13 +466,19 @@ func Evaluate(rules []Rule, db *Database, lim Limits) error {
 			return err
 		}
 	}
-	// delta holds the facts derived in the previous round, per predicate.
-	delta := map[string][]Tuple{}
 	// Round 0: all EDB facts are "new".
+	delta := map[string][]Tuple{}
 	for pred, rel := range db.rels {
 		delta[pred] = append([]Tuple(nil), rel.Tuples()...)
 	}
+	return propagate(rules, db, delta, lim)
+}
 
+// propagate runs the semi-naive loop seeded with delta (facts assumed
+// already present in db) until fixpoint. It is the shared core of
+// Evaluate (seeded with every EDB fact) and the incremental State
+// (seeded with just an applied batch).
+func propagate(rules []Rule, db *Database, delta map[string][]Tuple, lim Limits) error {
 	for len(delta) > 0 {
 		if !lim.Deadline.IsZero() && time.Now().After(lim.Deadline) {
 			return ErrLimit
@@ -213,14 +497,7 @@ func Evaluate(rules []Rule, db *Database, lim Limits) error {
 						continue
 					}
 					if err := joinRest(rule, di, bind, db, func(final map[string]string) error {
-						args := make(Tuple, len(rule.Head.Args))
-						for i, t := range rule.Head.Args {
-							if t.Var {
-								args[i] = final[t.Name]
-							} else {
-								args[i] = t.Name
-							}
-						}
+						args := headArgs(rule, final)
 						rel := db.Relation(rule.Head.Pred, len(args))
 						if rel.Add(args) {
 							next[rule.Head.Pred] = append(next[rule.Head.Pred], args)
@@ -238,6 +515,19 @@ func Evaluate(rules []Rule, db *Database, lim Limits) error {
 		delta = next
 	}
 	return nil
+}
+
+// headArgs instantiates rule's head under a complete binding.
+func headArgs(rule Rule, bind map[string]string) Tuple {
+	args := make(Tuple, len(rule.Head.Args))
+	for i, t := range rule.Head.Args {
+		if t.Var {
+			args[i] = bind[t.Name]
+		} else {
+			args[i] = t.Name
+		}
+	}
+	return args
 }
 
 func unifyAtom(a Atom, t Tuple, bind map[string]string) bool {
@@ -333,7 +623,7 @@ func joinRest(rule Rule, skip int, bind map[string]string, db *Database, emit fu
 // returning distinct head bindings sorted lexicographically.
 func Query(head []string, body []Atom, db *Database) ([]Tuple, error) {
 	rule := Rule{Head: Atom{Pred: "_q", Args: varTerms(head)}, Body: body}
-	seen := map[string]bool{}
+	seen := newTupleSet()
 	var out []Tuple
 	// Reuse joinRest with a fake delta covering the first atom.
 	if len(body) == 0 {
@@ -354,9 +644,7 @@ func Query(head []string, body []Atom, db *Database) ([]Tuple, error) {
 			for i, h := range head {
 				args[i] = final[h]
 			}
-			k := args.key()
-			if !seen[k] {
-				seen[k] = true
+			if seen.add(args) {
 				out = append(out, args)
 			}
 			return nil
@@ -365,7 +653,7 @@ func Query(head []string, body []Atom, db *Database) ([]Tuple, error) {
 			return nil, err
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out, nil
 }
 

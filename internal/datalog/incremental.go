@@ -1,0 +1,186 @@
+package datalog
+
+import (
+	"errors"
+	"time"
+)
+
+// Fact is a ground fact Pred(Args...).
+type Fact struct {
+	Pred string
+	Args Tuple
+}
+
+// ApplyStats reports what one incremental batch did to the fixpoint.
+// Overdeleted facts are physically removed, then Added counts everything
+// put back or newly derived (rederivations, insertions, propagation), so
+// the net fixpoint change is Added − Overdeleted.
+type ApplyStats struct {
+	Overdeleted int // facts in the DRed overestimate (removed in phase 2)
+	Rederived   int // overdeleted facts restored by the one-step check
+	Added       int // facts added after removal: rederived + inserted + propagated
+}
+
+// State maintains the semi-naive fixpoint of a datalog program under
+// base-fact insertions and deletions, so callers re-evaluate queries
+// over the maintained database instead of recomputing the fixpoint from
+// scratch after every batch.
+//
+// Insertions seed the semi-naive delta and the fixpoint simply
+// continues. Deletions use DRed (delete and rederive): first an
+// overestimate of every fact with a derivation through a deleted fact
+// is removed, then overdeleted facts that are still one-step derivable
+// from the surviving database are put back and propagated. DRed is
+// sound for recursive programs, where per-tuple support counting is not
+// (mutually-supporting cycles keep counts positive after their base
+// support vanishes).
+type State struct {
+	rules []Rule
+	edb   *Database // asserted base facts
+	db    *Database // maintained fixpoint: base ∪ derived
+}
+
+// NewState materializes the program over the base facts. The result is
+// byte-equivalent to loading the facts into a fresh Database and
+// running Evaluate (the from-scratch oracle).
+func NewState(rules []Rule, base []Fact, lim Limits) (*State, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	s := &State{rules: rules, edb: NewDatabase(), db: NewDatabase()}
+	delta := map[string][]Tuple{}
+	for _, f := range base {
+		if s.edb.Add(f.Pred, f.Args) && s.db.Add(f.Pred, f.Args) {
+			delta[f.Pred] = append(delta[f.Pred], f.Args)
+		}
+	}
+	if err := propagate(s.rules, s.db, delta, lim); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DB exposes the maintained fixpoint. Callers must treat it as
+// read-only; it is mutated in place by Apply.
+func (s *State) DB() *Database { return s.db }
+
+// Size reports the number of facts in the maintained fixpoint.
+func (s *State) Size() int { return s.db.Size() }
+
+// Apply updates the fixpoint for one batch of base-fact deletions and
+// insertions (deletions first, matching delta.Store batch semantics).
+// On error the state is no longer consistent and must be rebuilt.
+func (s *State) Apply(ins, del []Fact, lim Limits) (ApplyStats, error) {
+	var st ApplyStats
+
+	// DRed phase 1: overestimate. Seed with the deleted base facts that
+	// lose their assertion, then close under "derivable through an
+	// overdeleted fact", joining the rest of each body over the still
+	// intact pre-deletion fixpoint. Facts still asserted in the base are
+	// self-supported and never enter the overestimate.
+	over := NewDatabase()
+	var work []Fact
+	for _, f := range del {
+		if s.edb.Remove(f.Pred, f.Args) && s.db.Contains(f.Pred, f.Args) {
+			if over.Add(f.Pred, f.Args) {
+				work = append(work, f)
+			}
+		}
+	}
+	for len(work) > 0 {
+		if !lim.Deadline.IsZero() && time.Now().After(lim.Deadline) {
+			return st, ErrLimit
+		}
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, rule := range s.rules {
+			for di, ba := range rule.Body {
+				if ba.Pred != f.Pred || len(ba.Args) != len(f.Args) {
+					continue
+				}
+				bind := map[string]string{}
+				if !unifyAtom(ba, f.Args, bind) {
+					continue
+				}
+				err := joinRest(rule, di, bind, s.db, func(final map[string]string) error {
+					args := headArgs(rule, final)
+					if s.edb.Contains(rule.Head.Pred, args) || !s.db.Contains(rule.Head.Pred, args) {
+						return nil
+					}
+					if over.Add(rule.Head.Pred, args) {
+						work = append(work, Fact{Pred: rule.Head.Pred, Args: args})
+					}
+					return nil
+				})
+				if err != nil {
+					return st, err
+				}
+			}
+		}
+	}
+
+	// DRed phase 2: physically remove the overestimate.
+	for pred, rel := range over.rels {
+		for _, t := range rel.Tuples() {
+			s.db.Remove(pred, t)
+			st.Overdeleted++
+		}
+	}
+	sizeAfterRemoval := s.db.Size()
+
+	// DRed phase 3: rederive. An overdeleted fact that is one-step
+	// derivable from the surviving database goes back in and seeds the
+	// delta; propagation below restores everything downstream of it.
+	delta := map[string][]Tuple{}
+	for pred, rel := range over.rels {
+		for _, t := range rel.Tuples() {
+			if ok, err := s.derivableOneStep(pred, t); err != nil {
+				return st, err
+			} else if ok && s.db.Add(pred, t) {
+				delta[pred] = append(delta[pred], t)
+				st.Rederived++
+			}
+		}
+	}
+
+	// Insertions: new base facts join the delta, and the semi-naive
+	// fixpoint just continues from them.
+	for _, f := range ins {
+		if s.edb.Add(f.Pred, f.Args) && s.db.Add(f.Pred, f.Args) {
+			delta[f.Pred] = append(delta[f.Pred], f.Args)
+		}
+	}
+	if err := propagate(s.rules, s.db, delta, lim); err != nil {
+		return st, err
+	}
+	st.Added = s.db.Size() - sizeAfterRemoval
+	return st, nil
+}
+
+var errFound = errors.New("datalog: found")
+
+// derivableOneStep reports whether some rule derives pred(t) from the
+// current database in a single step.
+func (s *State) derivableOneStep(pred string, t Tuple) (bool, error) {
+	for _, rule := range s.rules {
+		if rule.Head.Pred != pred || len(rule.Head.Args) != len(t) {
+			continue
+		}
+		bind := map[string]string{}
+		if !unifyAtom(rule.Head, t, bind) {
+			continue
+		}
+		err := joinRest(rule, -1, bind, s.db, func(map[string]string) error {
+			return errFound
+		})
+		if err == errFound {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,236 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// dump renders every fact of db as "pred(a,b)" lines, sorted — the
+// byte-equivalence form the incremental state is checked against.
+func dump(db *Database) string {
+	var lines []string
+	for pred, rel := range db.rels {
+		for _, t := range rel.Tuples() {
+			lines = append(lines, pred+"("+strings.Join(t, ",")+")")
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// oracle materializes the rules from scratch over the base facts.
+func oracle(t *testing.T, rules []Rule, base []Fact) *Database {
+	t.Helper()
+	db := NewDatabase()
+	for _, f := range base {
+		db.Add(f.Pred, f.Args)
+	}
+	if err := Evaluate(rules, db, Limits{}); err != nil {
+		t.Fatalf("oracle Evaluate: %v", err)
+	}
+	return db
+}
+
+// randRules builds a random program over unary preds A0..A5 and binary
+// preds R0..R3, deliberately including cycles (recursive hierarchies)
+// so DRed's rederivation phase is exercised where support counting
+// would be unsound.
+func randRules(rng *rand.Rand) []Rule {
+	u := func(i int) string { return fmt.Sprintf("A%d", i) }
+	b := func(i int) string { return fmt.Sprintf("R%d", i) }
+	var rules []Rule
+	n := 6 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0: // A_i(x) :- A_j(x)
+			rules = append(rules, Rule{
+				Head: Atom{Pred: u(rng.Intn(6)), Args: []Term{V("x")}},
+				Body: []Atom{{Pred: u(rng.Intn(6)), Args: []Term{V("x")}}},
+			})
+		case 1: // A_i(x) :- R_j(x,y)  (or flipped)
+			a := Atom{Pred: b(rng.Intn(4)), Args: []Term{V("x"), V("y")}}
+			if rng.Intn(2) == 0 {
+				a.Args = []Term{V("y"), V("x")}
+			}
+			rules = append(rules, Rule{
+				Head: Atom{Pred: u(rng.Intn(6)), Args: []Term{V("x")}},
+				Body: []Atom{a},
+			})
+		case 2: // R_i(x,y) :- R_j(x,y) (or inverse)
+			a := Atom{Pred: b(rng.Intn(4)), Args: []Term{V("x"), V("y")}}
+			if rng.Intn(2) == 0 {
+				a.Args = []Term{V("y"), V("x")}
+			}
+			rules = append(rules, Rule{
+				Head: Atom{Pred: b(rng.Intn(4)), Args: []Term{V("x"), V("y")}},
+				Body: []Atom{a},
+			})
+		default: // join: A_i(x) :- R_j(x,y), A_k(y)
+			rules = append(rules, Rule{
+				Head: Atom{Pred: u(rng.Intn(6)), Args: []Term{V("x")}},
+				Body: []Atom{
+					{Pred: b(rng.Intn(4)), Args: []Term{V("x"), V("y")}},
+					{Pred: u(rng.Intn(6)), Args: []Term{V("y")}},
+				},
+			})
+		}
+	}
+	return rules
+}
+
+func randFact(rng *rand.Rand, nInd int) Fact {
+	ind := func() string { return fmt.Sprintf("i%d", rng.Intn(nInd)) }
+	if rng.Intn(2) == 0 {
+		return Fact{Pred: fmt.Sprintf("A%d", rng.Intn(6)), Args: Tuple{ind()}}
+	}
+	return Fact{Pred: fmt.Sprintf("R%d", rng.Intn(4)), Args: Tuple{ind(), ind()}}
+}
+
+// TestStateMatchesOracle runs 100 random seeds: random recursive
+// program, random base, then a script of insert/delete batches —
+// including deletion-heavy ones — checking after every batch that the
+// maintained fixpoint is byte-identical to a from-scratch Evaluate over
+// the current base facts.
+func TestStateMatchesOracle(t *testing.T) {
+	for seed := 0; seed < 100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			rules := randRules(rng)
+			nInd := 8 + rng.Intn(8)
+
+			var base []Fact
+			for i := 0; i < 20+rng.Intn(30); i++ {
+				base = append(base, randFact(rng, nInd))
+			}
+			st, err := NewState(rules, base, Limits{})
+			if err != nil {
+				t.Fatalf("NewState: %v", err)
+			}
+			if got, want := dump(st.DB()), dump(oracle(t, rules, base)); got != want {
+				t.Fatalf("initial state differs from oracle:\n got: %s\nwant: %s", got, want)
+			}
+
+			// current asserted base, tracked alongside the state
+			asserted := map[string][]Fact{}
+			key := func(f Fact) string { return f.Pred + "(" + strings.Join(f.Args, ",") + ")" }
+			for _, f := range base {
+				asserted[key(f)] = append(asserted[key(f)], f)
+			}
+			currentBase := func() []Fact {
+				var out []Fact
+				for _, fs := range asserted {
+					out = append(out, fs[0])
+				}
+				return out
+			}
+
+			batches := 4 + rng.Intn(4)
+			for bi := 0; bi < batches; bi++ {
+				// Every third batch is deletion-heavy to stress DRed.
+				delHeavy := bi%3 == 2
+				var ins, del []Fact
+				nDel := rng.Intn(4)
+				if delHeavy {
+					nDel = 5 + rng.Intn(10)
+				}
+				existing := currentBase()
+				for i := 0; i < nDel && len(existing) > 0; i++ {
+					f := existing[rng.Intn(len(existing))]
+					del = append(del, f)
+					delete(asserted, key(f))
+				}
+				nIns := rng.Intn(6)
+				if delHeavy {
+					nIns = rng.Intn(2)
+				}
+				for i := 0; i < nIns; i++ {
+					f := randFact(rng, nInd)
+					ins = append(ins, f)
+				}
+				// Apply deletions before insertions, mirroring State.
+				for _, f := range ins {
+					if _, dup := asserted[key(f)]; !dup {
+						asserted[key(f)] = []Fact{f}
+					}
+				}
+
+				if _, err := st.Apply(ins, del, Limits{}); err != nil {
+					t.Fatalf("batch %d Apply: %v", bi, err)
+				}
+				got := dump(st.DB())
+				want := dump(oracle(t, rules, currentBase()))
+				if got != want {
+					t.Fatalf("batch %d (delHeavy=%v, ins=%d del=%d): state differs from oracle\n got: %s\nwant: %s",
+						bi, delHeavy, len(ins), len(del), got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStateDeleteAll checks the degenerate full-teardown script: after
+// deleting every base fact the fixpoint must be empty.
+func TestStateDeleteAll(t *testing.T) {
+	rules := []Rule{
+		{Head: Atom{Pred: "A1", Args: []Term{V("x")}},
+			Body: []Atom{{Pred: "A0", Args: []Term{V("x")}}}},
+		{Head: Atom{Pred: "A0", Args: []Term{V("x")}},
+			Body: []Atom{{Pred: "A1", Args: []Term{V("x")}}}}, // cycle
+	}
+	base := []Fact{{Pred: "A0", Args: Tuple{"i"}}}
+	st, err := NewState(rules, base, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 2 {
+		t.Fatalf("size = %d, want 2", st.Size())
+	}
+	stats, err := st.Apply(nil, base, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 0 {
+		t.Fatalf("after delete-all size = %d, want 0 (stats %+v, left: %s)", st.Size(), stats, dump(st.DB()))
+	}
+}
+
+// TestRelationRemove exercises swap-delete index repair directly.
+func TestRelationRemove(t *testing.T) {
+	r := NewRelation(2)
+	add := func(a, b string) { r.Add(Tuple{a, b}) }
+	add("a", "b")
+	add("c", "d")
+	add("a", "d")
+	add("e", "f")
+	if !r.Remove(Tuple{"c", "d"}) {
+		t.Fatal("remove existing failed")
+	}
+	if r.Remove(Tuple{"c", "d"}) {
+		t.Fatal("double remove succeeded")
+	}
+	if r.Remove(Tuple{"zz", "d"}) {
+		t.Fatal("remove of unseen constant succeeded")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	for _, want := range []Tuple{{"a", "b"}, {"a", "d"}, {"e", "f"}} {
+		if !r.Contains(want) {
+			t.Fatalf("missing %v after remove", want)
+		}
+	}
+	if r.Contains(Tuple{"c", "d"}) {
+		t.Fatal("removed tuple still present")
+	}
+	// Index still answers joins: tuples with "a" in position 0.
+	if got := len(r.index[0]["a"]); got != 2 {
+		t.Fatalf("index[0][a] len = %d, want 2", got)
+	}
+	if got := len(r.index[1]["d"]); got != 1 {
+		t.Fatalf("index[1][d] len = %d, want 1", got)
+	}
+}

@@ -255,7 +255,15 @@ func Answer(prog *Program, db *Database, lim Limits) ([]Tuple, error) {
 	if err := Evaluate(prog.Rules, db, lim); err != nil {
 		return nil, err
 	}
-	seen := map[string]bool{}
+	return AnswerMaintained(prog, db)
+}
+
+// AnswerMaintained evaluates the residual UCQ of prog over an
+// already-materialized database — the incremental path: a maintained
+// State's DB is the fixpoint at the current epoch, so only the residual
+// join runs per query.
+func AnswerMaintained(prog *Program, db *Database) ([]Tuple, error) {
+	seen := newTupleSet()
 	var out []Tuple
 	for _, d := range prog.Residual {
 		body := make([]Atom, len(d.Atoms))
@@ -271,13 +279,11 @@ func Answer(prog *Program, db *Database, lim Limits) ([]Tuple, error) {
 			return nil, err
 		}
 		for _, t := range tuples {
-			k := t.key()
-			if !seen[k] {
-				seen[k] = true
+			if seen.add(t) {
 				out = append(out, t)
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out, nil
 }

@@ -144,6 +144,11 @@ type Store struct {
 	snapPath       string
 	lastCheckpoint atomic.Uint64 // epoch of the newest on-disk snapshot
 	checkpointErr  atomic.Pointer[error]
+
+	// watchers receive each committed batch under the writer gate, which
+	// is what guarantees publish-order, gap-free delivery. Guarded by
+	// gate.mu.
+	watchers []*Watcher
 }
 
 // NewStore wraps base in a mutable store. The base's symbol table is
@@ -269,6 +274,13 @@ func (s *Store) apply(r io.Reader, del bool) (int, error) {
 		return 0, fmt.Errorf("delta: store lost durability: %w", err)
 	}
 	cur := s.cur.Load()
+	var triples []rdf.Triple
+	if s.wal != nil || len(s.watchers) > 0 {
+		triples = make([]rdf.Triple, len(batch))
+		for i, o := range batch {
+			triples[i] = o.t
+		}
+	}
 	if s.wal != nil {
 		// Durability point: the record must be on stable storage before
 		// the swap below makes epoch+1 observable — a crash after a
@@ -276,10 +288,6 @@ func (s *Store) apply(r io.Reader, del bool) (int, error) {
 		// runs under the writer gate, which serializes writers on disk
 		// latency; that is the price of the ordering and why reads stay
 		// entirely outside this lock.
-		triples := make([]rdf.Triple, len(batch))
-		for i, o := range batch {
-			triples[i] = o.t
-		}
 		if err := s.wal.Append(snap.Record{Epoch: cur.epoch + 1, Del: del, Triples: triples}); err != nil {
 			// The log may now hold a torn record; appending more behind
 			// it would be unrecoverable. Poison the store: the batch is
@@ -295,7 +303,17 @@ func (s *Store) apply(r io.Reader, del bool) (int, error) {
 	// Full slice expression: future appends by later writers must go to a
 	// fresh backing array rather than scribbling past this state's view.
 	ops = ops[:len(ops):len(ops)]
-	s.cur.Store(&state{epoch: cur.epoch + 1, base: cur.base, ops: ops, nameFn: s.nameFn})
+	next := &state{epoch: cur.epoch + 1, base: cur.base, ops: ops, nameFn: s.nameFn}
+	s.cur.Store(next)
+	// Deliver to watchers while still holding the gate: this is what makes
+	// delivery order equal publish order, with no gaps or interleavings.
+	// Each batch carries the view at exactly its own epoch.
+	if len(s.watchers) > 0 {
+		b := Batch{Epoch: next.epoch, Del: del, Triples: triples, Snap: Snapshot{st: next}}
+		for _, w := range s.watchers {
+			w.push(b)
+		}
+	}
 	spawn := s.threshold > 0 && len(ops) >= s.threshold && !s.gate.compacting
 	if spawn {
 		s.gate.compacting = true
@@ -462,7 +480,15 @@ func (s *Store) Close() error {
 	// either a mutation commits (and any compactor it spawned is in the
 	// WaitGroup) strictly before this, or it observes closed and bails.
 	s.gate.closed = true
+	watchers := s.watchers
+	s.watchers = nil
 	s.gate.mu.Unlock()
+
+	// Watchers learn about the shutdown after draining what was already
+	// delivered: Wait returns pending batches first, then ErrClosed.
+	for _, w := range watchers {
+		w.markClosed()
+	}
 
 	s.bg.Wait()
 	if s.wal != nil {

@@ -1,0 +1,468 @@
+// Package inc is the incremental-reasoning subsystem: it sits on a
+// delta.Store's committed-batch stream (delta.Watcher) and keeps
+// registered reasoning states — datalog fixpoints, chase
+// materializations, consistency indexes — maintained batch-by-batch
+// instead of rebuilt from scratch at every epoch.
+//
+// A Manager owns one watcher and an ABox mirror of the store's current
+// contents. Chains register against the manager and are advanced lazily:
+// every Answer/Check call first drains the watcher under the manager's
+// lock and applies each pending batch (translated from triples to ABox
+// assertions) to every registered chain, then evaluates against the
+// maintained state and returns the epoch the answer is valid at. Lazy
+// advancement means an idle manager costs nothing but the watcher's
+// queued batches, and every answer is exact for the epoch it reports.
+//
+// Error isolation: a chain whose incremental apply fails (limit
+// exceeded, malformed rule) is marked broken and silently rebuilt from
+// the manager's mirror on its next use; other chains are unaffected.
+//
+// This package is on the internsafety hot-path list: its maps are keyed
+// by assertion structs or integers, never raw strings, and it compares
+// strings only against compile-time constants.
+package inc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ogpa/internal/core"
+	"ogpa/internal/cq"
+	"ogpa/internal/daf"
+	"ogpa/internal/datalog"
+	"ogpa/internal/delta"
+	"ogpa/internal/dllite"
+	"ogpa/internal/graph"
+	"ogpa/internal/rdf"
+	"ogpa/internal/saturate"
+)
+
+// ErrClosed reports use of a closed manager.
+var ErrClosed = errors.New("inc: manager closed")
+
+// Stats counts the manager's maintenance work, for /stats surfaces.
+type Stats struct {
+	Epoch      uint64 `json:"epoch"`       // epoch all chains are advanced to
+	Batches    uint64 `json:"batches"`     // committed batches applied
+	Triples    uint64 `json:"triples"`     // triples translated into assertions
+	Attributes uint64 `json:"attributes"`  // literal-object triples skipped
+	Chains     int    `json:"chains"`      // registered chains
+	Rebuilds   uint64 `json:"rebuilds"`    // chains rebuilt after an apply error
+	DatalogIns uint64 `json:"datalog_ins"` // facts added across datalog applies
+	DatalogDel uint64 `json:"datalog_del"` // facts overdeleted across datalog applies
+}
+
+// Manager maintains incremental reasoning state over one delta.Store.
+// All methods are safe for concurrent use; chain evaluation is
+// serialized under the manager's lock so every answer observes a fully
+// applied epoch, never a half-advanced one.
+type Manager struct {
+	nameFn func(string) string
+
+	// gate serializes advancement, registration and chain evaluation
+	// (the delta.Store gate idiom); every field below is guarded by
+	// gate.mu.
+	gate struct {
+		mu sync.Mutex
+	}
+	w      *delta.Watcher
+	epoch  uint64
+	closed bool
+
+	// ABox mirror of the store at epoch. Struct-keyed sets (not string
+	// keys) so membership stays internsafety-clean; the mirror is the
+	// rebuild source for broken chains and the base for late-registered
+	// ones.
+	concepts map[dllite.ConceptAssertion]bool
+	roles    map[dllite.RoleAssertion]bool
+
+	chains []chain
+	stats  Stats
+}
+
+// chain is one maintained reasoning state.
+type chain interface {
+	apply(ins, del *dllite.ABox, m *Manager) error
+	rebuild(base *dllite.ABox) error
+}
+
+// NewManager registers a watcher on store and mirrors the registration
+// snapshot. nameFn rewrites IRIs exactly as the store's own mutator does
+// (identity when nil); pass the same function the store was configured
+// with or translated assertions will not line up with its graph.
+func NewManager(store *delta.Store, nameFn func(string) string) *Manager {
+	if nameFn == nil {
+		nameFn = func(s string) string { return s }
+	}
+	w, sn := store.Watch()
+	m := &Manager{
+		nameFn:   nameFn,
+		w:        w,
+		epoch:    sn.Epoch(),
+		concepts: map[dllite.ConceptAssertion]bool{},
+		roles:    map[dllite.RoleAssertion]bool{},
+	}
+	m.mirrorIn(dllite.ABoxFromGraph(sn.Graph()), nil)
+	return m
+}
+
+// Close unregisters the watcher. Registered chains keep answering at
+// their last advanced epoch until callers drop them; advancing past
+// close returns ErrClosed.
+func (m *Manager) Close() {
+	m.gate.mu.Lock()
+	defer m.gate.mu.Unlock()
+	if !m.closed {
+		m.closed = true
+		m.w.Close()
+	}
+}
+
+// Epoch reports the epoch every registered chain is advanced to.
+func (m *Manager) Epoch() uint64 {
+	m.gate.mu.Lock()
+	defer m.gate.mu.Unlock()
+	return m.epoch
+}
+
+// Stats snapshots the maintenance counters.
+func (m *Manager) Stats() Stats {
+	m.gate.mu.Lock()
+	defer m.gate.mu.Unlock()
+	st := m.stats
+	st.Epoch = m.epoch
+	st.Chains = len(m.chains)
+	return st
+}
+
+// Advance drains all pending batches and applies them to every chain,
+// returning the resulting epoch. Callers normally never need this —
+// every Answer/Check advances implicitly — but a subscription hub calls
+// it once per wake-up before evaluating its standing queries.
+func (m *Manager) Advance() (uint64, error) {
+	m.gate.mu.Lock()
+	defer m.gate.mu.Unlock()
+	err := m.advanceLocked()
+	return m.epoch, err
+}
+
+// Ready exposes the watcher's wake-up channel (edge-triggered): a
+// receive means new batches may be pending. Subscription hubs select on
+// it and then call Advance.
+func (m *Manager) Ready() <-chan struct{} { return m.w.Ready() }
+
+// advanceLocked drains the watcher and applies each batch in publish
+// order: mirror first, then every chain. Chain errors break only that
+// chain (flagged for rebuild); translation and mirror maintenance are
+// infallible.
+func (m *Manager) advanceLocked() error {
+	if m.closed {
+		return ErrClosed
+	}
+	for _, b := range m.w.Poll() {
+		ins, del := m.translate(b)
+		m.mirrorIn(ins, del)
+		for _, c := range m.chains {
+			//lint:ignore droppederr the chain records its own failure (broken flag, rebuilt on next use); the batch must keep applying to sibling chains
+			_ = c.apply(ins, del, m)
+		}
+		m.epoch = b.Epoch
+		m.stats.Batches++
+	}
+	return nil
+}
+
+// translate converts one committed batch into assertion sets under the
+// same type-aware mapping rdf.ApplyTriple uses: rdf:type triples become
+// concept assertions, resource-object triples role assertions, and
+// literal-object triples are attributes, which no ABox-based reasoning
+// pipeline consumes — they are counted and skipped.
+func (m *Manager) translate(b delta.Batch) (ins, del *dllite.ABox) {
+	a := &dllite.ABox{}
+	for _, t := range b.Triples {
+		m.stats.Triples++
+		switch {
+		case t.Predicate == rdf.TypePredicate && t.Kind == rdf.ObjectIRI:
+			a.AddConcept(m.nameFn(t.Object), m.nameFn(t.Subject))
+		case t.Kind == rdf.ObjectIRI:
+			a.AddRole(m.nameFn(t.Predicate), m.nameFn(t.Subject), m.nameFn(t.Object))
+		default:
+			m.stats.Attributes++
+		}
+	}
+	if b.Del {
+		return &dllite.ABox{}, a
+	}
+	return a, &dllite.ABox{}
+}
+
+// mirrorIn applies an assertion delta to the mirror (deletions first,
+// matching the store's remove-then-add batch semantics).
+func (m *Manager) mirrorIn(ins, del *dllite.ABox) {
+	if del != nil {
+		for _, c := range del.Concepts {
+			delete(m.concepts, c)
+		}
+		for _, r := range del.Roles {
+			delete(m.roles, r)
+		}
+	}
+	if ins != nil {
+		for _, c := range ins.Concepts {
+			m.concepts[c] = true
+		}
+		for _, r := range ins.Roles {
+			m.roles[r] = true
+		}
+	}
+}
+
+// mirrorABox materializes the mirror as a plain ABox (set order is
+// unspecified; all consumers treat assertion lists as sets).
+func (m *Manager) mirrorABox() *dllite.ABox {
+	a := &dllite.ABox{}
+	for c := range m.concepts {
+		a.AddConcept(c.Concept, c.Ind)
+	}
+	for r := range m.roles {
+		a.AddRole(r.Role, r.Sub, r.Obj)
+	}
+	return a
+}
+
+// use advances to the newest epoch and rebuilds c from the mirror if a
+// previous batch broke it. Called at the top of every chain evaluation,
+// under the manager gate.
+func (m *Manager) use(c *chainState) error {
+	if err := m.advanceLocked(); err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	if c.broken {
+		if err := c.self.rebuild(m.mirrorABox()); err != nil {
+			return fmt.Errorf("inc: chain rebuild at epoch %d: %w", m.epoch, err)
+		}
+		c.broken = false
+		m.stats.Rebuilds++
+	}
+	return nil
+}
+
+// chainState is the bookkeeping every concrete chain embeds.
+type chainState struct {
+	self   chain
+	broken bool
+}
+
+// fail marks the chain broken and passes err through.
+func (c *chainState) fail(err error) error {
+	if err != nil {
+		c.broken = true
+	}
+	return err
+}
+
+// register wires a chain into the manager after draining pending
+// batches, so the chain's base state is exactly the mirror at m.epoch.
+func (m *Manager) register(c chain) error {
+	if err := m.advanceLocked(); err != nil {
+		return err
+	}
+	if err := c.rebuild(m.mirrorABox()); err != nil {
+		return err
+	}
+	m.chains = append(m.chains, c)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Datalog chain
+
+// DatalogChain maintains the semi-naive fixpoint of one datalog program
+// (the rewriting of one standing query) across epochs: insertions seed a
+// continuation round, deletions run DRed, and Answer only re-joins the
+// residual UCQ over the maintained database.
+type DatalogChain struct {
+	chainState
+	m     *Manager
+	prog  *datalog.Program
+	lim   datalog.Limits
+	state *datalog.State
+}
+
+// RegisterDatalog builds a maintained fixpoint for prog over the store's
+// current contents. lim bounds both the initial evaluation and every
+// per-batch apply.
+func (m *Manager) RegisterDatalog(prog *datalog.Program, lim datalog.Limits) (*DatalogChain, error) {
+	m.gate.mu.Lock()
+	defer m.gate.mu.Unlock()
+	c := &DatalogChain{m: m, prog: prog, lim: lim}
+	c.self = c
+	if err := m.register(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// aboxFacts flattens an assertion delta into EDB facts.
+func aboxFacts(a *dllite.ABox) []datalog.Fact {
+	var fs []datalog.Fact
+	for _, c := range a.Concepts {
+		fs = append(fs, datalog.Fact{Pred: c.Concept, Args: datalog.Tuple{c.Ind}})
+	}
+	for _, r := range a.Roles {
+		fs = append(fs, datalog.Fact{Pred: r.Role, Args: datalog.Tuple{r.Sub, r.Obj}})
+	}
+	return fs
+}
+
+func (c *DatalogChain) apply(ins, del *dllite.ABox, m *Manager) error {
+	if c.broken {
+		return nil // already pending rebuild; skip to keep applies cheap
+	}
+	st, err := c.state.Apply(aboxFacts(ins), aboxFacts(del), c.lim)
+	m.stats.DatalogIns += uint64(st.Added)
+	m.stats.DatalogDel += uint64(st.Overdeleted)
+	return c.fail(err)
+}
+
+func (c *DatalogChain) rebuild(base *dllite.ABox) error {
+	state, err := datalog.NewState(c.prog.Rules, aboxFacts(base), c.lim)
+	if err != nil {
+		return err
+	}
+	c.state = state
+	return nil
+}
+
+// Answer advances to the newest epoch and evaluates the program's
+// residual UCQ over the maintained fixpoint, returning distinct sorted
+// tuples and the epoch they are exact for.
+func (c *DatalogChain) Answer() ([]datalog.Tuple, uint64, error) {
+	c.m.gate.mu.Lock()
+	defer c.m.gate.mu.Unlock()
+	if err := c.m.use(&c.chainState); err != nil {
+		return nil, c.m.epoch, err
+	}
+	out, err := datalog.AnswerMaintained(c.prog, c.state.DB())
+	return out, c.m.epoch, err
+}
+
+// ---------------------------------------------------------------------------
+// Chase chain
+
+// ChaseChain maintains a bounded restricted-chase materialization
+// (saturate.Maintainer) across epochs. One chain serves every query
+// whose required depth (q.Size()+1) fits under its construction depth.
+type ChaseChain struct {
+	chainState
+	m     *Manager
+	t     *dllite.TBox
+	depth int
+	lim   saturate.Limits
+	mnt   *saturate.Maintainer
+}
+
+// RegisterChase builds a maintained chase of the given depth over the
+// store's current contents.
+func (m *Manager) RegisterChase(t *dllite.TBox, depth int, lim saturate.Limits) (*ChaseChain, error) {
+	m.gate.mu.Lock()
+	defer m.gate.mu.Unlock()
+	c := &ChaseChain{m: m, t: t, depth: depth, lim: lim}
+	c.self = c
+	if err := m.register(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Depth reports the chain's chase depth bound.
+func (c *ChaseChain) Depth() int { return c.depth }
+
+func (c *ChaseChain) apply(ins, del *dllite.ABox, m *Manager) error {
+	if c.broken {
+		return nil
+	}
+	return c.fail(c.mnt.Apply(ins, del, c.lim))
+}
+
+func (c *ChaseChain) rebuild(base *dllite.ABox) error {
+	mnt, err := saturate.NewMaintainer(c.t, base, c.depth, c.lim)
+	if err != nil {
+		return err
+	}
+	c.mnt = mnt
+	return nil
+}
+
+// Answer advances to the newest epoch and evaluates q over the
+// maintained canonical model, filtering null-touching rows. The query's
+// required depth must fit under the chain's bound or answers would be
+// incomplete.
+func (c *ChaseChain) Answer(q *cq.Query, evalLim daf.Limits) (*core.AnswerSet, *graph.Graph, uint64, error) {
+	c.m.gate.mu.Lock()
+	defer c.m.gate.mu.Unlock()
+	if q.Size()+1 > c.depth {
+		return nil, nil, c.m.epoch,
+			fmt.Errorf("inc: query needs chase depth %d but chain was built at %d", q.Size()+1, c.depth)
+	}
+	if err := c.m.use(&c.chainState); err != nil {
+		return nil, nil, c.m.epoch, err
+	}
+	res, g, err := c.mnt.Answer(q, evalLim)
+	return res, g, c.m.epoch, err
+}
+
+// ---------------------------------------------------------------------------
+// Consistency chain
+
+// ConsistencyChain maintains the negative-inclusion violation index
+// (saturate.ConsistencyState) across epochs; each batch rechecks only
+// the individuals it touched.
+type ConsistencyChain struct {
+	chainState
+	m   *Manager
+	t   *dllite.TBox
+	lim saturate.Limits
+	cs  *saturate.ConsistencyState
+}
+
+// RegisterConsistency builds a maintained violation index over the
+// store's current contents.
+func (m *Manager) RegisterConsistency(t *dllite.TBox, lim saturate.Limits) (*ConsistencyChain, error) {
+	m.gate.mu.Lock()
+	defer m.gate.mu.Unlock()
+	c := &ConsistencyChain{m: m, t: t, lim: lim}
+	c.self = c
+	if err := m.register(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *ConsistencyChain) apply(ins, del *dllite.ABox, m *Manager) error {
+	if c.broken {
+		return nil
+	}
+	return c.fail(c.cs.Apply(ins, del, c.lim))
+}
+
+func (c *ConsistencyChain) rebuild(base *dllite.ABox) error {
+	cs, err := saturate.NewConsistencyState(c.t, base, c.lim)
+	if err != nil {
+		return err
+	}
+	c.cs = cs
+	return nil
+}
+
+// Check advances to the newest epoch and reports the maintained verdict
+// and violation list, plus the epoch they are exact for.
+func (c *ConsistencyChain) Check() (bool, []saturate.Violation, uint64, error) {
+	c.m.gate.mu.Lock()
+	defer c.m.gate.mu.Unlock()
+	if err := c.m.use(&c.chainState); err != nil {
+		return false, nil, c.m.epoch, err
+	}
+	return c.cs.Consistent(), c.cs.Violations(), c.m.epoch, nil
+}

@@ -1,0 +1,346 @@
+package inc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"ogpa/internal/cq"
+	"ogpa/internal/daf"
+	"ogpa/internal/datalog"
+	"ogpa/internal/delta"
+	"ogpa/internal/dllite"
+	"ogpa/internal/perfectref"
+	"ogpa/internal/saturate"
+	"ogpa/internal/testkb"
+)
+
+// ntConcept / ntRole render one assertion as an N-Triples line (bare
+// names; the 'a' shorthand only binds in predicate position, so
+// individuals named "a" are safe as subjects).
+func ntConcept(c dllite.ConceptAssertion) string {
+	return fmt.Sprintf("%s a %s .", c.Ind, c.Concept)
+}
+
+func ntRole(r dllite.RoleAssertion) string {
+	return fmt.Sprintf("%s %s %s .", r.Sub, r.Role, r.Obj)
+}
+
+// liveStore builds a delta store whose base graph holds abox.
+func liveStore(abox *dllite.ABox) *delta.Store {
+	return delta.NewStore(abox.Graph(nil), delta.Config{CompactThreshold: -1})
+}
+
+// oracleABox reconstructs the ABox at the store's current epoch — the
+// exact view ogpa.KB's cold pipelines evaluate against.
+func oracleABox(s *delta.Store) *dllite.ABox {
+	return dllite.ABoxFromGraph(s.Snapshot().Graph())
+}
+
+// randTripleBatch draws one insertion or deletion body over the testkb
+// signature, biased like the package-level sweeps: every third batch is
+// deletion-heavy.
+func randTripleBatch(rng *rand.Rand, cur *dllite.ABox, heavy bool) (body string, del bool) {
+	var lines []string
+	if heavy && (len(cur.Concepts) > 0 || len(cur.Roles) > 0) {
+		for i := 0; i < 3+rng.Intn(6); i++ {
+			if n := len(cur.Concepts); n > 0 && (rng.Intn(2) == 0 || len(cur.Roles) == 0) {
+				lines = append(lines, ntConcept(cur.Concepts[rng.Intn(n)]))
+			} else if n := len(cur.Roles); n > 0 {
+				lines = append(lines, ntRole(cur.Roles[rng.Intn(n)]))
+			}
+		}
+		return strings.Join(lines, "\n"), true
+	}
+	add := testkb.RandomABox(rng)
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n && i < len(add.Concepts); i++ {
+		lines = append(lines, ntConcept(add.Concepts[i]))
+	}
+	for i := 0; i < n && i < len(add.Roles); i++ {
+		lines = append(lines, ntRole(add.Roles[i]))
+	}
+	return strings.Join(lines, "\n"), false
+}
+
+// TestManagerChainsMatchOracle is the manager-level slice of the
+// 100-seed incremental-vs-recompute sweep: datalog, chase and
+// consistency chains riding one watcher must agree byte-for-byte with
+// from-scratch evaluation over the store's reconstructed ABox after
+// every committed batch, including deletion-heavy ones.
+func TestManagerChainsMatchOracle(t *testing.T) {
+	for seed := 0; seed < 100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			tb, abox, q := testkb.RandomKB(rng)
+
+			prog, err := datalog.Rewrite(q, tb, perfectref.Limits{})
+			if err != nil {
+				t.Fatalf("Rewrite: %v", err)
+			}
+
+			s := liveStore(abox)
+			defer s.Close()
+			m := NewManager(s, nil)
+			defer m.Close()
+
+			dc, err := m.RegisterDatalog(prog, datalog.Limits{})
+			if err != nil {
+				t.Fatalf("RegisterDatalog: %v", err)
+			}
+			cc, err := m.RegisterChase(tb, q.Size()+1, saturate.Limits{})
+			if err != nil {
+				t.Fatalf("RegisterChase: %v", err)
+			}
+			xc, err := m.RegisterConsistency(tb, saturate.Limits{})
+			if err != nil {
+				t.Fatalf("RegisterConsistency: %v", err)
+			}
+
+			check := func(step string) {
+				t.Helper()
+				cur := oracleABox(s)
+
+				got, epoch, err := dc.Answer()
+				if err != nil {
+					t.Fatalf("%s: datalog chain: %v", step, err)
+				}
+				if epoch != s.Epoch() {
+					t.Fatalf("%s: datalog answered at epoch %d, store at %d", step, epoch, s.Epoch())
+				}
+				want, err := datalog.Answer(prog, datalog.LoadABox(cur), datalog.Limits{})
+				if err != nil {
+					t.Fatalf("%s: datalog oracle: %v", step, err)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("%s: datalog\nmaintained: %v\noracle:     %v", step, got, want)
+				}
+
+				res, g, _, err := cc.Answer(q, daf.Limits{})
+				if err != nil {
+					t.Fatalf("%s: chase chain: %v", step, err)
+				}
+				ores, og, _, err := saturate.AnswerCQ(tb, cur, q, saturate.Limits{}, daf.Limits{})
+				if err != nil {
+					t.Fatalf("%s: chase oracle: %v", step, err)
+				}
+				gs, ws := strings.Join(res.Names(g), "\n"), strings.Join(ores.Names(og), "\n")
+				if gs != ws {
+					t.Fatalf("%s: chase %s\nmaintained:\n%s\noracle:\n%s", step, q, gs, ws)
+				}
+
+				ok, _, _, err := xc.Check()
+				if err != nil {
+					t.Fatalf("%s: consistency chain: %v", step, err)
+				}
+				ovs, err := saturate.CheckConsistency(tb, cur, saturate.Limits{})
+				if err != nil {
+					t.Fatalf("%s: consistency oracle: %v", step, err)
+				}
+				if ok != (len(ovs) == 0) {
+					t.Fatalf("%s: consistency maintained=%v oracle violations=%v", step, ok, ovs)
+				}
+			}
+			check("initial")
+
+			for bi := 0; bi < 6; bi++ {
+				heavy := bi%3 == 2
+				body, del := randTripleBatch(rng, oracleABox(s), heavy)
+				if body == "" {
+					continue
+				}
+				var err error
+				if del {
+					_, err = s.DeleteTriples(strings.NewReader(body))
+				} else {
+					_, err = s.InsertTriples(strings.NewReader(body))
+				}
+				if err != nil {
+					t.Fatalf("batch %d: %v", bi, err)
+				}
+				check(fmt.Sprintf("batch %d (del=%v)", bi, del))
+			}
+
+			st := m.Stats()
+			if st.Epoch != s.Epoch() || st.Chains != 3 {
+				t.Fatalf("stats = %+v, store epoch %d", st, s.Epoch())
+			}
+		})
+	}
+}
+
+// TestManagerLateRegistration: a chain registered after batches have
+// committed must initialize from the advanced mirror, not the
+// registration-time base graph.
+func TestManagerLateRegistration(t *testing.T) {
+	abox := &dllite.ABox{}
+	abox.AddConcept("A", "x1")
+	tb := dllite.NewTBox([]dllite.ConceptInclusion{
+		{Sub: dllite.Atomic("A"), Sup: dllite.Atomic("B")},
+	}, nil)
+
+	s := liveStore(abox)
+	defer s.Close()
+	m := NewManager(s, nil)
+	defer m.Close()
+
+	if _, err := s.InsertTriples(strings.NewReader("x2 a A .")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DeleteTriples(strings.NewReader("x1 a A .")); err != nil {
+		t.Fatal(err)
+	}
+
+	cc, err := m.RegisterChase(tb, 3, saturate.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParse("q(x) :- B(x)")
+	res, g, epoch, err := cc.Answer(q, daf.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != s.Epoch() {
+		t.Fatalf("answered at epoch %d, store at %d", epoch, s.Epoch())
+	}
+	if got := strings.Join(res.Names(g), ";"); got != "x2" {
+		t.Fatalf("late-registered chain answers = %q, want x2", got)
+	}
+}
+
+// TestManagerErrorIsolationAndRebuild: a chain whose apply blows its
+// limit breaks alone — its sibling keeps answering — and recovers by
+// rebuilding from the mirror once evaluation is possible again.
+func TestManagerErrorIsolationAndRebuild(t *testing.T) {
+	tb := dllite.NewTBox([]dllite.ConceptInclusion{
+		{Sub: dllite.Atomic("A"), Sup: dllite.Atomic("B")},
+	}, nil)
+	abox := &dllite.ABox{}
+	abox.AddConcept("A", "x0")
+
+	q := cq.MustParse("q(x) :- B(x)")
+	prog, err := datalog.Rewrite(q, tb, perfectref.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := liveStore(abox)
+	defer s.Close()
+	m := NewManager(s, nil)
+	defer m.Close()
+
+	// tight enough to break once the store holds ~10 individuals (each
+	// A(x) derives B(x), c·A(x), c·B(x) under the rewriting).
+	tight, err := m.RegisterDatalog(prog, datalog.Limits{MaxFacts: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := m.RegisterDatalog(prog, datalog.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []string
+	for i := 1; i <= 10; i++ {
+		lines = append(lines, fmt.Sprintf("x%d a A .", i))
+	}
+	if _, err := s.InsertTriples(strings.NewReader(strings.Join(lines, "\n"))); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := tight.Answer(); err == nil {
+		t.Fatal("tight chain answered past its MaxFacts limit")
+	}
+	out, _, err := loose.Answer()
+	if err != nil {
+		t.Fatalf("sibling chain broken by tight chain's failure: %v", err)
+	}
+	if len(out) != 11 {
+		t.Fatalf("sibling answers = %d rows, want 11", len(out))
+	}
+
+	// Shrink the store below the limit: the broken chain rebuilds from
+	// the mirror and recovers.
+	if _, err := s.DeleteTriples(strings.NewReader(strings.Join(lines, "\n"))); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err = tight.Answer()
+	if err != nil {
+		t.Fatalf("tight chain did not recover after shrink: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("recovered answers = %v, want [x0]", out)
+	}
+	if st := m.Stats(); st.Rebuilds == 0 {
+		t.Fatalf("stats = %+v, want a recorded rebuild", st)
+	}
+}
+
+// TestManagerConcurrent hammers one manager with concurrent writers and
+// readers; run under -race. Every answer must be internally consistent
+// with the epoch it reports (monotone, never past the store).
+func TestManagerConcurrent(t *testing.T) {
+	tb := dllite.NewTBox([]dllite.ConceptInclusion{
+		{Sub: dllite.Atomic("A"), Sup: dllite.Atomic("B")},
+	}, nil)
+	abox := &dllite.ABox{}
+	abox.AddConcept("A", "w0_0")
+
+	q := cq.MustParse("q(x) :- B(x)")
+	prog, err := datalog.Rewrite(q, tb, perfectref.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := liveStore(abox)
+	defer s.Close()
+	m := NewManager(s, nil)
+	defer m.Close()
+	dc, err := m.RegisterDatalog(prog, datalog.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, perWriter = 4, 20
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				line := fmt.Sprintf("w%d_%d a A .", i, j)
+				if _, err := s.InsertTriples(strings.NewReader(line)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	var last uint64
+	for k := 0; k < 50; k++ {
+		out, epoch, err := dc.Answer()
+		if err != nil {
+			t.Fatalf("Answer %d: %v", k, err)
+		}
+		if epoch < last || epoch > s.Epoch() {
+			t.Fatalf("epoch went %d after %d (store %d)", epoch, last, s.Epoch())
+		}
+		last = epoch
+		if len(out) == 0 {
+			t.Fatal("lost the base answer")
+		}
+	}
+	wg.Wait()
+
+	out, epoch, err := dc.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != s.Epoch() || len(out) != writers*perWriter {
+		t.Fatalf("final: %d rows at epoch %d, want %d rows at %d",
+			len(out), epoch, writers*perWriter, s.Epoch())
+	}
+}

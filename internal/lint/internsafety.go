@@ -33,6 +33,7 @@ var hotPathSuffixes = []string{
 	"internal/delta",
 	"internal/snap",
 	"internal/shard",
+	"internal/inc",
 }
 
 func runInternSafety(p *Pass) {

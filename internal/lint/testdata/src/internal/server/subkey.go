@@ -1,0 +1,47 @@
+package server
+
+import "fmt"
+
+// answerMemo mirrors the subscription hub's per-epoch answer memo: a
+// standing query's rendered rows are only valid for the epoch the
+// maintained state was advanced to when they were computed.
+type answerMemo struct {
+	rows map[string][]string
+}
+
+// Get looks rendered rows up by their composed key.
+func (m *answerMemo) Get(key string) ([]string, bool) {
+	r, ok := m.rows[key]
+	return r, ok
+}
+
+// Put memoizes rendered rows under the composed key.
+func (m *answerMemo) Put(key string, rows []string) {
+	m.rows[key] = rows
+}
+
+// subKeyFresh is the sanctioned maintained-state key: the epoch the
+// chains were advanced to is a key component, so the next committed
+// batch strands every stale row set.
+func subKeyFresh(fingerprint string, epoch uint64, query string) string {
+	return fmt.Sprintf("%s|%d|sub|%s", fingerprint, epoch, query)
+}
+
+// subKeyStale keys a standing query's rows by ontology fingerprint
+// alone — the memo would keep serving pre-batch answers after every
+// InsertTriples/DeleteTriples commit.
+func subKeyStale(fingerprint, query string) string {
+	key := fmt.Sprintf("%s|sub|%s", fingerprint, query) // want:epochkey
+	return key
+}
+
+// publishStale hands a bare fingerprint-derived key to the memo.
+func publishStale(m *answerMemo, fingerprint string, rows []string) {
+	m.Put(fingerprint, rows) // want:epochkey
+}
+
+// publishFresh composes through the sanctioned helper; the epoch
+// identifier appears in the key expression.
+func publishFresh(m *answerMemo, fingerprint string, epoch uint64, rows []string) {
+	m.Put(subKeyFresh(fingerprint, epoch, "q1"), rows)
+}

@@ -1,0 +1,33 @@
+package server
+
+// batch mirrors delta.Batch: a committed mutation batch carries the
+// store's immutable view pinned at exactly its own epoch, so consumers
+// evaluate against the version the batch produced — never a fresher one
+// that later writes already advanced.
+type batch struct {
+	epoch uint64
+	view  *view
+}
+
+// publishPinned is the sanctioned one-pinned-view-per-publish shape: the
+// hub evaluates each batch against the view the batch itself carries. No
+// store load happens in the loop at all.
+func publishPinned(batches []batch) int {
+	total := 0
+	for _, b := range batches {
+		total += b.view.size + int(b.epoch)
+	}
+	return total
+}
+
+// publishTorn re-materializes the store's current view per delivered
+// batch: when the hub lags the writers, every iteration evaluates a
+// different (newer) epoch than the batch it is publishing for — the
+// answer deltas get attributed to the wrong epochs.
+func publishTorn(s *store, batches []batch) int {
+	total := 0
+	for _, b := range batches {
+		total += s.Snapshot().size + int(b.epoch) // want:snapshotonce
+	}
+	return total
+}

@@ -1,0 +1,736 @@
+// Incremental chase maintenance: a Maintainer keeps a bounded restricted
+// chase (the same store Materialize builds) up to date under ABox
+// insert/delete batches, instead of re-chasing from scratch per epoch.
+//
+// Insertions are monotone: new base facts are added and the chase rounds
+// simply continue (everything already derived stays derived). Deletions
+// use DRed adapted to the chase: overdelete every fact whose recorded
+// derivation passes through a deleted fact — including null edges, whose
+// provenance records the holder fact that triggered their invention —
+// then rederive overdeleted facts that have surviving one-step support,
+// and finally run repair rounds to fixpoint (which also re-invents
+// witnesses for holders whose only witness was deleted).
+//
+// The maintained store may keep redundant nulls a from-scratch chase
+// would not create (a null invented before a named witness arrived, or
+// rederived without the "not already witnessed" restriction). That is
+// harmless for certain answers: every kept null subtree is triggered by
+// a surviving entailed fact, so it maps homomorphically into the
+// canonical model, and FilterNulls drops nulls from answer positions —
+// so answers over named individuals coincide with the from-scratch
+// oracle. The 100-seed sweep in incremental_test.go checks exactly that.
+package saturate
+
+import (
+	"sort"
+	"time"
+
+	"ogpa/internal/core"
+	"ogpa/internal/cq"
+	"ogpa/internal/daf"
+	"ogpa/internal/dllite"
+	"ogpa/internal/graph"
+)
+
+// labelFact is one concept-membership fact A(ind).
+type labelFact struct{ ind, label string }
+
+// trigger records why a null edge exists: the holder it witnesses plus
+// the fact that made the holder eligible when the null was invented.
+type trigger struct {
+	holder  string
+	null    string
+	byLabel labelFact // holder fact when the axiom's Sub is a concept
+	byEdge  edgeFact  // holder fact when the axiom's Sub is ∃R'
+	viaEdge bool
+}
+
+// Maintainer is an incrementally-maintained bounded chase.
+type Maintainer struct {
+	t        *dllite.TBox
+	maxDepth int
+	s        *store
+
+	baseLabels map[labelFact]bool
+	baseEdges  map[edgeFact]bool
+	prov       map[edgeFact]trigger // null-edge provenance
+
+	touched map[string]bool // individuals whose facts changed in the last Apply
+	g       *graph.Graph    // memoized materialization; nil = stale
+}
+
+// NewMaintainer chases the ABox to fixpoint at the given depth bound.
+// The bound must be at least q.Size()+1 for every query the maintainer
+// will answer (AnswerCQ's rule).
+func NewMaintainer(t *dllite.TBox, a *dllite.ABox, maxDepth int, lim Limits) (*Maintainer, error) {
+	m := &Maintainer{
+		t:          t,
+		maxDepth:   maxDepth,
+		s:          newStore(),
+		baseLabels: map[labelFact]bool{},
+		baseEdges:  map[edgeFact]bool{},
+		prov:       map[edgeFact]trigger{},
+		touched:    map[string]bool{},
+	}
+	for _, ca := range a.Concepts {
+		f := labelFact{ca.Ind, ca.Concept}
+		if !m.baseLabels[f] {
+			m.baseLabels[f] = true
+			m.addLabel(f.ind, f.label)
+		}
+	}
+	for _, ra := range a.Roles {
+		e := edgeFact{ra.Role, ra.Sub, ra.Obj}
+		if !m.baseEdges[e] {
+			m.baseEdges[e] = true
+			m.addEdge(e)
+		}
+	}
+	if err := m.chase(lim); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Depth reports the chase depth bound the maintainer was built with.
+func (m *Maintainer) Depth() int { return m.maxDepth }
+
+// Facts reports the current fact count of the maintained store.
+func (m *Maintainer) Facts() int { return m.s.facts }
+
+// Touched returns the individuals whose facts changed (added or removed,
+// base or derived) during the most recent Apply — the batch-scoped
+// region consistency checking re-examines.
+func (m *Maintainer) Touched() map[string]bool { return m.touched }
+
+// addLabel/addEdge/removeLabel/removeEdge wrap the store mutators with
+// touched-region tracking.
+func (m *Maintainer) addLabel(ind, label string) bool {
+	if m.s.addLabel(ind, label) {
+		m.touched[ind] = true
+		return true
+	}
+	return false
+}
+
+func (m *Maintainer) addEdge(e edgeFact) bool {
+	if m.s.addEdge(e.role, e.from, e.to) {
+		m.touched[e.from] = true
+		m.touched[e.to] = true
+		return true
+	}
+	return false
+}
+
+func (m *Maintainer) removeLabel(f labelFact) bool {
+	if m.s.removeLabel(f.ind, f.label) {
+		m.touched[f.ind] = true
+		return true
+	}
+	return false
+}
+
+func (m *Maintainer) removeEdge(e edgeFact) bool {
+	if m.s.removeEdge(e) {
+		m.touched[e.from] = true
+		m.touched[e.to] = true
+		return true
+	}
+	return false
+}
+
+// chase runs Materialize's round loop over the maintained store until
+// fixpoint, recording provenance for every null it invents. Monotone:
+// it only adds facts, so running it over an already-closed store is a
+// no-op plus one verification round.
+func (m *Maintainer) chase(lim Limits) error {
+	s := m.s
+	for {
+		if !lim.Deadline.IsZero() && time.Now().After(lim.Deadline) {
+			return ErrLimit
+		}
+		changed := false
+
+		for _, ci := range m.t.CIs {
+			switch {
+			case !ci.Sub.Exists && !ci.Sup.Exists: // I1
+				for ind, ls := range s.labels {
+					if ls[ci.Sub.Name] && m.addLabel(ind, ci.Sup.Name) {
+						changed = true
+					}
+				}
+			case ci.Sub.Exists && !ci.Sup.Exists: // I8/I9
+				r := ci.Sub.Role()
+				for e := range s.edgeSeen {
+					if e.role != r.Name {
+						continue
+					}
+					ind := e.from
+					if r.Inv {
+						ind = e.to
+					}
+					if m.addLabel(ind, ci.Sup.Name) {
+						changed = true
+					}
+				}
+			}
+		}
+		for _, ri := range m.t.RIs {
+			var adds []edgeFact
+			for e := range s.edgeSeen {
+				if e.role != ri.Sub.Name {
+					continue
+				}
+				if !ri.Sub.Inv {
+					adds = append(adds, edgeFact{ri.Sup.Name, e.from, e.to})
+				} else {
+					adds = append(adds, edgeFact{ri.Sup.Name, e.to, e.from})
+				}
+			}
+			for _, e := range adds {
+				if m.addEdge(e) {
+					changed = true
+				}
+			}
+		}
+
+		// Existential rules: collect holders (with the fact that makes
+		// them holders) first, then invent witnesses — never mutate the
+		// maps being ranged.
+		for _, ci := range m.t.CIs {
+			if !ci.Sup.Exists {
+				continue
+			}
+			sup := ci.Sup.Role()
+			var holders []trigger
+			if !ci.Sub.Exists { // A ⊑ ∃R
+				for ind, ls := range s.labels {
+					if ls[ci.Sub.Name] {
+						holders = append(holders, trigger{holder: ind, byLabel: labelFact{ind, ci.Sub.Name}})
+					}
+				}
+			} else { // ∃R' ⊑ ∃R
+				r := ci.Sub.Role()
+				seen := map[string]bool{}
+				for e := range s.edgeSeen {
+					if e.role != r.Name {
+						continue
+					}
+					ind := e.from
+					if r.Inv {
+						ind = e.to
+					}
+					if !seen[ind] {
+						seen[ind] = true
+						holders = append(holders, trigger{holder: ind, byEdge: e, viaEdge: true})
+					}
+				}
+			}
+			for _, tr := range holders {
+				x := tr.holder
+				if s.holdsExists(x, sup) || s.depth[x] >= m.maxDepth {
+					continue
+				}
+				w := s.fresh(s.depth[x] + 1)
+				tr.null = w
+				var e edgeFact
+				if !sup.Inv {
+					e = edgeFact{sup.Name, x, w}
+				} else {
+					e = edgeFact{sup.Name, w, x}
+				}
+				m.addEdge(e)
+				m.prov[e] = tr
+				changed = true
+				if lim.MaxFacts > 0 && s.facts > lim.MaxFacts {
+					return ErrLimit
+				}
+			}
+		}
+
+		if lim.MaxFacts > 0 && s.facts > lim.MaxFacts {
+			return ErrLimit
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// Apply maintains the chase for one batch: deletions (DRed) then
+// insertions (chase continuation). On error the maintainer is stale and
+// must be rebuilt.
+func (m *Maintainer) Apply(ins, del *dllite.ABox, lim Limits) error {
+	m.touched = map[string]bool{}
+	m.g = nil
+
+	// Overdeletion seeds: base facts losing their assertion.
+	overL := map[labelFact]bool{}
+	overE := map[edgeFact]bool{}
+	var workL []labelFact
+	var workE []edgeFact
+	if del != nil {
+		for _, ca := range del.Concepts {
+			f := labelFact{ca.Ind, ca.Concept}
+			if m.baseLabels[f] {
+				delete(m.baseLabels, f)
+				if m.s.labels[f.ind][f.label] {
+					overL[f] = true
+					workL = append(workL, f)
+				}
+			}
+		}
+		for _, ra := range del.Roles {
+			e := edgeFact{ra.Role, ra.Sub, ra.Obj}
+			if m.baseEdges[e] {
+				delete(m.baseEdges, e)
+				if m.s.edgeSeen[e] {
+					overE[e] = true
+					workE = append(workE, e)
+				}
+			}
+		}
+	}
+
+	if len(workL)+len(workE) > 0 {
+		// Reverse provenance: trigger fact → null edges it justifies.
+		byLT := map[labelFact][]edgeFact{}
+		byET := map[edgeFact][]edgeFact{}
+		for e, tr := range m.prov {
+			if tr.viaEdge {
+				byET[tr.byEdge] = append(byET[tr.byEdge], e)
+			} else {
+				byLT[tr.byLabel] = append(byLT[tr.byLabel], e)
+			}
+		}
+		addOverL := func(f labelFact) {
+			if !overL[f] && !m.baseLabels[f] && m.s.labels[f.ind][f.label] {
+				overL[f] = true
+				workL = append(workL, f)
+			}
+		}
+		addOverE := func(e edgeFact) {
+			if !overE[e] && !m.baseEdges[e] && m.s.edgeSeen[e] {
+				overE[e] = true
+				workE = append(workE, e)
+			}
+		}
+
+		// Overdeletion closure over the pre-deletion store: everything
+		// one-step derivable from an overdeleted fact joins the set
+		// (unless it is still base-asserted, i.e. self-supported).
+		for len(workL)+len(workE) > 0 {
+			if !lim.Deadline.IsZero() && time.Now().After(lim.Deadline) {
+				return ErrLimit
+			}
+			if n := len(workL); n > 0 {
+				f := workL[n-1]
+				workL = workL[:n-1]
+				for _, ci := range m.t.CIs {
+					if !ci.Sup.Exists && !ci.Sub.Exists && ci.Sub.Name == f.label {
+						addOverL(labelFact{f.ind, ci.Sup.Name}) // I1
+					}
+				}
+				for _, e := range byLT[f] {
+					addOverE(e)
+				}
+				continue
+			}
+			n := len(workE)
+			e := workE[n-1]
+			workE = workE[:n-1]
+			for _, ci := range m.t.CIs {
+				if ci.Sup.Exists || !ci.Sub.Exists {
+					continue
+				}
+				r := ci.Sub.Role()
+				if r.Name != e.role {
+					continue
+				}
+				ind := e.from
+				if r.Inv {
+					ind = e.to
+				}
+				addOverL(labelFact{ind, ci.Sup.Name}) // I8/I9
+			}
+			for _, ri := range m.t.RIs {
+				if ri.Sub.Name != e.role {
+					continue
+				}
+				if !ri.Sub.Inv { // I2
+					addOverE(edgeFact{ri.Sup.Name, e.from, e.to})
+				} else { // I3
+					addOverE(edgeFact{ri.Sup.Name, e.to, e.from})
+				}
+			}
+			for _, x := range byET[e] {
+				addOverE(x)
+			}
+		}
+
+		// Physically remove the overestimate, remembering null-edge
+		// provenance for the rederivation check.
+		removedProv := map[edgeFact]trigger{}
+		for f := range overL {
+			m.removeLabel(f)
+		}
+		for e := range overE {
+			if tr, ok := m.prov[e]; ok {
+				removedProv[e] = tr
+				delete(m.prov, e)
+			}
+			m.removeEdge(e)
+		}
+
+		// Rederive: an overdeleted fact with surviving one-step support
+		// goes back; the repair rounds below restore everything
+		// downstream.
+		for f := range overL {
+			if m.derivableLabel(f) {
+				m.addLabel(f.ind, f.label)
+			}
+		}
+		for e := range overE {
+			if tr, isNull := removedProv[e]; isNull {
+				if ntr, ok := m.rederiveNull(e, tr); ok {
+					m.addEdge(e)
+					m.prov[e] = ntr
+				}
+			} else if m.derivableEdge(e) {
+				m.addEdge(e)
+			}
+		}
+	}
+
+	// Insertions: new base facts, then one chase continuation to
+	// fixpoint (this also re-invents witnesses for holders whose only
+	// witness was deleted above).
+	if ins != nil {
+		for _, ca := range ins.Concepts {
+			f := labelFact{ca.Ind, ca.Concept}
+			if !m.baseLabels[f] {
+				m.baseLabels[f] = true
+				m.addLabel(f.ind, f.label)
+			}
+		}
+		for _, ra := range ins.Roles {
+			e := edgeFact{ra.Role, ra.Sub, ra.Obj}
+			if !m.baseEdges[e] {
+				m.baseEdges[e] = true
+				m.addEdge(e)
+			}
+		}
+	}
+	return m.chase(lim)
+}
+
+// derivableLabel reports one-step support for A(ind) in the current
+// store: base assertion, I1 from a present sub-label, or I8/I9 from a
+// present edge.
+func (m *Maintainer) derivableLabel(f labelFact) bool {
+	if m.baseLabels[f] {
+		return true
+	}
+	for _, ci := range m.t.CIs {
+		if ci.Sup.Exists || ci.Sup.Name != f.label {
+			continue
+		}
+		if !ci.Sub.Exists {
+			if m.s.labels[f.ind][ci.Sub.Name] {
+				return true
+			}
+		} else if m.s.holdsExists(f.ind, ci.Sub.Role()) {
+			return true
+		}
+	}
+	return false
+}
+
+// derivableEdge reports one-step support for a non-null edge: base
+// assertion or an RI whose sub-edge survives.
+func (m *Maintainer) derivableEdge(e edgeFact) bool {
+	if m.baseEdges[e] {
+		return true
+	}
+	for _, ri := range m.t.RIs {
+		if ri.Sup.Name != e.role {
+			continue
+		}
+		if !ri.Sub.Inv {
+			if m.s.edgeSeen[edgeFact{ri.Sub.Name, e.from, e.to}] {
+				return true
+			}
+		} else if m.s.edgeSeen[edgeFact{ri.Sub.Name, e.to, e.from}] {
+			return true
+		}
+	}
+	return false
+}
+
+// rederiveNull reports whether the holder of an overdeleted null edge
+// still satisfies some existential axiom producing exactly this edge
+// shape, returning the new trigger. The "not already witnessed" check is
+// deliberately skipped: a redundant witness is sound (its holder fact is
+// entailed) and FilterNulls keeps it out of answers.
+func (m *Maintainer) rederiveNull(e edgeFact, tr trigger) (trigger, bool) {
+	x, w := tr.holder, tr.null
+	if m.s.depth[x] >= m.maxDepth {
+		return trigger{}, false
+	}
+	for _, ci := range m.t.CIs {
+		if !ci.Sup.Exists {
+			continue
+		}
+		sup := ci.Sup.Role()
+		if sup.Name != e.role {
+			continue
+		}
+		var shape edgeFact
+		if !sup.Inv {
+			shape = edgeFact{sup.Name, x, w}
+		} else {
+			shape = edgeFact{sup.Name, w, x}
+		}
+		if shape != e {
+			continue
+		}
+		if !ci.Sub.Exists {
+			if m.s.labels[x][ci.Sub.Name] {
+				return trigger{holder: x, null: w, byLabel: labelFact{x, ci.Sub.Name}}, true
+			}
+			continue
+		}
+		r := ci.Sub.Role()
+		if !r.Inv {
+			for _, e2 := range m.s.out[x] {
+				if e2.role == r.Name {
+					return trigger{holder: x, null: w, byEdge: e2, viaEdge: true}, true
+				}
+			}
+		} else {
+			for _, e2 := range m.s.in[x] {
+				if e2.role == r.Name {
+					return trigger{holder: x, null: w, byEdge: e2, viaEdge: true}, true
+				}
+			}
+		}
+	}
+	return trigger{}, false
+}
+
+// Graph materializes the maintained store, memoized until the next
+// Apply — repeated queries at one epoch share a single build.
+func (m *Maintainer) Graph() *graph.Graph {
+	if m.g == nil {
+		b := graph.NewBuilder(nil)
+		for ind, ls := range m.s.labels {
+			for l := range ls {
+				b.AddLabel(ind, l)
+			}
+		}
+		for e := range m.s.edgeSeen {
+			b.AddEdge(e.from, e.role, e.to)
+		}
+		m.g = b.Freeze()
+	}
+	return m.g
+}
+
+// Answer evaluates q over the maintained materialization and filters
+// null answers — AnswerCQ without the per-query chase. The maintainer's
+// depth bound must be ≥ q.Size()+1.
+func (m *Maintainer) Answer(q *cq.Query, evalLim daf.Limits) (*core.AnswerSet, *graph.Graph, error) {
+	g := m.Graph()
+	res, _, err := daf.EvalCQ(q, g, evalLim)
+	if err != nil {
+		return nil, g, err
+	}
+	return FilterNulls(res, g), g, nil
+}
+
+// store removal — the inverse mutators the incremental path needs.
+
+func (s *store) removeLabel(ind, label string) bool {
+	ls := s.labels[ind]
+	if !ls[label] {
+		return false
+	}
+	delete(ls, label)
+	if len(ls) == 0 {
+		delete(s.labels, ind)
+	}
+	s.facts--
+	return true
+}
+
+func (s *store) removeEdge(e edgeFact) bool {
+	if !s.edgeSeen[e] {
+		return false
+	}
+	delete(s.edgeSeen, e)
+	drop := func(list []edgeFact) []edgeFact {
+		for i, x := range list {
+			if x == e {
+				list[i] = list[len(list)-1]
+				return list[:len(list)-1]
+			}
+		}
+		return list
+	}
+	if l := drop(s.out[e.from]); len(l) == 0 {
+		delete(s.out, e.from)
+	} else {
+		s.out[e.from] = l
+	}
+	if l := drop(s.in[e.to]); len(l) == 0 {
+		delete(s.in, e.to)
+	} else {
+		s.in[e.to] = l
+	}
+	s.facts--
+	return true
+}
+
+// ConsistencyState maintains batch-scoped consistency: a depth-2
+// maintained chase plus a violation index, re-examining only the
+// individuals touched by each committed batch.
+type ConsistencyState struct {
+	t       *dllite.TBox
+	m       *Maintainer // nil when the TBox has no negative inclusions
+	current map[string]indexedViolation
+	byInd   map[string]map[string]bool // individual → violation keys
+}
+
+type indexedViolation struct {
+	v    Violation
+	inds []string
+}
+
+// NewConsistencyState chases the ABox at depth 2 (CheckConsistency's
+// bound) and indexes every violation.
+func NewConsistencyState(t *dllite.TBox, a *dllite.ABox, lim Limits) (*ConsistencyState, error) {
+	cs := &ConsistencyState{
+		t:       t,
+		current: map[string]indexedViolation{},
+		byInd:   map[string]map[string]bool{},
+	}
+	if len(t.NegCIs) == 0 && len(t.NegRIs) == 0 {
+		return cs, nil
+	}
+	m, err := NewMaintainer(t, a, 2, lim)
+	if err != nil {
+		return nil, err
+	}
+	cs.m = m
+	inds := map[string]bool{}
+	for ind := range m.s.labels {
+		inds[ind] = true
+	}
+	for ind := range m.s.out {
+		inds[ind] = true
+	}
+	for ind := range m.s.in {
+		inds[ind] = true
+	}
+	for ind := range inds {
+		cs.recheck(ind)
+	}
+	return cs, nil
+}
+
+// Apply maintains the chase for the batch and rechecks only the touched
+// region.
+func (cs *ConsistencyState) Apply(ins, del *dllite.ABox, lim Limits) error {
+	if cs.m == nil {
+		return nil // no negative inclusions: vacuously consistent
+	}
+	if err := cs.m.Apply(ins, del, lim); err != nil {
+		return err
+	}
+	for ind := range cs.m.Touched() {
+		cs.recheck(ind)
+	}
+	return nil
+}
+
+// Consistent reports whether the KB currently satisfies every negative
+// inclusion.
+func (cs *ConsistencyState) Consistent() bool { return len(cs.current) == 0 }
+
+// Violations returns the current violations, sorted for determinism.
+func (cs *ConsistencyState) Violations() []Violation {
+	keys := make([]string, 0, len(cs.current))
+	for k := range cs.current {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Violation, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, cs.current[k].v)
+	}
+	return out
+}
+
+// recheck drops and recomputes every violation witnessed by x.
+func (cs *ConsistencyState) recheck(x string) {
+	for k := range cs.byInd[x] {
+		iv, ok := cs.current[k]
+		if !ok {
+			continue
+		}
+		delete(cs.current, k)
+		for _, ind := range iv.inds {
+			delete(cs.byInd[ind], k)
+		}
+	}
+
+	s := cs.m.s
+	holds := func(c dllite.Concept, ind string) bool {
+		if !c.Exists {
+			return s.labels[ind][c.Name]
+		}
+		return s.holdsExists(ind, c.Role())
+	}
+	record := func(v Violation, inds ...string) {
+		k := v.Inclusion + "|" + v.Witness
+		if _, dup := cs.current[k]; dup {
+			return
+		}
+		cs.current[k] = indexedViolation{v: v, inds: inds}
+		for _, ind := range inds {
+			if cs.byInd[ind] == nil {
+				cs.byInd[ind] = map[string]bool{}
+			}
+			cs.byInd[ind][k] = true
+		}
+	}
+
+	for _, nc := range cs.t.NegCIs {
+		if holds(nc.Sub, x) && holds(nc.Neg, x) {
+			record(Violation{Inclusion: nc.String(), Witness: x}, x)
+		}
+	}
+	for _, nr := range cs.t.NegRIs {
+		check := func(e edgeFact) {
+			if e.role != nr.Sub.Name {
+				return
+			}
+			from, to := e.from, e.to
+			if nr.Sub.Inv {
+				from, to = to, from
+			}
+			if s.edgeSeen[edgeFact{nr.Neg.Name, from, to}] {
+				record(Violation{
+					Inclusion: nr.String(),
+					Witness:   "(" + from + ", " + to + ")",
+				}, from, to)
+			}
+		}
+		for _, e := range s.out[x] {
+			check(e)
+		}
+		for _, e := range s.in[x] {
+			check(e)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package saturate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ogpa/internal/cq"
+	"ogpa/internal/daf"
+	"ogpa/internal/dllite"
+	"ogpa/internal/testkb"
+)
+
+// cloneABox deep-copies the assertion lists.
+func cloneABox(a *dllite.ABox) *dllite.ABox {
+	return &dllite.ABox{
+		Concepts: append([]dllite.ConceptAssertion(nil), a.Concepts...),
+		Roles:    append([]dllite.RoleAssertion(nil), a.Roles...),
+	}
+}
+
+// applyToABox mirrors a Maintainer batch onto a plain ABox (dedup on
+// insert, delete-all-occurrences on delete), producing the oracle input.
+func applyToABox(a *dllite.ABox, ins, del *dllite.ABox) *dllite.ABox {
+	type ck = dllite.ConceptAssertion
+	type rk = dllite.RoleAssertion
+	cs := map[ck]bool{}
+	rs := map[rk]bool{}
+	for _, x := range a.Concepts {
+		cs[x] = true
+	}
+	for _, x := range a.Roles {
+		rs[x] = true
+	}
+	if del != nil {
+		for _, x := range del.Concepts {
+			delete(cs, x)
+		}
+		for _, x := range del.Roles {
+			delete(rs, x)
+		}
+	}
+	if ins != nil {
+		for _, x := range ins.Concepts {
+			cs[x] = true
+		}
+		for _, x := range ins.Roles {
+			rs[x] = true
+		}
+	}
+	out := &dllite.ABox{}
+	for x := range cs {
+		out.Concepts = append(out.Concepts, x)
+	}
+	for x := range rs {
+		out.Roles = append(out.Roles, x)
+	}
+	return out
+}
+
+// randBatch draws one insert/delete batch over the testkb signature.
+// Deletion-heavy batches (every third) remove up to half the current
+// assertions, stressing the DRed overdelete/rederive path.
+func randBatch(rng *rand.Rand, cur *dllite.ABox, heavy bool) (ins, del *dllite.ABox) {
+	ins, del = &dllite.ABox{}, &dllite.ABox{}
+	nDel := rng.Intn(3)
+	if heavy {
+		nDel = 3 + rng.Intn(6)
+	}
+	for i := 0; i < nDel; i++ {
+		if n := len(cur.Concepts); n > 0 && (rng.Intn(2) == 0 || len(cur.Roles) == 0) {
+			ca := cur.Concepts[rng.Intn(n)]
+			del.AddConcept(ca.Concept, ca.Ind)
+		} else if n := len(cur.Roles); n > 0 {
+			ra := cur.Roles[rng.Intn(n)]
+			del.AddRole(ra.Role, ra.Sub, ra.Obj)
+		}
+	}
+	nIns := 1 + rng.Intn(4)
+	if heavy {
+		nIns = rng.Intn(2)
+	}
+	add := testkb.RandomABox(rng)
+	for i := 0; i < nIns && i < len(add.Concepts); i++ {
+		ins.AddConcept(add.Concepts[i].Concept, add.Concepts[i].Ind)
+	}
+	for i := 0; i < nIns && i < len(add.Roles); i++ {
+		ins.AddRole(add.Roles[i].Role, add.Roles[i].Sub, add.Roles[i].Obj)
+	}
+	return ins, del
+}
+
+// TestMaintainerMatchesAnswerCQ is the saturate half of the 100-seed
+// incremental-vs-recompute sweep: after every batch (including
+// deletion-heavy ones) the maintained chase must produce byte-identical
+// certain answers to a from-scratch AnswerCQ over the current ABox.
+func TestMaintainerMatchesAnswerCQ(t *testing.T) {
+	for seed := 0; seed < 100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			tb, abox, q := testkb.RandomKB(rng)
+			depth := q.Size() + 1
+
+			m, err := NewMaintainer(tb, abox, depth, Limits{})
+			if err != nil {
+				t.Fatalf("NewMaintainer: %v", err)
+			}
+			cur := cloneABox(abox)
+
+			check := func(step string) {
+				t.Helper()
+				got, gg, err := m.Answer(q, daf.Limits{})
+				if err != nil {
+					t.Fatalf("%s: maintained Answer: %v", step, err)
+				}
+				want, wg, _, err := AnswerCQ(tb, cur, q, Limits{}, daf.Limits{})
+				if err != nil {
+					t.Fatalf("%s: oracle AnswerCQ: %v", step, err)
+				}
+				g, w := strings.Join(got.Names(gg), "\n"), strings.Join(want.Names(wg), "\n")
+				if g != w {
+					t.Fatalf("%s: query %s\nmaintained:\n%s\noracle:\n%s", step, q, g, w)
+				}
+			}
+			check("initial")
+
+			for bi := 0; bi < 5; bi++ {
+				heavy := bi%3 == 2
+				ins, del := randBatch(rng, cur, heavy)
+				if err := m.Apply(ins, del, Limits{}); err != nil {
+					t.Fatalf("batch %d Apply: %v", bi, err)
+				}
+				cur = applyToABox(cur, ins, del)
+				check(fmt.Sprintf("batch %d (heavy=%v)", bi, heavy))
+			}
+		})
+	}
+}
+
+// randNegatives draws disjointness axioms over the testkb signature.
+func randNegatives(rng *rand.Rand, tb *dllite.TBox) {
+	concepts := []string{"A", "B", "C", "D"}
+	roles := []string{"p", "q", "r"}
+	pick := func(xs []string) string { return xs[rng.Intn(len(xs))] }
+	randConcept := func() dllite.Concept {
+		switch rng.Intn(3) {
+		case 0:
+			return dllite.Atomic(pick(concepts))
+		case 1:
+			return dllite.Exists(dllite.Role{Name: pick(roles)})
+		default:
+			return dllite.Exists(dllite.Role{Name: pick(roles), Inv: true})
+		}
+	}
+	var ncs []dllite.NegConceptInclusion
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		ncs = append(ncs, dllite.NegConceptInclusion{Sub: randConcept(), Neg: randConcept()})
+	}
+	var nrs []dllite.NegRoleInclusion
+	if rng.Intn(2) == 0 {
+		nrs = append(nrs, dllite.NegRoleInclusion{
+			Sub: dllite.Role{Name: pick(roles), Inv: rng.Intn(2) == 0},
+			Neg: dllite.Role{Name: pick(roles)},
+		})
+	}
+	tb.AddNegatives(ncs, nrs)
+}
+
+// TestConsistencyStateMatchesCheck sweeps batch-scoped incremental
+// consistency against the full CheckConsistency oracle: the verdict must
+// agree after every batch, and the named-witness violation sets must
+// match (null witnesses carry run-dependent names, so they are compared
+// by verdict only).
+func TestConsistencyStateMatchesCheck(t *testing.T) {
+	for seed := 0; seed < 100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			tb := testkb.RandomTBox(rng)
+			randNegatives(rng, tb)
+			abox := testkb.RandomABox(rng)
+
+			cs, err := NewConsistencyState(tb, abox, Limits{})
+			if err != nil {
+				t.Fatalf("NewConsistencyState: %v", err)
+			}
+			cur := cloneABox(abox)
+
+			check := func(step string) {
+				t.Helper()
+				want, err := CheckConsistency(tb, cur, Limits{})
+				if err != nil {
+					t.Fatalf("%s: CheckConsistency: %v", step, err)
+				}
+				if got := cs.Consistent(); got != (len(want) == 0) {
+					t.Fatalf("%s: incremental consistent=%v, oracle violations=%v (incremental: %v)",
+						step, got, want, cs.Violations())
+				}
+				// Named witnesses must agree exactly.
+				named := func(vs []Violation) []string {
+					var out []string
+					for _, v := range vs {
+						if !strings.Contains(v.Witness, NullPrefix) {
+							out = append(out, v.String())
+						}
+					}
+					return sortedUnique(out)
+				}
+				g, w := named(cs.Violations()), named(want)
+				if strings.Join(g, "\n") != strings.Join(w, "\n") {
+					t.Fatalf("%s: named violations differ\nincremental: %v\noracle: %v", step, g, w)
+				}
+			}
+			check("initial")
+
+			for bi := 0; bi < 5; bi++ {
+				heavy := bi%3 == 2
+				ins, del := randBatch(rng, cur, heavy)
+				if err := cs.Apply(ins, del, Limits{}); err != nil {
+					t.Fatalf("batch %d Apply: %v", bi, err)
+				}
+				cur = applyToABox(cur, ins, del)
+				check(fmt.Sprintf("batch %d (heavy=%v)", bi, heavy))
+			}
+		})
+	}
+}
+
+func sortedUnique(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TestMaintainerDeleteOnlyWitness: deleting the only named witness of an
+// existential must re-invent a null (completeness), and deleting the
+// holder fact must retract derived answers (soundness).
+func TestMaintainerDeleteOnlyWitness(t *testing.T) {
+	tb := dllite.NewTBox([]dllite.ConceptInclusion{
+		{Sub: dllite.Atomic("A"), Sup: dllite.Exists(dllite.Role{Name: "p"})},
+		{Sub: dllite.Exists(dllite.Role{Name: "p"}), Sup: dllite.Atomic("B")},
+	}, nil)
+	abox := &dllite.ABox{}
+	abox.AddConcept("A", "a")
+	abox.AddRole("p", "a", "b")
+
+	q := cq.MustParse("q(x) :- B(x)")
+	m, err := NewMaintainer(tb, abox, q.Size()+1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := func() string {
+		res, g, err := m.Answer(q, daf.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(res.Names(g), ";")
+	}
+	if got := ans(); got != "a" {
+		t.Fatalf("initial B answers = %q, want a", got)
+	}
+
+	// Delete the named witness: a keeps B via a fresh null witness.
+	del := &dllite.ABox{}
+	del.AddRole("p", "a", "b")
+	if err := m.Apply(nil, del, Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ans(); got != "a" {
+		t.Fatalf("after witness deletion B answers = %q, want a", got)
+	}
+
+	// Delete the holder fact: nothing supports B(a) anymore.
+	del2 := &dllite.ABox{}
+	del2.AddConcept("A", "a")
+	if err := m.Apply(nil, del2, Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ans(); got != "" {
+		t.Fatalf("after holder deletion B answers = %q, want empty", got)
+	}
+}

@@ -10,6 +10,14 @@
 //	GET  /stats        knowledge-base statistics
 //	GET  /consistency  negative-inclusion check
 //
+// With Config.Subscriptions (`ogpaserver -subscribe`) the handler also
+// serves standing queries over maintained incremental state:
+//
+//	POST   /subscribe              register a standing query
+//	GET    /subscribe/{id}/poll    long-poll the next answer delta
+//	GET    /subscribe/{id}/events  stream answer deltas (SSE)
+//	DELETE /subscribe/{id}         unsubscribe
+//
 // The mutation endpoints require a KB with live data enabled
 // (ogpa.KB.EnableLiveData; `ogpaserver -live`); against a read-only KB
 // they answer 403. Each accepted batch bumps the store epoch, which is
@@ -128,6 +136,10 @@ type StatsResponse struct {
 	// response — never a torn mix across a concurrent mutation.
 	Shards     int             `json:"shards,omitempty"`
 	ShardStats []ShardStatsRow `json:"shardStats,omitempty"`
+	// Incremental-maintenance counters: absent unless the KB runs with
+	// maintained state (`ogpaserver -subscribe`, or any embedder calling
+	// ogpa.KB.EnableIncremental).
+	Incremental *ogpa.IncrementalStats `json:"incremental,omitempty"`
 }
 
 // ShardStatsRow is one shard's row in GET /stats: the current epoch's
@@ -256,6 +268,20 @@ type Config struct {
 	// Answers are byte-identical to monolithic execution; GET /stats
 	// grows per-shard topology and counter rows. 0 disables sharding.
 	Shards int
+
+	// Subscriptions registers the standing-query endpoints (POST
+	// /subscribe, GET /subscribe/{id}/poll, GET /subscribe/{id}/events,
+	// DELETE /subscribe/{id}) and, on a live KB, enables incremental
+	// maintenance (ogpa.KB.EnableIncremental) so the maintained-state
+	// pipelines back them. Against a read-only KB the endpoints answer
+	// 403, like the mutation endpoints.
+	Subscriptions bool
+
+	// SubscriptionMaxRows caps every subscription's answer-set size;
+	// requests asking for more (or for no cap) are clamped. A breach
+	// fails that subscription closed rather than truncating a delta.
+	// 0 means uncapped.
+	SubscriptionMaxRows int
 }
 
 // defaultPlanCacheSize is the plan-cache capacity when Config leaves
@@ -339,6 +365,13 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 		// (the KB was already sharded differently); serving anyway would
 		// silently report counters against the wrong partition.
 		if err := kb.EnableSharding(cfg.Shards); err != nil {
+			panic(fmt.Sprintf("server: %v", err))
+		}
+	}
+	if cfg.Subscriptions && kb.Live() && !kb.Incremental() {
+		// Same contract as sharding: a KB that cannot take maintained
+		// state here is a construction-time misconfiguration.
+		if err := kb.EnableIncremental(); err != nil {
 			panic(fmt.Sprintf("server: %v", err))
 		}
 	}
@@ -578,8 +611,15 @@ func HandlerWithConfig(kb *ogpa.KB, cfg Config) http.Handler {
 				resp.ShardStats[i] = row
 			}
 		}
+		if ist := kb.IncrementalStats(); ist.Enabled {
+			resp.Incremental = &ist
+		}
 		writeJSON(w, resp)
 	})
+
+	if cfg.Subscriptions {
+		registerSubscribeRoutes(mux, kb, cfg, m)
+	}
 
 	mux.HandleFunc("GET /consistency", func(w http.ResponseWriter, r *http.Request) {
 		vs, err := kb.CheckConsistency()

@@ -75,6 +75,7 @@ type KB struct {
 	store *delta.Store // nil while read-only
 	live  aboxMemo     // per-epoch ABox view of the live graph
 	shcfg shardMemo    // sharded execution config + per-epoch shard set
+	inc   incMemo      // maintained-state chains (EnableIncremental)
 }
 
 // shardMemo holds the sharding configuration and caches the shard set of
@@ -757,6 +758,15 @@ func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, e
 		if err != nil {
 			return nil, err
 		}
+		if incEligible(opt) {
+			ans, ok, err := kb.incDatalogAnswer(query, prog, q)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return ans, nil
+			}
+		}
 		var dlim datalog.Limits
 		if opt.Timeout > 0 {
 			dlim.Deadline = time.Now().Add(opt.Timeout)
@@ -772,6 +782,15 @@ func (kb *KB) AnswerBaseline(b Baseline, query string, opt Options) (*Answers, e
 		sortRows(out.Rows)
 		return out, nil
 	case BaselineSaturate:
+		if incEligible(opt) {
+			ans, ok, err := kb.incSaturateAnswer(q)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return ans, nil
+			}
+		}
 		var slim saturate.Limits
 		if opt.Timeout > 0 {
 			slim.Deadline = time.Now().Add(opt.Timeout)
@@ -989,6 +1008,9 @@ func (kb *KB) AnswerBatch(queries []string, opt Options) ([]*Answers, error) {
 // inclusions (DisjointWith / DisjointPropertyWith statements). It returns
 // human-readable violations; an empty slice means consistent.
 func (kb *KB) CheckConsistency() ([]string, error) {
+	if out, ok, err := kb.incConsistency(); ok || err != nil {
+		return out, err
+	}
 	vs, err := saturate.CheckConsistency(kb.tbox, kb.aboxNow(), saturate.Limits{})
 	if err != nil {
 		return nil, err
